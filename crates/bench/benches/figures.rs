@@ -1,0 +1,65 @@
+//! One bench target per paper figure: runs a scaled-down but
+//! shape-preserving version of each experiment so that `cargo bench`
+//! regenerates every figure's pipeline and tracks its runtime.
+//!
+//! The paper-scale figures themselves are produced by the `experiments`
+//! binary (seconds per figure on a laptop); the benches here use reduced
+//! tree counts to keep criterion's sampling practical.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use replica_experiments::{exp1, exp2, exp3};
+use std::hint::black_box;
+
+fn bench_figures_exp1(c: &mut Criterion) {
+    let mut group = c.benchmark_group("exp1");
+    group.sample_size(10);
+    let mut fat = exp1::Exp1Config::figure4();
+    fat.trees = 5;
+    fat.e_values = (0..=100).step_by(20).collect();
+    group.bench_function("fig4_fat_trees", |b| {
+        b.iter(|| black_box(exp1::run(black_box(&fat))))
+    });
+    let mut high = exp1::Exp1Config::figure6();
+    high.trees = 5;
+    high.e_values = (0..=100).step_by(20).collect();
+    group.bench_function("fig6_high_trees", |b| {
+        b.iter(|| black_box(exp1::run(black_box(&high))))
+    });
+    group.finish();
+}
+
+fn bench_figures_exp2(c: &mut Criterion) {
+    let mut group = c.benchmark_group("exp2");
+    group.sample_size(10);
+    let mut fat = exp2::Exp2Config::figure5();
+    fat.trees = 4;
+    fat.steps = 8;
+    group.bench_function("fig5_fat_trees", |b| {
+        b.iter(|| black_box(exp2::run(black_box(&fat))))
+    });
+    let mut high = exp2::Exp2Config::figure7();
+    high.trees = 4;
+    high.steps = 8;
+    group.bench_function("fig7_high_trees", |b| {
+        b.iter(|| black_box(exp2::run(black_box(&high))))
+    });
+    group.finish();
+}
+
+fn bench_figures_exp3(c: &mut Criterion) {
+    let mut group = c.benchmark_group("exp3");
+    group.sample_size(10);
+    for (name, mut cfg) in [
+        ("fig8_with_pre", exp3::Exp3Config::figure8()),
+        ("fig9_no_pre", exp3::Exp3Config::figure9()),
+        ("fig10_high_trees", exp3::Exp3Config::figure10()),
+        ("fig11_expensive_cost", exp3::Exp3Config::figure11()),
+    ] {
+        cfg.trees = 5;
+        group.bench_function(name, |b| b.iter(|| black_box(exp3::run(black_box(&cfg)))));
+    }
+    group.finish();
+}
+
+criterion_group!(figures, bench_figures_exp1, bench_figures_exp2, bench_figures_exp3);
+criterion_main!(figures);

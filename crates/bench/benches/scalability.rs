@@ -1,0 +1,65 @@
+//! Scaling of the three dynamic programs with tree size — the bench-suite
+//! version of the paper's §5 runtime claims (500-node `MinCost`, 300-node
+//! power DP, 70-node power DP with pre-existing servers).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use replica_bench::{min_cost_instance, paper_tree, power_instance};
+use replica_core::{dp_mincost, dp_mincost_nopre, dp_power, greedy};
+use std::hint::black_box;
+
+fn bench_min_count(c: &mut Criterion) {
+    let mut group = c.benchmark_group("min_count_nopre");
+    group.sample_size(10);
+    for nodes in [100usize, 200, 400] {
+        let tree = paper_tree(1, nodes);
+        group.bench_with_input(BenchmarkId::new("greedy", nodes), &tree, |b, t| {
+            b.iter(|| black_box(greedy::greedy_min_replicas(t, 10).unwrap()))
+        });
+        group.bench_with_input(BenchmarkId::new("dp", nodes), &tree, |b, t| {
+            b.iter(|| black_box(dp_mincost_nopre::solve_min_count(t, 10).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_min_cost_withpre(c: &mut Criterion) {
+    let mut group = c.benchmark_group("min_cost_withpre");
+    group.sample_size(10);
+    // The paper's headline: 500 nodes with 125 pre-existing servers.
+    for (nodes, pre) in [(100usize, 25usize), (250, 62), (500, 125)] {
+        let instance = min_cost_instance(2, nodes, pre);
+        group.bench_with_input(
+            BenchmarkId::new("dp", format!("{nodes}n_{pre}e")),
+            &instance,
+            |b, inst| b.iter(|| black_box(dp_mincost::solve_min_cost(inst).unwrap())),
+        );
+    }
+    group.finish();
+}
+
+fn bench_power_dp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("power_dp");
+    group.sample_size(10);
+    // No pre-existing servers (paper: up to 300 nodes).
+    for nodes in [50usize, 100, 200] {
+        let instance = power_instance(3, nodes, 0);
+        group.bench_with_input(BenchmarkId::new("nopre", nodes), &instance, |b, inst| {
+            b.iter(|| black_box(dp_power::PowerDp::run(inst).unwrap().candidates().len()))
+        });
+    }
+    // With pre-existing servers (paper: 70 nodes, 10 pre-existing).
+    for (nodes, pre) in [(50usize, 5usize), (70, 10)] {
+        let instance = power_instance(4, nodes, pre);
+        group.bench_with_input(
+            BenchmarkId::new("withpre", format!("{nodes}n_{pre}e")),
+            &instance,
+            |b, inst| {
+                b.iter(|| black_box(dp_power::PowerDp::run(inst).unwrap().candidates().len()))
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(scalability, bench_min_count, bench_min_cost_withpre, bench_power_dp);
+criterion_main!(scalability);

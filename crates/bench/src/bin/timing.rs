@@ -1,0 +1,43 @@
+//! Quick head-to-head timing of the full state-vector power DP (§4.3 of
+//! the paper) vs the dominance-pruned variant, printing speedups and table
+//! sizes. Criterion's `ablation` bench measures the same comparison
+//! rigorously; this binary is the 10-second version.
+
+use replica_bench::power_instance;
+use replica_core::{dp_power::PowerDp, dp_power_pruned::PrunedPowerDp};
+use std::time::Instant;
+
+fn main() {
+    // Head-to-head where the full DP is still comfortable.
+    for (n, e) in [(50usize, 5usize), (100, 10)] {
+        let inst = power_instance(10, n, e);
+        let t = Instant::now();
+        let full = PowerDp::run(&inst).unwrap();
+        let t_full = t.elapsed();
+        let t = Instant::now();
+        let pruned = PrunedPowerDp::run(&inst).unwrap();
+        let t_pruned = t.elapsed();
+        let b_full = full.best_within(f64::INFINITY).unwrap().power;
+        let b_pruned = pruned.best_within(f64::INFINITY).unwrap().power;
+        assert!((b_full - b_pruned).abs() < 1e-6, "optima must agree");
+        println!(
+            "N={n:4} E={e:3}: full {t_full:>10.2?}  pruned {t_pruned:>10.2?}  \
+             pruned-entries {:>5}  speedup {:>6.0}x",
+            pruned.table_entries(),
+            t_full.as_secs_f64() / t_pruned.as_secs_f64()
+        );
+    }
+    // Beyond the full DP's practical range, the pruned variant keeps going.
+    for (n, e) in [(300usize, 30usize), (1000, 100), (3000, 300)] {
+        let inst = power_instance(11, n, e);
+        let t = Instant::now();
+        let pruned = PrunedPowerDp::run(&inst).unwrap();
+        let t_pruned = t.elapsed();
+        println!(
+            "N={n:4} E={e:3}: full          —  pruned {t_pruned:>10.2?}  \
+             pruned-entries {:>5}  (exact optimum {:.1})",
+            pruned.table_entries(),
+            pruned.best_within(f64::INFINITY).unwrap().power
+        );
+    }
+}

@@ -1,0 +1,37 @@
+//! Shared fixtures for the benchmark suite (see `benches/`).
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use replica_model::{CostModel, Instance, ModeSet, PowerModel, PreExisting};
+use replica_tree::{generate, GeneratorConfig, Tree};
+
+/// Deterministic paper-shaped tree.
+pub fn paper_tree(seed: u64, nodes: usize) -> Tree {
+    let mut rng = StdRng::seed_from_u64(seed);
+    generate::random_tree(&GeneratorConfig::paper_fat(nodes), &mut rng)
+}
+
+/// Deterministic Experiment-3-style instance (modes {5, 10}, α = 3,
+/// `P_static = W₁³/10`, uniform Fig-8 costs).
+pub fn power_instance(seed: u64, nodes: usize, pre_count: usize) -> Instance {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let tree = generate::random_tree(&GeneratorConfig::paper_power(nodes), &mut rng);
+    let pre = generate::random_pre_existing(&tree, pre_count, &mut rng);
+    let modes = ModeSet::new(vec![5, 10]).unwrap();
+    let power = PowerModel::paper_experiment3(&modes);
+    Instance::builder(tree)
+        .modes(modes)
+        .pre_existing(PreExisting::at_mode(pre, 1))
+        .cost(CostModel::uniform(2, 0.1, 0.01, 0.001))
+        .power(power)
+        .build()
+        .unwrap()
+}
+
+/// Deterministic single-mode `MinCost-WithPre` instance.
+pub fn min_cost_instance(seed: u64, nodes: usize, pre_count: usize) -> Instance {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let tree = generate::random_tree(&GeneratorConfig::paper_fat(nodes), &mut rng);
+    let pre = generate::random_pre_existing(&tree, pre_count, &mut rng);
+    Instance::min_cost(tree, 10, pre, 0.1, 0.01).unwrap()
+}

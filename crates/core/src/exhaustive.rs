@@ -1,0 +1,182 @@
+//! Exhaustive enumeration — the test oracle.
+//!
+//! Walks every replica set and mode assignment (`(M+1)^N` combinations) and
+//! evaluates each with the model crate's independent semantics. Exponential
+//! by design: it exists so that the dynamic programs, greedy and heuristics
+//! can be checked for *exact* optimality on small instances, through a code
+//! path that shares nothing with them.
+
+use replica_model::{le_tolerant, Instance, ModelError, Placement, Solution};
+use replica_tree::NodeId;
+
+/// A fully evaluated feasible solution.
+#[derive(Clone, Debug)]
+pub struct Candidate {
+    /// The placement.
+    pub placement: Placement,
+    /// Eq. 4 cost.
+    pub cost: f64,
+    /// Eq. 3 power.
+    pub power: f64,
+    /// Server count.
+    pub servers: u64,
+}
+
+/// Upper bound on enumerated combinations before [`enumerate`] panics —
+/// oracle use is only meaningful on small instances.
+pub const MAX_COMBINATIONS: u128 = 50_000_000;
+
+/// Enumerates all feasible solutions of `instance`.
+///
+/// # Panics
+/// Panics when `(M+1)^N` exceeds [`MAX_COMBINATIONS`].
+pub fn enumerate(instance: &Instance) -> Vec<Candidate> {
+    let tree = instance.tree();
+    let n = tree.internal_count();
+    let m = instance.mode_count();
+    let combos = (m as u128 + 1).checked_pow(n as u32).unwrap_or(u128::MAX);
+    assert!(
+        combos <= MAX_COMBINATIONS,
+        "exhaustive enumeration of {combos} combinations refused; shrink the instance"
+    );
+
+    let mut out = Vec::new();
+    // Odometer over per-node choices: 0 = no server, 1..=m = server at
+    // mode choice-1.
+    let mut choice = vec![0u8; n];
+    loop {
+        let mut placement = Placement::empty(tree);
+        for (idx, &ch) in choice.iter().enumerate() {
+            if ch > 0 {
+                placement.insert(NodeId::from_index(idx), (ch - 1) as usize);
+            }
+        }
+        if let Ok(sol) = Solution::evaluate(instance, &placement) {
+            out.push(Candidate {
+                placement,
+                cost: sol.cost,
+                power: sol.power,
+                servers: sol.counts.total_servers(),
+            });
+        }
+
+        // Increment the odometer.
+        let mut i = 0;
+        loop {
+            if i == n {
+                return out;
+            }
+            if choice[i] < m as u8 {
+                choice[i] += 1;
+                break;
+            }
+            choice[i] = 0;
+            i += 1;
+        }
+    }
+}
+
+/// Optimal Eq. 2/Eq. 4 cost over all feasible solutions.
+pub fn min_cost(instance: &Instance) -> Result<Candidate, ModelError> {
+    enumerate(instance)
+        .into_iter()
+        .min_by(|a, b| a.cost.total_cmp(&b.cost).then(a.servers.cmp(&b.servers)))
+        .ok_or_else(|| ModelError::Infeasible("no feasible placement".into()))
+}
+
+/// Optimal power subject to `cost ≤ cost_bound`.
+pub fn min_power_bounded(instance: &Instance, cost_bound: f64) -> Result<Candidate, ModelError> {
+    enumerate(instance)
+        .into_iter()
+        .filter(|c| le_tolerant(c.cost, cost_bound))
+        .min_by(|a, b| a.power.total_cmp(&b.power).then(a.cost.total_cmp(&b.cost)))
+        .ok_or_else(|| ModelError::Infeasible(format!("nothing fits cost bound {cost_bound}")))
+}
+
+/// The exact cost/power Pareto front (increasing cost, decreasing power).
+pub fn pareto(instance: &Instance) -> Vec<(f64, f64)> {
+    let mut points: Vec<(f64, f64)> =
+        enumerate(instance).into_iter().map(|c| (c.cost, c.power)).collect();
+    points.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.total_cmp(&b.1)));
+    let mut front: Vec<(f64, f64)> = Vec::new();
+    for (cost, power) in points {
+        match front.last() {
+            Some(&(_, p)) if power >= p - replica_model::COST_EPSILON => {}
+            _ => front.push((cost, power)),
+        }
+    }
+    front
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use replica_model::{ModeSet, PowerModel};
+    use replica_tree::TreeBuilder;
+
+    fn small_instance() -> Instance {
+        let mut b = TreeBuilder::new();
+        let r = b.root();
+        let a = b.add_child(r);
+        let c = b.add_child(r);
+        b.add_client(a, 4);
+        b.add_client(c, 5);
+        Instance::builder(b.build().unwrap())
+            .modes(ModeSet::new(vec![5, 10]).unwrap())
+            .power(PowerModel::new(1.0, 2.0))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn finds_all_feasible() {
+        let inst = small_instance();
+        let all = enumerate(&inst);
+        assert!(!all.is_empty());
+        // A solution must at minimum cover both clients.
+        for c in &all {
+            assert!(c.servers >= 1);
+        }
+        // The root alone at W₂ covers everything: 9 requests ≤ 10.
+        assert!(all.iter().any(|c| c.servers == 1));
+    }
+
+    #[test]
+    fn min_cost_is_min_servers_with_free_cost() {
+        let inst = small_instance();
+        let best = min_cost(&inst).unwrap();
+        assert_eq!(best.servers, 1);
+    }
+
+    #[test]
+    fn min_power_prefers_balanced_low_modes() {
+        // Static power 1 is small: two W₁ servers (2·(1+25) = 52) beat one
+        // W₂ server (1 + 100 = 101).
+        let inst = small_instance();
+        let best = min_power_bounded(&inst, f64::INFINITY).unwrap();
+        assert!((best.power - 52.0).abs() < 1e-9, "power {}", best.power);
+        assert_eq!(best.servers, 2);
+    }
+
+    #[test]
+    fn pareto_is_consistent() {
+        let inst = small_instance();
+        let front = pareto(&inst);
+        assert!(!front.is_empty());
+        for w in front.windows(2) {
+            assert!(w[0].0 < w[1].0 && w[0].1 > w[1].1);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "exhaustive enumeration")]
+    fn refuses_huge_instances() {
+        let mut b = TreeBuilder::new();
+        let r = b.root();
+        for _ in 0..60 {
+            b.add_child(r);
+        }
+        let inst = Instance::builder(b.build().unwrap()).capacity(10).build().unwrap();
+        let _ = enumerate(&inst);
+    }
+}

@@ -1,0 +1,246 @@
+//! The NP-completeness gadget of Theorem 2 (§4.2): reduction from
+//! 2-Partition to `MinPower`.
+//!
+//! Given integers `a₁ < … < aₙ` with even sum `S`, the paper builds an
+//! instance with `n + 2` modes and no static power:
+//!
+//! * modes `W₁ = K`, `Wᵢ₊₁ = K + aᵢ·X`, `Wₙ₊₂ = K + S·X`, with `K = n·S²`
+//!   and `X = 1 / (α·K^{α−1})`;
+//! * a root with a client of `K + (S/2)·X` requests and children
+//!   `A₁ … Aₙ`, where `Aᵢ` has a client of `aᵢ·X` requests and an internal
+//!   child `Bᵢ` with a client of `K` requests (Figure 3);
+//! * the question: is there a placement with power at most
+//!   `P_max = (K + S·X)^α + n·K^α + S/2 + (n−1)/n`?
+//!
+//! A subset `I` with `Σ_{i∈I} aᵢ = S/2` maps to the placement {root at
+//! `Wₙ₊₂`} ∪ {`Aᵢ` at `Wᵢ₊₁` : `i ∈ I`} ∪ {`Bᵢ` at `W₁` : `i ∉ I`}, and
+//! conversely any placement within `P_max` encodes such a subset.
+//!
+//! ## Integer scaling
+//!
+//! The reduction uses real-valued capacities (`X` is tiny). Our model uses
+//! integer request counts, so the gadget scales everything by
+//! `D = α·K^{α−1}` (an integer for integer `α`), which makes every capacity
+//! and request volume integral:
+//! `W₁·D = αK^α`, `Wᵢ₊₁·D = αK^α + aᵢ`, and the power threshold becomes
+//! `P_max·D^α`. Power is a homogeneous degree-`α` function of the
+//! capacities, so scaling preserves every comparison in the proof verbatim.
+
+use replica_model::{Instance, ModeSet, ModelError, Placement, PowerModel};
+use replica_tree::{NodeId, TreeBuilder};
+
+/// A constructed reduction instance.
+#[derive(Clone, Debug)]
+pub struct Gadget {
+    /// The `MinPower` instance (no pre-existing servers, no static power).
+    pub instance: Instance,
+    /// The scaled power threshold `P_max · D^α`.
+    pub p_max: f64,
+    /// The scaling factor `D = α·K^{α−1}`.
+    pub scale: u64,
+    /// `K = n·S²`.
+    pub k: u64,
+    /// The 2-Partition integers (sorted, strictly increasing).
+    pub a: Vec<u64>,
+    /// Node handles: `A₁ … Aₙ`.
+    pub a_nodes: Vec<NodeId>,
+    /// Node handles: `B₁ … Bₙ`.
+    pub b_nodes: Vec<NodeId>,
+}
+
+/// Builds the Theorem 2 gadget for integer `alpha ∈ {2, 3}`.
+///
+/// The integers must be positive, strictly increasing (so that the scaled
+/// mode capacities are strictly increasing), have an even sum, and satisfy
+/// `aₙ < S/2`. The last condition is the proof's (implicit) premise that
+/// the root client `K + (S/2)·X` only fits the top mode `Wₙ₊₂`: with
+/// `aₙ ≥ S/2` the root could run at mode `Wₙ₊₁` by over-serving every
+/// branch at its `Aᵢ`, and the threshold argument breaks. Instances
+/// violating it are trivially decidable before reducing (any subset
+/// containing `aₙ = S/2` is a partition; `aₙ > S/2` forces `aₙ` aside).
+pub fn build(a: &[u64], alpha: u32) -> Result<Gadget, ModelError> {
+    if !(2..=3).contains(&alpha) {
+        return Err(ModelError::InvalidPower(format!(
+            "gadget supports integer alpha 2 or 3, got {alpha}"
+        )));
+    }
+    if a.is_empty() || a[0] == 0 || !a.windows(2).all(|w| w[0] < w[1]) {
+        return Err(ModelError::InvalidModes(
+            "2-Partition integers must be positive and strictly increasing".into(),
+        ));
+    }
+    let n = a.len() as u64;
+    let s: u64 = a.iter().sum();
+    if !s.is_multiple_of(2) {
+        return Err(ModelError::Infeasible(
+            "odd sum: the 2-Partition instance is trivially NO".into(),
+        ));
+    }
+    if *a.last().expect("non-empty") * 2 >= s {
+        return Err(ModelError::Infeasible(
+            "aₙ ≥ S/2: trivially decidable, the reduction premise needs aₙ < S/2".into(),
+        ));
+    }
+    let k = n
+        .checked_mul(s.checked_mul(s).ok_or_else(overflow)?)
+        .ok_or_else(overflow)?;
+    // D = α·K^(α−1); K·D = α·K^α.
+    let d = match alpha {
+        2 => 2u64.checked_mul(k).ok_or_else(overflow)?,
+        _ => 3u64.checked_mul(k.checked_mul(k).ok_or_else(overflow)?).ok_or_else(overflow)?,
+    };
+    let kd = k.checked_mul(d).ok_or_else(overflow)?;
+    kd.checked_add(s).ok_or_else(overflow)?;
+
+    // Modes: K·D, K·D + a₁, …, K·D + aₙ, K·D + S (all scaled by D).
+    let mut caps = Vec::with_capacity(a.len() + 2);
+    caps.push(kd);
+    caps.extend(a.iter().map(|&ai| kd + ai));
+    caps.push(kd + s);
+    let modes = ModeSet::new(caps)?;
+
+    // Figure 3 tree.
+    let mut bld = TreeBuilder::new();
+    let root = bld.root();
+    bld.add_client(root, kd + s / 2);
+    let mut a_nodes = Vec::with_capacity(a.len());
+    let mut b_nodes = Vec::with_capacity(a.len());
+    for &ai in a {
+        let a_node = bld.add_child(root);
+        bld.add_client(a_node, ai);
+        let b_node = bld.add_child(a_node);
+        bld.add_client(b_node, kd);
+        a_nodes.push(a_node);
+        b_nodes.push(b_node);
+    }
+    let tree = bld.build().expect("gadget trees are structurally valid");
+    let instance = Instance::builder(tree)
+        .modes(modes)
+        .power(PowerModel::dynamic_only(f64::from(alpha)))
+        .build()?;
+
+    // P_max · D^α = (KD + S)^α + n·(KD)^α + D^α·(S/2 + (n−1)/n).
+    let alpha_f = f64::from(alpha);
+    let p_max = ((kd + s) as f64).powf(alpha_f)
+        + n as f64 * (kd as f64).powf(alpha_f)
+        + (d as f64).powf(alpha_f) * (s as f64 / 2.0 + (n as f64 - 1.0) / n as f64);
+
+    Ok(Gadget { instance, p_max, scale: d, k, a: a.to_vec(), a_nodes, b_nodes })
+}
+
+fn overflow() -> ModelError {
+    ModelError::Infeasible("2-Partition integers too large for the scaled gadget".into())
+}
+
+impl Gadget {
+    /// Forward direction of the proof: turns a subset `I` (given as a mask
+    /// over the integers) into the canonical placement. The caller asserts
+    /// that `Σ_{i∈I} aᵢ = S/2`; the returned placement is feasible exactly
+    /// then.
+    pub fn placement_for_partition(&self, in_subset: &[bool]) -> Placement {
+        assert_eq!(in_subset.len(), self.a.len());
+        let tree = self.instance.tree();
+        let mut p = Placement::empty(tree);
+        let top_mode = self.instance.mode_count() - 1;
+        p.insert(tree.root(), top_mode);
+        for (i, &chosen) in in_subset.iter().enumerate() {
+            if chosen {
+                // Aᵢ at mode Wᵢ₊₁ (index i + 1).
+                p.insert(self.a_nodes[i], i + 1);
+            } else {
+                // Bᵢ at mode W₁ (index 0).
+                p.insert(self.b_nodes[i], 0);
+            }
+        }
+        p
+    }
+
+    /// Backward direction: reads the subset out of a placement (the indices
+    /// whose `Aᵢ` holds a replica).
+    pub fn partition_from_placement(&self, placement: &Placement) -> Vec<bool> {
+        self.a_nodes.iter().map(|&a| placement.has_server(a)).collect()
+    }
+
+    /// Brute-force 2-Partition decision (for tests: `2ⁿ` subsets).
+    pub fn has_partition(&self) -> bool {
+        let s: u64 = self.a.iter().sum();
+        let half = s / 2;
+        let n = self.a.len();
+        (0u64..(1 << n)).any(|mask| {
+            let sum: u64 = (0..n).filter(|&i| mask >> i & 1 == 1).map(|i| self.a[i]).sum();
+            sum == half
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use replica_model::Solution;
+
+    #[test]
+    fn rejects_bad_inputs() {
+        assert!(build(&[], 2).is_err());
+        assert!(build(&[0, 1], 2).is_err());
+        assert!(build(&[2, 2, 4], 2).is_err(), "duplicates break strict mode ordering");
+        assert!(build(&[1, 2, 4], 2).is_err(), "odd sum");
+        assert!(build(&[1, 2, 3], 4).is_err(), "alpha out of range");
+        assert!(build(&[1, 2, 3], 2).is_err(), "aₙ = S/2 violates the reduction premise");
+        assert!(build(&[1, 2, 9], 2).is_err(), "aₙ > S/2 violates the reduction premise");
+    }
+
+    #[test]
+    fn yes_instance_placement_is_within_pmax() {
+        // a = [1, 2, 3, 4]: S = 10, subset {1, 4} sums to 5.
+        let g = build(&[1, 2, 3, 4], 2).unwrap();
+        assert!(g.has_partition());
+        let placement = g.placement_for_partition(&[true, false, false, true]);
+        let sol = Solution::evaluate(&g.instance, &placement).unwrap();
+        assert!(
+            sol.power <= g.p_max * (1.0 + 1e-12),
+            "partition placement power {} must be ≤ P_max {}",
+            sol.power,
+            g.p_max
+        );
+        // Round trip.
+        assert_eq!(g.partition_from_placement(&placement), vec![true, false, false, true]);
+    }
+
+    #[test]
+    fn wrong_subset_violates_feasibility_or_pmax() {
+        let g = build(&[1, 2, 3, 4], 2).unwrap();
+        // Subset {4} (sum 4 < 5): root receives K·D + S/2 + 1 + 2 + 3 =
+        // K·D + 11 > W_{n+2} = K·D + 10 → infeasible.
+        let placement = g.placement_for_partition(&[false, false, false, true]);
+        assert!(Solution::evaluate(&g.instance, &placement).is_err());
+
+        // Subset {1, 2, 3} (sum 6 > 5): feasible but the power must exceed
+        // P_max (three upgraded servers cost more than the slack).
+        let placement = g.placement_for_partition(&[true, true, true, false]);
+        let sol = Solution::evaluate(&g.instance, &placement).unwrap();
+        assert!(sol.power > g.p_max);
+    }
+
+    #[test]
+    fn alpha_three_gadget_builds() {
+        let g = build(&[1, 2, 3, 4], 3).unwrap();
+        assert!(g.has_partition()); // {1, 4} = {2, 3} = 5
+        let placement = g.placement_for_partition(&[true, false, false, true]);
+        let sol = Solution::evaluate(&g.instance, &placement).unwrap();
+        assert!(sol.power <= g.p_max * (1.0 + 1e-12));
+    }
+
+    #[test]
+    fn capacity_structure_matches_proof() {
+        let g = build(&[1, 2, 3, 4], 2).unwrap();
+        let caps = g.instance.modes().capacities();
+        let kd = g.k * g.scale;
+        assert_eq!(caps[0], kd);
+        assert_eq!(caps[1], kd + 1);
+        assert_eq!(caps[4], kd + 4);
+        assert_eq!(caps[5], kd + 10);
+        // The root client needs the top mode: K·D + S/2 > K·D + aₙ iff
+        // S/2 > aₙ, which K = n·S² guarantees … here 5 > 4.
+        assert_eq!(g.instance.tree().client_load(g.instance.tree().root()), kd + 5);
+    }
+}

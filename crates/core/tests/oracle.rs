@@ -1,0 +1,327 @@
+//! Oracle cross-validation: every optimizer in `replica-core` against
+//! exhaustive enumeration on small random instances.
+//!
+//! These tests are the backbone of the reproduction's correctness story:
+//! the dynamic programs of Theorems 1 and 3 must return *exactly* the optima
+//! found by brute force, across random topologies, pre-existing sets,
+//! original modes, cost matrices and budgets.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use replica_core::{dp_mincost, dp_power, dp_power_pruned, exhaustive};
+use replica_model::{
+    compute_validated, CostModel, Instance, ModeSet, PowerModel, PreExisting, Solution,
+};
+use replica_tree::{NodeId, Tree, TreeBuilder};
+
+/// Builds a random tree with `n` internal nodes and small client volumes,
+/// from an explicit RNG (kept tiny so the oracle stays fast).
+fn random_small_tree(rng: &mut StdRng, n: usize, max_requests: u64) -> Tree {
+    let mut b = TreeBuilder::new();
+    let mut nodes = vec![b.root()];
+    for _ in 1..n {
+        let parent = nodes[rng.random_range(0..nodes.len())];
+        nodes.push(b.add_child(parent));
+    }
+    for &node in &nodes {
+        if rng.random_bool(0.6) {
+            b.add_client(node, rng.random_range(1..=max_requests));
+        }
+    }
+    b.build().unwrap()
+}
+
+fn random_pre(rng: &mut StdRng, tree: &Tree, count: usize, modes: usize) -> PreExisting {
+    let mut picks: Vec<NodeId> = tree.internal_nodes().collect();
+    for i in (1..picks.len()).rev() {
+        picks.swap(i, rng.random_range(0..=i));
+    }
+    picks.truncate(count.min(tree.internal_count()));
+    picks.into_iter().map(|n| (n, rng.random_range(0..modes))).collect()
+}
+
+#[test]
+fn mincost_dp_matches_oracle() {
+    let mut rng = StdRng::seed_from_u64(2024);
+    let mut feasible_cases = 0;
+    for case in 0..40 {
+        let n = rng.random_range(2..=8);
+        let tree = random_small_tree(&mut rng, n, 6);
+        let pre_count = rng.random_range(0..=3);
+        let pre = random_pre(&mut rng, &tree, pre_count, 1);
+        let create = [0.1, 0.5, 1.0][case % 3];
+        let delete = [0.01, 0.3, 2.0][case / 3 % 3];
+        let inst = Instance::builder(tree)
+            .capacity(10)
+            .pre_existing(pre)
+            .cost(CostModel::simple(create, delete))
+            .build()
+            .unwrap();
+
+        let dp = dp_mincost::solve_min_cost(&inst);
+        let oracle = exhaustive::min_cost(&inst);
+        match (dp, oracle) {
+            (Ok(dp), Ok(oracle)) => {
+                assert!(
+                    (dp.cost - oracle.cost).abs() < 1e-9,
+                    "case {case}: DP cost {} ≠ oracle {}",
+                    dp.cost,
+                    oracle.cost
+                );
+                // The DP's placement must re-evaluate to its claimed cost.
+                let sol = Solution::evaluate(&inst, &dp.placement).unwrap();
+                assert!((sol.cost - dp.cost).abs() < 1e-9);
+                feasible_cases += 1;
+            }
+            (Err(_), Err(_)) => {}
+            (dp, oracle) => panic!(
+                "case {case}: feasibility disagreement dp={:?} oracle={:?}",
+                dp.map(|r| r.cost),
+                oracle.map(|c| c.cost)
+            ),
+        }
+    }
+    assert!(feasible_cases >= 30, "most random cases should be feasible");
+}
+
+#[test]
+fn power_dp_matches_oracle_across_budgets() {
+    let mut rng = StdRng::seed_from_u64(77);
+    let mut checked_bounds = 0;
+    for case in 0..25 {
+        let n = rng.random_range(2..=7);
+        let tree = random_small_tree(&mut rng, n, 7);
+        let pre_count = rng.random_range(0..=2);
+        let pre = random_pre(&mut rng, &tree, pre_count, 2);
+        let modes = ModeSet::new(vec![4, 9]).unwrap();
+        let cost = match case % 3 {
+            0 => CostModel::uniform(2, 0.1, 0.01, 0.001),
+            1 => CostModel::uniform(2, 1.0, 1.0, 0.1),
+            _ => CostModel::uniform_free_reuse(2, 0.4, 0.2, 0.05),
+        };
+        let power = if case % 2 == 0 {
+            PowerModel::new(6.4, 3.0)
+        } else {
+            PowerModel::new(0.0, 2.0)
+        };
+        let inst = Instance::builder(tree)
+            .modes(modes)
+            .pre_existing(pre)
+            .cost(cost)
+            .power(power)
+            .build()
+            .unwrap();
+
+        let dp = match dp_power::PowerDp::run(&inst) {
+            Ok(dp) => dp,
+            Err(_) => {
+                assert!(
+                    exhaustive::enumerate(&inst).is_empty(),
+                    "case {case}: DP infeasible but oracle finds solutions"
+                );
+                continue;
+            }
+        };
+        for bound in [1.5f64, 2.5, 3.5, 5.0, 8.0, f64::INFINITY] {
+            let dp_best = dp.best_within(bound);
+            let oracle = exhaustive::min_power_bounded(&inst, bound).ok();
+            match (dp_best, oracle) {
+                (Some(d), Some(o)) => {
+                    assert!(
+                        (d.power - o.power).abs() < 1e-6,
+                        "case {case} bound {bound}: DP power {} ≠ oracle {}",
+                        d.power,
+                        o.power
+                    );
+                    // Reconstruct and re-evaluate independently.
+                    let rec = dp.reconstruct(d).unwrap();
+                    let sol = Solution::evaluate(&inst, &rec.placement).unwrap();
+                    assert!((sol.power - d.power).abs() < 1e-6);
+                    assert!(sol.cost <= bound + 1e-9);
+                    checked_bounds += 1;
+                }
+                (None, None) => {}
+                (d, o) => panic!(
+                    "case {case} bound {bound}: feasibility disagreement dp={:?} oracle={:?}",
+                    d.map(|c| c.power),
+                    o.map(|c| c.power)
+                ),
+            }
+        }
+    }
+    assert!(checked_bounds >= 60, "expected many comparable bounds, got {checked_bounds}");
+}
+
+#[test]
+fn power_dp_pareto_matches_oracle() {
+    let mut rng = StdRng::seed_from_u64(4242);
+    for case in 0..10 {
+        let n = rng.random_range(2..=6);
+        let tree = random_small_tree(&mut rng, n, 6);
+        let pre_count = rng.random_range(0..=2);
+        let pre = random_pre(&mut rng, &tree, pre_count, 2);
+        let modes = ModeSet::new(vec![5, 10]).unwrap();
+        let inst = Instance::builder(tree)
+            .modes(modes.clone())
+            .pre_existing(pre)
+            .cost(CostModel::uniform(2, 0.1, 0.01, 0.001))
+            .power(PowerModel::paper_experiment3(&modes))
+            .build()
+            .unwrap();
+        let Ok(dp) = dp_power::PowerDp::run(&inst) else { continue };
+        let dp_front = dp.pareto_front();
+        let oracle_front = exhaustive::pareto(&inst);
+        assert_eq!(dp_front.len(), oracle_front.len(), "case {case}: front sizes");
+        for (d, o) in dp_front.iter().zip(&oracle_front) {
+            assert!(
+                (d.0 - o.0).abs() < 1e-9 && (d.1 - o.1).abs() < 1e-6,
+                "case {case}: front point {d:?} ≠ {o:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn pruned_power_dp_matches_oracle() {
+    let mut rng = StdRng::seed_from_u64(31337);
+    let mut compared = 0;
+    for case in 0..20 {
+        let n = rng.random_range(2..=7);
+        let tree = random_small_tree(&mut rng, n, 7);
+        let pre_count = rng.random_range(0..=2);
+        let pre = random_pre(&mut rng, &tree, pre_count, 2);
+        let inst = Instance::builder(tree)
+            .modes(ModeSet::new(vec![4, 9]).unwrap())
+            .pre_existing(pre)
+            .cost(CostModel::uniform(2, 0.3, 0.2, 0.05))
+            .power(PowerModel::new(2.0, 3.0))
+            .build()
+            .unwrap();
+        let dp = match dp_power_pruned::PrunedPowerDp::run(&inst) {
+            Ok(dp) => dp,
+            Err(_) => {
+                assert!(exhaustive::enumerate(&inst).is_empty(), "case {case}");
+                continue;
+            }
+        };
+        for bound in [2.0f64, 4.0, 7.0, f64::INFINITY] {
+            let d = dp.best_within(bound).map(|c| c.power);
+            let o = exhaustive::min_power_bounded(&inst, bound).ok().map(|c| c.power);
+            match (d, o) {
+                (Some(d), Some(o)) => {
+                    assert!((d - o).abs() < 1e-6, "case {case} bound {bound}: {d} vs {o}");
+                    compared += 1;
+                }
+                (None, None) => {}
+                other => panic!("case {case} bound {bound}: {other:?}"),
+            }
+        }
+    }
+    assert!(compared >= 30, "expected many comparable bounds, got {compared}");
+}
+
+#[test]
+fn np_gadget_decides_two_partition_through_the_dp() {
+    // Theorem 2 end-to-end: the reduction instance has min power ≤ P_max
+    // exactly when the 2-Partition instance is a YES instance.
+    for (a, expect_yes) in [
+        (vec![1u64, 2, 3, 4], true),  // {1,4} or {2,3}
+        (vec![2u64, 3, 5, 6], true),  // {2,6} or {3,5} = 8
+        (vec![1u64, 5, 6, 8], false), // sum 20, no subset hits 10
+        (vec![3u64, 5, 6, 10], false), // sum 24, no subset hits 12
+    ] {
+        let gadget = replica_core::np_gadget::build(&a, 2).unwrap();
+        assert_eq!(gadget.has_partition(), expect_yes, "brute-force disagrees for {a:?}");
+        let result = dp_power::solve_min_power(&gadget.instance).unwrap();
+        let within = result.power <= gadget.p_max * (1.0 + 1e-12);
+        assert_eq!(
+            within, expect_yes,
+            "{a:?}: min power {} vs P_max {}",
+            result.power, gadget.p_max
+        );
+        if expect_yes {
+            // The optimal placement must encode a valid partition.
+            let subset = gadget.partition_from_placement(&result.placement);
+            let s: u64 = a.iter().sum();
+            let sum: u64 =
+                a.iter().zip(&subset).filter(|&(_, &b)| b).map(|(&ai, _)| ai).sum();
+            assert_eq!(sum, s / 2, "{a:?}: recovered subset must be a partition");
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// MinCost DP == oracle under arbitrary seeds and cost scalars.
+    #[test]
+    fn prop_mincost_dp_equals_oracle(
+        seed in 0u64..10_000,
+        n in 2usize..7,
+        pre_count in 0usize..3,
+        create in 0.05f64..1.5,
+        delete in 0.0f64..1.5,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let tree = random_small_tree(&mut rng, n, 6);
+        let pre = random_pre(&mut rng, &tree, pre_count, 1);
+        let inst = Instance::builder(tree)
+            .capacity(8)
+            .pre_existing(pre)
+            .cost(CostModel::simple(create, delete))
+            .build()
+            .unwrap();
+        match (dp_mincost::solve_min_cost(&inst), exhaustive::min_cost(&inst)) {
+            (Ok(dp), Ok(oracle)) => {
+                prop_assert!((dp.cost - oracle.cost).abs() < 1e-9,
+                    "dp {} vs oracle {}", dp.cost, oracle.cost);
+                compute_validated(inst.tree(), &dp.placement, inst.modes()).unwrap();
+            }
+            (Err(_), Err(_)) => {}
+            (dp, oracle) => prop_assert!(false,
+                "feasibility disagreement dp={:?} oracle={:?}",
+                dp.map(|r| r.cost), oracle.map(|c| c.cost)),
+        }
+    }
+
+    /// Power DP == oracle under arbitrary seeds, modes and budgets.
+    #[test]
+    fn prop_power_dp_equals_oracle(
+        seed in 0u64..10_000,
+        n in 2usize..6,
+        pre_count in 0usize..3,
+        w1 in 2u64..6,
+        w2_delta in 1u64..6,
+        bound in 1.0f64..12.0,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let tree = random_small_tree(&mut rng, n, w1 + w2_delta);
+        let pre = random_pre(&mut rng, &tree, pre_count, 2);
+        let modes = ModeSet::new(vec![w1, w1 + w2_delta]).unwrap();
+        let inst = Instance::builder(tree)
+            .modes(modes)
+            .pre_existing(pre)
+            .cost(CostModel::uniform(2, 0.1, 0.01, 0.001))
+            .power(PowerModel::new(1.0, 2.0))
+            .build()
+            .unwrap();
+        let dp_result = dp_power::PowerDp::run(&inst);
+        let oracle = exhaustive::min_power_bounded(&inst, bound).ok();
+        match (&dp_result, &oracle) {
+            (Ok(dp), Some(o)) => {
+                let d = dp.best_within(bound);
+                prop_assert!(d.is_some(), "oracle feasible but DP finds nothing in budget");
+                let d = d.unwrap();
+                prop_assert!((d.power - o.power).abs() < 1e-6,
+                    "dp {} vs oracle {}", d.power, o.power);
+            }
+            (Ok(dp), None) => {
+                prop_assert!(dp.best_within(bound).is_none(),
+                    "DP claims a solution the oracle cannot find");
+            }
+            (Err(_), None) => {}
+            (Err(_), Some(_)) => prop_assert!(false, "DP infeasible, oracle feasible"),
+        }
+    }
+}

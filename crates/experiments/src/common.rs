@@ -1,0 +1,98 @@
+//! Shared plumbing for the experiment harness.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rayon::prelude::*;
+
+/// Derives a per-tree RNG from an experiment seed and the tree index, so
+/// that experiments are reproducible regardless of thread scheduling.
+pub fn tree_rng(experiment_seed: u64, tree_index: usize) -> StdRng {
+    // SplitMix64 step keeps per-tree streams decorrelated even for
+    // consecutive indices.
+    let mut z = experiment_seed
+        .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(tree_index as u64 + 1));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    StdRng::seed_from_u64(z ^ (z >> 31))
+}
+
+/// Runs `per_tree` for `count` trees in parallel, preserving index order in
+/// the output.
+pub fn par_trees<T, F>(count: usize, per_tree: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync + Send,
+{
+    (0..count).into_par_iter().map(per_tree).collect()
+}
+
+/// Scaling for CI-sized runs: divides tree counts (and similar volumes)
+/// while keeping every sweep point.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum QuickScale {
+    /// Paper-sized runs (200 trees in Experiments 1–2, 100 in Experiment 3).
+    Full,
+    /// Reduced tree counts for smoke runs and benches.
+    Quick,
+}
+
+impl QuickScale {
+    /// Applies the scale to a tree count.
+    pub fn trees(self, full: usize) -> usize {
+        match self {
+            QuickScale::Full => full,
+            QuickScale::Quick => (full / 10).max(3),
+        }
+    }
+}
+
+/// Mean over an iterator of `f64` (0.0 when empty).
+pub fn mean<I: IntoIterator<Item = f64>>(values: I) -> f64 {
+    let mut sum = 0.0;
+    let mut n = 0usize;
+    for v in values {
+        sum += v;
+        n += 1;
+    }
+    if n == 0 {
+        0.0
+    } else {
+        sum / n as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn tree_rngs_are_deterministic_and_distinct() {
+        let a: u64 = tree_rng(7, 0).random();
+        let b: u64 = tree_rng(7, 0).random();
+        let c: u64 = tree_rng(7, 1).random();
+        let d: u64 = tree_rng(8, 0).random();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_ne!(a, d);
+    }
+
+    #[test]
+    fn par_trees_preserves_order() {
+        let out = par_trees(100, |i| i * 2);
+        assert_eq!(out, (0..100).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn quick_scale() {
+        assert_eq!(QuickScale::Full.trees(200), 200);
+        assert_eq!(QuickScale::Quick.trees(200), 20);
+        assert_eq!(QuickScale::Quick.trees(10), 3);
+    }
+
+    #[test]
+    fn mean_handles_empty() {
+        assert_eq!(mean([]), 0.0);
+        assert!((mean([1.0, 2.0, 3.0]) - 2.0).abs() < 1e-12);
+    }
+}

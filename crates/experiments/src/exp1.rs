@@ -1,0 +1,235 @@
+//! Experiment 1 (Figures 4 and 6): impact of pre-existing servers.
+//!
+//! §5.1: *"we draw 200 random trees without any existing replica in them.
+//! Then we randomly add 0 ≤ E ≤ 100 pre-existing servers in each tree.
+//! Finally, we execute both the greedy algorithm (GR) of [19], and the
+//! algorithm of Section 3 (DP) on each tree, and since both algorithms
+//! return a solution with the minimum number of replicas, the cost of the
+//! solution is directly related to the number of pre-existing replicas that
+//! are reused."*
+//!
+//! Figure 4 plots, per `E`, the average number of reused pre-existing
+//! servers for both algorithms (fat trees); Figure 6 repeats it on high
+//! trees. Expected shape: curves meet at `E ≈ 0` and `E ≈ N`, DP above GR
+//! everywhere, mean gap ≈ 4 servers (paper: 4.13), max gap ≈ 15.
+
+use crate::common::{mean, par_trees, tree_rng};
+use crate::report::{fmt, Table};
+use replica_core::{dp_mincost, greedy};
+use replica_model::Instance;
+use replica_tree::{generate, GeneratorConfig, TreeShape};
+use serde::{Deserialize, Serialize};
+
+/// Configuration of Experiment 1.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Exp1Config {
+    /// Number of random trees per point (paper: 200).
+    pub trees: usize,
+    /// Internal nodes per tree (paper: 100).
+    pub nodes: usize,
+    /// Server capacity `W` (paper: 10).
+    pub capacity: u64,
+    /// Tree shape (fat = Figure 4, high = Figure 6).
+    pub shape: TreeShape,
+    /// Values of `E` to sweep.
+    pub e_values: Vec<usize>,
+    /// Eq. 2 creation cost.
+    pub create: f64,
+    /// Eq. 2 deletion cost.
+    pub delete: f64,
+    /// Experiment seed.
+    pub seed: u64,
+}
+
+impl Exp1Config {
+    /// Figure 4 parameters.
+    pub fn figure4() -> Self {
+        Exp1Config {
+            trees: 200,
+            nodes: 100,
+            capacity: 10,
+            shape: TreeShape::PaperFat,
+            e_values: (0..=100).step_by(5).collect(),
+            create: 0.1,
+            delete: 0.01,
+            seed: 0xF1604,
+        }
+    }
+
+    /// Figure 6 parameters (high trees).
+    pub fn figure6() -> Self {
+        Exp1Config { shape: TreeShape::PaperHigh, seed: 0xF1606, ..Self::figure4() }
+    }
+}
+
+/// One sweep point of Figure 4/6.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct Exp1Point {
+    /// Number of pre-existing servers added.
+    pub e: usize,
+    /// Mean reused servers, DP (the paper's algorithm).
+    pub dp_reused: f64,
+    /// Mean reused servers, GR (oblivious greedy).
+    pub gr_reused: f64,
+    /// Mean replica count (identical for both algorithms).
+    pub servers: f64,
+}
+
+/// Full output of the sweep.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Exp1Output {
+    /// Per-`E` averages (the figure's two curves).
+    pub points: Vec<Exp1Point>,
+    /// Largest `dp_reused − gr_reused` over every `(tree, E)` pair — the
+    /// paper's "it can reuse up to 15 more servers".
+    pub max_tree_gap: i64,
+}
+
+/// Runs the sweep; one DP + one GR execution per `(tree, E)` pair.
+pub fn run(config: &Exp1Config) -> Exp1Output {
+    let per_tree: Vec<Vec<(u64, u64, u64)>> = par_trees(config.trees, |i| {
+        let mut rng = tree_rng(config.seed, i);
+        let gen = GeneratorConfig::paper_fat(config.nodes).with_shape(config.shape);
+        let tree = generate::random_tree(&gen, &mut rng);
+        // GR is oblivious to E: one run covers every E value.
+        let gr = greedy::greedy_min_replicas(&tree, config.capacity)
+            .expect("paper workloads are feasible at W = 10");
+        config
+            .e_values
+            .iter()
+            .map(|&e| {
+                let pre = generate::random_pre_existing(&tree, e, &mut rng);
+                let gr_reused =
+                    pre.iter().filter(|&&p| gr.placement.has_server(p)).count() as u64;
+                let instance = Instance::min_cost(
+                    tree.clone(),
+                    config.capacity,
+                    pre,
+                    config.create,
+                    config.delete,
+                )
+                .expect("valid instance");
+                let dp = dp_mincost::solve_min_cost(&instance)
+                    .expect("feasible instance stays feasible with pre-existing servers");
+                debug_assert_eq!(dp.servers, gr.servers, "both algorithms are count-optimal");
+                (dp.reused, gr_reused, dp.servers)
+            })
+            .collect()
+    });
+
+    let points = config
+        .e_values
+        .iter()
+        .enumerate()
+        .map(|(idx, &e)| Exp1Point {
+            e,
+            dp_reused: mean(per_tree.iter().map(|t| t[idx].0 as f64)),
+            gr_reused: mean(per_tree.iter().map(|t| t[idx].1 as f64)),
+            servers: mean(per_tree.iter().map(|t| t[idx].2 as f64)),
+        })
+        .collect();
+    let max_tree_gap = per_tree
+        .iter()
+        .flatten()
+        .map(|&(dp, gr, _)| dp as i64 - gr as i64)
+        .max()
+        .unwrap_or(0);
+    Exp1Output { points, max_tree_gap }
+}
+
+/// Headline statistics the paper quotes for Figure 4.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Exp1Summary {
+    /// Mean of `dp_reused − gr_reused` over the sweep (paper: 4.13).
+    pub mean_gap: f64,
+    /// Maximum gap over the sweep (paper: up to 15).
+    pub max_gap: f64,
+}
+
+/// Aggregates the headline gap statistics.
+pub fn summarize(points: &[Exp1Point]) -> Exp1Summary {
+    let gaps: Vec<f64> = points.iter().map(|p| p.dp_reused - p.gr_reused).collect();
+    Exp1Summary {
+        mean_gap: mean(gaps.iter().copied()),
+        max_gap: gaps.iter().copied().fold(0.0, f64::max),
+    }
+}
+
+/// Renders the sweep as a table (CSV columns match the figure axes).
+pub fn table(points: &[Exp1Point], title: &str) -> Table {
+    let mut t = Table::new(title, &["E", "dp_reused", "gr_reused", "servers", "gap"]);
+    for p in points {
+        t.push_row(vec![
+            p.e.to_string(),
+            fmt(p.dp_reused, 2),
+            fmt(p.gr_reused, 2),
+            fmt(p.servers, 2),
+            fmt(p.dp_reused - p.gr_reused, 2),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_config() -> Exp1Config {
+        Exp1Config {
+            trees: 6,
+            nodes: 40,
+            e_values: vec![0, 10, 20, 40],
+            ..Exp1Config::figure4()
+        }
+    }
+
+    #[test]
+    fn dp_dominates_gr_and_boundaries_match() {
+        let output = run(&quick_config());
+        let points = output.points;
+        assert_eq!(points.len(), 4);
+        assert!(output.max_tree_gap >= 0, "DP reuse dominates per tree too");
+        // E = 0: nothing to reuse for either algorithm.
+        assert_eq!(points[0].dp_reused, 0.0);
+        assert_eq!(points[0].gr_reused, 0.0);
+        for p in &points {
+            assert!(
+                p.dp_reused >= p.gr_reused - 1e-9,
+                "E = {}: DP reuse {} must dominate GR {}",
+                p.e,
+                p.dp_reused,
+                p.gr_reused
+            );
+            assert!(p.servers > 0.0);
+            assert!(p.dp_reused <= p.servers + 1e-9, "cannot reuse more than placed");
+        }
+    }
+
+    #[test]
+    fn all_nodes_preexisting_closes_the_gap() {
+        // At E = N every placed server is a reuse for both algorithms.
+        let mut cfg = quick_config();
+        cfg.e_values = vec![cfg.nodes];
+        let p = run(&cfg).points[0];
+        assert!((p.dp_reused - p.servers).abs() < 1e-9);
+        assert!((p.gr_reused - p.servers).abs() < 1e-9);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let a = run(&quick_config()).points;
+        let b = run(&quick_config()).points;
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.dp_reused, y.dp_reused);
+            assert_eq!(x.gr_reused, y.gr_reused);
+        }
+    }
+
+    #[test]
+    fn table_has_sweep_rows() {
+        let points = run(&quick_config()).points;
+        let t = table(&points, "fig4-quick");
+        assert_eq!(t.rows.len(), points.len());
+        assert!(t.to_csv().contains("E,dp_reused"));
+    }
+}

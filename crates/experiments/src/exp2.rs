@@ -1,0 +1,190 @@
+//! Experiment 2 (Figures 5 and 7): consecutive executions.
+//!
+//! §5.1: *"we study the behavior of the algorithm in a dynamic setting,
+//! with 20 update steps. At each step, starting from the current solution,
+//! we update the number of requests per client and recompute an optimal
+//! solution with both algorithms, starting from the servers that were
+//! placed at the previous step."*
+//!
+//! Left panel: cumulative reused servers per step, averaged over trees.
+//! Right panel: histogram of `reused(DP) − reused(GR)` per step, reported
+//! as the average number of steps (out of 20) at which each difference
+//! value occurs.
+
+use crate::common::{mean, par_trees, tree_rng};
+use crate::report::{fmt, Table};
+use replica_sim::{
+    histogram, metrics, run_dynamic, Algorithm, DynamicConfig, Evolution, Histogram,
+};
+use replica_tree::{generate, GeneratorConfig, TreeShape};
+use serde::{Deserialize, Serialize};
+
+/// Configuration of Experiment 2.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Exp2Config {
+    /// Number of random trees (paper: 200).
+    pub trees: usize,
+    /// Internal nodes per tree (paper: 100).
+    pub nodes: usize,
+    /// Tree shape (fat = Figure 5, high = Figure 7).
+    pub shape: TreeShape,
+    /// Update steps (paper: 20).
+    pub steps: usize,
+    /// Server capacity `W` (paper: 10).
+    pub capacity: u64,
+    /// Request re-draw range (paper: 1–6).
+    pub request_range: (u64, u64),
+    /// Eq. 2 creation cost.
+    pub create: f64,
+    /// Eq. 2 deletion cost.
+    pub delete: f64,
+    /// Experiment seed.
+    pub seed: u64,
+}
+
+impl Exp2Config {
+    /// Figure 5 parameters.
+    pub fn figure5() -> Self {
+        Exp2Config {
+            trees: 200,
+            nodes: 100,
+            shape: TreeShape::PaperFat,
+            steps: 20,
+            capacity: 10,
+            request_range: (1, 6),
+            create: 0.1,
+            delete: 0.01,
+            seed: 0xF1605,
+        }
+    }
+
+    /// Figure 7 parameters (high trees).
+    pub fn figure7() -> Self {
+        Exp2Config { shape: TreeShape::PaperHigh, seed: 0xF1607, ..Self::figure5() }
+    }
+}
+
+/// Aggregated output of Experiment 2.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Exp2Output {
+    /// Per-step cumulative reuse, averaged over trees — DP series.
+    pub dp_cumulative: Vec<f64>,
+    /// Per-step cumulative reuse, averaged over trees — GR series.
+    pub gr_cumulative: Vec<f64>,
+    /// Histogram of per-step `reused(DP) − reused(GR)` over all trees.
+    pub diff_histogram: Histogram,
+    /// Number of trees aggregated (to normalize the histogram).
+    pub trees: usize,
+}
+
+/// Runs both algorithms over the same request sequences on every tree.
+pub fn run(config: &Exp2Config) -> Exp2Output {
+    let evolution = Evolution::Resample { range: config.request_range };
+    let dyn_config = DynamicConfig {
+        steps: config.steps,
+        capacity: config.capacity,
+        create: config.create,
+        delete: config.delete,
+    };
+
+    let per_tree: Vec<(Vec<u64>, Vec<u64>, Vec<i64>)> = par_trees(config.trees, |i| {
+        let gen = GeneratorConfig::paper_fat(config.nodes).with_shape(config.shape);
+        // Identical generation and evolution streams for both algorithms:
+        // the RNG is re-derived per run.
+        let tree = generate::random_tree(&gen, &mut tree_rng(config.seed, i));
+        let mut evo_rng = tree_rng(config.seed ^ 0xE0, i);
+        let dp = run_dynamic(tree.clone(), evolution, Algorithm::DpMinCost, dyn_config,
+            &mut evo_rng)
+            .expect("paper workloads are feasible");
+        let mut evo_rng = tree_rng(config.seed ^ 0xE0, i);
+        let gr = run_dynamic(tree, evolution, Algorithm::GreedyOblivious, dyn_config,
+            &mut evo_rng)
+            .expect("paper workloads are feasible");
+        let diffs = metrics::reuse_differences(&dp, &gr);
+        (metrics::cumulative(&dp), metrics::cumulative(&gr), diffs)
+    });
+
+    let steps = config.steps;
+    let dp_cumulative = (0..steps)
+        .map(|s| mean(per_tree.iter().map(|t| t.0[s] as f64)))
+        .collect();
+    let gr_cumulative = (0..steps)
+        .map(|s| mean(per_tree.iter().map(|t| t.1[s] as f64)))
+        .collect();
+    let diff_histogram = histogram(per_tree.iter().flat_map(|t| t.2.iter().copied()));
+    Exp2Output { dp_cumulative, gr_cumulative, diff_histogram, trees: config.trees }
+}
+
+/// Left panel as a table: cumulative reuse per step.
+pub fn cumulative_table(output: &Exp2Output, title: &str) -> Table {
+    let mut t = Table::new(title, &["step", "dp_cumulative", "gr_cumulative"]);
+    for (i, (d, g)) in output.dp_cumulative.iter().zip(&output.gr_cumulative).enumerate() {
+        t.push_row(vec![(i + 1).to_string(), fmt(*d, 2), fmt(*g, 2)]);
+    }
+    t
+}
+
+/// Right panel as a table: difference histogram, normalized per tree
+/// ("average number of steps at which each value is reached").
+pub fn histogram_table(output: &Exp2Output, title: &str) -> Table {
+    let mut t = Table::new(title, &["dp_minus_gr", "occurrences", "steps_per_tree"]);
+    for &(value, count) in &output.diff_histogram.buckets {
+        t.push_row(vec![
+            value.to_string(),
+            count.to_string(),
+            fmt(count as f64 / output.trees as f64, 3),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_config() -> Exp2Config {
+        Exp2Config { trees: 4, nodes: 30, steps: 6, ..Exp2Config::figure5() }
+    }
+
+    #[test]
+    fn cumulative_series_are_monotone_and_dp_dominates() {
+        let out = run(&quick_config());
+        assert_eq!(out.dp_cumulative.len(), 6);
+        for w in out.dp_cumulative.windows(2) {
+            assert!(w[1] >= w[0] - 1e-9, "cumulative series must be non-decreasing");
+        }
+        // The DP's total reuse must beat the oblivious greedy's.
+        let dp_total = *out.dp_cumulative.last().unwrap();
+        let gr_total = *out.gr_cumulative.last().unwrap();
+        assert!(
+            dp_total >= gr_total,
+            "DP cumulative reuse {dp_total} must be ≥ GR {gr_total}"
+        );
+    }
+
+    #[test]
+    fn histogram_counts_match_tree_steps() {
+        let cfg = quick_config();
+        let out = run(&cfg);
+        assert_eq!(out.diff_histogram.total() as usize, cfg.trees * cfg.steps);
+        // Positive mean: the DP reuses more on average.
+        assert!(out.diff_histogram.mean() >= 0.0);
+    }
+
+    #[test]
+    fn tables_render() {
+        let out = run(&quick_config());
+        let left = cumulative_table(&out, "fig5-left");
+        assert_eq!(left.rows.len(), 6);
+        let right = histogram_table(&out, "fig5-right");
+        assert!(!right.rows.is_empty());
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let a = run(&quick_config());
+        let b = run(&quick_config());
+        assert_eq!(a.dp_cumulative, b.dp_cumulative);
+        assert_eq!(a.diff_histogram, b.diff_histogram);
+    }
+}

@@ -1,0 +1,185 @@
+//! Scalability runs — §5's runtime claims.
+//!
+//! The paper reports (on a 2008-era Intel Xeon 5250): `MinCost-WithPre` on
+//! 500 nodes / 125 pre-existing in ~30 minutes; the power DP on 300 nodes
+//! without pre-existing servers in ~1 hour; and 70 nodes / 10 pre-existing
+//! with power in ~1 hour. Absolute numbers are hardware-bound; what this
+//! module reproduces is the *scaling shape* (and, on modern hardware, a
+//! large constant-factor improvement thanks to sparse tables and packed
+//! state keys).
+
+use crate::common::tree_rng;
+use crate::report::{fmt, Table};
+use replica_core::{dp_mincost, dp_power};
+use replica_model::{CostModel, Instance, ModeSet, PowerModel, PreExisting};
+use replica_tree::{generate, GeneratorConfig};
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+
+/// Which solver a scalability row measures.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Solver {
+    /// `MinCost-WithPre` DP (§3).
+    MinCost,
+    /// Power DP without pre-existing servers (§4.3).
+    PowerNoPre,
+    /// Power DP with pre-existing servers (§4.3).
+    PowerWithPre,
+}
+
+/// One timed configuration.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct ScalePoint {
+    /// Solver measured.
+    pub solver: Solver,
+    /// Internal nodes.
+    pub nodes: usize,
+    /// Pre-existing servers.
+    pub pre_existing: usize,
+    /// Wall-clock milliseconds (mean over `repeats`).
+    pub millis: f64,
+}
+
+/// Sweep configuration.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ScaleConfig {
+    /// `(nodes, pre_existing)` pairs for the `MinCost` DP.
+    pub min_cost: Vec<(usize, usize)>,
+    /// Node counts for the no-pre power DP.
+    pub power_nopre: Vec<usize>,
+    /// `(nodes, pre_existing)` pairs for the with-pre power DP.
+    pub power_withpre: Vec<(usize, usize)>,
+    /// Repetitions per point (different trees).
+    pub repeats: usize,
+    /// Seed.
+    pub seed: u64,
+}
+
+impl ScaleConfig {
+    /// Paper-scale targets (minutes of runtime on a laptop).
+    pub fn paper() -> Self {
+        ScaleConfig {
+            min_cost: vec![(100, 25), (200, 50), (350, 87), (500, 125)],
+            power_nopre: vec![50, 100, 200, 300],
+            power_withpre: vec![(30, 5), (50, 8), (70, 10)],
+            repeats: 3,
+            seed: 0x5CA1E,
+        }
+    }
+
+    /// CI-sized targets (seconds of runtime).
+    pub fn quick() -> Self {
+        ScaleConfig {
+            min_cost: vec![(50, 12), (100, 25)],
+            power_nopre: vec![25, 50],
+            power_withpre: vec![(25, 4), (40, 6)],
+            repeats: 2,
+            seed: 0x5CA1E,
+        }
+    }
+}
+
+fn time_min_cost(nodes: usize, pre: usize, repeats: usize, seed: u64) -> f64 {
+    let mut total = 0.0;
+    for r in 0..repeats {
+        let mut rng = tree_rng(seed, r);
+        let tree = generate::random_tree(&GeneratorConfig::paper_fat(nodes), &mut rng);
+        let pre_nodes = generate::random_pre_existing(&tree, pre, &mut rng);
+        let instance = Instance::min_cost(tree, 10, pre_nodes, 0.1, 0.01).unwrap();
+        let start = Instant::now();
+        let result = dp_mincost::solve_min_cost(&instance).unwrap();
+        total += start.elapsed().as_secs_f64() * 1e3;
+        std::hint::black_box(result.servers);
+    }
+    total / repeats as f64
+}
+
+fn time_power(nodes: usize, pre: usize, repeats: usize, seed: u64) -> f64 {
+    let mut total = 0.0;
+    for r in 0..repeats {
+        let mut rng = tree_rng(seed, 1000 + r);
+        let tree = generate::random_tree(&GeneratorConfig::paper_power(nodes), &mut rng);
+        let pre_nodes = generate::random_pre_existing(&tree, pre, &mut rng);
+        let modes = ModeSet::new(vec![5, 10]).unwrap();
+        let power = PowerModel::paper_experiment3(&modes);
+        let instance = Instance::builder(tree)
+            .modes(modes)
+            .pre_existing(PreExisting::at_mode(pre_nodes, 1))
+            .cost(CostModel::uniform(2, 0.1, 0.01, 0.001))
+            .power(power)
+            .build()
+            .unwrap();
+        let start = Instant::now();
+        let dp = dp_power::PowerDp::run(&instance).unwrap();
+        total += start.elapsed().as_secs_f64() * 1e3;
+        std::hint::black_box(dp.candidates().len());
+    }
+    total / repeats as f64
+}
+
+/// Runs the sweep (serial: each point is itself timed).
+pub fn run(config: &ScaleConfig) -> Vec<ScalePoint> {
+    let mut out = Vec::new();
+    for &(nodes, pre) in &config.min_cost {
+        out.push(ScalePoint {
+            solver: Solver::MinCost,
+            nodes,
+            pre_existing: pre,
+            millis: time_min_cost(nodes, pre, config.repeats, config.seed),
+        });
+    }
+    for &nodes in &config.power_nopre {
+        out.push(ScalePoint {
+            solver: Solver::PowerNoPre,
+            nodes,
+            pre_existing: 0,
+            millis: time_power(nodes, 0, config.repeats, config.seed),
+        });
+    }
+    for &(nodes, pre) in &config.power_withpre {
+        out.push(ScalePoint {
+            solver: Solver::PowerWithPre,
+            nodes,
+            pre_existing: pre,
+            millis: time_power(nodes, pre, config.repeats, config.seed),
+        });
+    }
+    out
+}
+
+/// Renders the sweep as a table.
+pub fn table(points: &[ScalePoint], title: &str) -> Table {
+    let mut t = Table::new(title, &["solver", "nodes", "pre_existing", "millis"]);
+    for p in points {
+        t.push_row(vec![
+            format!("{:?}", p.solver),
+            p.nodes.to_string(),
+            p.pre_existing.to_string(),
+            fmt(p.millis, 2),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_sweep_times_everything() {
+        let cfg = ScaleConfig {
+            min_cost: vec![(20, 5)],
+            power_nopre: vec![15],
+            power_withpre: vec![(15, 3)],
+            repeats: 1,
+            seed: 1,
+        };
+        let points = run(&cfg);
+        assert_eq!(points.len(), 3);
+        for p in &points {
+            assert!(p.millis >= 0.0);
+        }
+        let t = table(&points, "scale-quick");
+        assert_eq!(t.rows.len(), 3);
+    }
+}

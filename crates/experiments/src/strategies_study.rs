@@ -1,0 +1,207 @@
+//! Update-strategy study — quantifying the §6 trade-off.
+//!
+//! The paper's conclusion frames dynamic replica management as a spectrum
+//! between lazy and systematic updates, with the right choice depending on
+//! the *"rates and amplitudes of the variations"*. This study measures that
+//! spectrum: for each demand model and strategy, the total reconfiguration
+//! cost paid, the resource usage (server-steps) and the number of broken
+//! steps over a fixed horizon, averaged over many trees.
+
+use crate::common::{mean, par_trees, tree_rng};
+use crate::report::{fmt, Table};
+use replica_sim::strategy::{StrategyConfig, StrategySummary};
+use replica_sim::{run_with_strategy, Evolution, UpdateStrategy};
+use replica_tree::{generate, GeneratorConfig, TreeShape};
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the study.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct StrategiesConfig {
+    /// Trees per cell.
+    pub trees: usize,
+    /// Internal nodes per tree.
+    pub nodes: usize,
+    /// Steps per run.
+    pub steps: usize,
+    /// Tree shape.
+    pub shape: TreeShape,
+    /// Experiment seed.
+    pub seed: u64,
+}
+
+impl StrategiesConfig {
+    /// Defaults: Experiment-2-sized trees over a 30-step horizon.
+    pub fn default_study() -> Self {
+        StrategiesConfig {
+            trees: 25,
+            nodes: 60,
+            steps: 30,
+            shape: TreeShape::PaperFat,
+            seed: 0x57A7,
+        }
+    }
+}
+
+/// One `(evolution, strategy)` cell.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct StrategyCell {
+    /// Demand model name.
+    pub evolution: String,
+    /// Strategy name.
+    pub strategy: String,
+    /// Mean reconfigurations per run.
+    pub reconfigurations: f64,
+    /// Mean total reconfiguration cost per run.
+    pub total_cost: f64,
+    /// Mean server-steps per run (resource usage).
+    pub server_steps: f64,
+    /// Mean steps that started with a broken placement.
+    pub invalid_steps: f64,
+}
+
+/// Named demand models.
+pub type EvolutionList = Vec<(&'static str, Evolution)>;
+/// Named update strategies.
+pub type StrategyList = Vec<(&'static str, UpdateStrategy)>;
+
+/// The demand models and strategies compared.
+pub fn matrix() -> (EvolutionList, StrategyList) {
+    (
+        vec![
+            ("gentle-walk", Evolution::RandomWalk { step: 1, range: (1, 6) }),
+            ("full-redraw", Evolution::Resample { range: (1, 6) }),
+            ("bursty-churn", Evolution::Churn { range: (1, 6), quiet_probability: 0.25 }),
+        ],
+        vec![
+            ("systematic", UpdateStrategy::Systematic),
+            ("lazy", UpdateStrategy::Lazy),
+            ("periodic-5", UpdateStrategy::Periodic { period: 5 }),
+            ("load-0.85", UpdateStrategy::LoadTriggered { threshold: 0.85 }),
+        ],
+    )
+}
+
+/// Runs the full matrix.
+pub fn run(config: &StrategiesConfig) -> Vec<StrategyCell> {
+    let (evolutions, strategies) = matrix();
+    let sim_config = StrategyConfig {
+        steps: config.steps,
+        capacity: 10,
+        create: 0.1,
+        delete: 0.01,
+    };
+
+    let mut cells = Vec::new();
+    for (evo_name, evolution) in &evolutions {
+        for (strat_name, strategy) in &strategies {
+            let summaries: Vec<StrategySummary> = par_trees(config.trees, |i| {
+                let gen =
+                    GeneratorConfig::paper_fat(config.nodes).with_shape(config.shape);
+                let tree = generate::random_tree(&gen, &mut tree_rng(config.seed, i));
+                let records = run_with_strategy(
+                    tree,
+                    *evolution,
+                    *strategy,
+                    sim_config,
+                    // Same demand stream per tree across strategies.
+                    &mut tree_rng(config.seed ^ 0x5E, i),
+                )
+                .expect("paper workloads stay feasible");
+                StrategySummary::from_records(&records)
+            });
+            cells.push(StrategyCell {
+                evolution: evo_name.to_string(),
+                strategy: strat_name.to_string(),
+                reconfigurations: mean(summaries.iter().map(|s| s.reconfigurations as f64)),
+                total_cost: mean(summaries.iter().map(|s| s.total_cost)),
+                server_steps: mean(summaries.iter().map(|s| s.server_steps as f64)),
+                invalid_steps: mean(summaries.iter().map(|s| s.invalid_steps as f64)),
+            });
+        }
+    }
+    cells
+}
+
+/// Renders the matrix as a table.
+pub fn table(cells: &[StrategyCell], title: &str) -> Table {
+    let mut t = Table::new(
+        title,
+        &["evolution", "strategy", "reconfigs", "total_cost", "server_steps", "broken_steps"],
+    );
+    for c in cells {
+        t.push_row(vec![
+            c.evolution.clone(),
+            c.strategy.clone(),
+            fmt(c.reconfigurations, 1),
+            fmt(c.total_cost, 2),
+            fmt(c.server_steps, 1),
+            fmt(c.invalid_steps, 1),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> StrategiesConfig {
+        StrategiesConfig { trees: 3, nodes: 40, steps: 10, ..StrategiesConfig::default_study() }
+    }
+
+    #[test]
+    fn matrix_covers_all_cells() {
+        let cells = run(&quick());
+        assert_eq!(cells.len(), 12, "3 evolutions × 4 strategies");
+        for c in &cells {
+            assert!(c.reconfigurations >= 0.0 && c.reconfigurations <= 10.0);
+            assert!(c.server_steps > 0.0);
+        }
+    }
+
+    #[test]
+    fn systematic_reconfigures_most_and_lazy_least() {
+        let cells = run(&quick());
+        for (evo_name, _) in matrix().0 {
+            let get = |strat: &str| {
+                cells
+                    .iter()
+                    .find(|c| c.evolution == evo_name && c.strategy == strat)
+                    .unwrap()
+            };
+            let systematic = get("systematic");
+            let lazy = get("lazy");
+            assert!(
+                (systematic.reconfigurations - 10.0).abs() < 1e-9,
+                "{evo_name}: systematic must fire every step"
+            );
+            assert!(
+                lazy.reconfigurations <= systematic.reconfigurations + 1e-9,
+                "{evo_name}: lazy cannot out-reconfigure systematic"
+            );
+            assert!(
+                lazy.total_cost <= systematic.total_cost + 1e-9,
+                "{evo_name}: lazy cannot out-spend systematic"
+            );
+        }
+    }
+
+    #[test]
+    fn gentle_drift_lets_lazy_skip_steps() {
+        let cells = run(&quick());
+        let lazy_gentle = cells
+            .iter()
+            .find(|c| c.evolution == "gentle-walk" && c.strategy == "lazy")
+            .unwrap();
+        assert!(
+            lazy_gentle.reconfigurations < 10.0,
+            "±1 drift must leave some placements valid"
+        );
+    }
+
+    #[test]
+    fn table_renders() {
+        let cells = run(&quick());
+        assert_eq!(table(&cells, "strategies").rows.len(), cells.len());
+    }
+}

@@ -1,0 +1,224 @@
+//! Reconfiguration cost functions (Eq. 2 and Eq. 4 of the paper).
+//!
+//! Operating any server costs 1 (servers are identical). On top of that:
+//!
+//! * creating a new server at mode `Wᵢ` costs `createᵢ`;
+//! * deleting a pre-existing server that ran at mode `Wᵢ` costs `deleteᵢ`;
+//! * changing a reused server's mode from `Wᵢ` to `Wᵢ'` costs `changedᵢᵢ'`.
+//!
+//! With `M = 1` this collapses to Eq. 2:
+//! `cost(R) = R + (R − e)·create + (E − e)·delete`.
+//!
+//! Costs are plain `f64`s; budget comparisons use a fixed tolerance
+//! ([`COST_EPSILON`]) so that sums like `0.1 + 0.1 + 0.1 ≤ 0.3` behave as a
+//! paper reader expects.
+
+use crate::error::ModelError;
+use crate::modes::{ModeIdx, ModeSet};
+use serde::{Deserialize, Serialize};
+
+/// Absolute tolerance used in every cost-budget comparison.
+pub const COST_EPSILON: f64 = 1e-9;
+
+/// `a ≤ b` up to [`COST_EPSILON`].
+#[inline]
+pub fn le_tolerant(a: f64, b: f64) -> bool {
+    a <= b + COST_EPSILON
+}
+
+/// Per-mode creation/deletion/mode-change costs (Eq. 4).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct CostModel {
+    /// `create[i]`: creating a new server at mode `i`.
+    pub create: Vec<f64>,
+    /// `delete[i]`: deleting a pre-existing server whose original mode is `i`.
+    pub delete: Vec<f64>,
+    /// `changed[i][i']`: re-moding a reused server from `i` to `i'`.
+    pub changed: Vec<Vec<f64>>,
+}
+
+impl CostModel {
+    /// Uniform model: every creation costs `create`, every deletion
+    /// `delete`, every mode change `changed` (including `i = i'`, matching
+    /// the paper's Experiment 3 which sets `changedᵢᵢ' = 0.001` for *any*
+    /// pair).
+    pub fn uniform(modes: usize, create: f64, delete: f64, changed: f64) -> Self {
+        CostModel {
+            create: vec![create; modes],
+            delete: vec![delete; modes],
+            changed: vec![vec![changed; modes]; modes],
+        }
+    }
+
+    /// Uniform model with free same-mode reuse (`changedᵢᵢ = 0`), the §2.2
+    /// "reasonable" variant.
+    pub fn uniform_free_reuse(modes: usize, create: f64, delete: f64, changed: f64) -> Self {
+        let mut m = Self::uniform(modes, create, delete, changed);
+        for i in 0..modes {
+            m.changed[i][i] = 0.0;
+        }
+        m
+    }
+
+    /// The single-mode model of Eq. 2 with scalar `create`/`delete` and free
+    /// reuse.
+    pub fn simple(create: f64, delete: f64) -> Self {
+        Self::uniform_free_reuse(1, create, delete, 0.0)
+    }
+
+    /// Zero-cost model: cost degenerates to the server count `R` (the
+    /// classical `MinCost-NoPre` objective).
+    pub fn free(modes: usize) -> Self {
+        Self::uniform(modes, 0.0, 0.0, 0.0)
+    }
+
+    /// Number of modes this model is dimensioned for.
+    pub fn modes(&self) -> usize {
+        self.create.len()
+    }
+
+    /// Checks dimensions against a mode set and that no entry is negative
+    /// or non-finite.
+    pub fn validate(&self, modes: &ModeSet) -> Result<(), ModelError> {
+        let m = modes.count();
+        if self.create.len() != m || self.delete.len() != m || self.changed.len() != m {
+            return Err(ModelError::InvalidCost(format!(
+                "cost model dimensioned for {} modes, mode set has {m}",
+                self.create.len()
+            )));
+        }
+        if self.changed.iter().any(|row| row.len() != m) {
+            return Err(ModelError::InvalidCost("ragged changed matrix".into()));
+        }
+        let all = self
+            .create
+            .iter()
+            .chain(self.delete.iter())
+            .chain(self.changed.iter().flatten());
+        for &v in all {
+            if !v.is_finite() || v < 0.0 {
+                return Err(ModelError::InvalidCost(format!("cost entry {v} out of range")));
+            }
+        }
+        Ok(())
+    }
+
+    /// Cost of creating a new server at `mode`, including the unit operating
+    /// cost.
+    #[inline]
+    pub fn new_server(&self, mode: ModeIdx) -> f64 {
+        1.0 + self.create[mode]
+    }
+
+    /// Cost of reusing a pre-existing server, re-moding it `from → to`,
+    /// including the unit operating cost.
+    #[inline]
+    pub fn reused_server(&self, from: ModeIdx, to: ModeIdx) -> f64 {
+        1.0 + self.changed[from][to]
+    }
+
+    /// Cost of deleting a non-reused pre-existing server of original `mode`.
+    #[inline]
+    pub fn deleted_server(&self, mode: ModeIdx) -> f64 {
+        self.delete[mode]
+    }
+
+    /// Full Eq. 4 from aggregate counts: `new[i]` servers created at mode
+    /// `i`, `reused[i][i']` re-moded `i → i'`, `deleted[i]` deletions.
+    pub fn total(&self, new: &[u64], reused: &[Vec<u64>], deleted: &[u64]) -> f64 {
+        let mut cost = 0.0;
+        for (i, &n) in new.iter().enumerate() {
+            cost += n as f64 * self.new_server(i);
+        }
+        for (i, row) in reused.iter().enumerate() {
+            for (ip, &e) in row.iter().enumerate() {
+                cost += e as f64 * self.reused_server(i, ip);
+            }
+        }
+        for (i, &k) in deleted.iter().enumerate() {
+            cost += k as f64 * self.deleted_server(i);
+        }
+        cost
+    }
+
+    /// Eq. 2 evaluated directly: `R + (R − e)·create + (E − e)·delete`
+    /// (single-mode convenience used by the `MinCost` algorithms).
+    pub fn eq2(&self, servers: u64, reused: u64, pre_existing: u64) -> f64 {
+        debug_assert_eq!(self.modes(), 1, "eq2 is the single-mode cost");
+        debug_assert!(reused <= servers && reused <= pre_existing);
+        servers as f64
+            + (servers - reused) as f64 * self.create[0]
+            + (pre_existing - reused) as f64 * self.delete[0]
+            + reused as f64 * self.changed[0][0]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tolerant_comparison() {
+        assert!(le_tolerant(0.1 + 0.1 + 0.1, 0.3));
+        assert!(le_tolerant(1.0, 1.0));
+        assert!(!le_tolerant(1.001, 1.0));
+    }
+
+    #[test]
+    fn simple_matches_eq2() {
+        // Paper Eq. 2: R + (R−e)·create + (E−e)·delete.
+        let m = CostModel::simple(0.1, 0.01);
+        let cost = m.eq2(5, 2, 4);
+        assert!((cost - (5.0 + 3.0 * 0.1 + 2.0 * 0.01)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn eq2_equals_eq4_single_mode() {
+        let m = CostModel::simple(0.25, 0.03);
+        // 5 servers, 2 reused, 4 pre-existing → 3 new, 2 reused, 2 deleted.
+        let via_eq4 = m.total(&[3], &[vec![2]], &[2]);
+        assert!((via_eq4 - m.eq2(5, 2, 4)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn uniform_and_free_reuse() {
+        let u = CostModel::uniform(2, 0.1, 0.01, 0.001);
+        assert_eq!(u.changed[0][0], 0.001);
+        assert_eq!(u.changed[1][0], 0.001);
+        let f = CostModel::uniform_free_reuse(2, 0.1, 0.01, 0.001);
+        assert_eq!(f.changed[0][0], 0.0);
+        assert_eq!(f.changed[1][1], 0.0);
+        assert_eq!(f.changed[0][1], 0.001);
+    }
+
+    #[test]
+    fn experiment3_cost_example() {
+        // Figure 8 parameters: createᵢ = 0.1, deleteᵢ = 0.01,
+        // changedᵢᵢ' = 0.001, M = 2.
+        let m = CostModel::uniform(2, 0.1, 0.01, 0.001);
+        // One new at W₂, one reused 2→1, one deleted (orig W₂):
+        let cost = m.total(&[0, 1], &[vec![0, 0], vec![1, 0]], &[0, 1]);
+        assert!((cost - (1.0 + 0.1 + 1.0 + 0.001 + 0.01)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn validation_catches_dimension_mismatch() {
+        let modes = ModeSet::new(vec![5, 10]).unwrap();
+        assert!(CostModel::simple(0.1, 0.01).validate(&modes).is_err());
+        assert!(CostModel::uniform(2, 0.1, 0.01, 0.001).validate(&modes).is_ok());
+        let mut bad = CostModel::uniform(2, 0.1, 0.01, 0.001);
+        bad.changed[1].pop();
+        assert!(bad.validate(&modes).is_err());
+        let mut neg = CostModel::uniform(2, 0.1, 0.01, 0.001);
+        neg.create[0] = -1.0;
+        assert!(neg.validate(&modes).is_err());
+    }
+
+    #[test]
+    fn per_server_helpers() {
+        let m = CostModel::uniform(2, 0.1, 0.01, 0.001);
+        assert!((m.new_server(1) - 1.1).abs() < 1e-12);
+        assert!((m.reused_server(1, 0) - 1.001).abs() < 1e-12);
+        assert!((m.deleted_server(0) - 0.01).abs() < 1e-12);
+    }
+}

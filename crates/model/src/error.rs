@@ -1,0 +1,66 @@
+//! Error types shared across the model crate.
+
+use replica_tree::{ClientId, NodeId};
+use std::fmt;
+
+/// Everything that can go wrong when stating or evaluating a problem.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ModelError {
+    /// Mode capacities must be non-empty and strictly increasing.
+    InvalidModes(String),
+    /// Cost-model dimensions must match the mode count.
+    InvalidCost(String),
+    /// Power-model parameters out of range (e.g. `α` outside `[1, 10]`).
+    InvalidPower(String),
+    /// A pre-existing entry points at an unknown node or mode.
+    InvalidPreExisting(String),
+    /// A placement entry points at an unknown node or mode.
+    InvalidPlacement(String),
+    /// A server exceeds the capacity of its assigned mode (violates Eq. 1).
+    Overloaded {
+        /// The overloaded server.
+        node: NodeId,
+        /// Requests reaching it.
+        load: u64,
+        /// Capacity of its assigned mode.
+        capacity: u64,
+    },
+    /// A client has no server on its path to the root.
+    Unserved(ClientId),
+    /// The instance admits no feasible placement at all (some bundle of
+    /// requests that cannot be split exceeds the largest capacity).
+    Infeasible(String),
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::InvalidModes(msg) => write!(f, "invalid mode set: {msg}"),
+            ModelError::InvalidCost(msg) => write!(f, "invalid cost model: {msg}"),
+            ModelError::InvalidPower(msg) => write!(f, "invalid power model: {msg}"),
+            ModelError::InvalidPreExisting(msg) => write!(f, "invalid pre-existing set: {msg}"),
+            ModelError::InvalidPlacement(msg) => write!(f, "invalid placement: {msg}"),
+            ModelError::Overloaded { node, load, capacity } => write!(
+                f,
+                "server {node} receives {load} requests, over its mode capacity {capacity}"
+            ),
+            ModelError::Unserved(c) => write!(f, "client {c} has no ancestor server"),
+            ModelError::Infeasible(msg) => write!(f, "instance is infeasible: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        let e = ModelError::Overloaded { node: NodeId::from_index(3), load: 12, capacity: 10 };
+        let s = e.to_string();
+        assert!(s.contains("n3") && s.contains("12") && s.contains("10"));
+        assert!(ModelError::Unserved(ClientId::from_index(1)).to_string().contains("c1"));
+    }
+}

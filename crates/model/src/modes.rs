@@ -1,0 +1,153 @@
+//! Server operation modes (§2.2 of the paper).
+//!
+//! A server runs in one of `M` modes with capacities `W₁ < W₂ < … < W_M`;
+//! the highest capacity `W_M` doubles as the classical capacity `W` of the
+//! single-mode problems. Mode indices are 0-based here (`ModeIdx = 0` is the
+//! paper's mode 1).
+
+use crate::error::ModelError;
+use serde::{Deserialize, Serialize};
+
+/// 0-based index into a [`ModeSet`] (the paper's mode `i` is index `i − 1`).
+pub type ModeIdx = usize;
+
+/// A strictly increasing, non-empty list of mode capacities.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(try_from = "Vec<u64>", into = "Vec<u64>")]
+pub struct ModeSet {
+    caps: Vec<u64>,
+}
+
+impl ModeSet {
+    /// Builds a mode set; capacities must be positive and strictly
+    /// increasing.
+    pub fn new(caps: Vec<u64>) -> Result<Self, ModelError> {
+        if caps.is_empty() {
+            return Err(ModelError::InvalidModes("no modes given".into()));
+        }
+        if caps[0] == 0 {
+            return Err(ModelError::InvalidModes("capacity 0 is not operable".into()));
+        }
+        if !caps.windows(2).all(|w| w[0] < w[1]) {
+            return Err(ModelError::InvalidModes(format!(
+                "capacities must be strictly increasing, got {caps:?}"
+            )));
+        }
+        Ok(ModeSet { caps })
+    }
+
+    /// Single-mode set: the classical model with one capacity `W`.
+    pub fn single(w: u64) -> Result<Self, ModelError> {
+        Self::new(vec![w])
+    }
+
+    /// Number of modes `M`.
+    #[inline]
+    pub fn count(&self) -> usize {
+        self.caps.len()
+    }
+
+    /// Capacity `Wᵢ₊₁` of mode index `i`.
+    ///
+    /// # Panics
+    /// Panics on an out-of-range index.
+    #[inline]
+    pub fn capacity(&self, mode: ModeIdx) -> u64 {
+        self.caps[mode]
+    }
+
+    /// The largest capacity `W_M` (the `W` of the single-mode problems).
+    #[inline]
+    pub fn max_capacity(&self) -> u64 {
+        *self.caps.last().expect("mode sets are non-empty")
+    }
+
+    /// All capacities in increasing order.
+    #[inline]
+    pub fn capacities(&self) -> &[u64] {
+        &self.caps
+    }
+
+    /// Iterator over mode indices `0..M`.
+    pub fn indices(&self) -> std::ops::Range<ModeIdx> {
+        0..self.caps.len()
+    }
+
+    /// The smallest mode that can carry `load` requests, i.e. the paper's
+    /// load-determined mode (`W_{i−1} < load ≤ W_i`); `None` if the load
+    /// exceeds `W_M`.
+    ///
+    /// A load of zero maps to the lowest mode (an idle but powered server).
+    pub fn mode_for_load(&self, load: u64) -> Option<ModeIdx> {
+        // Mode counts are tiny (2–3 in practice): linear scan beats
+        // binary search here.
+        self.caps.iter().position(|&c| load <= c)
+    }
+
+    /// True if a server in `mode` can carry `load`.
+    #[inline]
+    pub fn fits(&self, mode: ModeIdx, load: u64) -> bool {
+        load <= self.caps[mode]
+    }
+}
+
+impl TryFrom<Vec<u64>> for ModeSet {
+    type Error = ModelError;
+    fn try_from(caps: Vec<u64>) -> Result<Self, Self::Error> {
+        ModeSet::new(caps)
+    }
+}
+
+impl From<ModeSet> for Vec<u64> {
+    fn from(m: ModeSet) -> Vec<u64> {
+        m.caps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_bad_inputs() {
+        assert!(ModeSet::new(vec![]).is_err());
+        assert!(ModeSet::new(vec![0, 5]).is_err());
+        assert!(ModeSet::new(vec![5, 5]).is_err());
+        assert!(ModeSet::new(vec![7, 5]).is_err());
+    }
+
+    #[test]
+    fn accessors() {
+        let m = ModeSet::new(vec![5, 10]).unwrap();
+        assert_eq!(m.count(), 2);
+        assert_eq!(m.capacity(0), 5);
+        assert_eq!(m.capacity(1), 10);
+        assert_eq!(m.max_capacity(), 10);
+        assert_eq!(m.indices().collect::<Vec<_>>(), vec![0, 1]);
+        assert_eq!(ModeSet::single(10).unwrap().count(), 1);
+    }
+
+    #[test]
+    fn load_determined_mode() {
+        let m = ModeSet::new(vec![5, 10]).unwrap();
+        assert_eq!(m.mode_for_load(0), Some(0));
+        assert_eq!(m.mode_for_load(5), Some(0));
+        assert_eq!(m.mode_for_load(6), Some(1));
+        assert_eq!(m.mode_for_load(10), Some(1));
+        assert_eq!(m.mode_for_load(11), None);
+        assert!(m.fits(0, 5));
+        assert!(!m.fits(0, 6));
+        assert!(m.fits(1, 10));
+    }
+
+    #[test]
+    fn serde_round_trip_validates() {
+        let m = ModeSet::new(vec![5, 10]).unwrap();
+        let json = serde_json::to_string(&m).unwrap();
+        assert_eq!(json, "[5,10]");
+        let back: ModeSet = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, m);
+        let bad: Result<ModeSet, _> = serde_json::from_str("[10,5]");
+        assert!(bad.is_err());
+    }
+}

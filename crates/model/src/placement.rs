@@ -1,0 +1,166 @@
+//! Replica placements: the decision variable of every problem in the paper.
+//!
+//! A [`Placement`] maps a subset `R ⊆ N` of internal nodes to operation
+//! modes. For single-mode instances every server uses mode 0. The type is
+//! sized to a specific tree (dense `Vec<Option<ModeIdx>>` indexed by node),
+//! which keeps the hot feasibility loops branch-light and allocation-free.
+
+use crate::modes::ModeIdx;
+use replica_tree::{NodeId, Tree};
+use serde::{Deserialize, Serialize};
+
+/// A set of servers with assigned modes, relative to one tree.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Placement {
+    modes: Vec<Option<u8>>,
+    servers: u32,
+}
+
+impl Placement {
+    /// Largest representable mode index (placements store modes as `u8`).
+    pub const MAX_MODE: usize = u8::MAX as usize;
+
+    /// An empty placement for `tree`.
+    pub fn empty(tree: &Tree) -> Self {
+        Placement { modes: vec![None; tree.internal_count()], servers: 0 }
+    }
+
+    /// A placement with a server at every listed node, all in `mode`.
+    pub fn from_nodes<I: IntoIterator<Item = NodeId>>(tree: &Tree, nodes: I, mode: ModeIdx) -> Self {
+        let mut p = Placement::empty(tree);
+        for n in nodes {
+            p.insert(n, mode);
+        }
+        p
+    }
+
+    /// Adds (or re-modes) a server at `node`.
+    ///
+    /// # Panics
+    /// Panics if `node` is out of range for the tree this placement was
+    /// created for, or if `mode > Placement::MAX_MODE`.
+    pub fn insert(&mut self, node: NodeId, mode: ModeIdx) {
+        let slot = &mut self.modes[node.index()];
+        let mode = u8::try_from(mode).expect("mode index exceeds placement storage");
+        if slot.is_none() {
+            self.servers += 1;
+        }
+        *slot = Some(mode);
+    }
+
+    /// Removes the server at `node`; returns its mode if one was present.
+    pub fn remove(&mut self, node: NodeId) -> Option<ModeIdx> {
+        let slot = &mut self.modes[node.index()];
+        let old = slot.take();
+        if old.is_some() {
+            self.servers -= 1;
+        }
+        old.map(ModeIdx::from)
+    }
+
+    /// Mode of the server at `node`, or `None` if no server there.
+    #[inline]
+    pub fn mode_of(&self, node: NodeId) -> Option<ModeIdx> {
+        self.modes[node.index()].map(ModeIdx::from)
+    }
+
+    /// True if `node` holds a replica.
+    #[inline]
+    pub fn has_server(&self, node: NodeId) -> bool {
+        self.modes[node.index()].is_some()
+    }
+
+    /// Number of servers `R = |R|`.
+    #[inline]
+    pub fn server_count(&self) -> usize {
+        self.servers as usize
+    }
+
+    /// True if no node holds a replica.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.servers == 0
+    }
+
+    /// Number of node slots (the tree's internal-node count).
+    #[inline]
+    pub fn slots(&self) -> usize {
+        self.modes.len()
+    }
+
+    /// Iterator over `(node, mode)` pairs in node order.
+    pub fn servers(&self) -> impl Iterator<Item = (NodeId, ModeIdx)> + '_ {
+        self.modes
+            .iter()
+            .enumerate()
+            .filter_map(|(i, m)| m.map(|mode| (NodeId::from_index(i), ModeIdx::from(mode))))
+    }
+
+    /// The server nodes as a sorted vector (handy for reporting).
+    pub fn server_nodes(&self) -> Vec<NodeId> {
+        self.servers().map(|(n, _)| n).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use replica_tree::TreeBuilder;
+
+    fn tree3() -> Tree {
+        let mut b = TreeBuilder::new();
+        let r = b.root();
+        let a = b.add_child(r);
+        b.add_child(a);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn insert_remove_cycle() {
+        let t = tree3();
+        let n1 = NodeId::from_index(1);
+        let mut p = Placement::empty(&t);
+        assert!(p.is_empty());
+        p.insert(n1, 1);
+        assert_eq!(p.server_count(), 1);
+        assert_eq!(p.mode_of(n1), Some(1));
+        assert!(p.has_server(n1));
+
+        // Re-inserting re-modes without double-counting.
+        p.insert(n1, 0);
+        assert_eq!(p.server_count(), 1);
+        assert_eq!(p.mode_of(n1), Some(0));
+
+        assert_eq!(p.remove(n1), Some(0));
+        assert_eq!(p.remove(n1), None);
+        assert!(p.is_empty());
+    }
+
+    #[test]
+    fn from_nodes_and_iteration() {
+        let t = tree3();
+        let nodes = [NodeId::from_index(0), NodeId::from_index(2)];
+        let p = Placement::from_nodes(&t, nodes, 0);
+        assert_eq!(p.server_count(), 2);
+        let collected: Vec<_> = p.servers().collect();
+        assert_eq!(collected, vec![(nodes[0], 0), (nodes[1], 0)]);
+        assert_eq!(p.server_nodes(), nodes.to_vec());
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let t = tree3();
+        let p = Placement::from_nodes(&t, [NodeId::from_index(1)], 2);
+        let json = serde_json::to_string(&p).unwrap();
+        let back: Placement = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, p);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_node_panics() {
+        let t = tree3();
+        let mut p = Placement::empty(&t);
+        p.insert(NodeId::from_index(99), 0);
+    }
+}

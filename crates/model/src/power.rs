@@ -1,0 +1,131 @@
+//! The power-consumption model (Eq. 3 of the paper).
+//!
+//! A server operated at mode `Wᵢ` dissipates `P_static + Wᵢ^α` watts: a
+//! static part paid by every powered server and a dynamic part that is a
+//! strictly convex function of the speed, with `α ∈ [2, 3]` depending on the
+//! hardware model. Total power is the sum over all servers:
+//!
+//! `P(R) = R · P_static + Σ_{j ∈ R} W_{mode(j)}^α`.
+
+use crate::error::ModelError;
+use crate::modes::{ModeIdx, ModeSet};
+use serde::{Deserialize, Serialize};
+
+/// Parameters of Eq. 3.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct PowerModel {
+    /// `P_static`: consumption of a powered-on server, independent of speed.
+    pub static_power: f64,
+    /// The exponent `α` of the dynamic part (rational, typically in `[2,3]`).
+    pub alpha: f64,
+}
+
+impl PowerModel {
+    /// Creates a model; parameters are validated by [`PowerModel::validate`]
+    /// when the instance is assembled.
+    pub fn new(static_power: f64, alpha: f64) -> Self {
+        PowerModel { static_power, alpha }
+    }
+
+    /// The paper's Experiment 3 model: `Pᵢ = W₁³/10 + Wᵢ³`, i.e.
+    /// `P_static = W₁³/10` and `α = 3`.
+    pub fn paper_experiment3(modes: &ModeSet) -> Self {
+        let w1 = modes.capacity(0) as f64;
+        PowerModel { static_power: w1.powi(3) / 10.0, alpha: 3.0 }
+    }
+
+    /// Zero-static-power model (the NP-completeness reduction of §4.2 uses
+    /// this).
+    pub fn dynamic_only(alpha: f64) -> Self {
+        PowerModel { static_power: 0.0, alpha }
+    }
+
+    /// Sanity checks: non-negative finite static power, `α ∈ [1, 10]`.
+    pub fn validate(&self) -> Result<(), ModelError> {
+        if !self.static_power.is_finite() || self.static_power < 0.0 {
+            return Err(ModelError::InvalidPower(format!(
+                "static power {} out of range",
+                self.static_power
+            )));
+        }
+        if !self.alpha.is_finite() || !(1.0..=10.0).contains(&self.alpha) {
+            return Err(ModelError::InvalidPower(format!("alpha {} out of range", self.alpha)));
+        }
+        Ok(())
+    }
+
+    /// Power drawn by one server operated at `mode`: `P_static + Wᵢ^α`.
+    #[inline]
+    pub fn server_power(&self, modes: &ModeSet, mode: ModeIdx) -> f64 {
+        self.static_power + self.dynamic_power(modes, mode)
+    }
+
+    /// Dynamic part only: `Wᵢ^α`.
+    #[inline]
+    pub fn dynamic_power(&self, modes: &ModeSet, mode: ModeIdx) -> f64 {
+        (modes.capacity(mode) as f64).powf(self.alpha)
+    }
+
+    /// Eq. 3 from aggregate per-mode server counts (`by_mode[i]` servers run
+    /// at mode `i`).
+    pub fn total(&self, modes: &ModeSet, by_mode: &[u64]) -> f64 {
+        debug_assert_eq!(by_mode.len(), modes.count());
+        let servers: u64 = by_mode.iter().sum();
+        let dynamic: f64 = by_mode
+            .iter()
+            .enumerate()
+            .map(|(i, &k)| k as f64 * self.dynamic_power(modes, i))
+            .sum();
+        servers as f64 * self.static_power + dynamic
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure2_power_values() {
+        // Figure 2: modes {7, 10}, P = 10 + W², α = 2.
+        let modes = ModeSet::new(vec![7, 10]).unwrap();
+        let p = PowerModel::new(10.0, 2.0);
+        assert!((p.server_power(&modes, 0) - 59.0).abs() < 1e-12);
+        assert!((p.server_power(&modes, 1) - 110.0).abs() < 1e-12);
+        // Paper's inequality: 20 + 2·7² > 10 + 10².
+        assert!(2.0 * p.server_power(&modes, 0) > p.server_power(&modes, 1));
+    }
+
+    #[test]
+    fn experiment3_model() {
+        // Pᵢ = W₁³/10 + Wᵢ³ with W = {5, 10}.
+        let modes = ModeSet::new(vec![5, 10]).unwrap();
+        let p = PowerModel::paper_experiment3(&modes);
+        assert!((p.static_power - 12.5).abs() < 1e-12);
+        assert!((p.server_power(&modes, 0) - 137.5).abs() < 1e-12);
+        assert!((p.server_power(&modes, 1) - 1012.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn total_aggregates() {
+        let modes = ModeSet::new(vec![5, 10]).unwrap();
+        let p = PowerModel::new(2.0, 3.0);
+        // 2 servers at W₁, 1 at W₂: 3·2 + 2·125 + 1000.
+        assert!((p.total(&modes, &[2, 1]) - (6.0 + 250.0 + 1000.0)).abs() < 1e-9);
+        assert_eq!(p.total(&modes, &[0, 0]), 0.0);
+    }
+
+    #[test]
+    fn fractional_alpha() {
+        let modes = ModeSet::new(vec![4]).unwrap();
+        let p = PowerModel::dynamic_only(2.5);
+        assert!((p.server_power(&modes, 0) - 32.0).abs() < 1e-9); // 4^2.5 = 32
+    }
+
+    #[test]
+    fn validation() {
+        assert!(PowerModel::new(0.0, 2.0).validate().is_ok());
+        assert!(PowerModel::new(-1.0, 2.0).validate().is_err());
+        assert!(PowerModel::new(1.0, 0.5).validate().is_err());
+        assert!(PowerModel::new(1.0, f64::NAN).validate().is_err());
+    }
+}

@@ -1,0 +1,155 @@
+//! The pre-existing server set `E ⊆ N` (§2.1 of the paper).
+//!
+//! Each pre-existing server carries its *original* operation mode, which the
+//! mode-change costs `changedᵢᵢ'` and deletion costs `deleteᵢ` of Eq. 4 refer
+//! to. For single-mode problems every entry uses mode 0.
+//!
+//! The paper's Experiment 3 does not state the original modes of its five
+//! pre-existing servers; this type makes the choice explicit and
+//! configurable (our experiments default to the highest mode, matching the
+//! single-mode model where a pre-existing replica is a full-capacity server
+//! — see DESIGN.md).
+
+use crate::error::ModelError;
+use crate::modes::{ModeIdx, ModeSet};
+use replica_tree::{NodeId, Tree};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Pre-existing servers with their original modes.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PreExisting {
+    entries: BTreeMap<NodeId, ModeIdx>,
+}
+
+impl PreExisting {
+    /// The empty set (the `NoPre` problem variants).
+    pub fn none() -> Self {
+        PreExisting::default()
+    }
+
+    /// All listed nodes pre-exist at `mode`.
+    pub fn at_mode<I: IntoIterator<Item = NodeId>>(nodes: I, mode: ModeIdx) -> Self {
+        PreExisting { entries: nodes.into_iter().map(|n| (n, mode)).collect() }
+    }
+
+    /// Explicit per-node original modes.
+    pub fn from_map(entries: BTreeMap<NodeId, ModeIdx>) -> Self {
+        PreExisting { entries }
+    }
+
+    /// Number of pre-existing servers `E = |E|`.
+    #[inline]
+    pub fn count(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if no server pre-exists.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Original mode of `node` if it pre-exists.
+    #[inline]
+    pub fn mode_of(&self, node: NodeId) -> Option<ModeIdx> {
+        self.entries.get(&node).copied()
+    }
+
+    /// True if `node` holds a pre-existing replica.
+    #[inline]
+    pub fn contains(&self, node: NodeId) -> bool {
+        self.entries.contains_key(&node)
+    }
+
+    /// Iterator over `(node, original mode)` in node order.
+    pub fn iter(&self) -> impl Iterator<Item = (NodeId, ModeIdx)> + '_ {
+        self.entries.iter().map(|(&n, &m)| (n, m))
+    }
+
+    /// The pre-existing nodes in order.
+    pub fn nodes(&self) -> Vec<NodeId> {
+        self.entries.keys().copied().collect()
+    }
+
+    /// Per-original-mode tally `Eᵢ` (length = mode count).
+    pub fn count_by_mode(&self, modes: usize) -> Vec<u64> {
+        let mut by_mode = vec![0u64; modes];
+        for &m in self.entries.values() {
+            by_mode[m] += 1;
+        }
+        by_mode
+    }
+
+    /// Checks that every entry names a real node and a real mode.
+    pub fn validate(&self, tree: &Tree, modes: &ModeSet) -> Result<(), ModelError> {
+        for (&node, &mode) in &self.entries {
+            if node.index() >= tree.internal_count() {
+                return Err(ModelError::InvalidPreExisting(format!(
+                    "node {node} outside the tree"
+                )));
+            }
+            if mode >= modes.count() {
+                return Err(ModelError::InvalidPreExisting(format!(
+                    "node {node} has unknown original mode index {mode}"
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+impl FromIterator<(NodeId, ModeIdx)> for PreExisting {
+    fn from_iter<I: IntoIterator<Item = (NodeId, ModeIdx)>>(iter: I) -> Self {
+        PreExisting { entries: iter.into_iter().collect() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use replica_tree::TreeBuilder;
+
+    fn tree() -> Tree {
+        let mut b = TreeBuilder::new();
+        let r = b.root();
+        let a = b.add_child(r);
+        b.add_child(a);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn construction_and_lookup() {
+        let n1 = NodeId::from_index(1);
+        let n2 = NodeId::from_index(2);
+        let pre = PreExisting::at_mode([n1, n2], 1);
+        assert_eq!(pre.count(), 2);
+        assert!(pre.contains(n1));
+        assert_eq!(pre.mode_of(n2), Some(1));
+        assert_eq!(pre.mode_of(NodeId::from_index(0)), None);
+        assert_eq!(pre.nodes(), vec![n1, n2]);
+        assert_eq!(pre.count_by_mode(2), vec![0, 2]);
+        assert!(PreExisting::none().is_empty());
+    }
+
+    #[test]
+    fn validation() {
+        let t = tree();
+        let modes = ModeSet::new(vec![5, 10]).unwrap();
+        let ok = PreExisting::at_mode([NodeId::from_index(1)], 1);
+        assert!(ok.validate(&t, &modes).is_ok());
+        let bad_node = PreExisting::at_mode([NodeId::from_index(9)], 0);
+        assert!(bad_node.validate(&t, &modes).is_err());
+        let bad_mode = PreExisting::at_mode([NodeId::from_index(1)], 7);
+        assert!(bad_mode.validate(&t, &modes).is_err());
+    }
+
+    #[test]
+    fn from_iterator_and_serde() {
+        let pre: PreExisting =
+            [(NodeId::from_index(0), 0), (NodeId::from_index(2), 1)].into_iter().collect();
+        let json = serde_json::to_string(&pre).unwrap();
+        let back: PreExisting = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, pre);
+    }
+}

@@ -1,0 +1,135 @@
+//! Request-evolution models.
+//!
+//! The distribution tree is fixed (§2.1); what changes between
+//! reconfiguration steps is each client's request volume. Experiment 2 of
+//! the paper "updates the number of requests per client" every step — we
+//! read that as a uniform re-draw — and two gentler models are provided for
+//! the update-strategy studies, where the *rate and amplitude* of variation
+//! is exactly what decides a good update interval (§6).
+
+use rand::Rng;
+use replica_tree::Tree;
+use serde::{Deserialize, Serialize};
+
+/// How client volumes change from one step to the next.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub enum Evolution {
+    /// Re-draw every volume uniformly from the range (Experiment 2).
+    Resample {
+        /// Inclusive volume range.
+        range: (u64, u64),
+    },
+    /// Each volume takes a ±`step` random walk, clamped to the range —
+    /// small-amplitude drift, the friendly case for lazy strategies.
+    RandomWalk {
+        /// Maximum per-step change.
+        step: u64,
+        /// Inclusive clamp range.
+        range: (u64, u64),
+    },
+    /// Like [`Evolution::Resample`], but each client independently goes
+    /// quiet (volume 0) with the given probability first — bursty churn,
+    /// the adversarial case for lazy strategies.
+    Churn {
+        /// Inclusive volume range while active.
+        range: (u64, u64),
+        /// Probability of a client being quiet this step.
+        quiet_probability: f64,
+    },
+}
+
+impl Evolution {
+    /// Advances every client volume in place.
+    pub fn apply<R: Rng + ?Sized>(&self, tree: &mut Tree, rng: &mut R) {
+        let clients: Vec<_> = tree.client_ids().collect();
+        match *self {
+            Evolution::Resample { range: (lo, hi) } => {
+                assert!(lo <= hi, "invalid range");
+                for c in clients {
+                    tree.set_requests(c, rng.random_range(lo..=hi));
+                }
+            }
+            Evolution::RandomWalk { step, range: (lo, hi) } => {
+                assert!(lo <= hi, "invalid range");
+                for c in clients {
+                    let cur = tree.requests(c);
+                    let delta = rng.random_range(0..=2 * step) as i128 - step as i128;
+                    let next = (cur as i128 + delta).clamp(lo as i128, hi as i128) as u64;
+                    tree.set_requests(c, next);
+                }
+            }
+            Evolution::Churn { range: (lo, hi), quiet_probability } => {
+                assert!(lo <= hi, "invalid range");
+                assert!((0.0..=1.0).contains(&quiet_probability));
+                for c in clients {
+                    let volume = if rng.random_bool(quiet_probability) {
+                        0
+                    } else {
+                        rng.random_range(lo..=hi)
+                    };
+                    tree.set_requests(c, volume);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use replica_tree::{generate, GeneratorConfig};
+
+    fn tree(seed: u64) -> Tree {
+        let mut rng = StdRng::seed_from_u64(seed);
+        generate::random_tree(&GeneratorConfig::paper_fat(40), &mut rng)
+    }
+
+    #[test]
+    fn resample_stays_in_range() {
+        let mut t = tree(1);
+        let mut rng = StdRng::seed_from_u64(2);
+        Evolution::Resample { range: (2, 4) }.apply(&mut t, &mut rng);
+        for c in t.client_ids() {
+            assert!((2..=4).contains(&t.requests(c)));
+        }
+    }
+
+    #[test]
+    fn random_walk_moves_slowly() {
+        let mut t = tree(3);
+        let before: Vec<u64> = t.client_ids().map(|c| t.requests(c)).collect();
+        let mut rng = StdRng::seed_from_u64(4);
+        Evolution::RandomWalk { step: 1, range: (1, 6) }.apply(&mut t, &mut rng);
+        for (c, &old) in t.client_ids().zip(&before) {
+            let new = t.requests(c);
+            assert!(new.abs_diff(old) <= 1, "walk step exceeded 1: {old} → {new}");
+            assert!((1..=6).contains(&new));
+        }
+    }
+
+    #[test]
+    fn churn_produces_quiet_clients() {
+        let mut t = tree(5);
+        let mut rng = StdRng::seed_from_u64(6);
+        Evolution::Churn { range: (1, 6), quiet_probability: 0.5 }.apply(&mut t, &mut rng);
+        let quiet = t.client_ids().filter(|&c| t.requests(c) == 0).count();
+        let active = t.client_count() - quiet;
+        assert!(quiet > 0, "with p = 0.5 some client should be quiet");
+        assert!(active > 0, "with p = 0.5 some client should stay active");
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let mut t1 = tree(7);
+        let mut t2 = tree(7);
+        Evolution::Resample { range: (1, 6) }
+            .apply(&mut t1, &mut StdRng::seed_from_u64(8));
+        Evolution::Resample { range: (1, 6) }
+            .apply(&mut t2, &mut StdRng::seed_from_u64(8));
+        for c in t1.client_ids() {
+            assert_eq!(t1.requests(c), t2.requests(c));
+        }
+    }
+}

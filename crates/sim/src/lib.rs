@@ -1,0 +1,28 @@
+//! # `replica-sim` — dynamic replica management
+//!
+//! The paper's closing discussion (§6) frames single-step reconfiguration —
+//! the `MinCost-WithPre` problem — as the building block of *dynamic replica
+//! management*: client request volumes drift over time, and the replica set
+//! must follow, trading update cost against resource usage. This crate
+//! provides the machinery the paper's Experiment 2 uses, plus the update
+//! strategies §6 sketches:
+//!
+//! * [`evolution`] — pluggable request-evolution models (the paper re-draws
+//!   volumes each step; random walks and client churn are also provided);
+//! * [`runner`] — the Experiment 2 loop: at each step, requests evolve and
+//!   an algorithm (`GR` or the DP) recomputes a placement starting from the
+//!   servers placed at the previous step;
+//! * [`strategy`] — *when* to reconfigure: systematic (every step), lazy
+//!   (only when the placement breaks), periodic, or load-triggered;
+//! * [`metrics`] — cumulative-reuse series and difference histograms, the
+//!   two panels of Figure 5.
+
+pub mod evolution;
+pub mod metrics;
+pub mod runner;
+pub mod strategy;
+
+pub use evolution::Evolution;
+pub use metrics::{histogram, Histogram};
+pub use runner::{run_dynamic, Algorithm, DynamicConfig, StepRecord};
+pub use strategy::{run_with_strategy, StrategyConfig, StrategyRecord, UpdateStrategy};

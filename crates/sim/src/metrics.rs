@@ -1,0 +1,100 @@
+//! Metric aggregation for dynamic runs — the two panels of Figure 5.
+//!
+//! The left panel plots the *cumulative* number of reused servers per step
+//! ([`cumulative`]); the right panel histograms the per-step difference
+//! `reused(DP) − reused(GR)` over all trees and steps ([`histogram`]).
+
+use crate::runner::StepRecord;
+use serde::{Deserialize, Serialize};
+
+/// Running sum of per-step reuse counts (Figure 5, left panel).
+pub fn cumulative(records: &[StepRecord]) -> Vec<u64> {
+    records
+        .iter()
+        .scan(0u64, |acc, r| {
+            *acc += r.reused;
+            Some(*acc)
+        })
+        .collect()
+}
+
+/// Integer-bucketed histogram (Figure 5, right panel).
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct Histogram {
+    /// Sorted `(value, count)` pairs.
+    pub buckets: Vec<(i64, u64)>,
+}
+
+impl Histogram {
+    /// Count in a bucket (0 when absent).
+    pub fn count(&self, value: i64) -> u64 {
+        self.buckets
+            .binary_search_by_key(&value, |&(v, _)| v)
+            .map(|i| self.buckets[i].1)
+            .unwrap_or(0)
+    }
+
+    /// Sum of all counts.
+    pub fn total(&self) -> u64 {
+        self.buckets.iter().map(|&(_, c)| c).sum()
+    }
+
+    /// Mean of the underlying values.
+    pub fn mean(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            return 0.0;
+        }
+        let sum: i64 = self.buckets.iter().map(|&(v, c)| v * c as i64).sum();
+        sum as f64 / total as f64
+    }
+}
+
+/// Builds a histogram from raw values.
+pub fn histogram<I: IntoIterator<Item = i64>>(values: I) -> Histogram {
+    let mut buckets: std::collections::BTreeMap<i64, u64> = Default::default();
+    for v in values {
+        *buckets.entry(v).or_insert(0) += 1;
+    }
+    Histogram { buckets: buckets.into_iter().collect() }
+}
+
+/// Pairwise reuse differences `a − b` for two record series of equal length
+/// (DP vs GR on the same request sequence).
+pub fn reuse_differences(a: &[StepRecord], b: &[StepRecord]) -> Vec<i64> {
+    assert_eq!(a.len(), b.len(), "series must cover the same steps");
+    a.iter().zip(b).map(|(x, y)| x.reused as i64 - y.reused as i64).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(step: usize, reused: u64) -> StepRecord {
+        StepRecord { step, servers: 10, reused, cost: 0.0 }
+    }
+
+    #[test]
+    fn cumulative_sums() {
+        let recs = vec![rec(1, 2), rec(2, 0), rec(3, 5)];
+        assert_eq!(cumulative(&recs), vec![2, 2, 7]);
+        assert!(cumulative(&[]).is_empty());
+    }
+
+    #[test]
+    fn histogram_buckets_and_stats() {
+        let h = histogram([0, 1, 1, 3, -2, 1]);
+        assert_eq!(h.count(1), 3);
+        assert_eq!(h.count(-2), 1);
+        assert_eq!(h.count(99), 0);
+        assert_eq!(h.total(), 6);
+        assert!((h.mean() - (1 + 1 + 3 - 2 + 1) as f64 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn differences() {
+        let dp = vec![rec(1, 4), rec(2, 3)];
+        let gr = vec![rec(1, 1), rec(2, 5)];
+        assert_eq!(reuse_differences(&dp, &gr), vec![3, -2]);
+    }
+}

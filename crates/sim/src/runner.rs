@@ -1,0 +1,184 @@
+//! The Experiment 2 loop: repeated reconfiguration under evolving requests.
+//!
+//! From §5.1: *"At each step, starting from the current solution, we update
+//! the number of requests per client and recompute an optimal solution with
+//! both algorithms, starting from the servers that were placed at the
+//! previous step. Initially, there are no pre-existing servers."*
+//!
+//! Both algorithms always reach the same (optimal) server count; what
+//! differs is how many of the previous step's servers they *reuse* — the
+//! quantity Figure 5 plots cumulatively.
+
+use crate::evolution::Evolution;
+use rand::Rng;
+use replica_core::{dp_mincost, greedy};
+use replica_model::{Instance, ModelError, Placement};
+use replica_tree::Tree;
+use serde::{Deserialize, Serialize};
+
+/// Which algorithm recomputes the placement each step.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Algorithm {
+    /// `GR` of [19]: replica-count-optimal, oblivious to the previous
+    /// placement (reuse is incidental).
+    GreedyOblivious,
+    /// The paper's `MinCost-WithPre` DP: cost-optimal given the previous
+    /// placement as pre-existing servers.
+    DpMinCost,
+}
+
+/// Parameters of a dynamic run.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct DynamicConfig {
+    /// Number of update steps.
+    pub steps: usize,
+    /// Server capacity `W`.
+    pub capacity: u64,
+    /// Eq. 2 `create` cost (DP only).
+    pub create: f64,
+    /// Eq. 2 `delete` cost (DP only).
+    pub delete: f64,
+}
+
+impl DynamicConfig {
+    /// Experiment 2 defaults: 20 steps, `W = 10`, create 0.1 / delete 0.01.
+    pub fn paper() -> Self {
+        DynamicConfig { steps: 20, capacity: 10, create: 0.1, delete: 0.01 }
+    }
+}
+
+/// Outcome of one step.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct StepRecord {
+    /// Step index (1-based, after the first evolution).
+    pub step: usize,
+    /// Servers placed this step.
+    pub servers: u64,
+    /// Servers reused from the previous step's placement.
+    pub reused: u64,
+    /// Eq. 2 cost of this step's reconfiguration.
+    pub cost: f64,
+}
+
+/// Runs `config.steps` reconfigurations of `tree` under `evolution`,
+/// recomputing with `algorithm` each step. The tree is consumed (volumes
+/// mutate); the per-step records are returned.
+pub fn run_dynamic<R: Rng + ?Sized>(
+    mut tree: Tree,
+    evolution: Evolution,
+    algorithm: Algorithm,
+    config: DynamicConfig,
+    rng: &mut R,
+) -> Result<Vec<StepRecord>, ModelError> {
+    let mut previous: Option<Placement> = None;
+    let mut records = Vec::with_capacity(config.steps);
+    for step in 1..=config.steps {
+        evolution.apply(&mut tree, rng);
+        let pre_nodes: Vec<_> =
+            previous.as_ref().map(|p| p.server_nodes()).unwrap_or_default();
+
+        let (placement, servers, reused, cost) = match algorithm {
+            Algorithm::GreedyOblivious => {
+                let g = greedy::greedy_min_replicas(&tree, config.capacity)?;
+                let reused = pre_nodes
+                    .iter()
+                    .filter(|&&n| g.placement.has_server(n))
+                    .count() as u64;
+                // Cost evaluated with the same Eq. 2 parameters for a fair
+                // comparison.
+                let e = pre_nodes.len() as u64;
+                let cost = replica_model::CostModel::simple(config.create, config.delete)
+                    .eq2(g.servers, reused, e);
+                (g.placement, g.servers, reused, cost)
+            }
+            Algorithm::DpMinCost => {
+                let instance = Instance::min_cost(
+                    tree.clone(),
+                    config.capacity,
+                    pre_nodes.clone(),
+                    config.create,
+                    config.delete,
+                )?;
+                let r = dp_mincost::solve_min_cost(&instance)?;
+                (r.placement, r.servers, r.reused, r.cost)
+            }
+        };
+        records.push(StepRecord { step, servers, reused, cost });
+        previous = Some(placement);
+    }
+    Ok(records)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use replica_tree::{generate, GeneratorConfig};
+
+    fn tree(seed: u64) -> Tree {
+        let mut rng = StdRng::seed_from_u64(seed);
+        generate::random_tree(&GeneratorConfig::paper_fat(40), &mut rng)
+    }
+
+    #[test]
+    fn first_step_has_no_reuse() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let records = run_dynamic(
+            tree(1),
+            Evolution::Resample { range: (1, 6) },
+            Algorithm::DpMinCost,
+            DynamicConfig { steps: 3, ..DynamicConfig::paper() },
+            &mut rng,
+        )
+        .unwrap();
+        assert_eq!(records.len(), 3);
+        assert_eq!(records[0].reused, 0, "no pre-existing servers initially");
+        assert!(records[0].servers > 0);
+    }
+
+    #[test]
+    fn same_counts_different_reuse() {
+        // Both algorithms see identical request sequences (same seed) and
+        // must land on the same optimal count; the DP reuses at least as
+        // much in total.
+        let cfg = DynamicConfig { steps: 8, ..DynamicConfig::paper() };
+        let evo = Evolution::Resample { range: (1, 6) };
+        let gr = run_dynamic(tree(2), evo, Algorithm::GreedyOblivious, cfg,
+            &mut StdRng::seed_from_u64(3)).unwrap();
+        let dp = run_dynamic(tree(2), evo, Algorithm::DpMinCost, cfg,
+            &mut StdRng::seed_from_u64(3)).unwrap();
+        for (g, d) in gr.iter().zip(&dp) {
+            assert_eq!(g.servers, d.servers, "step {}", g.step);
+        }
+        let gr_total: u64 = gr.iter().map(|r| r.reused).sum();
+        let dp_total: u64 = dp.iter().map(|r| r.reused).sum();
+        assert!(
+            dp_total >= gr_total,
+            "DP cumulative reuse {dp_total} must be ≥ GR {gr_total}"
+        );
+    }
+
+    #[test]
+    fn dp_reuse_is_high_under_gentle_drift() {
+        // With a ±1 random walk most of the placement should carry over.
+        let mut rng = StdRng::seed_from_u64(4);
+        let records = run_dynamic(
+            tree(5),
+            Evolution::RandomWalk { step: 1, range: (1, 6) },
+            Algorithm::DpMinCost,
+            DynamicConfig { steps: 6, ..DynamicConfig::paper() },
+            &mut rng,
+        )
+        .unwrap();
+        for r in &records[1..] {
+            assert!(
+                r.reused * 2 >= r.servers,
+                "step {}: expected ≥ half reuse, got {}/{}",
+                r.step,
+                r.reused,
+                r.servers
+            );
+        }
+    }
+}

@@ -1,0 +1,206 @@
+//! Arena storage for distribution trees.
+//!
+//! A [`Tree`] owns two flat arenas: internal nodes and clients. Topology is
+//! immutable after construction (the paper's *fixed distribution tree*
+//! assumption); the only mutation allowed is updating client request volumes,
+//! which is what the dynamic update strategies of §6 of the paper need.
+
+use crate::ids::{ClientId, NodeId};
+use serde::{Deserialize, Serialize};
+
+/// A leaf client: attached to an internal node, issuing `requests` requests
+/// per time unit (the `r_i` of the paper).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Client {
+    /// Internal node this client hangs from.
+    pub attach: NodeId,
+    /// Requests issued per time unit (`r_i`).
+    pub requests: u64,
+}
+
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub(crate) struct NodeData {
+    pub(crate) parent: Option<NodeId>,
+    pub(crate) children: Vec<NodeId>,
+    pub(crate) clients: Vec<ClientId>,
+}
+
+/// A fixed distribution tree: internal nodes `N` + leaf clients `C`.
+///
+/// Node 0 is always the root `r`. The structure is append-only during
+/// construction (see [`TreeBuilder`](crate::TreeBuilder)) and topologically
+/// frozen afterwards; client request volumes remain mutable through
+/// [`Tree::set_requests`].
+///
+/// Deserialization runs the full [structural validation](crate::validate),
+/// so a `Tree` in hand is always well-formed (see
+/// [`serde_impl`](crate::serde_impl)).
+#[derive(Clone, Debug, Serialize)]
+pub struct Tree {
+    pub(crate) nodes: Vec<NodeData>,
+    pub(crate) clients: Vec<Client>,
+}
+
+impl Tree {
+    /// The root node `r` (always node 0).
+    #[inline]
+    pub fn root(&self) -> NodeId {
+        NodeId(0)
+    }
+
+    /// Number of internal nodes (`|N|` — the `N` of the complexity bounds).
+    #[inline]
+    pub fn internal_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of clients (`|C|`).
+    #[inline]
+    pub fn client_count(&self) -> usize {
+        self.clients.len()
+    }
+
+    /// Iterator over all internal node handles in index order.
+    pub fn internal_nodes(&self) -> impl ExactSizeIterator<Item = NodeId> + '_ {
+        (0..self.nodes.len()).map(NodeId::from_index)
+    }
+
+    /// Iterator over all client handles in index order.
+    pub fn client_ids(&self) -> impl ExactSizeIterator<Item = ClientId> + '_ {
+        (0..self.clients.len()).map(ClientId::from_index)
+    }
+
+    /// Parent of `node`, or `None` for the root.
+    #[inline]
+    pub fn parent(&self, node: NodeId) -> Option<NodeId> {
+        self.nodes[node.index()].parent
+    }
+
+    /// Internal-node children of `node`.
+    #[inline]
+    pub fn children(&self, node: NodeId) -> &[NodeId] {
+        &self.nodes[node.index()].children
+    }
+
+    /// Clients directly attached to `node`.
+    #[inline]
+    pub fn clients_of(&self, node: NodeId) -> &[ClientId] {
+        &self.nodes[node.index()].clients
+    }
+
+    /// The client record behind a handle.
+    #[inline]
+    pub fn client(&self, client: ClientId) -> &Client {
+        &self.clients[client.index()]
+    }
+
+    /// Requests issued by `client` (`r_i`).
+    #[inline]
+    pub fn requests(&self, client: ClientId) -> u64 {
+        self.clients[client.index()].requests
+    }
+
+    /// Updates the request volume of `client`.
+    ///
+    /// This is the only mutation the type permits: topology is fixed, request
+    /// volumes evolve over time (paper §6, dynamic replica management).
+    #[inline]
+    pub fn set_requests(&mut self, client: ClientId, requests: u64) {
+        self.clients[client.index()].requests = requests;
+    }
+
+    /// Sum of requests of the clients attached directly to `node` — the
+    /// `client(j)` accumulator of Algorithm 2 in the paper.
+    pub fn client_load(&self, node: NodeId) -> u64 {
+        self.nodes[node.index()]
+            .clients
+            .iter()
+            .map(|&c| self.clients[c.index()].requests)
+            .sum()
+    }
+
+    /// Total request volume over the whole tree.
+    pub fn total_requests(&self) -> u64 {
+        self.clients.iter().map(|c| c.requests).sum()
+    }
+
+    /// True if `node` has no internal-node children (it may still have
+    /// clients).
+    #[inline]
+    pub fn is_internal_leaf(&self, node: NodeId) -> bool {
+        self.nodes[node.index()].children.is_empty()
+    }
+
+    /// Walks up from `node` to the root, yielding `node` first.
+    pub fn path_to_root(&self, node: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        std::iter::successors(Some(node), move |&n| self.parent(n))
+    }
+
+    /// True if `ancestor` lies on the path from `node` to the root
+    /// (inclusive: a node is its own ancestor).
+    pub fn is_ancestor_or_self(&self, ancestor: NodeId, node: NodeId) -> bool {
+        self.path_to_root(node).any(|n| n == ancestor)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::TreeBuilder;
+
+    #[test]
+    fn basic_accessors() {
+        let mut b = TreeBuilder::new();
+        let root = b.root();
+        let a = b.add_child(root);
+        let bb = b.add_child(root);
+        let c = b.add_child(a);
+        let k1 = b.add_client(c, 5);
+        b.add_client(bb, 2);
+        b.add_client(root, 1);
+        let t = b.build().unwrap();
+
+        assert_eq!(t.internal_count(), 4);
+        assert_eq!(t.client_count(), 3);
+        assert_eq!(t.root(), root);
+        assert_eq!(t.parent(root), None);
+        assert_eq!(t.parent(c), Some(a));
+        assert_eq!(t.children(root), &[a, bb]);
+        assert_eq!(t.clients_of(c).len(), 1);
+        assert_eq!(t.requests(k1), 5);
+        assert_eq!(t.client_load(c), 5);
+        assert_eq!(t.client_load(a), 0);
+        assert_eq!(t.total_requests(), 8);
+        assert!(t.is_internal_leaf(c));
+        assert!(!t.is_internal_leaf(a));
+    }
+
+    #[test]
+    fn path_and_ancestry() {
+        let mut b = TreeBuilder::new();
+        let root = b.root();
+        let a = b.add_child(root);
+        let c = b.add_child(a);
+        let d = b.add_child(root);
+        let t = b.build_with_clients_everywhere(1);
+
+        let path: Vec<_> = t.path_to_root(c).collect();
+        assert_eq!(path, vec![c, a, root]);
+        assert!(t.is_ancestor_or_self(root, c));
+        assert!(t.is_ancestor_or_self(a, c));
+        assert!(t.is_ancestor_or_self(c, c));
+        assert!(!t.is_ancestor_or_self(d, c));
+        assert!(!t.is_ancestor_or_self(c, a));
+    }
+
+    #[test]
+    fn request_mutation() {
+        let mut b = TreeBuilder::new();
+        let root = b.root();
+        let k = b.add_client(root, 3);
+        let mut t = b.build().unwrap();
+        assert_eq!(t.total_requests(), 3);
+        t.set_requests(k, 9);
+        assert_eq!(t.requests(k), 9);
+        assert_eq!(t.total_requests(), 9);
+    }
+}

@@ -1,0 +1,105 @@
+//! Graphviz (`.dot`) export of distribution trees.
+//!
+//! Internal nodes render as circles, clients as boxes labelled with their
+//! request volume. Callers can highlight node sets (pre-existing servers,
+//! chosen replicas) with [`DotStyle`] so that placement decisions can be
+//! inspected visually — the same kind of picture as Figures 1–3 of the paper.
+
+use crate::arena::Tree;
+use crate::ids::NodeId;
+use std::fmt::Write as _;
+
+/// Node decoration for [`to_dot`].
+#[derive(Clone, Debug, Default)]
+pub struct DotStyle {
+    /// Nodes drawn with a double border (e.g. pre-existing servers `E`).
+    pub pre_existing: Vec<NodeId>,
+    /// Nodes drawn filled (e.g. the chosen replica set `R`).
+    pub replicas: Vec<NodeId>,
+    /// Graph title.
+    pub title: Option<String>,
+}
+
+/// Renders the tree as a Graphviz digraph.
+pub fn to_dot(tree: &Tree, style: &DotStyle) -> String {
+    let mut out = String::with_capacity(64 * tree.internal_count());
+    out.push_str("digraph tree {\n");
+    if let Some(title) = &style.title {
+        let _ = writeln!(out, "  label=\"{}\";", escape(title));
+        out.push_str("  labelloc=t;\n");
+    }
+    out.push_str("  node [shape=circle];\n");
+
+    let is_pre = |n: NodeId| style.pre_existing.contains(&n);
+    let is_replica = |n: NodeId| style.replicas.contains(&n);
+
+    for n in tree.internal_nodes() {
+        let mut attrs = Vec::new();
+        if is_pre(n) {
+            attrs.push("peripheries=2".to_string());
+        }
+        if is_replica(n) {
+            attrs.push("style=filled".to_string());
+            attrs.push("fillcolor=lightblue".to_string());
+        }
+        let _ = writeln!(out, "  \"{n}\" [label=\"{n}\"{}{}];", if attrs.is_empty() { "" } else { ", " }, attrs.join(", "));
+    }
+    for c in tree.client_ids() {
+        let r = tree.requests(c);
+        let _ = writeln!(out, "  \"{c}\" [shape=box, label=\"{c}: {r} req\"];");
+    }
+    for n in tree.internal_nodes() {
+        for &child in tree.children(n) {
+            let _ = writeln!(out, "  \"{n}\" -> \"{child}\";");
+        }
+        for &client in tree.clients_of(n) {
+            let _ = writeln!(out, "  \"{n}\" -> \"{client}\" [style=dashed];");
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TreeBuilder;
+
+    fn sample() -> (Tree, NodeId) {
+        let mut b = TreeBuilder::new();
+        let r = b.root();
+        let a = b.add_child(r);
+        b.add_client(a, 5);
+        (b.build().unwrap(), a)
+    }
+
+    #[test]
+    fn emits_all_nodes_and_edges() {
+        let (t, a) = sample();
+        let dot = to_dot(&t, &DotStyle::default());
+        assert!(dot.starts_with("digraph tree {"));
+        assert!(dot.contains("\"n0\" -> \"n1\""));
+        assert!(dot.contains("\"n1\" -> \"c0\""));
+        assert!(dot.contains("c0: 5 req"));
+        assert!(dot.ends_with("}\n"));
+        let _ = a;
+    }
+
+    #[test]
+    fn styles_applied() {
+        let (t, a) = sample();
+        let style = DotStyle {
+            pre_existing: vec![a],
+            replicas: vec![t.root()],
+            title: Some("fig \"1\"".to_string()),
+        };
+        let dot = to_dot(&t, &style);
+        assert!(dot.contains("peripheries=2"));
+        assert!(dot.contains("fillcolor=lightblue"));
+        assert!(dot.contains("label=\"fig \\\"1\\\"\""));
+    }
+}

@@ -1,0 +1,323 @@
+//! Seeded random tree generators reproducing the paper's workloads.
+//!
+//! Experiment setup from §5 of the paper:
+//!
+//! * **Experiments 1–2 ("fat" trees)** — `N = 100` internal nodes, each with
+//!   6–9 children, a client at each internal node with probability 0.5
+//!   issuing 1–6 requests, capacity `W = 10`.
+//! * **"High" tree variants (Figures 6, 7, 10)** — 2–4 children per node.
+//! * **Experiment 3** — `N = 50`, 5 pre-existing servers, clients issue 1–5
+//!   requests, modes `{5, 10}`.
+//!
+//! The generator grows the tree breadth-first: it pops the next frontier
+//! node, draws a children count uniformly from the configured range, and
+//! attaches internal children until the target internal-node count is
+//! reached; clients are then attached independently per node. All draws come
+//! from a caller-supplied [`rand::Rng`], so experiments are reproducible from
+//! a seed.
+
+use crate::arena::Tree;
+use crate::builder::TreeBuilder;
+use crate::ids::NodeId;
+use rand::seq::SliceRandom;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// Shape presets for [`GeneratorConfig`] and deterministic synthetic shapes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TreeShape {
+    /// 6–9 children per node: the paper's default trees ("fat").
+    PaperFat,
+    /// 2–4 children per node: the paper's "high trees" variants.
+    PaperHigh,
+}
+
+impl TreeShape {
+    /// Children-count range (inclusive) of this shape.
+    pub fn children_range(self) -> (usize, usize) {
+        match self {
+            TreeShape::PaperFat => (6, 9),
+            TreeShape::PaperHigh => (2, 4),
+        }
+    }
+}
+
+/// Parameters of the random tree generator.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct GeneratorConfig {
+    /// Target number of internal nodes (the `N` of the paper).
+    pub internal_nodes: usize,
+    /// Inclusive range of internal children per node.
+    pub children_range: (usize, usize),
+    /// Probability that an internal node carries a client.
+    pub client_probability: f64,
+    /// Inclusive range of requests per client (`r_i`).
+    pub requests_range: (u64, u64),
+}
+
+impl GeneratorConfig {
+    /// Experiments 1–2 defaults: fat trees, clients with 1–6 requests.
+    pub fn paper_fat(internal_nodes: usize) -> Self {
+        GeneratorConfig {
+            internal_nodes,
+            children_range: TreeShape::PaperFat.children_range(),
+            client_probability: 0.5,
+            requests_range: (1, 6),
+        }
+    }
+
+    /// High-tree variants (Figures 6/7): 2–4 children, 1–6 requests.
+    pub fn paper_high(internal_nodes: usize) -> Self {
+        GeneratorConfig { children_range: TreeShape::PaperHigh.children_range(), ..Self::paper_fat(internal_nodes) }
+    }
+
+    /// Experiment 3 defaults (Figure 8): `N = 50` fat trees, 1–5 requests.
+    pub fn paper_power(internal_nodes: usize) -> Self {
+        GeneratorConfig { requests_range: (1, 5), ..Self::paper_fat(internal_nodes) }
+    }
+
+    /// Experiment 3 on high trees (Figure 10).
+    pub fn paper_power_high(internal_nodes: usize) -> Self {
+        GeneratorConfig { children_range: TreeShape::PaperHigh.children_range(), ..Self::paper_power(internal_nodes) }
+    }
+
+    /// Replaces the children range with the one of `shape`.
+    pub fn with_shape(mut self, shape: TreeShape) -> Self {
+        self.children_range = shape.children_range();
+        self
+    }
+}
+
+/// Generates a random tree per `config`, drawing from `rng`.
+///
+/// # Panics
+/// Panics if `config.internal_nodes == 0`, if a range is inverted, or if
+/// `children_range.0 == 0` (the frontier could stall).
+pub fn random_tree<R: Rng + ?Sized>(config: &GeneratorConfig, rng: &mut R) -> Tree {
+    assert!(config.internal_nodes > 0, "need at least the root");
+    let (cmin, cmax) = config.children_range;
+    assert!(cmin >= 1 && cmin <= cmax, "invalid children range {cmin}..={cmax}");
+    let (rmin, rmax) = config.requests_range;
+    assert!(rmin <= rmax, "invalid requests range {rmin}..={rmax}");
+    assert!(
+        (0.0..=1.0).contains(&config.client_probability),
+        "client probability must be in [0,1]"
+    );
+
+    let mut b = TreeBuilder::with_capacity(config.internal_nodes, config.internal_nodes / 2 + 1);
+    let mut remaining = config.internal_nodes - 1; // root exists already
+    let mut frontier = VecDeque::with_capacity(cmax);
+    frontier.push_back(b.root());
+    while remaining > 0 {
+        let node = frontier.pop_front().expect("frontier non-empty while nodes remain");
+        let want = rng.random_range(cmin..=cmax).min(remaining);
+        for _ in 0..want {
+            frontier.push_back(b.add_child(node));
+        }
+        remaining -= want;
+    }
+
+    for idx in 0..config.internal_nodes {
+        if rng.random_bool(config.client_probability) {
+            let r = rng.random_range(rmin..=rmax);
+            b.add_client(NodeId::from_index(idx), r);
+        }
+    }
+    b.build().expect("generated trees are structurally valid")
+}
+
+/// Draws `count` distinct internal nodes to act as pre-existing servers (the
+/// set `E` of the paper). `count` is clamped to the number of internal nodes.
+pub fn random_pre_existing<R: Rng + ?Sized>(tree: &Tree, count: usize, rng: &mut R) -> Vec<NodeId> {
+    let mut all: Vec<NodeId> = tree.internal_nodes().collect();
+    all.shuffle(rng);
+    all.truncate(count.min(tree.internal_count()));
+    all.sort_unstable();
+    all
+}
+
+/// Re-draws every client's request volume uniformly from `requests_range`,
+/// in place — the "update the number of requests per client" step of
+/// Experiment 2.
+pub fn redraw_requests<R: Rng + ?Sized>(tree: &mut Tree, requests_range: (u64, u64), rng: &mut R) {
+    let (rmin, rmax) = requests_range;
+    assert!(rmin <= rmax, "invalid requests range {rmin}..={rmax}");
+    for c in tree.client_ids().collect::<Vec<_>>() {
+        let r = rng.random_range(rmin..=rmax);
+        tree.set_requests(c, r);
+    }
+}
+
+/// Deterministic balanced `arity`-ary tree of the given `depth`
+/// (depth 0 = single root), one client with `requests` per internal leaf.
+pub fn balanced(arity: usize, depth: usize, requests: u64) -> Tree {
+    assert!(arity >= 1);
+    let mut b = TreeBuilder::new();
+    let mut level = vec![b.root()];
+    for _ in 0..depth {
+        let mut next = Vec::with_capacity(level.len() * arity);
+        for &n in &level {
+            for _ in 0..arity {
+                next.push(b.add_child(n));
+            }
+        }
+        level = next;
+    }
+    for &leaf in &level {
+        b.add_client(leaf, requests);
+    }
+    b.build().expect("balanced trees are structurally valid")
+}
+
+/// Deterministic path of `internal_nodes` nodes with one client of
+/// `requests` at the deepest node — worst case for tree height.
+pub fn path(internal_nodes: usize, requests: u64) -> Tree {
+    assert!(internal_nodes >= 1);
+    let mut b = TreeBuilder::new();
+    let mut cur = b.root();
+    for _ in 1..internal_nodes {
+        cur = b.add_child(cur);
+    }
+    b.add_client(cur, requests);
+    b.build().expect("paths are structurally valid")
+}
+
+/// Deterministic star: a root with `leaves` internal children, each carrying
+/// one client of `requests` — worst case for node degree.
+pub fn star(leaves: usize, requests: u64) -> Tree {
+    let mut b = TreeBuilder::new();
+    let root = b.root();
+    for _ in 0..leaves {
+        let c = b.add_child(root);
+        b.add_client(c, requests);
+    }
+    b.build().expect("stars are structurally valid")
+}
+
+/// Deterministic caterpillar: a spine of `spine` nodes, each with one
+/// off-spine child holding a client of `requests`.
+pub fn caterpillar(spine: usize, requests: u64) -> Tree {
+    assert!(spine >= 1);
+    let mut b = TreeBuilder::new();
+    let mut cur = b.root();
+    for i in 0..spine {
+        let leg = b.add_child(cur);
+        b.add_client(leg, requests);
+        if i + 1 < spine {
+            cur = b.add_child(cur);
+        }
+    }
+    b.build().expect("caterpillars are structurally valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn respects_internal_node_count() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for n in [1usize, 2, 7, 50, 100, 333] {
+            let t = random_tree(&GeneratorConfig::paper_fat(n), &mut rng);
+            assert_eq!(t.internal_count(), n);
+        }
+    }
+
+    #[test]
+    fn children_counts_within_range() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let cfg = GeneratorConfig::paper_high(200);
+        let t = random_tree(&cfg, &mut rng);
+        let (cmin, cmax) = cfg.children_range;
+        for n in t.internal_nodes() {
+            let k = t.children(n).len();
+            // Nodes may have fewer children near the frontier end, never more.
+            assert!(k <= cmax, "{n} has {k} > {cmax} children");
+            let _ = cmin;
+        }
+    }
+
+    #[test]
+    fn request_volumes_within_range() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let cfg = GeneratorConfig::paper_power(80);
+        let t = random_tree(&cfg, &mut rng);
+        assert!(t.client_count() > 0, "p=0.5 over 80 nodes yields clients");
+        for c in t.client_ids() {
+            let r = t.requests(c);
+            assert!((1..=5).contains(&r), "request volume {r} out of range");
+        }
+    }
+
+    #[test]
+    fn seeded_generation_is_deterministic() {
+        let cfg = GeneratorConfig::paper_fat(60);
+        let a = random_tree(&cfg, &mut StdRng::seed_from_u64(7));
+        let b = random_tree(&cfg, &mut StdRng::seed_from_u64(7));
+        let c = random_tree(&cfg, &mut StdRng::seed_from_u64(8));
+        assert_eq!(serde_json::to_string(&a).unwrap(), serde_json::to_string(&b).unwrap());
+        assert_ne!(serde_json::to_string(&a).unwrap(), serde_json::to_string(&c).unwrap());
+    }
+
+    #[test]
+    fn pre_existing_distinct_and_clamped() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let t = random_tree(&GeneratorConfig::paper_fat(30), &mut rng);
+        let e = random_pre_existing(&t, 10, &mut rng);
+        assert_eq!(e.len(), 10);
+        let mut dedup = e.clone();
+        dedup.dedup();
+        assert_eq!(dedup.len(), 10, "pre-existing nodes must be distinct");
+        let all = random_pre_existing(&t, 500, &mut rng);
+        assert_eq!(all.len(), 30);
+    }
+
+    #[test]
+    fn redraw_changes_only_volumes() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut t = random_tree(&GeneratorConfig::paper_fat(40), &mut rng);
+        let clients_before = t.client_count();
+        redraw_requests(&mut t, (1, 6), &mut rng);
+        assert_eq!(t.client_count(), clients_before);
+        for c in t.client_ids() {
+            assert!((1..=6).contains(&t.requests(c)));
+        }
+    }
+
+    #[test]
+    fn deterministic_shapes() {
+        let t = balanced(2, 3, 4);
+        assert_eq!(t.internal_count(), 1 + 2 + 4 + 8);
+        assert_eq!(t.client_count(), 8);
+        assert_eq!(t.total_requests(), 32);
+
+        let t = path(5, 9);
+        assert_eq!(t.internal_count(), 5);
+        assert_eq!(crate::traversal::height(&t), 4);
+        assert_eq!(t.total_requests(), 9);
+
+        let t = star(6, 2);
+        assert_eq!(t.internal_count(), 7);
+        assert_eq!(t.children(t.root()).len(), 6);
+        assert_eq!(t.total_requests(), 12);
+
+        let t = caterpillar(4, 1);
+        assert_eq!(t.client_count(), 4);
+        assert_eq!(t.total_requests(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "children range")]
+    fn rejects_zero_min_children() {
+        let cfg = GeneratorConfig {
+            internal_nodes: 5,
+            children_range: (0, 3),
+            client_probability: 0.5,
+            requests_range: (1, 6),
+        };
+        let _ = random_tree(&cfg, &mut StdRng::seed_from_u64(0));
+    }
+}

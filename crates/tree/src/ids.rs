@@ -1,0 +1,112 @@
+//! Typed index handles into a [`Tree`](crate::Tree) arena.
+//!
+//! Both handles are thin `u32` newtypes: they are `Copy`, order like their
+//! indices and serialize transparently. Using distinct types for internal
+//! nodes and clients prevents an entire class of mix-ups in the dynamic
+//! programs, which juggle both index spaces at once.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Handle of an **internal node** (a candidate replica location, the set `N`
+/// of the paper).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct NodeId(pub(crate) u32);
+
+/// Handle of a **client** (a leaf issuing requests, the set `C` of the
+/// paper).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct ClientId(pub(crate) u32);
+
+impl NodeId {
+    /// Creates a handle from a raw index.
+    ///
+    /// The index is not validated here; all [`Tree`](crate::Tree) accessors
+    /// panic on out-of-range handles, like slice indexing.
+    #[inline]
+    pub fn from_index(index: usize) -> Self {
+        NodeId(u32::try_from(index).expect("node index exceeds u32"))
+    }
+
+    /// Raw arena index of this node.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl ClientId {
+    /// Creates a handle from a raw index (unvalidated, see
+    /// [`NodeId::from_index`]).
+    #[inline]
+    pub fn from_index(index: usize) -> Self {
+        ClientId(u32::try_from(index).expect("client index exceeds u32"))
+    }
+
+    /// Raw arena index of this client.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl fmt::Debug for ClientId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "c{}", self.0)
+    }
+}
+
+impl fmt::Display for ClientId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "c{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_index() {
+        let n = NodeId::from_index(17);
+        assert_eq!(n.index(), 17);
+        let c = ClientId::from_index(3);
+        assert_eq!(c.index(), 3);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(NodeId::from_index(2).to_string(), "n2");
+        assert_eq!(ClientId::from_index(9).to_string(), "c9");
+        assert_eq!(format!("{:?}", NodeId::from_index(2)), "n2");
+    }
+
+    #[test]
+    fn ordering_follows_indices() {
+        assert!(NodeId::from_index(1) < NodeId::from_index(2));
+        assert!(ClientId::from_index(0) < ClientId::from_index(5));
+    }
+
+    #[test]
+    fn serde_is_transparent() {
+        let n = NodeId::from_index(7);
+        let json = serde_json::to_string(&n).unwrap();
+        assert_eq!(json, "7");
+        let back: NodeId = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, n);
+    }
+}

@@ -1,0 +1,170 @@
+//! Descriptive statistics of a distribution tree.
+//!
+//! Used by the experiment harness to sanity-check generated workloads (e.g.
+//! that the paper's fat trees really average ~50 clients and ~175 requests)
+//! and by the CLI's `inspect` command.
+
+use crate::arena::Tree;
+use crate::traversal;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Summary statistics; see field docs.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct TreeStats {
+    /// Number of internal nodes (`|N|`).
+    pub internal_nodes: usize,
+    /// Number of clients (`|C|`).
+    pub clients: usize,
+    /// Sum of all request volumes.
+    pub total_requests: u64,
+    /// Largest single client volume (lower-bounds the feasible capacity).
+    pub max_client_requests: u64,
+    /// Largest per-node direct client load (`max_j client(j)`); any feasible
+    /// capacity `W` must be at least this (those requests are inseparable
+    /// under the closest policy).
+    pub max_node_client_load: u64,
+    /// Tree height (root = 0).
+    pub height: u32,
+    /// Maximum number of internal children over all nodes.
+    pub max_children: usize,
+    /// Mean number of internal children over non-leaf nodes.
+    pub mean_children: f64,
+    /// Number of internal nodes with no internal children.
+    pub internal_leaves: usize,
+}
+
+impl TreeStats {
+    /// Computes statistics in a single pass over the arena.
+    pub fn compute(tree: &Tree) -> Self {
+        let mut max_children = 0usize;
+        let mut internal_leaves = 0usize;
+        let mut child_sum = 0usize;
+        let mut non_leaf = 0usize;
+        let mut max_node_client_load = 0u64;
+        for n in tree.internal_nodes() {
+            let k = tree.children(n).len();
+            max_children = max_children.max(k);
+            if k == 0 {
+                internal_leaves += 1;
+            } else {
+                non_leaf += 1;
+                child_sum += k;
+            }
+            max_node_client_load = max_node_client_load.max(tree.client_load(n));
+        }
+        TreeStats {
+            internal_nodes: tree.internal_count(),
+            clients: tree.client_count(),
+            total_requests: tree.total_requests(),
+            max_client_requests: tree
+                .client_ids()
+                .map(|c| tree.requests(c))
+                .max()
+                .unwrap_or(0),
+            max_node_client_load,
+            height: traversal::height(tree),
+            max_children,
+            mean_children: if non_leaf == 0 { 0.0 } else { child_sum as f64 / non_leaf as f64 },
+            internal_leaves,
+        }
+    }
+
+    /// A hard lower bound on the number of servers any feasible solution
+    /// needs for capacity `w`: `ceil(total_requests / w)`.
+    pub fn server_lower_bound(&self, w: u64) -> u64 {
+        assert!(w > 0, "capacity must be positive");
+        self.total_requests.div_ceil(w)
+    }
+}
+
+impl fmt::Display for TreeStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "internal nodes : {}", self.internal_nodes)?;
+        writeln!(f, "clients        : {}", self.clients)?;
+        writeln!(f, "total requests : {}", self.total_requests)?;
+        writeln!(f, "max r_i        : {}", self.max_client_requests)?;
+        writeln!(f, "max client(j)  : {}", self.max_node_client_load)?;
+        writeln!(f, "height         : {}", self.height)?;
+        writeln!(f, "max children   : {}", self.max_children)?;
+        writeln!(f, "mean children  : {:.2}", self.mean_children)?;
+        write!(f, "internal leaves: {}", self.internal_leaves)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::{random_tree, GeneratorConfig};
+    use crate::TreeBuilder;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn stats_on_hand_built_tree() {
+        let mut b = TreeBuilder::new();
+        let r = b.root();
+        let a = b.add_child(r);
+        let c = b.add_child(r);
+        b.add_client(a, 4);
+        b.add_client(a, 2);
+        b.add_client(c, 6);
+        let t = b.build().unwrap();
+        let s = TreeStats::compute(&t);
+        assert_eq!(s.internal_nodes, 3);
+        assert_eq!(s.clients, 3);
+        assert_eq!(s.total_requests, 12);
+        assert_eq!(s.max_client_requests, 6);
+        assert_eq!(s.max_node_client_load, 6);
+        assert_eq!(s.height, 1);
+        assert_eq!(s.max_children, 2);
+        assert_eq!(s.internal_leaves, 2);
+        assert!((s.mean_children - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lower_bound_rounds_up() {
+        let s = TreeStats {
+            internal_nodes: 1,
+            clients: 1,
+            total_requests: 11,
+            max_client_requests: 11,
+            max_node_client_load: 11,
+            height: 0,
+            max_children: 0,
+            mean_children: 0.0,
+            internal_leaves: 1,
+        };
+        assert_eq!(s.server_lower_bound(10), 2);
+        assert_eq!(s.server_lower_bound(11), 1);
+    }
+
+    #[test]
+    fn paper_fat_trees_have_expected_scale() {
+        // §5.1: N = 100, clients with probability one half, 1–6 requests.
+        // Expect ≈50 clients and ≈175 total requests on average.
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut clients = 0usize;
+        let mut requests = 0u64;
+        const TREES: usize = 50;
+        for _ in 0..TREES {
+            let t = random_tree(&GeneratorConfig::paper_fat(100), &mut rng);
+            let s = TreeStats::compute(&t);
+            clients += s.clients;
+            requests += s.total_requests;
+        }
+        let mean_clients = clients as f64 / TREES as f64;
+        let mean_requests = requests as f64 / TREES as f64;
+        assert!((40.0..60.0).contains(&mean_clients), "mean clients {mean_clients}");
+        assert!((140.0..210.0).contains(&mean_requests), "mean requests {mean_requests}");
+    }
+
+    #[test]
+    fn display_mentions_all_fields() {
+        let t = crate::generate::star(3, 2);
+        let text = TreeStats::compute(&t).to_string();
+        for needle in ["internal nodes", "clients", "total requests", "height"] {
+            assert!(text.contains(needle), "missing {needle}");
+        }
+    }
+}

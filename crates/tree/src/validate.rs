@@ -1,0 +1,196 @@
+//! Structural validation of [`Tree`]s.
+//!
+//! Trees produced by [`TreeBuilder`](crate::TreeBuilder) are valid by
+//! construction, but trees can also arrive through deserialization; both
+//! paths funnel through [`validate`] so that every algorithm downstream can
+//! assume a well-formed arena.
+
+use crate::arena::Tree;
+use crate::ids::NodeId;
+use std::fmt;
+
+/// Structural defects detected by [`validate`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TreeError {
+    /// The arena holds no nodes at all.
+    Empty,
+    /// Node 0 (the root) has a parent pointer.
+    RootHasParent,
+    /// A non-root node has no parent pointer.
+    OrphanNode(NodeId),
+    /// `child`'s parent pointer and `parent`'s child list disagree.
+    LinkMismatch { parent: NodeId, child: NodeId },
+    /// A node or client handle points outside the arena.
+    DanglingHandle(String),
+    /// Parent pointers contain a cycle or a node unreachable from the root.
+    NotATree(NodeId),
+    /// A client's attach pointer and the node's client list disagree.
+    ClientLinkMismatch(String),
+}
+
+impl fmt::Display for TreeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TreeError::Empty => write!(f, "tree has no nodes"),
+            TreeError::RootHasParent => write!(f, "root node has a parent pointer"),
+            TreeError::OrphanNode(n) => write!(f, "non-root node {n} has no parent"),
+            TreeError::LinkMismatch { parent, child } => {
+                write!(f, "parent/child links disagree between {parent} and {child}")
+            }
+            TreeError::DanglingHandle(what) => write!(f, "dangling handle: {what}"),
+            TreeError::NotATree(n) => {
+                write!(f, "node {n} is unreachable from the root or lies on a cycle")
+            }
+            TreeError::ClientLinkMismatch(what) => write!(f, "client link mismatch: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for TreeError {}
+
+/// Checks arena consistency: single root, mutual parent/child links, client
+/// links, and global reachability (connected + acyclic).
+pub fn validate(tree: &Tree) -> Result<(), TreeError> {
+    if tree.nodes.is_empty() {
+        return Err(TreeError::Empty);
+    }
+    if tree.nodes[0].parent.is_some() {
+        return Err(TreeError::RootHasParent);
+    }
+
+    let n = tree.nodes.len();
+    for (idx, node) in tree.nodes.iter().enumerate() {
+        let id = NodeId::from_index(idx);
+        if idx != 0 {
+            match node.parent {
+                None => return Err(TreeError::OrphanNode(id)),
+                Some(p) if p.index() >= n => {
+                    return Err(TreeError::DanglingHandle(format!("parent of {id}")))
+                }
+                Some(p) => {
+                    if !tree.nodes[p.index()].children.contains(&id) {
+                        return Err(TreeError::LinkMismatch { parent: p, child: id });
+                    }
+                }
+            }
+        }
+        for &c in &node.children {
+            if c.index() >= n {
+                return Err(TreeError::DanglingHandle(format!("child of {id}")));
+            }
+            if tree.nodes[c.index()].parent != Some(id) {
+                return Err(TreeError::LinkMismatch { parent: id, child: c });
+            }
+        }
+        for &cl in &node.clients {
+            match tree.clients.get(cl.index()) {
+                None => return Err(TreeError::DanglingHandle(format!("client of {id}"))),
+                Some(client) if client.attach != id => {
+                    return Err(TreeError::ClientLinkMismatch(format!(
+                        "client {cl} listed under {id} but attached to {}",
+                        client.attach
+                    )))
+                }
+                Some(_) => {}
+            }
+        }
+    }
+
+    for (idx, client) in tree.clients.iter().enumerate() {
+        if client.attach.index() >= n {
+            return Err(TreeError::DanglingHandle(format!("attach of client {idx}")));
+        }
+        let cl = crate::ids::ClientId::from_index(idx);
+        if !tree.nodes[client.attach.index()].clients.contains(&cl) {
+            return Err(TreeError::ClientLinkMismatch(format!(
+                "client {cl} attached to {} but not listed there",
+                client.attach
+            )));
+        }
+    }
+
+    // Reachability from the root: counts double as a cycle check because the
+    // parent/child links were verified mutual above.
+    let mut seen = vec![false; n];
+    let mut stack = vec![tree.root()];
+    let mut reached = 0usize;
+    while let Some(node) = stack.pop() {
+        if seen[node.index()] {
+            return Err(TreeError::NotATree(node));
+        }
+        seen[node.index()] = true;
+        reached += 1;
+        stack.extend_from_slice(tree.children(node));
+    }
+    if reached != n {
+        let missing = seen.iter().position(|&s| !s).expect("some node unseen");
+        return Err(TreeError::NotATree(NodeId::from_index(missing)));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TreeBuilder;
+
+    fn valid_tree() -> Tree {
+        let mut b = TreeBuilder::new();
+        let r = b.root();
+        let a = b.add_child(r);
+        b.add_child(a);
+        b.add_client(a, 3);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn builder_trees_validate() {
+        assert!(validate(&valid_tree()).is_ok());
+    }
+
+    #[test]
+    fn detects_root_with_parent() {
+        let mut t = valid_tree();
+        t.nodes[0].parent = Some(NodeId::from_index(1));
+        assert_eq!(validate(&t), Err(TreeError::RootHasParent));
+    }
+
+    #[test]
+    fn detects_orphan() {
+        // Clearing a parent pointer trips either the orphan check or the
+        // mutual-link check, depending on which node is scanned first.
+        let mut t = valid_tree();
+        t.nodes[2].parent = None;
+        assert!(matches!(
+            validate(&t),
+            Err(TreeError::OrphanNode(_)) | Err(TreeError::LinkMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn detects_link_mismatch() {
+        let mut t = valid_tree();
+        t.nodes[2].parent = Some(NodeId::from_index(0));
+        assert!(matches!(validate(&t), Err(TreeError::LinkMismatch { .. })));
+    }
+
+    #[test]
+    fn detects_client_mismatch() {
+        let mut t = valid_tree();
+        t.clients[0].attach = NodeId::from_index(2);
+        assert!(matches!(validate(&t), Err(TreeError::ClientLinkMismatch(_))));
+    }
+
+    #[test]
+    fn detects_dangling_child() {
+        let mut t = valid_tree();
+        t.nodes[2].children.push(NodeId::from_index(99));
+        assert!(matches!(validate(&t), Err(TreeError::DanglingHandle(_))));
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let err = TreeError::OrphanNode(NodeId::from_index(4));
+        assert!(err.to_string().contains("n4"));
+    }
+}

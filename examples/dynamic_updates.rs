@@ -1,0 +1,68 @@
+//! Update strategies over a day of drifting demand (§6 of the paper).
+//!
+//! The paper frames dynamic replica management as a trade-off between
+//! *lazy* updates (reconfigure only when the placement breaks) and
+//! *systematic* updates (reconfigure every step). This example simulates
+//! 48 half-hour steps of demand drift on a paper-shaped tree and compares
+//! four strategies on reconfiguration cost vs resource usage, under both a
+//! gentle random walk and a bursty churn model.
+//!
+//! ```text
+//! cargo run --example dynamic_updates
+//! ```
+
+use power_replica::prelude::*;
+use rand::{rngs::StdRng, SeedableRng};
+use replica_sim::strategy::{StrategyConfig, StrategySummary};
+
+fn main() {
+    let config = StrategyConfig { steps: 48, capacity: 10, create: 0.1, delete: 0.01 };
+    let strategies: [(&str, UpdateStrategy); 4] = [
+        ("systematic", UpdateStrategy::Systematic),
+        ("lazy", UpdateStrategy::Lazy),
+        ("periodic(6)", UpdateStrategy::Periodic { period: 6 }),
+        ("load(0.85)", UpdateStrategy::LoadTriggered { threshold: 0.85 }),
+    ];
+    let evolutions: [(&str, Evolution); 2] = [
+        ("gentle drift", Evolution::RandomWalk { step: 1, range: (1, 6) }),
+        ("bursty churn", Evolution::Churn { range: (1, 6), quiet_probability: 0.2 }),
+    ];
+
+    for (evo_name, evolution) in evolutions {
+        println!("=== demand model: {evo_name} ===");
+        println!(
+            "{:<12} {:>9} {:>11} {:>13} {:>14}",
+            "strategy", "reconfigs", "total cost", "server-steps", "broken steps"
+        );
+        for (name, strategy) in strategies {
+            // Same tree and demand sequence for every strategy.
+            let tree = random_tree(
+                &GeneratorConfig::paper_fat(80),
+                &mut StdRng::seed_from_u64(42),
+            );
+            let mut evo_rng = StdRng::seed_from_u64(4242);
+            let records = run_with_strategy(tree, evolution, strategy, config, &mut evo_rng)
+                .expect("paper workloads stay feasible");
+            let summary = StrategySummary::from_records(&records);
+            println!(
+                "{:<12} {:>9} {:>11.2} {:>13} {:>14}",
+                name,
+                summary.reconfigurations,
+                summary.total_cost,
+                summary.server_steps,
+                summary.invalid_steps
+            );
+        }
+        println!();
+    }
+
+    println!("reading: under gentle drift, lazy/periodic skip a third of the");
+    println!("reconfigurations at the same service quality — cheaper, slightly");
+    println!("staler placements. Under bursty churn every placement breaks");
+    println!("every step and all strategies degenerate to systematic: exactly");
+    println!("the §6 observation that the *rates and amplitudes* of request");
+    println!("variation decide the right update interval. Note also that");
+    println!("cost-optimal placements are tightly packed (W is saturated), so");
+    println!("rising demand almost always forces an update — slack only comes");
+    println!("from demand drops.");
+}

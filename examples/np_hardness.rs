@@ -1,0 +1,65 @@
+//! Theorem 2, live: deciding 2-Partition with the power DP.
+//!
+//! §4.2 of the paper proves `MinPower` NP-complete by reduction from
+//! 2-Partition. This example builds the Figure 3 gadget for a few
+//! instances, solves them *optimally* with the (fixed-parameter) DP and
+//! shows that the optimal power crosses the threshold `P_max` exactly when
+//! the partition exists.
+//!
+//! ```text
+//! cargo run --example np_hardness
+//! ```
+
+use power_replica::prelude::*;
+
+fn main() {
+    let instances: [(&str, Vec<u64>); 4] = [
+        ("YES: {1,4} = {2,3}", vec![1, 2, 3, 4]),
+        ("YES: {2,6} = {3,5}", vec![2, 3, 5, 6]),
+        ("NO : sum 20, nothing hits 10", vec![1, 5, 6, 8]),
+        ("NO : sum 24, nothing hits 12", vec![3, 5, 6, 10]),
+    ];
+
+    for (label, a) in instances {
+        let gadget = np_gadget::build(&a, 2).expect("valid reduction input");
+        println!("--- {label} ---");
+        println!(
+            "integers {a:?} → {} modes, K = {}, scale D = {}",
+            gadget.instance.mode_count(),
+            gadget.k,
+            gadget.scale
+        );
+
+        let optimal = solve_min_power(&gadget.instance).expect("gadget is feasible");
+        let within = optimal.power <= gadget.p_max * (1.0 + 1e-12);
+        println!(
+            "optimal power {:.3e} vs P_max {:.3e} → {}",
+            optimal.power,
+            gadget.p_max,
+            if within { "PARTITION EXISTS" } else { "no partition" }
+        );
+        assert_eq!(within, gadget.has_partition(), "Theorem 2 must hold");
+
+        if within {
+            let subset = gadget.partition_from_placement(&optimal.placement);
+            let chosen: Vec<u64> = a
+                .iter()
+                .zip(&subset)
+                .filter(|&(_, &sel)| sel)
+                .map(|(&ai, _)| ai)
+                .collect();
+            let rest: Vec<u64> = a
+                .iter()
+                .zip(&subset)
+                .filter(|&(_, &sel)| !sel)
+                .map(|(&ai, _)| ai)
+                .collect();
+            println!("recovered partition: {chosen:?} vs {rest:?}");
+        }
+        println!();
+    }
+
+    println!("the DP stays polynomial only because the mode count is fixed per");
+    println!("instance; the reduction needs n + 2 modes, which is exactly why");
+    println!("MinPower with arbitrarily many modes is NP-complete (Theorem 2).");
+}

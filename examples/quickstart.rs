@@ -1,0 +1,69 @@
+//! Quickstart: state a replica-placement problem, solve it three ways,
+//! inspect the answers.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use power_replica::prelude::*;
+use rand::{rngs::StdRng, SeedableRng};
+
+fn main() {
+    // 1. A reproducible paper-shaped distribution tree: 60 internal nodes,
+    //    6–9 children each, a client on half the nodes with 1–6 requests.
+    let mut rng = StdRng::seed_from_u64(2011);
+    let tree = random_tree(&GeneratorConfig::paper_fat(60), &mut rng);
+    println!("=== workload ===\n{}\n", TreeStats::compute(&tree));
+
+    // 2. Suppose 8 servers already exist from a previous configuration.
+    let pre = random_pre_existing(&tree, 8, &mut rng);
+    println!("pre-existing servers: {pre:?}\n");
+
+    // 3a. The oblivious greedy (GR of [19]): optimal replica count, but it
+    //     reuses the pre-existing servers only by accident.
+    let greedy = greedy_min_replicas(&tree, 10).expect("feasible at W = 10");
+    let gr_reused = pre.iter().filter(|&&n| greedy.placement.has_server(n)).count();
+    println!(
+        "GR   : {} servers, {} reused incidentally",
+        greedy.servers, gr_reused
+    );
+
+    // 3b. The paper's MinCost-WithPre dynamic program (Theorem 1): same
+    //     optimal count, minimal reconfiguration cost.
+    let instance = Instance::min_cost(tree.clone(), 10, pre.clone(), 0.1, 0.01)
+        .expect("valid instance");
+    let dp = solve_min_cost(&instance).expect("feasible instance");
+    println!(
+        "DP   : {} servers, {} reused deliberately, cost {:.2}",
+        dp.servers, dp.reused, dp.cost
+    );
+    assert_eq!(dp.servers, greedy.servers, "both are replica-count optimal");
+
+    // 3c. Power-aware placement (Theorem 3): two modes, convex power, and a
+    //     reconfiguration budget.
+    let modes = ModeSet::new(vec![5, 10]).unwrap();
+    let power_model = PowerModel::paper_experiment3(&modes);
+    let power_instance = Instance::builder(tree)
+        .modes(modes)
+        .pre_existing(PreExisting::at_mode(pre, 1))
+        .cost(CostModel::uniform(2, 0.1, 0.01, 0.001))
+        .power(power_model)
+        .build()
+        .expect("valid instance");
+    let dp = PowerDp::run(&power_instance).expect("feasible instance");
+    println!("\n=== power/cost Pareto front ===");
+    for (cost, power) in dp.pareto_front() {
+        println!("  cost {cost:7.3} → power {power:9.1}");
+    }
+    let budget = 30.0;
+    match dp.best_within(budget) {
+        Some(best) => {
+            let solution = dp.reconstruct(best).expect("reconstructible");
+            println!(
+                "\nwithin budget {budget}: {} servers, cost {:.3}, power {:.1}",
+                solution.servers, solution.cost, solution.power
+            );
+        }
+        None => println!("\nno solution within budget {budget}"),
+    }
+}

@@ -1,0 +1,112 @@
+//! Video-on-demand replica planning under a power budget.
+//!
+//! The paper motivates replica placement with "electronic, ISP, or VOD
+//! service delivery": a content provider serves regional clients through a
+//! fixed distribution tree and must decide which points of presence get a
+//! replica of the catalog, at which speed each server runs, and how much
+//! reconfiguration is acceptable when demand shifts (e.g. an evening peak).
+//!
+//! This example builds a three-tier VOD hierarchy (country → region → metro
+//! area), plans a daytime configuration, then replans the evening peak
+//! under several reconfiguration budgets, showing the cost/power trade-off
+//! that the bi-criteria DP exposes as a Pareto front.
+//!
+//! ```text
+//! cargo run --example vod_power_budget
+//! ```
+
+use power_replica::prelude::*;
+use replica_tree::ClientId;
+
+/// Builds the VOD hierarchy; returns the tree plus the metro-level client
+/// handles so that demand can be reshaped later.
+fn build_hierarchy() -> (Tree, Vec<ClientId>) {
+    let mut b = TreeBuilder::new();
+    let country = b.root();
+    let mut clients = Vec::new();
+    // 4 regions × 5 metro areas; daytime demand is light (1–3 streams).
+    for region in 0..4u64 {
+        let r = b.add_child(country);
+        for metro in 0..5u64 {
+            let m = b.add_child(r);
+            let daytime = 1 + (region + metro) % 3;
+            clients.push(b.add_client(m, daytime));
+        }
+    }
+    (b.build().expect("hand-built hierarchy is valid"), clients)
+}
+
+/// Evening peak: every metro's demand grows, prime-time metros spike.
+fn apply_evening_peak(tree: &mut Tree, clients: &[ClientId]) {
+    for (i, &c) in clients.iter().enumerate() {
+        let base = tree.requests(c);
+        let spike = if i % 4 == 0 { 4 } else { 2 };
+        tree.set_requests(c, base + spike);
+    }
+}
+
+fn main() {
+    let (mut tree, clients) = build_hierarchy();
+
+    // Server hardware: a slow eco mode (6 streams) and a fast mode
+    // (12 streams); Eq. 3 with α = 3 and a realistic static share.
+    let modes = ModeSet::new(vec![6, 12]).unwrap();
+    let power_model = PowerModel::new(modes.capacity(0) as f64 * 4.0, 3.0);
+
+    // --- Phase 1: daytime plan, no servers exist yet. -------------------
+    let daytime = Instance::builder(tree.clone())
+        .modes(modes.clone())
+        .cost(CostModel::uniform(2, 0.5, 0.05, 0.01))
+        .power(power_model)
+        .build()
+        .unwrap();
+    let day_dp = PowerDp::run(&daytime).expect("feasible");
+    let day_plan = day_dp
+        .reconstruct(day_dp.best_within(f64::INFINITY).expect("unconstrained"))
+        .expect("reconstructible");
+    println!("=== daytime ({} streams) ===", daytime.tree().total_requests());
+    println!(
+        "{} servers, power {:.0}\nreplicas at: {:?}\n",
+        day_plan.servers,
+        day_plan.power,
+        day_plan.placement.server_nodes()
+    );
+
+    // --- Phase 2: evening peak, yesterday's servers pre-exist. ----------
+    apply_evening_peak(&mut tree, &clients);
+    let pre: PreExisting = day_plan.placement.servers().collect();
+    let evening = Instance::builder(tree)
+        .modes(modes)
+        .pre_existing(pre)
+        .cost(CostModel::uniform(2, 0.5, 0.05, 0.01))
+        .power(power_model)
+        .build()
+        .unwrap();
+    println!("=== evening peak ({} streams) ===", evening.tree().total_requests());
+    let evening_dp = PowerDp::run(&evening).expect("feasible");
+
+    println!("reconfiguration budget → optimal plan:");
+    for budget in [6.0, 8.0, 10.0, 14.0, f64::INFINITY] {
+        match evening_dp.best_within(budget) {
+            Some(best) => {
+                let plan = evening_dp.reconstruct(best).expect("reconstructible");
+                let eco = plan
+                    .placement
+                    .servers()
+                    .filter(|&(_, mode)| mode == 0)
+                    .count();
+                println!(
+                    "  budget {budget:>8.1}: {} servers ({eco} eco), cost {:.2}, power {:.0}",
+                    plan.servers, plan.cost, plan.power
+                );
+            }
+            None => println!("  budget {budget:>8.1}: no feasible plan"),
+        }
+    }
+
+    // The full trade-off curve, ready for capacity planning dashboards.
+    println!("\ncost/power Pareto front:");
+    for (cost, power) in evening_dp.pareto_front() {
+        println!("  cost {cost:7.2} → power {power:8.0}");
+    }
+}

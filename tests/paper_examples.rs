@@ -1,0 +1,138 @@
+//! The paper's worked examples (Figures 1 and 2) as end-to-end regression
+//! tests through the public facade API, plus the headline claims of §2.1.
+
+use power_replica::prelude::*;
+
+/// Figure 1: root — A — {B, C}; B pre-existing; keeping B leaves 7 requests
+/// above A, a server at C leaves 4, covering both leaves none.
+fn figure1(root_requests: u64) -> (Instance, [NodeId; 4]) {
+    let mut bld = TreeBuilder::new();
+    let r = bld.root();
+    let a = bld.add_child(r);
+    let b = bld.add_child(a);
+    let c = bld.add_child(a);
+    bld.add_client(b, 4);
+    bld.add_client(c, 7);
+    bld.add_client(r, root_requests);
+    let tree = bld.build().unwrap();
+    let inst = Instance::min_cost(tree, 10, [b], 0.1, 0.01).unwrap();
+    (inst, [r, a, b, c])
+}
+
+#[test]
+fn figure1_the_choice_cannot_be_made_locally() {
+    // "if the root r has two client requests, then it was better to keep
+    // the pre-existing server B."
+    let (inst, [r, _, b, _]) = figure1(2);
+    let two = solve_min_cost(&inst).unwrap();
+    assert!(two.placement.has_server(b));
+    assert!(two.placement.has_server(r));
+    assert_eq!(two.reused, 1);
+
+    // "However, if it has four requests, two new servers are needed to
+    // satisfy all requests, and one can then remove server B … keep one
+    // server at node C and one server at node r."
+    let (inst, [r, _, b, c]) = figure1(4);
+    let four = solve_min_cost(&inst).unwrap();
+    assert!(four.placement.has_server(c));
+    assert!(four.placement.has_server(r));
+    assert!(!four.placement.has_server(b));
+    assert_eq!(four.reused, 0);
+}
+
+/// Figure 2: modes {7, 10}, power 10 + W²; B:3, C:7 under A.
+fn figure2(root_requests: u64) -> (Instance, [NodeId; 4]) {
+    let mut bld = TreeBuilder::new();
+    let r = bld.root();
+    let a = bld.add_child(r);
+    let b = bld.add_child(a);
+    let c = bld.add_child(a);
+    bld.add_client(b, 3);
+    bld.add_client(c, 7);
+    bld.add_client(r, root_requests);
+    let tree = bld.build().unwrap();
+    let inst = Instance::builder(tree)
+        .modes(ModeSet::new(vec![7, 10]).unwrap())
+        .power(PowerModel::new(10.0, 2.0))
+        .build()
+        .unwrap();
+    (inst, [r, a, b, c])
+}
+
+#[test]
+fn figure2_greedy_power_decisions_fail() {
+    // "if the root r has four client requests, then it is better to let
+    // some requests through (one server at node C)."
+    let (inst, [r, a, _, c]) = figure2(4);
+    let four = solve_min_power(&inst).unwrap();
+    assert!(four.placement.has_server(c));
+    assert!(four.placement.has_server(r));
+    assert!(!four.placement.has_server(a));
+    assert!((four.power - 118.0).abs() < 1e-9);
+
+    // "However, if it has ten requests, it is necessary to have no request
+    // going through A."
+    let (inst, [r, a, b, c]) = figure2(10);
+    let ten = solve_min_power(&inst).unwrap();
+    let blocks_a = ten.placement.has_server(a)
+        || (ten.placement.has_server(b) && ten.placement.has_server(c));
+    assert!(blocks_a, "nothing may traverse A");
+    assert!(ten.placement.has_server(r));
+    // One W₂ server at A beats two W₁ servers at B and C:
+    // "20 + 2·7² > 10 + 10²".
+    assert!(ten.placement.has_server(a));
+    assert!((ten.power - 220.0).abs() < 1e-9);
+}
+
+#[test]
+fn section21_create_plus_two_deletes_below_one_prioritizes_count() {
+    // "If create + 2·delete < 1, priority is given to minimizing the total
+    // number of servers R: … it is always advantageous to replace two
+    // pre-existing servers by a new one (if capacities permit)."
+    let mut bld = TreeBuilder::new();
+    let r = bld.root();
+    let a = bld.add_child(r);
+    let b = bld.add_child(r);
+    bld.add_client(a, 3);
+    bld.add_client(b, 4);
+    let tree = bld.build().unwrap();
+    // Two pre-existing servers at A and B; a single new server at the root
+    // can carry both loads.
+    let inst = Instance::min_cost(tree.clone(), 10, [a, b], 0.2, 0.3).unwrap();
+    let res = solve_min_cost(&inst).unwrap();
+    assert_eq!(res.servers, 1, "0.2 + 2·0.3 = 0.8 < 1 ⇒ consolidate");
+    assert!(res.placement.has_server(r));
+
+    // Flip the inequality: create + 2·delete > 1 keeps the two reuses.
+    let inst = Instance::min_cost(tree, 10, [a, b], 0.5, 0.4).unwrap();
+    let res = solve_min_cost(&inst).unwrap();
+    assert_eq!(res.servers, 2, "0.5 + 2·0.4 = 1.3 > 1 ⇒ keep reuses");
+    assert_eq!(res.reused, 2);
+}
+
+#[test]
+fn theorem_statements_hold_on_paper_scale_trees() {
+    use rand::{rngs::StdRng, SeedableRng};
+    // Theorem 1 machinery handles the paper's N = 100 / E up to N in one
+    // pass; Theorem 3 machinery handles N = 50, M = 2, E = 5.
+    let mut rng = StdRng::seed_from_u64(3);
+    let tree = random_tree(&GeneratorConfig::paper_fat(100), &mut rng);
+    let pre = random_pre_existing(&tree, 60, &mut rng);
+    let inst = Instance::min_cost(tree, 10, pre, 0.1, 0.01).unwrap();
+    let r1 = solve_min_cost(&inst).unwrap();
+    assert!(r1.servers > 0);
+
+    let tree = random_tree(&GeneratorConfig::paper_power(50), &mut rng);
+    let pre = random_pre_existing(&tree, 5, &mut rng);
+    let modes = ModeSet::new(vec![5, 10]).unwrap();
+    let power = PowerModel::paper_experiment3(&modes);
+    let inst = Instance::builder(tree)
+        .modes(modes)
+        .pre_existing(PreExisting::at_mode(pre, 1))
+        .cost(CostModel::uniform(2, 0.1, 0.01, 0.001))
+        .power(power)
+        .build()
+        .unwrap();
+    let dp = PowerDp::run(&inst).unwrap();
+    assert!(!dp.pareto_front().is_empty());
+}

@@ -1,0 +1,75 @@
+//! Serialization round-trips across the whole stack: trees, instances and
+//! placements survive JSON, and solving a round-tripped instance gives
+//! bit-identical results.
+
+use power_replica::prelude::*;
+use rand::{rngs::StdRng, SeedableRng};
+
+fn sample_instance(seed: u64) -> Instance {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let tree = random_tree(&GeneratorConfig::paper_power(30), &mut rng);
+    let pre = random_pre_existing(&tree, 4, &mut rng);
+    let modes = ModeSet::new(vec![5, 10]).unwrap();
+    let power = PowerModel::paper_experiment3(&modes);
+    Instance::builder(tree)
+        .modes(modes)
+        .pre_existing(PreExisting::at_mode(pre, 1))
+        .cost(CostModel::uniform(2, 0.1, 0.01, 0.001))
+        .power(power)
+        .build()
+        .unwrap()
+}
+
+#[test]
+fn instance_round_trip_preserves_solutions() {
+    let inst = sample_instance(1);
+    let json = serde_json::to_string(&inst).unwrap();
+    let back: Instance = serde_json::from_str(&json).unwrap();
+
+    let a = solve_min_power_bounded_cost(&inst, 40.0).unwrap();
+    let b = solve_min_power_bounded_cost(&back, 40.0).unwrap();
+    assert_eq!(a.placement, b.placement);
+    assert!((a.power - b.power).abs() < 1e-12);
+    assert!((a.cost - b.cost).abs() < 1e-12);
+}
+
+#[test]
+fn placement_round_trip() {
+    let inst = sample_instance(2);
+    let result = solve_min_power(&inst).unwrap();
+    let json = serde_json::to_string(&result.placement).unwrap();
+    let back: Placement = serde_json::from_str(&json).unwrap();
+    assert_eq!(back, result.placement);
+    // And it still evaluates.
+    let sol = Solution::evaluate(&inst, &back).unwrap();
+    assert!((sol.power - result.power).abs() < 1e-9);
+}
+
+#[test]
+fn tree_round_trip_preserves_structure_and_stats() {
+    let mut rng = StdRng::seed_from_u64(3);
+    let tree = random_tree(&GeneratorConfig::paper_high(50), &mut rng);
+    let json = serde_json::to_string(&tree).unwrap();
+    let back: Tree = serde_json::from_str(&json).unwrap();
+    assert_eq!(TreeStats::compute(&back), TreeStats::compute(&tree));
+}
+
+#[test]
+fn corrupted_trees_are_rejected() {
+    let mut rng = StdRng::seed_from_u64(4);
+    let tree = random_tree(&GeneratorConfig::paper_high(10), &mut rng);
+    let json = serde_json::to_string(&tree).unwrap();
+    // Break a parent pointer.
+    let broken = json.replacen("\"parent\":0", "\"parent\":5", 1);
+    assert_ne!(json, broken);
+    let result: Result<Tree, _> = serde_json::from_str(&broken);
+    assert!(result.is_err(), "structural validation must reject the corruption");
+}
+
+#[test]
+fn mode_sets_and_cost_models_validate_on_load() {
+    let bad_modes: Result<ModeSet, _> = serde_json::from_str("[10,5]");
+    assert!(bad_modes.is_err());
+    let ok_modes: ModeSet = serde_json::from_str("[5,10]").unwrap();
+    assert_eq!(ok_modes.max_capacity(), 10);
+}

@@ -1,0 +1,114 @@
+//! End-to-end dynamic-management scenarios: the Experiment 2 invariants on
+//! mid-size trees and the §6 strategy trade-off.
+
+use power_replica::prelude::*;
+use rand::{rngs::StdRng, SeedableRng};
+use replica_sim::strategy::{StrategyConfig, StrategySummary};
+use replica_sim::{metrics, DynamicConfig};
+
+#[test]
+fn experiment2_invariants_on_mid_size_trees() {
+    for seed in 0..5 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let tree = random_tree(&GeneratorConfig::paper_fat(60), &mut rng);
+        let cfg = DynamicConfig { steps: 10, ..DynamicConfig::paper() };
+        let evo = Evolution::Resample { range: (1, 6) };
+
+        let dp = run_dynamic(tree.clone(), evo, Algorithm::DpMinCost, cfg,
+            &mut StdRng::seed_from_u64(seed + 100)).unwrap();
+        let gr = run_dynamic(tree, evo, Algorithm::GreedyOblivious, cfg,
+            &mut StdRng::seed_from_u64(seed + 100)).unwrap();
+
+        // Identical demand ⇒ identical optimal counts.
+        for (d, g) in dp.iter().zip(&gr) {
+            assert_eq!(d.servers, g.servers, "seed {seed}, step {}", d.step);
+            assert!(d.reused <= d.servers);
+        }
+        // DP's whole point: cumulative reuse dominance.
+        let dp_cum = metrics::cumulative(&dp);
+        let gr_cum = metrics::cumulative(&gr);
+        assert!(
+            dp_cum.last().unwrap() >= gr_cum.last().unwrap(),
+            "seed {seed}: DP cumulative reuse must dominate"
+        );
+        // And per-step costs can only be better.
+        let dp_cost: f64 = dp.iter().map(|r| r.cost).sum();
+        let gr_cost: f64 = gr.iter().map(|r| r.cost).sum();
+        assert!(
+            dp_cost <= gr_cost + 1e-6,
+            "seed {seed}: DP total cost {dp_cost} must be ≤ GR {gr_cost}"
+        );
+    }
+}
+
+#[test]
+fn strategies_order_by_reconfiguration_effort() {
+    let cfg = StrategyConfig { steps: 20, capacity: 10, create: 0.1, delete: 0.01 };
+    let evo = Evolution::RandomWalk { step: 1, range: (1, 6) };
+    let tree = random_tree(&GeneratorConfig::paper_fat(60), &mut StdRng::seed_from_u64(7));
+
+    let run = |strategy| {
+        let records = run_with_strategy(
+            tree.clone(),
+            evo,
+            strategy,
+            cfg,
+            &mut StdRng::seed_from_u64(77),
+        )
+        .unwrap();
+        StrategySummary::from_records(&records)
+    };
+
+    let systematic = run(UpdateStrategy::Systematic);
+    let lazy = run(UpdateStrategy::Lazy);
+    let periodic = run(UpdateStrategy::Periodic { period: 5 });
+
+    assert_eq!(systematic.reconfigurations, 20);
+    assert!(lazy.reconfigurations <= systematic.reconfigurations);
+    assert!(periodic.reconfigurations <= systematic.reconfigurations);
+    assert!(lazy.total_cost <= systematic.total_cost + 1e-9);
+}
+
+#[test]
+fn churn_forces_more_updates_than_gentle_drift() {
+    let cfg = StrategyConfig { steps: 20, capacity: 10, create: 0.1, delete: 0.01 };
+    let tree = random_tree(&GeneratorConfig::paper_fat(60), &mut StdRng::seed_from_u64(8));
+    let run = |evolution| {
+        let records = run_with_strategy(
+            tree.clone(),
+            evolution,
+            UpdateStrategy::Lazy,
+            cfg,
+            &mut StdRng::seed_from_u64(88),
+        )
+        .unwrap();
+        StrategySummary::from_records(&records).reconfigurations
+    };
+    let gentle = run(Evolution::RandomWalk { step: 1, range: (1, 6) });
+    let bursty = run(Evolution::Resample { range: (1, 6) });
+    assert!(
+        bursty >= gentle,
+        "full re-draws ({bursty}) must break placements at least as often as ±1 drift ({gentle})"
+    );
+}
+
+#[test]
+fn dynamic_runs_stay_feasible_under_churn() {
+    // Churn sends volumes to 0 and back; every step's DP placement must
+    // still be valid for the volumes it was computed against.
+    let mut rng = StdRng::seed_from_u64(9);
+    let tree = random_tree(&GeneratorConfig::paper_fat(50), &mut rng);
+    let cfg = DynamicConfig { steps: 8, ..DynamicConfig::paper() };
+    let records = run_dynamic(
+        tree,
+        Evolution::Churn { range: (1, 6), quiet_probability: 0.3 },
+        Algorithm::DpMinCost,
+        cfg,
+        &mut rng,
+    )
+    .unwrap();
+    assert_eq!(records.len(), 8);
+    for r in &records {
+        assert!(r.cost >= 0.0);
+    }
+}
