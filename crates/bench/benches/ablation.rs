@@ -31,9 +31,7 @@ fn bench_state_vs_pruned(c: &mut Criterion) {
         group.bench_with_input(
             BenchmarkId::new("pruned_dp", format!("{nodes}n_{pre}e")),
             &instance,
-            |b, inst| {
-                b.iter(|| black_box(PrunedPowerDp::run(inst).unwrap().candidates().len()))
-            },
+            |b, inst| b.iter(|| black_box(PrunedPowerDp::run(inst).unwrap().candidates().len())),
         );
     }
     group.finish();
@@ -46,15 +44,25 @@ fn bench_merge_parallelism(c: &mut Criterion) {
         let instance = power_instance(11, nodes, 6);
         group.bench_with_input(BenchmarkId::new("serial", nodes), &instance, |b, inst| {
             b.iter(|| {
-                let dp =
-                    PowerDp::run_with(inst, PowerDpOptions { parallel_merge: false }).unwrap();
+                let dp = PowerDp::run_with(
+                    inst,
+                    PowerDpOptions {
+                        parallel_merge: false,
+                    },
+                )
+                .unwrap();
                 black_box(dp.candidates().len())
             })
         });
         group.bench_with_input(BenchmarkId::new("parallel", nodes), &instance, |b, inst| {
             b.iter(|| {
-                let dp =
-                    PowerDp::run_with(inst, PowerDpOptions { parallel_merge: true }).unwrap();
+                let dp = PowerDp::run_with(
+                    inst,
+                    PowerDpOptions {
+                        parallel_merge: true,
+                    },
+                )
+                .unwrap();
                 black_box(dp.candidates().len())
             })
         });

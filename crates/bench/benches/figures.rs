@@ -61,5 +61,10 @@ fn bench_figures_exp3(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(figures, bench_figures_exp1, bench_figures_exp2, bench_figures_exp3);
+criterion_group!(
+    figures,
+    bench_figures_exp1,
+    bench_figures_exp2,
+    bench_figures_exp3
+);
 criterion_main!(figures);

@@ -1,53 +1,33 @@
 //! §6 future-work heuristics vs the exact DP: runtime on trees where the
 //! exact algorithm is still comfortable, and heuristic-only runtime at
 //! scales beyond the DP's practical range.
+//!
+//! All dispatch goes through the engine registry — one loop covers every
+//! solver, and what is benched is exactly what fleet runs execute.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use replica_bench::power_instance;
-use replica_core::dp_power::PowerDp;
-use replica_core::heuristics::{annealing, local_search, power_greedy};
-use replica_core::greedy_power;
+use replica_engine::{Registry, SolveOptions};
 use std::hint::black_box;
 
 fn bench_solvers_head_to_head(c: &mut Criterion) {
     let mut group = c.benchmark_group("solvers_50_nodes");
     group.sample_size(10);
+    let registry = Registry::with_all();
+    let options = SolveOptions::default();
     let instance = power_instance(21, 50, 5);
-    group.bench_function("exact_dp", |b| {
-        b.iter(|| black_box(PowerDp::run(&instance).unwrap().candidates().len()))
-    });
-    group.bench_function("gr_capacity_sweep", |b| {
-        b.iter(|| black_box(greedy_power::solve(&instance, f64::INFINITY).unwrap().power))
-    });
-    group.bench_function("power_greedy", |b| {
-        b.iter(|| black_box(power_greedy::solve(&instance, f64::INFINITY).unwrap().power))
-    });
-    group.bench_function("power_greedy_plus_local_search", |b| {
-        b.iter(|| {
-            let seed = power_greedy::solve(&instance, f64::INFINITY).unwrap();
-            let polished = local_search::solve(
-                &instance,
-                &seed.placement,
-                f64::INFINITY,
-                local_search::LocalSearchOptions::default(),
-            )
-            .unwrap();
-            black_box(polished.power)
-        })
-    });
-    group.bench_function("power_greedy_plus_annealing", |b| {
-        b.iter(|| {
-            let seed = power_greedy::solve(&instance, f64::INFINITY).unwrap();
-            let polished = annealing::solve(
-                &instance,
-                &seed.placement,
-                f64::INFINITY,
-                annealing::AnnealingOptions { iterations: 2_000, ..Default::default() },
-            )
-            .unwrap();
-            black_box(polished.power)
-        })
-    });
+    for name in [
+        "dp_power",
+        "dp_power_pruned",
+        "greedy_power",
+        "heur_power_greedy",
+        "heur_local_search",
+        "heur_annealing",
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| black_box(registry.solve(name, &instance, &options).unwrap().power))
+        });
+    }
     group.finish();
 }
 
@@ -56,21 +36,22 @@ fn bench_heuristics_at_scale(c: &mut Criterion) {
     // paper's motivation for proposing them as future work.
     let mut group = c.benchmark_group("heuristics_at_scale");
     group.sample_size(10);
+    let registry = Registry::with_all();
+    let options = SolveOptions::default();
     for nodes in [300usize, 600] {
         let instance = power_instance(22, nodes, nodes / 10);
-        group.bench_with_input(
-            BenchmarkId::new("power_greedy", nodes),
-            &instance,
-            |b, inst| b.iter(|| black_box(power_greedy::solve(inst, f64::INFINITY).unwrap().power)),
-        );
-        group.bench_with_input(
-            BenchmarkId::new("gr_capacity_sweep", nodes),
-            &instance,
-            |b, inst| b.iter(|| black_box(greedy_power::solve(inst, f64::INFINITY).unwrap().power)),
-        );
+        for name in ["heur_power_greedy", "greedy_power"] {
+            group.bench_with_input(BenchmarkId::new(name, nodes), &instance, |b, inst| {
+                b.iter(|| black_box(registry.solve(name, inst, &options).unwrap().power))
+            });
+        }
     }
     group.finish();
 }
 
-criterion_group!(heuristics, bench_solvers_head_to_head, bench_heuristics_at_scale);
+criterion_group!(
+    heuristics,
+    bench_solvers_head_to_head,
+    bench_heuristics_at_scale
+);
 criterion_main!(heuristics);

@@ -61,5 +61,10 @@ fn bench_power_dp(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(scalability, bench_min_count, bench_min_cost_withpre, bench_power_dp);
+criterion_group!(
+    scalability,
+    bench_min_count,
+    bench_min_cost_withpre,
+    bench_power_dp
+);
 criterion_main!(scalability);

@@ -35,3 +35,15 @@ pub fn min_cost_instance(seed: u64, nodes: usize, pre_count: usize) -> Instance 
     let pre = generate::random_pre_existing(&tree, pre_count, &mut rng);
     Instance::min_cost(tree, 10, pre, 0.1, 0.01).unwrap()
 }
+
+/// A small standard fleet (every engine scenario family at `nodes`
+/// internal nodes, `per_scenario` instances each) for fleet-level benches
+/// and smoke runs.
+pub fn standard_fleet(
+    seed: u64,
+    nodes: usize,
+    per_scenario: usize,
+) -> Vec<replica_engine::FleetJob> {
+    let scenarios = replica_engine::standard_families(nodes);
+    replica_engine::Fleet::jobs_from_scenarios(&scenarios, seed, per_scenario)
+}

@@ -182,7 +182,10 @@ mod tests {
                 optimal.power
             );
             // The bound should not be vacuous either: within 5× here.
-            assert!(power_lb * 5.0 >= optimal.power, "seed {seed}: bound too weak");
+            assert!(
+                power_lb * 5.0 >= optimal.power,
+                "seed {seed}: bound too weak"
+            );
 
             let cost_lb = min_cost(&inst);
             let dp = dp_power::PowerDp::run(&inst).unwrap();
@@ -208,7 +211,10 @@ mod tests {
             let lb = min_power(&inst);
             let ratio = h.power / lb;
             assert!(ratio >= 1.0 - 1e-9, "seed {seed}");
-            assert!(ratio < 4.0, "seed {seed}: heuristic suspiciously bad ({ratio:.2}×)");
+            assert!(
+                ratio < 4.0,
+                "seed {seed}: heuristic suspiciously bad ({ratio:.2}×)"
+            );
             // And the certificate is sound vs the real optimum.
             let sol = Solution::evaluate(&inst, &h.placement).unwrap();
             assert!((sol.power - h.power).abs() < 1e-9);

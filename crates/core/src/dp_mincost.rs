@@ -52,7 +52,11 @@ struct Table2 {
 
 impl Table2 {
     fn new(e_max: usize, n_max: usize) -> Self {
-        Table2 { e_max, n_max, flow: vec![INFEASIBLE; (e_max + 1) * (n_max + 1)] }
+        Table2 {
+            e_max,
+            n_max,
+            flow: vec![INFEASIBLE; (e_max + 1) * (n_max + 1)],
+        }
     }
 
     #[inline]
@@ -109,8 +113,13 @@ pub fn solve_min_cost(instance: &Instance) -> Result<MinCostResult, ModelError> 
     let e_total = pre_nodes.len() as u64;
     let root_is_pre = is_pre[root.index()];
     let mut best: Option<(f64, u64, u64, usize, usize, bool)> = None; // cost, R, reused, e, n, root server
-    let consider = |cost: f64, servers: u64, reused: u64, e: usize, n: usize, at_root: bool,
-                        best: &mut Option<(f64, u64, u64, usize, usize, bool)>| {
+    let consider = |cost: f64,
+                    servers: u64,
+                    reused: u64,
+                    e: usize,
+                    n: usize,
+                    at_root: bool,
+                    best: &mut Option<(f64, u64, u64, usize, usize, bool)>| {
         let better = match best {
             None => true,
             Some((bc, bs, br, ..)) => {
@@ -133,8 +142,11 @@ pub fn solve_min_cost(instance: &Instance) -> Result<MinCostResult, ModelError> 
         // A replica at the root absorbs the residual flow (flow ≤ W always
         // holds for stored entries). Considered even when flow = 0: with
         // expensive deletions, keeping an idle server can be cheaper.
-        let (servers, reused) =
-            if root_is_pre { (e64 + n64 + 1, e64 + 1) } else { (e64 + n64 + 1, e64) };
+        let (servers, reused) = if root_is_pre {
+            (e64 + n64 + 1, e64 + 1)
+        } else {
+            (e64 + n64 + 1, e64)
+        };
         let cost = instance.cost().eq2(servers, reused, e_total);
         consider(cost, servers, reused, e, n, true, &mut best);
     }
@@ -147,9 +159,22 @@ pub fn solve_min_cost(instance: &Instance) -> Result<MinCostResult, ModelError> 
     if at_root {
         placement.insert(root, 0);
     }
-    reconstruct(tree, capacity, &is_pre, &tables, root, (e, n), &mut placement);
+    reconstruct(
+        tree,
+        capacity,
+        &is_pre,
+        &tables,
+        root,
+        (e, n),
+        &mut placement,
+    );
     debug_assert_eq!(placement.server_count() as u64, servers);
-    Ok(MinCostResult { placement, servers, reused, cost })
+    Ok(MinCostResult {
+        placement,
+        servers,
+        reused,
+        cost,
+    })
 }
 
 fn pre_flags(tree: &Tree, pre_nodes: &[NodeId]) -> Vec<bool> {
@@ -161,18 +186,16 @@ fn pre_flags(tree: &Tree, pre_nodes: &[NodeId]) -> Vec<bool> {
 }
 
 /// Bottom-up pass (Algorithms 1–3): fills every node's `(e, n)` table.
-fn forward_pass(
-    tree: &Tree,
-    capacity: u64,
-    is_pre: &[bool],
-) -> Result<Vec<Table2>, ModelError> {
+fn forward_pass(tree: &Tree, capacity: u64, is_pre: &[bool]) -> Result<Vec<Table2>, ModelError> {
     let pre_nodes: Vec<NodeId> = tree
         .internal_nodes()
         .filter(|n| is_pre[n.index()])
         .collect();
     let counts = traversal::SubtreeCounts::with_pre_existing(tree, &pre_nodes);
 
-    let mut tables: Vec<Table2> = (0..tree.internal_count()).map(|_| Table2::new(0, 0)).collect();
+    let mut tables: Vec<Table2> = (0..tree.internal_count())
+        .map(|_| Table2::new(0, 0))
+        .collect();
     for node in traversal::post_order(tree) {
         let direct = tree.client_load(node);
         if direct > capacity {
@@ -294,10 +317,13 @@ fn reconstruct(
         let (mut e_cur, mut n_cur) = (e_target, n_target);
         for (k, &child) in children.iter().enumerate().rev() {
             let i = table.idx(e_cur, n_cur);
-            let (e1, n1, server) =
-                steps[k][i].expect("reachable entries must carry a backpointer");
+            let (e1, n1, server) = steps[k][i].expect("reachable entries must carry a backpointer");
             let (e1, n1) = (e1 as usize, n1 as usize);
-            let (de, dn) = if is_pre[child.index()] { (1, 0) } else { (0, 1) };
+            let (de, dn) = if is_pre[child.index()] {
+                (1, 0)
+            } else {
+                (0, 1)
+            };
             let (e_child, n_child) = if server {
                 (e_cur - e1 - de, n_cur - n1 - dn)
             } else {
@@ -420,8 +446,7 @@ mod tests {
             let tree = generate::random_tree(&GeneratorConfig::paper_fat(40), &mut rng);
             let pre = generate::random_pre_existing(&tree, 12, &mut rng);
             let gr = greedy_min_replicas(&tree, 10).unwrap();
-            let gr_reused =
-                pre.iter().filter(|&&p| gr.placement.has_server(p)).count() as u64;
+            let gr_reused = pre.iter().filter(|&&p| gr.placement.has_server(p)).count() as u64;
             let inst = Instance::min_cost(tree, 10, pre, 0.1, 0.01).unwrap();
             let dp = solve_min_cost(&inst).unwrap();
             assert_eq!(dp.servers, gr.servers, "same optimal count");

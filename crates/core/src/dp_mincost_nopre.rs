@@ -182,7 +182,12 @@ fn reconstruct(
         let mut steps: Vec<MergeStep> = Vec::with_capacity(children.len());
         for &child in children {
             let mut bp: Vec<Option<(u32, bool)>> = Vec::new();
-            merge_child(&mut table, &tables[child.index()].minr, capacity, Some(&mut bp));
+            merge_child(
+                &mut table,
+                &tables[child.index()].minr,
+                capacity,
+                Some(&mut bp),
+            );
             steps.push((table.clone(), bp));
         }
         debug_assert_eq!(table[n_target], tables[node.index()].minr[n_target]);
@@ -191,8 +196,7 @@ fn reconstruct(
         let mut cur = n_target;
         for (k, &child) in children.iter().enumerate().rev() {
             let (_, bp) = &steps[k];
-            let (n1, server) =
-                bp[cur].expect("reachable entries must carry a backpointer");
+            let (n1, server) = bp[cur].expect("reachable entries must carry a backpointer");
             let n1 = n1 as usize;
             let n_child = cur - n1 - usize::from(server);
             if server {

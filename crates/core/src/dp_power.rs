@@ -143,7 +143,13 @@ impl<'a> PowerDp<'a> {
                 "no feasible placement exists for this instance".into(),
             ));
         }
-        Ok(PowerDp { instance, codec, tables, candidates, options })
+        Ok(PowerDp {
+            instance,
+            codec,
+            tables,
+            candidates,
+            options,
+        })
     }
 
     /// All feasible aggregate solutions at the root (every budget filter and
@@ -310,10 +316,8 @@ fn merge_child(
     if options.parallel_merge && pairs >= PARALLEL_PAIRS_THRESHOLD {
         merge_child_parallel(codec, instance, left, child, unit_keys)
     } else {
-        let mut out = Table::with_capacity_and_hasher(
-            left.len().max(child.len()) * 2,
-            Default::default(),
-        );
+        let mut out =
+            Table::with_capacity_and_hasher(left.len().max(child.len()) * 2, Default::default());
         merge_into(codec, instance, left.iter(), child, unit_keys, &mut out);
         out
     }
@@ -436,7 +440,9 @@ fn evaluate(
         debug_assert!(reused <= total);
         deleted[i] = total - reused;
     }
-    let cost = instance.cost().total(&state.new_by_mode, &state.reused, &deleted);
+    let cost = instance
+        .cost()
+        .total(&state.new_by_mode, &state.reused, &deleted);
     // Operated-mode tally for Eq. 3.
     let mut by_mode = state.new_by_mode.clone();
     for row in &state.reused {
@@ -608,7 +614,10 @@ mod tests {
             .modes(ModeSet::new(vec![5, 10]).unwrap())
             .build()
             .unwrap();
-        assert!(matches!(PowerDp::run(&inst), Err(ModelError::Infeasible(_))));
+        assert!(matches!(
+            PowerDp::run(&inst),
+            Err(ModelError::Infeasible(_))
+        ));
     }
 
     #[test]
@@ -625,8 +634,20 @@ mod tests {
             .power(PowerModel::new(12.5, 3.0))
             .build()
             .unwrap();
-        let serial = PowerDp::run_with(&inst, PowerDpOptions { parallel_merge: false }).unwrap();
-        let parallel = PowerDp::run_with(&inst, PowerDpOptions { parallel_merge: true }).unwrap();
+        let serial = PowerDp::run_with(
+            &inst,
+            PowerDpOptions {
+                parallel_merge: false,
+            },
+        )
+        .unwrap();
+        let parallel = PowerDp::run_with(
+            &inst,
+            PowerDpOptions {
+                parallel_merge: true,
+            },
+        )
+        .unwrap();
         let bw = |dp: &PowerDp, b: f64| dp.best_within(b).map(|c| (c.power, c.cost));
         for bound in [5.0, 10.0, 20.0, f64::INFINITY] {
             assert_eq!(bw(&serial, bound), bw(&parallel, bound));

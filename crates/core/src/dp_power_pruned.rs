@@ -72,8 +72,10 @@ fn weights(instance: &Instance) -> Weights {
     let modes = instance.modes();
     let cost_model = instance.cost();
     let pre = instance.pre_existing();
-    let power: Vec<f64> =
-        modes.indices().map(|m| instance.power().server_power(modes, m)).collect();
+    let power: Vec<f64> = modes
+        .indices()
+        .map(|m| instance.power().server_power(modes, m))
+        .collect();
     let cost = tree
         .internal_nodes()
         .map(|node| {
@@ -164,7 +166,11 @@ impl<'a> PrunedPowerDp<'a> {
             let direct = tree.client_load(node);
             let mut table = Vec::new();
             if direct <= wmax {
-                table.push(Triple { flow: direct, cost: 0.0, power: 0.0 });
+                table.push(Triple {
+                    flow: direct,
+                    cost: 0.0,
+                    power: 0.0,
+                });
             }
             for &child in tree.children(node) {
                 if table.is_empty() {
@@ -204,7 +210,12 @@ impl<'a> PrunedPowerDp<'a> {
                 "no feasible placement exists for this instance".into(),
             ));
         }
-        Ok(PrunedPowerDp { instance, tables, candidates, delete_constant })
+        Ok(PrunedPowerDp {
+            instance,
+            tables,
+            candidates,
+            delete_constant,
+        })
     }
 
     /// All root candidates.
@@ -264,7 +275,11 @@ impl<'a> PrunedPowerDp<'a> {
             // Recompute intermediate tables (bit-identical to the forward
             // pass).
             let mut inter: Vec<Vec<Triple>> = Vec::with_capacity(children.len() + 1);
-            inter.push(vec![Triple { flow: tree.client_load(node), cost: 0.0, power: 0.0 }]);
+            inter.push(vec![Triple {
+                flow: tree.client_load(node),
+                cost: 0.0,
+                power: 0.0,
+            }]);
             for &child in children {
                 let next = merge(
                     self.instance,
@@ -368,20 +383,64 @@ mod tests {
     #[test]
     fn prune_keeps_exact_pareto_front() {
         let mut entries = vec![
-            Triple { flow: 5, cost: 2.0, power: 10.0 },
-            Triple { flow: 5, cost: 2.0, power: 10.0 }, // duplicate
-            Triple { flow: 6, cost: 2.0, power: 10.0 }, // dominated (flow)
-            Triple { flow: 4, cost: 3.0, power: 12.0 }, // kept (best flow)
-            Triple { flow: 5, cost: 1.0, power: 20.0 }, // kept (best cost)
-            Triple { flow: 9, cost: 9.0, power: 9.0 },  // kept (best power)
-            Triple { flow: 9, cost: 9.5, power: 9.0 },  // dominated (cost)
+            Triple {
+                flow: 5,
+                cost: 2.0,
+                power: 10.0,
+            },
+            Triple {
+                flow: 5,
+                cost: 2.0,
+                power: 10.0,
+            }, // duplicate
+            Triple {
+                flow: 6,
+                cost: 2.0,
+                power: 10.0,
+            }, // dominated (flow)
+            Triple {
+                flow: 4,
+                cost: 3.0,
+                power: 12.0,
+            }, // kept (best flow)
+            Triple {
+                flow: 5,
+                cost: 1.0,
+                power: 20.0,
+            }, // kept (best cost)
+            Triple {
+                flow: 9,
+                cost: 9.0,
+                power: 9.0,
+            }, // kept (best power)
+            Triple {
+                flow: 9,
+                cost: 9.5,
+                power: 9.0,
+            }, // dominated (cost)
         ];
         prune(&mut entries);
         assert_eq!(entries.len(), 4);
-        assert!(entries.contains(&Triple { flow: 5, cost: 2.0, power: 10.0 }));
-        assert!(entries.contains(&Triple { flow: 4, cost: 3.0, power: 12.0 }));
-        assert!(entries.contains(&Triple { flow: 5, cost: 1.0, power: 20.0 }));
-        assert!(entries.contains(&Triple { flow: 9, cost: 9.0, power: 9.0 }));
+        assert!(entries.contains(&Triple {
+            flow: 5,
+            cost: 2.0,
+            power: 10.0
+        }));
+        assert!(entries.contains(&Triple {
+            flow: 4,
+            cost: 3.0,
+            power: 12.0
+        }));
+        assert!(entries.contains(&Triple {
+            flow: 5,
+            cost: 1.0,
+            power: 20.0
+        }));
+        assert!(entries.contains(&Triple {
+            flow: 9,
+            cost: 9.0,
+            power: 9.0
+        }));
     }
 
     #[test]
@@ -429,9 +488,18 @@ mod tests {
                 .collect();
             probes.push(f64::INFINITY);
             for bound in probes {
-                let f = full.best_within(bound).map(|c| c.power).expect("front point");
-                let p = pruned.best_within(bound).map(|c| c.power).expect("front point");
-                assert!((f - p).abs() < 1e-6, "seed {seed} bound {bound}: {f} vs {p}");
+                let f = full
+                    .best_within(bound)
+                    .map(|c| c.power)
+                    .expect("front point");
+                let p = pruned
+                    .best_within(bound)
+                    .map(|c| c.power)
+                    .expect("front point");
+                assert!(
+                    (f - p).abs() < 1e-6,
+                    "seed {seed} bound {bound}: {f} vs {p}"
+                );
             }
         }
     }

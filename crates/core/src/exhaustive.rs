@@ -95,8 +95,10 @@ pub fn min_power_bounded(instance: &Instance, cost_bound: f64) -> Result<Candida
 
 /// The exact cost/power Pareto front (increasing cost, decreasing power).
 pub fn pareto(instance: &Instance) -> Vec<(f64, f64)> {
-    let mut points: Vec<(f64, f64)> =
-        enumerate(instance).into_iter().map(|c| (c.cost, c.power)).collect();
+    let mut points: Vec<(f64, f64)> = enumerate(instance)
+        .into_iter()
+        .map(|c| (c.cost, c.power))
+        .collect();
     points.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.total_cmp(&b.1)));
     let mut front: Vec<(f64, f64)> = Vec::new();
     for (cost, power) in points {
@@ -176,7 +178,10 @@ mod tests {
         for _ in 0..60 {
             b.add_child(r);
         }
-        let inst = Instance::builder(b.build().unwrap()).capacity(10).build().unwrap();
+        let inst = Instance::builder(b.build().unwrap())
+            .capacity(10)
+            .build()
+            .unwrap();
         let _ = enumerate(&inst);
     }
 }

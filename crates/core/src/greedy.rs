@@ -37,6 +37,18 @@ pub struct GreedyResult {
     pub servers: u64,
 }
 
+/// Reusable working memory for [`greedy_min_replicas_in`].
+///
+/// The greedy is the hottest per-instance path of fleet evaluation (the
+/// `GR` capacity sweep re-runs it `W_M − W₁ + 1` times per instance);
+/// keeping the per-node flow table and the child-contribution buffer
+/// alive across runs makes those runs allocation-free after the first.
+#[derive(Default)]
+pub struct GreedyScratch {
+    flow: Vec<u64>,
+    contributions: Vec<(u64, NodeId)>,
+}
+
 /// Runs `GR` with capacity `capacity` and returns a replica-count-optimal
 /// placement.
 ///
@@ -44,13 +56,24 @@ pub struct GreedyResult {
 /// exceeds `capacity` (those requests are inseparable under the closest
 /// policy).
 pub fn greedy_min_replicas(tree: &Tree, capacity: u64) -> Result<GreedyResult, ModelError> {
+    greedy_min_replicas_in(tree, capacity, &mut GreedyScratch::default())
+}
+
+/// [`greedy_min_replicas`] with caller-provided scratch buffers.
+pub fn greedy_min_replicas_in(
+    tree: &Tree,
+    capacity: u64,
+    scratch: &mut GreedyScratch,
+) -> Result<GreedyResult, ModelError> {
     assert!(capacity > 0, "capacity must be positive");
     let n = tree.internal_count();
     let mut placement = Placement::empty(tree);
-    let mut flow = vec![0u64; n];
-    // Reused scratch for the children of the node being processed
-    // (allocation-free inner loop, per the perf guide).
-    let mut contributions: Vec<(u64, NodeId)> = Vec::new();
+    let GreedyScratch {
+        flow,
+        contributions,
+    } = scratch;
+    flow.clear();
+    flow.resize(n, 0);
 
     for node in traversal::post_order(tree) {
         let direct = tree.client_load(node);
@@ -71,7 +94,7 @@ pub fn greedy_min_replicas(tree: &Tree, capacity: u64) -> Result<GreedyResult, M
         if f > capacity {
             // Absorb the largest child flows first.
             contributions.sort_unstable_by(|a, b| b.cmp(a));
-            for &(fc, c) in &contributions {
+            for &(fc, c) in contributions.iter() {
                 placement.insert(c, 0);
                 f -= fc;
                 if f <= capacity {
@@ -173,7 +196,10 @@ mod tests {
         b.add_client(a, 7);
         b.add_client(a, 6); // 13 inseparable requests
         let t = b.build().unwrap();
-        assert!(matches!(greedy_min_replicas(&t, 10), Err(ModelError::Infeasible(_))));
+        assert!(matches!(
+            greedy_min_replicas(&t, 10),
+            Err(ModelError::Infeasible(_))
+        ));
         assert!(greedy_min_replicas(&t, 13).is_ok());
     }
 

@@ -16,7 +16,7 @@
 //! happens to choose them), and keep, per budget, the feasible sweep point
 //! of minimal power.
 
-use crate::greedy::greedy_min_replicas;
+use crate::greedy::{greedy_min_replicas_in, GreedyScratch};
 use replica_model::{le_tolerant, Instance, ModePolicy, ModelError, Placement, Solution};
 
 /// One sweep point of the `GR` baseline.
@@ -42,22 +42,22 @@ pub fn sweep<I: IntoIterator<Item = u64>>(
     trial_capacities: I,
 ) -> Vec<SweepPoint> {
     let mut out = Vec::new();
+    // One scratch allocation serves the whole capacity sweep (hot path of
+    // fleet evaluation).
+    let mut scratch = GreedyScratch::default();
     for w in trial_capacities {
         // A trial capacity above W_M would overload the real modes; skip.
         if w == 0 || w > instance.max_capacity() {
             continue;
         }
-        let Ok(greedy) = greedy_min_replicas(instance.tree(), w) else {
+        let Ok(greedy) = greedy_min_replicas_in(instance.tree(), w, &mut scratch) else {
             continue;
         };
         // Re-moding to the lowest feasible mode cannot fail here: every
         // load is ≤ w ≤ W_M.
-        let sol = Solution::evaluate_with_policy(
-            instance,
-            &greedy.placement,
-            ModePolicy::LowestFeasible,
-        )
-        .expect("greedy placements with trial W ≤ W_M are feasible");
+        let sol =
+            Solution::evaluate_with_policy(instance, &greedy.placement, ModePolicy::LowestFeasible)
+                .expect("greedy placements with trial W ≤ W_M are feasible");
         out.push(SweepPoint {
             trial_capacity: w,
             placement: sol.placement.clone(),
@@ -88,7 +88,9 @@ pub fn best_within(points: &[SweepPoint], cost_bound: f64) -> Option<&SweepPoint
 pub fn solve(instance: &Instance, cost_bound: f64) -> Result<SweepPoint, ModelError> {
     let points = paper_sweep(instance);
     best_within(&points, cost_bound).cloned().ok_or_else(|| {
-        ModelError::Infeasible(format!("greedy sweep finds nothing under cost {cost_bound}"))
+        ModelError::Infeasible(format!(
+            "greedy sweep finds nothing under cost {cost_bound}"
+        ))
     })
 }
 
@@ -123,12 +125,9 @@ mod tests {
             assert!((5..=10).contains(&p.trial_capacity));
             // All modes must be load-determined: re-evaluating under
             // LowestFeasible must not change anything.
-            let sol = Solution::evaluate_with_policy(
-                &inst,
-                &p.placement,
-                ModePolicy::LowestFeasible,
-            )
-            .unwrap();
+            let sol =
+                Solution::evaluate_with_policy(&inst, &p.placement, ModePolicy::LowestFeasible)
+                    .unwrap();
             assert_eq!(sol.placement, p.placement);
             assert!((sol.power - p.power).abs() < 1e-9);
         }
@@ -138,7 +137,12 @@ mod tests {
     fn smaller_trial_capacity_means_more_servers() {
         let inst = paper_like_instance(2);
         let points = paper_sweep(&inst);
-        let at = |w: u64| points.iter().find(|p| p.trial_capacity == w).map(|p| p.servers);
+        let at = |w: u64| {
+            points
+                .iter()
+                .find(|p| p.trial_capacity == w)
+                .map(|p| p.servers)
+        };
         if let (Some(s5), Some(s10)) = (at(5), at(10)) {
             assert!(s5 >= s10, "W=5 needs at least as many servers as W=10");
         }

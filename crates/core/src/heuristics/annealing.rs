@@ -63,7 +63,9 @@ pub fn solve(
         }
         let node = NodeId::from_index(rng.random_range(0..n));
         let proposal = propose(tree, &current.placement, node, &mut rng);
-        let Some(candidate) = score(instance, &proposal, cost_bound) else { continue };
+        let Some(candidate) = score(instance, &proposal, cost_bound) else {
+            continue;
+        };
         let delta = candidate.power - current.power;
         let accept = delta <= 0.0 || rng.random::<f64>() < (-delta / temperature).exp();
         if accept {
@@ -117,7 +119,11 @@ mod tests {
         let tree = generate::random_tree(&GeneratorConfig::paper_power(n), &mut rng);
         let modes = ModeSet::new(vec![5, 10]).unwrap();
         let power = PowerModel::paper_experiment3(&modes);
-        Instance::builder(tree).modes(modes).power(power).build().unwrap()
+        Instance::builder(tree)
+            .modes(modes)
+            .power(power)
+            .build()
+            .unwrap()
     }
 
     #[test]
@@ -125,7 +131,10 @@ mod tests {
         for seed in 0..6 {
             let inst = instance(seed, 25);
             let start = power_greedy::solve(&inst, f64::INFINITY).unwrap();
-            let opts = AnnealingOptions { iterations: 3_000, ..Default::default() };
+            let opts = AnnealingOptions {
+                iterations: 3_000,
+                ..Default::default()
+            };
             let res = solve(&inst, &start.placement, f64::INFINITY, opts).unwrap();
             assert!(res.power <= start.power + 1e-9);
             compute_validated(inst.tree(), &res.placement, inst.modes()).unwrap();
@@ -136,7 +145,11 @@ mod tests {
     fn deterministic_given_seed() {
         let inst = instance(9, 25);
         let start = power_greedy::solve(&inst, f64::INFINITY).unwrap();
-        let opts = AnnealingOptions { iterations: 2_000, seed: 7, ..Default::default() };
+        let opts = AnnealingOptions {
+            iterations: 2_000,
+            seed: 7,
+            ..Default::default()
+        };
         let a = solve(&inst, &start.placement, f64::INFINITY, opts).unwrap();
         let b = solve(&inst, &start.placement, f64::INFINITY, opts).unwrap();
         assert_eq!(a.placement, b.placement);
@@ -148,7 +161,10 @@ mod tests {
         let inst = instance(11, 25);
         let start = power_greedy::solve(&inst, f64::INFINITY).unwrap();
         let bound = start.cost + 1.0;
-        let opts = AnnealingOptions { iterations: 2_000, ..Default::default() };
+        let opts = AnnealingOptions {
+            iterations: 2_000,
+            ..Default::default()
+        };
         let res = solve(&inst, &start.placement, bound, opts).unwrap();
         assert!(res.cost <= bound + 1e-9);
     }

@@ -120,7 +120,11 @@ mod tests {
         let tree = generate::random_tree(&GeneratorConfig::paper_power(n), &mut rng);
         let modes = ModeSet::new(vec![5, 10]).unwrap();
         let power = PowerModel::paper_experiment3(&modes);
-        Instance::builder(tree).modes(modes).power(power).build().unwrap()
+        Instance::builder(tree)
+            .modes(modes)
+            .power(power)
+            .build()
+            .unwrap()
     }
 
     #[test]
@@ -160,9 +164,11 @@ mod tests {
         let mut seedp = Placement::empty(inst.tree());
         seedp.insert(r, 1);
         seedp.insert(a, 1);
-        let res =
-            solve(&inst, &seedp, f64::INFINITY, LocalSearchOptions::default()).unwrap();
-        assert_eq!(res.servers, 1, "hill climbing must drop the redundant server");
+        let res = solve(&inst, &seedp, f64::INFINITY, LocalSearchOptions::default()).unwrap();
+        assert_eq!(
+            res.servers, 1,
+            "hill climbing must drop the redundant server"
+        );
         assert!((res.power - 26.0).abs() < 1e-9);
     }
 
@@ -184,6 +190,9 @@ mod tests {
             LocalSearchOptions { max_steps: 0 },
         )
         .unwrap();
-        assert!((capped.power - seed_result.power).abs() < 1e-9, "0 steps = seed unchanged");
+        assert!(
+            (capped.power - seed_result.power).abs() < 1e-9,
+            "0 steps = seed unchanged"
+        );
     }
 }

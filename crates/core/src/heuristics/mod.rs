@@ -81,7 +81,10 @@ mod tests {
             .build()
             .unwrap();
         let empty = Placement::empty(inst.tree());
-        assert!(score(&inst, &empty, f64::INFINITY).is_none(), "client unserved");
+        assert!(
+            score(&inst, &empty, f64::INFINITY).is_none(),
+            "client unserved"
+        );
         let mut p = Placement::empty(inst.tree());
         p.insert(r, 1);
         let s = score(&inst, &p, f64::INFINITY).unwrap();

@@ -60,7 +60,9 @@ pub fn single_pass(instance: &Instance, cap_mode: ModeIdx, tau: f64) -> Option<P
             // prefer pre-existing children (cheaper reuse).
             contributions.sort_unstable_by(|a, b| b.cmp(a));
             for &(fc, _, c) in &contributions {
-                let mode = modes.mode_for_load(fc).expect("child flows are ≤ cap ≤ W_M");
+                let mode = modes
+                    .mode_for_load(fc)
+                    .expect("child flows are ≤ cap ≤ W_M");
                 placement.insert(c, mode);
                 f -= fc;
                 if f <= cap {
@@ -99,7 +101,9 @@ pub fn solve_with_thresholds(
     let mut best: Option<HeuristicResult> = None;
     for cap_mode in instance.modes().indices() {
         for &tau in thresholds {
-            let Some(placement) = single_pass(instance, cap_mode, tau) else { continue };
+            let Some(placement) = single_pass(instance, cap_mode, tau) else {
+                continue;
+            };
             if let Some(candidate) = score(instance, &placement, cost_bound) {
                 if best.as_ref().is_none_or(|b| better(&candidate, b)) {
                     best = Some(candidate);
@@ -126,7 +130,11 @@ mod tests {
         let tree = generate::random_tree(&GeneratorConfig::paper_power(n), &mut rng);
         let modes = ModeSet::new(vec![5, 10]).unwrap();
         let power = PowerModel::paper_experiment3(&modes);
-        Instance::builder(tree).modes(modes).power(power).build().unwrap()
+        Instance::builder(tree)
+            .modes(modes)
+            .power(power)
+            .build()
+            .unwrap()
     }
 
     #[test]

@@ -71,4 +71,4 @@ pub use dp_power::{
     solve_min_power, solve_min_power_bounded_cost, PowerDp, PowerDpOptions, PowerResult,
     RootCandidate,
 };
-pub use greedy::{greedy_min_replicas, GreedyResult};
+pub use greedy::{greedy_min_replicas, greedy_min_replicas_in, GreedyResult, GreedyScratch};

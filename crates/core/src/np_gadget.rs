@@ -87,7 +87,9 @@ pub fn build(a: &[u64], alpha: u32) -> Result<Gadget, ModelError> {
     // D = α·K^(α−1); K·D = α·K^α.
     let d = match alpha {
         2 => 2u64.checked_mul(k).ok_or_else(overflow)?,
-        _ => 3u64.checked_mul(k.checked_mul(k).ok_or_else(overflow)?).ok_or_else(overflow)?,
+        _ => 3u64
+            .checked_mul(k.checked_mul(k).ok_or_else(overflow)?)
+            .ok_or_else(overflow)?,
     };
     let kd = k.checked_mul(d).ok_or_else(overflow)?;
     kd.checked_add(s).ok_or_else(overflow)?;
@@ -125,7 +127,15 @@ pub fn build(a: &[u64], alpha: u32) -> Result<Gadget, ModelError> {
         + n as f64 * (kd as f64).powf(alpha_f)
         + (d as f64).powf(alpha_f) * (s as f64 / 2.0 + (n as f64 - 1.0) / n as f64);
 
-    Ok(Gadget { instance, p_max, scale: d, k, a: a.to_vec(), a_nodes, b_nodes })
+    Ok(Gadget {
+        instance,
+        p_max,
+        scale: d,
+        k,
+        a: a.to_vec(),
+        a_nodes,
+        b_nodes,
+    })
 }
 
 fn overflow() -> ModelError {
@@ -158,7 +168,10 @@ impl Gadget {
     /// Backward direction: reads the subset out of a placement (the indices
     /// whose `Aᵢ` holds a replica).
     pub fn partition_from_placement(&self, placement: &Placement) -> Vec<bool> {
-        self.a_nodes.iter().map(|&a| placement.has_server(a)).collect()
+        self.a_nodes
+            .iter()
+            .map(|&a| placement.has_server(a))
+            .collect()
     }
 
     /// Brute-force 2-Partition decision (for tests: `2ⁿ` subsets).
@@ -167,7 +180,10 @@ impl Gadget {
         let half = s / 2;
         let n = self.a.len();
         (0u64..(1 << n)).any(|mask| {
-            let sum: u64 = (0..n).filter(|&i| mask >> i & 1 == 1).map(|i| self.a[i]).sum();
+            let sum: u64 = (0..n)
+                .filter(|&i| mask >> i & 1 == 1)
+                .map(|i| self.a[i])
+                .sum();
             sum == half
         })
     }
@@ -182,11 +198,20 @@ mod tests {
     fn rejects_bad_inputs() {
         assert!(build(&[], 2).is_err());
         assert!(build(&[0, 1], 2).is_err());
-        assert!(build(&[2, 2, 4], 2).is_err(), "duplicates break strict mode ordering");
+        assert!(
+            build(&[2, 2, 4], 2).is_err(),
+            "duplicates break strict mode ordering"
+        );
         assert!(build(&[1, 2, 4], 2).is_err(), "odd sum");
         assert!(build(&[1, 2, 3], 4).is_err(), "alpha out of range");
-        assert!(build(&[1, 2, 3], 2).is_err(), "aₙ = S/2 violates the reduction premise");
-        assert!(build(&[1, 2, 9], 2).is_err(), "aₙ > S/2 violates the reduction premise");
+        assert!(
+            build(&[1, 2, 3], 2).is_err(),
+            "aₙ = S/2 violates the reduction premise"
+        );
+        assert!(
+            build(&[1, 2, 9], 2).is_err(),
+            "aₙ > S/2 violates the reduction premise"
+        );
     }
 
     #[test]
@@ -203,7 +228,10 @@ mod tests {
             g.p_max
         );
         // Round trip.
-        assert_eq!(g.partition_from_placement(&placement), vec![true, false, false, true]);
+        assert_eq!(
+            g.partition_from_placement(&placement),
+            vec![true, false, false, true]
+        );
     }
 
     #[test]
@@ -241,6 +269,9 @@ mod tests {
         assert_eq!(caps[5], kd + 10);
         // The root client needs the top mode: K·D + S/2 > K·D + aₙ iff
         // S/2 > aₙ, which K = n·S² guarantees … here 5 > 4.
-        assert_eq!(g.instance.tree().client_load(g.instance.tree().root()), kd + 5);
+        assert_eq!(
+            g.instance.tree().client_load(g.instance.tree().root()),
+            kd + 5
+        );
     }
 }

@@ -67,7 +67,11 @@ impl StateCodec {
                  {max_pre} pre-existing — reduce the mode count or the tree size"
             )));
         }
-        Ok(StateCodec { modes, n_bits, e_bits })
+        Ok(StateCodec {
+            modes,
+            n_bits,
+            e_bits,
+        })
     }
 
     /// The all-zero state.
@@ -124,7 +128,10 @@ impl StateCodec {
                 }
             }
         }
-        StateVec { new_by_mode, reused }
+        StateVec {
+            new_by_mode,
+            reused,
+        }
     }
 
     /// Packs a vector (inverse of [`StateCodec::decode`]).
@@ -201,8 +208,14 @@ mod tests {
     fn no_cross_field_carry_at_capacity() {
         // Two disjoint halves that together exactly hit every field maximum.
         let codec = StateCodec::new(2, 7, 3).unwrap();
-        let half = StateVec { new_by_mode: vec![3, 4], reused: vec![vec![1, 2], vec![0, 1]] };
-        let rest = StateVec { new_by_mode: vec![4, 3], reused: vec![vec![2, 1], vec![3, 2]] };
+        let half = StateVec {
+            new_by_mode: vec![3, 4],
+            reused: vec![vec![1, 2], vec![0, 1]],
+        };
+        let rest = StateVec {
+            new_by_mode: vec![4, 3],
+            reused: vec![vec![2, 1], vec![3, 2]],
+        };
         let combined = codec.combine(codec.encode(&half), codec.encode(&rest));
         let v = codec.decode(combined);
         assert_eq!(v.new_by_mode, vec![7, 7]);

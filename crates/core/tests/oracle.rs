@@ -38,7 +38,10 @@ fn random_pre(rng: &mut StdRng, tree: &Tree, count: usize, modes: usize) -> PreE
         picks.swap(i, rng.random_range(0..=i));
     }
     picks.truncate(count.min(tree.internal_count()));
-    picks.into_iter().map(|n| (n, rng.random_range(0..modes))).collect()
+    picks
+        .into_iter()
+        .map(|n| (n, rng.random_range(0..modes)))
+        .collect()
 }
 
 #[test]
@@ -150,7 +153,10 @@ fn power_dp_matches_oracle_across_budgets() {
             }
         }
     }
-    assert!(checked_bounds >= 60, "expected many comparable bounds, got {checked_bounds}");
+    assert!(
+        checked_bounds >= 60,
+        "expected many comparable bounds, got {checked_bounds}"
+    );
 }
 
 #[test]
@@ -169,10 +175,16 @@ fn power_dp_pareto_matches_oracle() {
             .power(PowerModel::paper_experiment3(&modes))
             .build()
             .unwrap();
-        let Ok(dp) = dp_power::PowerDp::run(&inst) else { continue };
+        let Ok(dp) = dp_power::PowerDp::run(&inst) else {
+            continue;
+        };
         let dp_front = dp.pareto_front();
         let oracle_front = exhaustive::pareto(&inst);
-        assert_eq!(dp_front.len(), oracle_front.len(), "case {case}: front sizes");
+        assert_eq!(
+            dp_front.len(),
+            oracle_front.len(),
+            "case {case}: front sizes"
+        );
         for (d, o) in dp_front.iter().zip(&oracle_front) {
             assert!(
                 (d.0 - o.0).abs() < 1e-9 && (d.1 - o.1).abs() < 1e-6,
@@ -207,10 +219,15 @@ fn pruned_power_dp_matches_oracle() {
         };
         for bound in [2.0f64, 4.0, 7.0, f64::INFINITY] {
             let d = dp.best_within(bound).map(|c| c.power);
-            let o = exhaustive::min_power_bounded(&inst, bound).ok().map(|c| c.power);
+            let o = exhaustive::min_power_bounded(&inst, bound)
+                .ok()
+                .map(|c| c.power);
             match (d, o) {
                 (Some(d), Some(o)) => {
-                    assert!((d - o).abs() < 1e-6, "case {case} bound {bound}: {d} vs {o}");
+                    assert!(
+                        (d - o).abs() < 1e-6,
+                        "case {case} bound {bound}: {d} vs {o}"
+                    );
                     compared += 1;
                 }
                 (None, None) => {}
@@ -218,7 +235,10 @@ fn pruned_power_dp_matches_oracle() {
             }
         }
     }
-    assert!(compared >= 30, "expected many comparable bounds, got {compared}");
+    assert!(
+        compared >= 30,
+        "expected many comparable bounds, got {compared}"
+    );
 }
 
 #[test]
@@ -226,13 +246,17 @@ fn np_gadget_decides_two_partition_through_the_dp() {
     // Theorem 2 end-to-end: the reduction instance has min power ≤ P_max
     // exactly when the 2-Partition instance is a YES instance.
     for (a, expect_yes) in [
-        (vec![1u64, 2, 3, 4], true),  // {1,4} or {2,3}
-        (vec![2u64, 3, 5, 6], true),  // {2,6} or {3,5} = 8
-        (vec![1u64, 5, 6, 8], false), // sum 20, no subset hits 10
+        (vec![1u64, 2, 3, 4], true),   // {1,4} or {2,3}
+        (vec![2u64, 3, 5, 6], true),   // {2,6} or {3,5} = 8
+        (vec![1u64, 5, 6, 8], false),  // sum 20, no subset hits 10
         (vec![3u64, 5, 6, 10], false), // sum 24, no subset hits 12
     ] {
         let gadget = replica_core::np_gadget::build(&a, 2).unwrap();
-        assert_eq!(gadget.has_partition(), expect_yes, "brute-force disagrees for {a:?}");
+        assert_eq!(
+            gadget.has_partition(),
+            expect_yes,
+            "brute-force disagrees for {a:?}"
+        );
         let result = dp_power::solve_min_power(&gadget.instance).unwrap();
         let within = result.power <= gadget.p_max * (1.0 + 1e-12);
         assert_eq!(
@@ -244,8 +268,12 @@ fn np_gadget_decides_two_partition_through_the_dp() {
             // The optimal placement must encode a valid partition.
             let subset = gadget.partition_from_placement(&result.placement);
             let s: u64 = a.iter().sum();
-            let sum: u64 =
-                a.iter().zip(&subset).filter(|&(_, &b)| b).map(|(&ai, _)| ai).sum();
+            let sum: u64 = a
+                .iter()
+                .zip(&subset)
+                .filter(|&(_, &b)| b)
+                .map(|(&ai, _)| ai)
+                .sum();
             assert_eq!(sum, s / 2, "{a:?}: recovered subset must be a partition");
         }
     }

@@ -33,7 +33,10 @@ fn three_mode_instance(rng: &mut StdRng, n: usize, pre_count: usize) -> Instance
         nodes.swap(i, rng.random_range(0..=i));
     }
     nodes.truncate(pre_count);
-    let pre: PreExisting = nodes.into_iter().map(|nd| (nd, rng.random_range(0..3))).collect();
+    let pre: PreExisting = nodes
+        .into_iter()
+        .map(|nd| (nd, rng.random_range(0..3)))
+        .collect();
     Instance::builder(tree)
         .modes(ModeSet::new(vec![3, 6, 9]).unwrap())
         .pre_existing(pre)
@@ -60,10 +63,15 @@ fn full_dp_matches_oracle_with_three_modes() {
         };
         for bound in [2.0f64, 4.0, 6.0, 10.0, f64::INFINITY] {
             let d = dp.best_within(bound).map(|c| c.power);
-            let o = exhaustive::min_power_bounded(&inst, bound).ok().map(|c| c.power);
+            let o = exhaustive::min_power_bounded(&inst, bound)
+                .ok()
+                .map(|c| c.power);
             match (d, o) {
                 (Some(d), Some(o)) => {
-                    assert!((d - o).abs() < 1e-6, "case {case} bound {bound}: {d} vs {o}");
+                    assert!(
+                        (d - o).abs() < 1e-6,
+                        "case {case} bound {bound}: {d} vs {o}"
+                    );
                     compared += 1;
                 }
                 (None, None) => {}
@@ -86,7 +94,10 @@ fn pruned_dp_matches_full_dp_with_three_modes_at_scale() {
             let p = pruned.best_within(bound).map(|c| c.power);
             match (f, p) {
                 (Some(f), Some(p)) => {
-                    assert!((f - p).abs() < 1e-6, "case {case} bound {bound}: {f} vs {p}")
+                    assert!(
+                        (f - p).abs() < 1e-6,
+                        "case {case} bound {bound}: {f} vs {p}"
+                    )
                 }
                 (None, None) => {}
                 other => panic!("case {case} bound {bound}: {other:?}"),
@@ -123,7 +134,11 @@ fn greedy_sweep_covers_intermediate_modes() {
         .unwrap();
     for w in 3..=9u64 {
         let present = points.iter().any(|p| p.trial_capacity == w);
-        assert_eq!(present, w >= max_bundle, "trial W = {w}, max bundle {max_bundle}");
+        assert_eq!(
+            present,
+            w >= max_bundle,
+            "trial W = {w}, max bundle {max_bundle}"
+        );
     }
     assert!(points.iter().any(|p| p.trial_capacity == 9));
     // And the exact DP dominates the whole sweep.

@@ -1,0 +1,582 @@
+//! The parallel scenario-fleet runner.
+//!
+//! A [`Fleet`] evaluates a batch of labelled instances against a set of
+//! registered solvers — the cartesian product `instances × solvers` — in
+//! parallel with rayon, and aggregates the outcomes per `(scenario,
+//! solver)` group: cost/power distributions, server counts, wall-clock
+//! means, plus optimality gaps and speedups against a reference solver
+//! (the exact DP by default).
+//!
+//! Determinism: per-instance solver seeds derive from the fleet seed via
+//! [`seeding::mix`], results are collected in job order regardless of
+//! scheduling, and aggregation runs sequentially over that order — so a
+//! seeded fleet report (minus wall-clock fields) is **byte-identical**
+//! across runs and across thread counts. [`FleetReport::digest`] exposes
+//! exactly the deterministic portion; the determinism suite pins it.
+
+use crate::registry::Registry;
+use crate::scenarios::Scenario;
+use crate::seeding;
+use crate::solver::{SolveOptions, Solver};
+use rayon::prelude::*;
+use replica_model::Instance;
+use std::fmt::Write as _;
+
+/// One labelled instance of a fleet.
+pub struct FleetJob {
+    /// Scenario (grouping) label.
+    pub scenario: String,
+    /// Index within the scenario (also the seed stream of the instance).
+    pub index: usize,
+    /// The instance itself.
+    pub instance: Instance,
+}
+
+/// Configuration of a fleet run.
+#[derive(Clone, Debug)]
+pub struct FleetConfig {
+    /// Solver names to evaluate (must exist in the registry).
+    pub solvers: Vec<String>,
+    /// Options handed to every solve (the per-instance seed is derived
+    /// from [`FleetConfig::seed`], overriding `options.seed`).
+    pub options: SolveOptions,
+    /// Fleet seed: drives per-instance solver seeds.
+    pub seed: u64,
+    /// Reference solver for gap/speedup columns (defaults to `dp_power`
+    /// when present among [`FleetConfig::solvers`]).
+    pub reference: Option<String>,
+    /// Worker-thread override (`None` = machine default). Results are
+    /// identical for every value; only wall-clock changes.
+    pub threads: Option<usize>,
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        FleetConfig {
+            solvers: vec![
+                "greedy_power".into(),
+                "heur_power_greedy".into(),
+                "dp_power".into(),
+            ],
+            options: SolveOptions::default(),
+            seed: 0xF1EE7,
+            reference: None,
+            threads: None,
+        }
+    }
+}
+
+/// The deterministic part of one solve.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CellOutcome {
+    /// Eq. 2/4 cost.
+    pub cost: f64,
+    /// Eq. 3 power.
+    pub power: f64,
+    /// Server count.
+    pub servers: u64,
+}
+
+/// How one `(instance, solver)` evaluation ended.
+#[derive(Clone, Debug, PartialEq)]
+pub enum CellResult {
+    /// The solver produced a placement.
+    Solved(CellOutcome),
+    /// The instance is outside the solver's capabilities.
+    Unsupported,
+    /// The solver ran and failed (infeasible instance, budget missed).
+    Failed(String),
+}
+
+impl CellResult {
+    /// The outcome, when solved.
+    pub fn outcome(&self) -> Option<&CellOutcome> {
+        match self {
+            CellResult::Solved(outcome) => Some(outcome),
+            _ => None,
+        }
+    }
+}
+
+/// One `(instance, solver)` evaluation.
+pub struct FleetCell {
+    /// Scenario label of the instance.
+    pub scenario: String,
+    /// Instance index within the scenario.
+    pub instance: usize,
+    /// Solver name.
+    pub solver: &'static str,
+    /// How the evaluation ended.
+    pub result: CellResult,
+    /// Wall-clock seconds of the solve (non-deterministic; excluded from
+    /// [`FleetReport::digest`]).
+    pub wall_seconds: f64,
+}
+
+/// Simple distribution statistics.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct Stats {
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Minimum.
+    pub min: f64,
+    /// Maximum.
+    pub max: f64,
+}
+
+impl Stats {
+    fn of(values: &[f64]) -> Stats {
+        if values.is_empty() {
+            return Stats::default();
+        }
+        let mean = values.iter().sum::<f64>() / values.len() as f64;
+        let min = values.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        Stats { mean, min, max }
+    }
+}
+
+/// Aggregates of one `(scenario, solver)` group.
+#[derive(Clone, Debug)]
+pub struct FleetSummary {
+    /// Scenario label.
+    pub scenario: String,
+    /// Solver name.
+    pub solver: &'static str,
+    /// Instances solved.
+    pub solved: usize,
+    /// Instances where the solver errored (infeasible/budget).
+    pub failed: usize,
+    /// Instances outside the solver's capabilities.
+    pub unsupported: usize,
+    /// Cost distribution over solved instances.
+    pub cost: Stats,
+    /// Power distribution over solved instances.
+    pub power: Stats,
+    /// Mean server count over solved instances.
+    pub mean_servers: f64,
+    /// Mean power ratio to the reference solver, over instances both
+    /// solved (1.0 = matches the exact optimum when the reference is an
+    /// exact DP).
+    pub power_gap_vs_ref: Option<f64>,
+    /// Mean wall-clock seconds per solve (non-deterministic).
+    pub mean_wall_seconds: f64,
+    /// Reference mean wall over this solver's mean wall
+    /// (non-deterministic; > 1 means faster than the reference).
+    pub speedup_vs_ref: Option<f64>,
+}
+
+/// The outcome of a fleet run.
+pub struct FleetReport {
+    /// Every `(instance, solver)` cell, in deterministic job order.
+    pub cells: Vec<FleetCell>,
+    /// Per-`(scenario, solver)` aggregates, in first-appearance order.
+    pub summaries: Vec<FleetSummary>,
+}
+
+/// The runner itself: a registry plus a configuration.
+pub struct Fleet<'r> {
+    registry: &'r Registry,
+    config: FleetConfig,
+}
+
+impl<'r> Fleet<'r> {
+    /// Builds a runner over `registry`.
+    pub fn new(registry: &'r Registry, config: FleetConfig) -> Self {
+        for name in &config.solvers {
+            assert!(
+                registry.get(name).is_some(),
+                "fleet configured with unknown solver {name:?}"
+            );
+        }
+        Fleet { registry, config }
+    }
+
+    /// Labels `count` instances of every scenario into a job list.
+    pub fn jobs_from_scenarios(scenarios: &[Scenario], seed: u64, count: usize) -> Vec<FleetJob> {
+        let mut jobs = Vec::with_capacity(scenarios.len() * count);
+        for scenario in scenarios {
+            for index in 0..count {
+                jobs.push(FleetJob {
+                    scenario: scenario.name.clone(),
+                    index,
+                    instance: scenario.instance(seed, index),
+                });
+            }
+        }
+        jobs
+    }
+
+    /// Evaluates every job against every configured solver, in parallel.
+    pub fn run(&self, jobs: &[FleetJob]) -> FleetReport {
+        let solvers: Vec<&dyn Solver> = self
+            .config
+            .solvers
+            .iter()
+            .map(|name| self.registry.get(name).expect("validated in Fleet::new"))
+            .collect();
+
+        let run_all = || -> Vec<FleetCell> {
+            let tasks: Vec<(usize, usize)> = (0..jobs.len())
+                .flat_map(|j| (0..solvers.len()).map(move |s| (j, s)))
+                .collect();
+            tasks
+                .into_par_iter()
+                .map(|(j, s)| self.run_cell(&jobs[j], j, solvers[s]))
+                .collect()
+        };
+
+        let cells = match self.config.threads {
+            None => run_all(),
+            Some(n) => rayon::ThreadPoolBuilder::new()
+                .num_threads(n)
+                .build()
+                .expect("thread pool")
+                .install(run_all),
+        };
+
+        let summaries = self.summarize(&cells);
+        FleetReport { cells, summaries }
+    }
+
+    fn run_cell(&self, job: &FleetJob, job_index: usize, solver: &dyn Solver) -> FleetCell {
+        let mut options = self.config.options;
+        // Per-instance seed: reproducible, decorrelated, independent of
+        // which solvers run alongside.
+        options.seed = seeding::mix(self.config.seed, job_index as u64);
+        if !solver.supports(&job.instance) {
+            return FleetCell {
+                scenario: job.scenario.clone(),
+                instance: job.index,
+                solver: solver.name(),
+                result: CellResult::Unsupported,
+                wall_seconds: 0.0,
+            };
+        }
+        match solver.solve(&job.instance, &options) {
+            Ok(outcome) => FleetCell {
+                scenario: job.scenario.clone(),
+                instance: job.index,
+                solver: solver.name(),
+                result: CellResult::Solved(CellOutcome {
+                    cost: outcome.cost,
+                    power: outcome.power,
+                    servers: outcome.servers,
+                }),
+                wall_seconds: outcome.wall.as_secs_f64(),
+            },
+            Err(e) => FleetCell {
+                scenario: job.scenario.clone(),
+                instance: job.index,
+                solver: solver.name(),
+                result: CellResult::Failed(e.to_string()),
+                wall_seconds: 0.0,
+            },
+        }
+    }
+
+    fn summarize(&self, cells: &[FleetCell]) -> Vec<FleetSummary> {
+        use std::collections::HashMap;
+
+        let reference = self.config.reference.clone().or_else(|| {
+            self.config
+                .solvers
+                .iter()
+                .find(|s| s.as_str() == "dp_power" || s.as_str() == "dp_power_pruned")
+                .cloned()
+        });
+
+        // One pass: group cells per (scenario, solver) preserving
+        // first-appearance order, and index reference outcomes per
+        // (scenario, instance) — everything O(cells).
+        let mut keys: Vec<(String, &'static str)> = Vec::new();
+        let mut groups: HashMap<(String, &'static str), Vec<&FleetCell>> = HashMap::new();
+        let mut ref_power: HashMap<(&str, usize), f64> = HashMap::new();
+        let mut ref_walls: HashMap<&str, Vec<f64>> = HashMap::new();
+        for cell in cells {
+            let key = (cell.scenario.clone(), cell.solver);
+            groups
+                .entry(key.clone())
+                .or_insert_with(|| {
+                    keys.push(key);
+                    Vec::new()
+                })
+                .push(cell);
+            if reference.as_deref() == Some(cell.solver) {
+                if let CellResult::Solved(outcome) = &cell.result {
+                    ref_power.insert((cell.scenario.as_str(), cell.instance), outcome.power);
+                    ref_walls
+                        .entry(cell.scenario.as_str())
+                        .or_default()
+                        .push(cell.wall_seconds);
+                }
+            }
+        }
+
+        let mean = |v: &[f64]| {
+            if v.is_empty() {
+                0.0
+            } else {
+                v.iter().sum::<f64>() / v.len() as f64
+            }
+        };
+
+        keys.into_iter()
+            .map(|key| {
+                let group = &groups[&key];
+                let (scenario, solver) = key;
+                let solved: Vec<&CellOutcome> =
+                    group.iter().filter_map(|c| c.result.outcome()).collect();
+                let unsupported = group
+                    .iter()
+                    .filter(|c| matches!(c.result, CellResult::Unsupported))
+                    .count();
+                let failed = group.len() - solved.len() - unsupported;
+                let costs: Vec<f64> = solved.iter().map(|o| o.cost).collect();
+                let powers: Vec<f64> = solved.iter().map(|o| o.power).collect();
+                let walls: Vec<f64> = group
+                    .iter()
+                    .filter(|c| c.result.outcome().is_some())
+                    .map(|c| c.wall_seconds)
+                    .collect();
+
+                // Power ratio to the reference over commonly solved
+                // instances.
+                let ratios: Vec<f64> = group
+                    .iter()
+                    .filter_map(|c| {
+                        let mine = c.result.outcome()?.power;
+                        let theirs = *ref_power.get(&(c.scenario.as_str(), c.instance))?;
+                        (theirs > 0.0).then_some(mine / theirs)
+                    })
+                    .collect();
+                let power_gap_vs_ref =
+                    (reference.is_some() && !ratios.is_empty()).then(|| mean(&ratios));
+
+                // Speedup: reference mean wall / this solver's mean wall.
+                let mean_wall = mean(&walls);
+                let speedup_vs_ref = ref_walls
+                    .get(scenario.as_str())
+                    .filter(|w| !w.is_empty() && mean_wall > 0.0)
+                    .map(|w| mean(w) / mean_wall);
+
+                FleetSummary {
+                    scenario,
+                    solver,
+                    solved: solved.len(),
+                    failed,
+                    unsupported,
+                    cost: Stats::of(&costs),
+                    power: Stats::of(&powers),
+                    mean_servers: mean(
+                        &solved.iter().map(|o| o.servers as f64).collect::<Vec<_>>(),
+                    ),
+                    power_gap_vs_ref,
+                    mean_wall_seconds: mean_wall,
+                    speedup_vs_ref,
+                }
+            })
+            .collect()
+    }
+}
+
+impl FleetReport {
+    /// The deterministic portion of the report: every cell outcome and
+    /// every aggregate, timing fields excluded. Byte-identical across
+    /// runs and thread counts for a fixed seed.
+    pub fn digest(&self) -> String {
+        let mut out = String::new();
+        for c in &self.cells {
+            match &c.result {
+                CellResult::Solved(o) => writeln!(
+                    out,
+                    "{}#{} {}: cost={:.9} power={:.9} servers={}",
+                    c.scenario, c.instance, c.solver, o.cost, o.power, o.servers
+                ),
+                CellResult::Unsupported => writeln!(
+                    out,
+                    "{}#{} {}: unsupported",
+                    c.scenario, c.instance, c.solver
+                ),
+                CellResult::Failed(e) => writeln!(
+                    out,
+                    "{}#{} {}: error={}",
+                    c.scenario, c.instance, c.solver, e
+                ),
+            }
+            .expect("writing to String cannot fail");
+        }
+        for s in &self.summaries {
+            writeln!(
+                out,
+                "{} {}: solved={} failed={} unsupported={} cost[{:.9}/{:.9}/{:.9}] \
+                 power[{:.9}/{:.9}/{:.9}] servers={:.4} gap={}",
+                s.scenario,
+                s.solver,
+                s.solved,
+                s.failed,
+                s.unsupported,
+                s.cost.min,
+                s.cost.mean,
+                s.cost.max,
+                s.power.min,
+                s.power.mean,
+                s.power.max,
+                s.mean_servers,
+                s.power_gap_vs_ref
+                    .map_or("-".to_string(), |g| format!("{g:.9}")),
+            )
+            .expect("writing to String cannot fail");
+        }
+        out
+    }
+
+    /// Renders the aggregates as an aligned ASCII table (includes the
+    /// non-deterministic timing columns).
+    pub fn table(&self) -> String {
+        let header = [
+            "scenario",
+            "solver",
+            "solved",
+            "fail",
+            "power_mean",
+            "cost_mean",
+            "servers",
+            "gap_vs_ref",
+            "ms/solve",
+            "speedup",
+        ];
+        let mut rows: Vec<[String; 10]> = vec![header.map(String::from)];
+        for s in &self.summaries {
+            rows.push([
+                s.scenario.clone(),
+                s.solver.to_string(),
+                s.solved.to_string(),
+                (s.failed + s.unsupported).to_string(),
+                format!("{:.2}", s.power.mean),
+                format!("{:.3}", s.cost.mean),
+                format!("{:.1}", s.mean_servers),
+                s.power_gap_vs_ref.map_or("-".into(), |g| format!("{g:.4}")),
+                format!("{:.3}", s.mean_wall_seconds * 1e3),
+                s.speedup_vs_ref.map_or("-".into(), |x| format!("{x:.1}x")),
+            ]);
+        }
+        let widths: Vec<usize> = (0..rows[0].len())
+            .map(|i| rows.iter().map(|r| r[i].len()).max().unwrap_or(0))
+            .collect();
+        let mut out = String::new();
+        for (ri, row) in rows.iter().enumerate() {
+            for (i, cell) in row.iter().enumerate() {
+                let _ = write!(out, "{:<width$}  ", cell, width = widths[i]);
+            }
+            out.push('\n');
+            if ri == 0 {
+                let total: usize = widths.iter().sum::<usize>() + 2 * widths.len();
+                out.push_str(&"-".repeat(total));
+                out.push('\n');
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenarios::{Demand, Scenario, Topology};
+
+    fn tiny_jobs() -> Vec<FleetJob> {
+        let scenarios = vec![
+            Scenario::new(Topology::High, Demand::Uniform, 12),
+            Scenario::new(Topology::Star, Demand::Skewed, 12),
+        ];
+        Fleet::jobs_from_scenarios(&scenarios, 11, 3)
+    }
+
+    #[test]
+    fn fleet_runs_and_aggregates() {
+        let registry = Registry::with_all();
+        let config = FleetConfig {
+            solvers: vec![
+                "greedy".into(),
+                "dp_power".into(),
+                "heur_power_greedy".into(),
+            ],
+            ..Default::default()
+        };
+        let fleet = Fleet::new(&registry, config);
+        let jobs = tiny_jobs();
+        let report = fleet.run(&jobs);
+        assert_eq!(report.cells.len(), jobs.len() * 3);
+        assert_eq!(report.summaries.len(), 2 * 3, "2 scenarios × 3 solvers");
+        for s in &report.summaries {
+            assert_eq!(
+                s.solved, 3,
+                "{}/{} should solve everything",
+                s.scenario, s.solver
+            );
+            if s.solver != "dp_power" {
+                let gap = s.power_gap_vs_ref.expect("reference present");
+                assert!(
+                    gap >= 1.0 - 1e-9,
+                    "{}: exact DP must win, gap {gap}",
+                    s.solver
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown solver")]
+    fn unknown_solver_is_rejected_up_front() {
+        let registry = Registry::with_all();
+        let config = FleetConfig {
+            solvers: vec!["not_a_solver".into()],
+            ..Default::default()
+        };
+        let _ = Fleet::new(&registry, config);
+    }
+
+    #[test]
+    fn digest_is_stable_across_runs_and_thread_counts() {
+        let registry = Registry::with_all();
+        let digest_with = |threads: Option<usize>| {
+            let config = FleetConfig {
+                solvers: vec![
+                    "greedy_power".into(),
+                    "dp_power".into(),
+                    "heur_annealing".into(),
+                ],
+                threads,
+                ..Default::default()
+            };
+            Fleet::new(&registry, config).run(&tiny_jobs()).digest()
+        };
+        let base = digest_with(None);
+        assert_eq!(base, digest_with(None), "same config, same digest");
+        assert_eq!(
+            base,
+            digest_with(Some(1)),
+            "single-threaded digest identical"
+        );
+        assert_eq!(
+            base,
+            digest_with(Some(7)),
+            "odd thread count digest identical"
+        );
+        assert!(base.contains("dp_power"));
+    }
+
+    #[test]
+    fn table_renders_header_and_rows() {
+        let registry = Registry::with_all();
+        let config = FleetConfig {
+            solvers: vec!["greedy".into()],
+            ..Default::default()
+        };
+        let report = Fleet::new(&registry, config).run(&tiny_jobs());
+        let table = report.table();
+        assert!(table.contains("scenario"));
+        assert!(table.lines().count() >= 2 + 2, "header + rule + 2 rows");
+    }
+}

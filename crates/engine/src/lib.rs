@@ -1,0 +1,76 @@
+//! # `replica-engine` — unified solver registry + parallel fleet runner
+//!
+//! The algorithms of `replica-core` are free functions with per-algorithm
+//! signatures; this crate turns them into one subsystem with three
+//! layers:
+//!
+//! 1. **[`solver`]** — the uniform [`Solver`] trait: every algorithm
+//!    becomes `solve(&Instance, &SolveOptions) -> SolveOutcome`, with
+//!    per-solve wall-clock timing, capability flags (mode support,
+//!    pre-existing exploitation, cost-budget handling, exactness) and
+//!    metrics re-derived through the model crate's independent Eq. 2/3/4
+//!    evaluation so outcomes are always comparable.
+//! 2. **[`registry`]** — a name-addressable [`Registry`] covering all ten
+//!    algorithms (both optimal DPs, the pruned DP, both greedy baselines,
+//!    the three §6 heuristics and the exhaustive oracle).
+//! 3. **[`fleet`]** — the rayon-powered [`Fleet`] runner: a batch of
+//!    labelled instances × solvers evaluated in parallel with
+//!    deterministic per-instance seeding ([`seeding`]), reusable scratch
+//!    buffers on the greedy hot path, and per-`(scenario, solver)`
+//!    aggregates — cost/power distributions, optimality gaps and
+//!    speedups against the exact DP.
+//!
+//! **[`scenarios`]** supplies the fleets: named, reproducible instance
+//! families crossing five topology shapes (fat, high, binary,
+//! caterpillar, star) with four demand patterns (uniform, skewed,
+//! flash-crowd, drifting) — the paper's §5 setups plus the stress shapes
+//! they motivate.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use replica_engine::prelude::*;
+//!
+//! // One instance, three algorithms, uniform interface.
+//! let scenario = Scenario::new(Topology::High, Demand::Uniform, 20);
+//! let instance = scenario.instance(42, 0);
+//! let registry = Registry::with_all();
+//! let options = SolveOptions::default();
+//! let exact = registry.solve("dp_power", &instance, &options).unwrap();
+//! let greedy = registry.solve("greedy_power", &instance, &options).unwrap();
+//! assert!(exact.power <= greedy.power + 1e-9);
+//!
+//! // A seeded fleet: scenarios × solvers in parallel, aggregated.
+//! let fleet = Fleet::new(
+//!     &registry,
+//!     FleetConfig {
+//!         solvers: vec!["dp_power".into(), "greedy_power".into()],
+//!         ..Default::default()
+//!     },
+//! );
+//! let jobs = Fleet::jobs_from_scenarios(&[scenario], 42, 4);
+//! let report = fleet.run(&jobs);
+//! assert_eq!(report.summaries.len(), 2);
+//! println!("{}", report.table());
+//! ```
+
+pub mod fleet;
+pub mod registry;
+pub mod scenarios;
+pub mod seeding;
+pub mod solver;
+
+pub use fleet::{Fleet, FleetCell, FleetConfig, FleetJob, FleetReport, FleetSummary, Stats};
+pub use registry::Registry;
+pub use scenarios::{standard_families, Demand, Scenario, Topology};
+pub use solver::{Capabilities, EngineError, Objective, SolveOptions, SolveOutcome, Solver};
+
+/// One-stop imports for engine users.
+pub mod prelude {
+    pub use crate::fleet::{Fleet, FleetConfig, FleetJob, FleetReport};
+    pub use crate::registry::Registry;
+    pub use crate::scenarios::{standard_families, Demand, Scenario, Topology};
+    pub use crate::solver::{
+        Capabilities, EngineError, Objective, SolveOptions, SolveOutcome, Solver,
+    };
+}

@@ -1,0 +1,619 @@
+//! The solver registry: every algorithm in `replica-core`, wrapped behind
+//! [`Solver`] and addressable by name.
+//!
+//! | Name | Wraps | Objective | Exact |
+//! |---|---|---|---|
+//! | `greedy` | [`replica_core::greedy`] (`GR` of \[19\]) | cost | count-optimal |
+//! | `dp_mincost_nopre` | [`replica_core::dp_mincost_nopre`] (\[6\]) | cost | count-optimal |
+//! | `dp_mincost` | [`replica_core::dp_mincost`] (Theorem 1) | cost | ✓ (single-mode) |
+//! | `dp_power` | [`replica_core::dp_power`] (Theorem 3) | power | ✓ |
+//! | `dp_power_pruned` | [`replica_core::dp_power_pruned`] | power | ✓ |
+//! | `greedy_power` | [`replica_core::greedy_power`] (§5.2 baseline) | power | — |
+//! | `exhaustive` | [`replica_core::exhaustive`] (oracle) | power | ✓ (small instances) |
+//! | `heur_power_greedy` | [`replica_core::heuristics::power_greedy`] | power | — |
+//! | `heur_local_search` | power_greedy + [`replica_core::heuristics::local_search`] | power | — |
+//! | `heur_annealing` | power_greedy + [`replica_core::heuristics::annealing`] | power | — |
+//!
+//! `greedy` / `dp_mincost_nopre` are *count-optimal*: they return the
+//! minimum replica count (the classical `MinCost` optimum), which equals
+//! the Eq. 2 cost optimum only without pre-existing servers; their `exact`
+//! flag is therefore `false` under the stricter Eq. 4 reading the
+//! [`Capabilities`] docs define.
+
+use crate::solver::{
+    evaluated_outcome, timed, Capabilities, EngineError, Objective, SolveOptions, SolveOutcome,
+    Solver,
+};
+use replica_core::heuristics::{annealing, local_search, power_greedy};
+use replica_core::{
+    dp_mincost, dp_mincost_nopre, dp_power, dp_power_pruned, exhaustive, greedy, greedy_power,
+    GreedyScratch,
+};
+use replica_model::{Instance, ModePolicy, ModelError};
+use std::cell::RefCell;
+
+thread_local! {
+    /// Per-worker scratch for the greedy hot path (fleet runs re-enter the
+    /// greedy thousands of times per thread).
+    static GREEDY_SCRATCH: RefCell<GreedyScratch> = RefCell::new(GreedyScratch::default());
+}
+
+/// All registered solvers, addressable by name.
+pub struct Registry {
+    solvers: Vec<Box<dyn Solver>>,
+}
+
+impl Registry {
+    /// An empty registry (use [`Registry::with_all`] for the full set).
+    pub fn new() -> Self {
+        Registry {
+            solvers: Vec::new(),
+        }
+    }
+
+    /// Registers every algorithm in the workspace.
+    pub fn with_all() -> Self {
+        let mut registry = Registry::new();
+        registry.register(Box::new(GreedySolver));
+        registry.register(Box::new(MinCountDpSolver));
+        registry.register(Box::new(MinCostDpSolver));
+        registry.register(Box::new(PowerDpSolver));
+        registry.register(Box::new(PrunedPowerDpSolver));
+        registry.register(Box::new(GreedyPowerSolver));
+        registry.register(Box::new(ExhaustiveSolver));
+        registry.register(Box::new(PowerGreedySolver));
+        registry.register(Box::new(LocalSearchSolver));
+        registry.register(Box::new(AnnealingSolver));
+        registry
+    }
+
+    /// Adds a solver. Replaces any existing solver of the same name.
+    pub fn register(&mut self, solver: Box<dyn Solver>) {
+        self.solvers.retain(|s| s.name() != solver.name());
+        self.solvers.push(solver);
+    }
+
+    /// Looks a solver up by name.
+    pub fn get(&self, name: &str) -> Option<&dyn Solver> {
+        self.solvers
+            .iter()
+            .find(|s| s.name() == name)
+            .map(|s| s.as_ref())
+    }
+
+    /// Registered names, in registration order.
+    pub fn names(&self) -> Vec<&'static str> {
+        self.solvers.iter().map(|s| s.name()).collect()
+    }
+
+    /// Iterates over the registered solvers.
+    pub fn iter(&self) -> impl Iterator<Item = &dyn Solver> {
+        self.solvers.iter().map(|s| s.as_ref())
+    }
+
+    /// Number of registered solvers.
+    pub fn len(&self) -> usize {
+        self.solvers.len()
+    }
+
+    /// Whether no solver is registered.
+    pub fn is_empty(&self) -> bool {
+        self.solvers.is_empty()
+    }
+
+    /// Solves `instance` with the named solver.
+    pub fn solve(
+        &self,
+        name: &str,
+        instance: &Instance,
+        options: &SolveOptions,
+    ) -> Result<SolveOutcome, EngineError> {
+        let solver = self
+            .get(name)
+            .ok_or_else(|| EngineError::Unsupported(format!("no solver named {name:?}")))?;
+        solver.solve(instance, options)
+    }
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Registry::with_all()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Wrappers
+// ---------------------------------------------------------------------------
+
+/// `GR` of [19] at capacity `W_M`, modes lowered to the load.
+struct GreedySolver;
+
+impl Solver for GreedySolver {
+    fn name(&self) -> &'static str {
+        "greedy"
+    }
+
+    fn capabilities(&self) -> Capabilities {
+        Capabilities {
+            objective: Objective::MinCost,
+            multi_mode: true,
+            pre_existing: false,
+            cost_bound: false,
+            exact: false,
+        }
+    }
+
+    fn solve(
+        &self,
+        instance: &Instance,
+        _options: &SolveOptions,
+    ) -> Result<SolveOutcome, EngineError> {
+        let (result, wall) = GREEDY_SCRATCH.with(|scratch| {
+            let mut scratch = scratch.borrow_mut();
+            timed(|| {
+                greedy::greedy_min_replicas_in(
+                    instance.tree(),
+                    instance.max_capacity(),
+                    &mut scratch,
+                )
+            })
+        });
+        evaluated_outcome(
+            self.name(),
+            instance,
+            &result?.placement,
+            ModePolicy::LowestFeasible,
+            wall,
+        )
+    }
+}
+
+/// The `O(N²)` replica-count DP of [6].
+struct MinCountDpSolver;
+
+impl Solver for MinCountDpSolver {
+    fn name(&self) -> &'static str {
+        "dp_mincost_nopre"
+    }
+
+    fn capabilities(&self) -> Capabilities {
+        Capabilities {
+            objective: Objective::MinCost,
+            multi_mode: true,
+            pre_existing: false,
+            cost_bound: false,
+            exact: false,
+        }
+    }
+
+    fn solve(
+        &self,
+        instance: &Instance,
+        _options: &SolveOptions,
+    ) -> Result<SolveOutcome, EngineError> {
+        let (result, wall) =
+            timed(|| dp_mincost_nopre::solve_min_count(instance.tree(), instance.max_capacity()));
+        evaluated_outcome(
+            self.name(),
+            instance,
+            &result?.placement,
+            ModePolicy::LowestFeasible,
+            wall,
+        )
+    }
+}
+
+/// The `MinCost-WithPre` DP (Theorem 1); single-mode instances only.
+struct MinCostDpSolver;
+
+impl Solver for MinCostDpSolver {
+    fn name(&self) -> &'static str {
+        "dp_mincost"
+    }
+
+    fn capabilities(&self) -> Capabilities {
+        Capabilities {
+            objective: Objective::MinCost,
+            multi_mode: false,
+            pre_existing: true,
+            cost_bound: false,
+            exact: true,
+        }
+    }
+
+    fn solve(
+        &self,
+        instance: &Instance,
+        _options: &SolveOptions,
+    ) -> Result<SolveOutcome, EngineError> {
+        if instance.mode_count() != 1 {
+            return Err(EngineError::Unsupported(
+                "dp_mincost is the single-mode Theorem 1 DP; use dp_power for modes".into(),
+            ));
+        }
+        let (result, wall) = timed(|| dp_mincost::solve_min_cost(instance));
+        evaluated_outcome(
+            self.name(),
+            instance,
+            &result?.placement,
+            ModePolicy::Assigned,
+            wall,
+        )
+    }
+}
+
+/// The full state-vector `MinPower-BoundedCost` DP (Theorem 3).
+struct PowerDpSolver;
+
+impl Solver for PowerDpSolver {
+    fn name(&self) -> &'static str {
+        "dp_power"
+    }
+
+    fn capabilities(&self) -> Capabilities {
+        Capabilities {
+            objective: Objective::MinPower,
+            multi_mode: true,
+            pre_existing: true,
+            cost_bound: true,
+            exact: true,
+        }
+    }
+
+    fn solve(
+        &self,
+        instance: &Instance,
+        options: &SolveOptions,
+    ) -> Result<SolveOutcome, EngineError> {
+        let (result, wall) = timed(|| -> Result<_, ModelError> {
+            let dp = dp_power::PowerDp::run(instance)?;
+            let best = dp.best_within(options.cost_bound).ok_or_else(|| {
+                ModelError::Infeasible(format!(
+                    "no placement fits the cost bound {}",
+                    options.cost_bound
+                ))
+            })?;
+            dp.reconstruct(best)
+        });
+        evaluated_outcome(
+            self.name(),
+            instance,
+            &result?.placement,
+            ModePolicy::Assigned,
+            wall,
+        )
+    }
+}
+
+/// The dominance-pruned exact power DP (beyond the paper).
+struct PrunedPowerDpSolver;
+
+impl Solver for PrunedPowerDpSolver {
+    fn name(&self) -> &'static str {
+        "dp_power_pruned"
+    }
+
+    fn capabilities(&self) -> Capabilities {
+        Capabilities {
+            objective: Objective::MinPower,
+            multi_mode: true,
+            pre_existing: true,
+            cost_bound: true,
+            exact: true,
+        }
+    }
+
+    fn solve(
+        &self,
+        instance: &Instance,
+        options: &SolveOptions,
+    ) -> Result<SolveOutcome, EngineError> {
+        let (result, wall) = timed(|| -> Result<_, ModelError> {
+            let dp = dp_power_pruned::PrunedPowerDp::run(instance)?;
+            let best = dp.best_within(options.cost_bound).copied().ok_or_else(|| {
+                ModelError::Infeasible(format!(
+                    "no placement fits the cost bound {}",
+                    options.cost_bound
+                ))
+            })?;
+            dp.reconstruct(&best)
+        });
+        evaluated_outcome(self.name(), instance, &result?, ModePolicy::Assigned, wall)
+    }
+}
+
+/// The §5.2 baseline: `GR` swept over trial capacities, best power kept.
+struct GreedyPowerSolver;
+
+impl Solver for GreedyPowerSolver {
+    fn name(&self) -> &'static str {
+        "greedy_power"
+    }
+
+    fn capabilities(&self) -> Capabilities {
+        Capabilities {
+            objective: Objective::MinPower,
+            multi_mode: true,
+            pre_existing: false,
+            cost_bound: true,
+            exact: false,
+        }
+    }
+
+    fn solve(
+        &self,
+        instance: &Instance,
+        options: &SolveOptions,
+    ) -> Result<SolveOutcome, EngineError> {
+        let (result, wall) = timed(|| greedy_power::solve(instance, options.cost_bound));
+        evaluated_outcome(
+            self.name(),
+            instance,
+            &result?.placement,
+            ModePolicy::Assigned,
+            wall,
+        )
+    }
+}
+
+/// The exhaustive oracle (refuses instances beyond its enumeration cap).
+struct ExhaustiveSolver;
+
+impl Solver for ExhaustiveSolver {
+    fn name(&self) -> &'static str {
+        "exhaustive"
+    }
+
+    fn capabilities(&self) -> Capabilities {
+        Capabilities {
+            objective: Objective::MinPower,
+            multi_mode: true,
+            pre_existing: true,
+            cost_bound: true,
+            exact: true,
+        }
+    }
+
+    fn supports(&self, instance: &Instance) -> bool {
+        let combos = (instance.mode_count() as u128 + 1)
+            .checked_pow(instance.tree().internal_count() as u32)
+            .unwrap_or(u128::MAX);
+        combos <= exhaustive::MAX_COMBINATIONS
+    }
+
+    fn solve(
+        &self,
+        instance: &Instance,
+        options: &SolveOptions,
+    ) -> Result<SolveOutcome, EngineError> {
+        if !self.supports(instance) {
+            return Err(EngineError::Unsupported(format!(
+                "instance too large for exhaustive enumeration (> {} combinations)",
+                exhaustive::MAX_COMBINATIONS
+            )));
+        }
+        let (result, wall) = timed(|| exhaustive::min_power_bounded(instance, options.cost_bound));
+        evaluated_outcome(
+            self.name(),
+            instance,
+            &result?.placement,
+            ModePolicy::Assigned,
+            wall,
+        )
+    }
+}
+
+/// The §6 constructive fill-threshold heuristic.
+struct PowerGreedySolver;
+
+impl Solver for PowerGreedySolver {
+    fn name(&self) -> &'static str {
+        "heur_power_greedy"
+    }
+
+    fn capabilities(&self) -> Capabilities {
+        Capabilities {
+            objective: Objective::MinPower,
+            multi_mode: true,
+            pre_existing: true,
+            cost_bound: true,
+            exact: false,
+        }
+    }
+
+    fn solve(
+        &self,
+        instance: &Instance,
+        options: &SolveOptions,
+    ) -> Result<SolveOutcome, EngineError> {
+        let (result, wall) = timed(|| power_greedy::solve(instance, options.cost_bound));
+        evaluated_outcome(
+            self.name(),
+            instance,
+            &result?.placement,
+            ModePolicy::Assigned,
+            wall,
+        )
+    }
+}
+
+/// Constructive heuristic polished by first-improvement hill climbing.
+struct LocalSearchSolver;
+
+impl Solver for LocalSearchSolver {
+    fn name(&self) -> &'static str {
+        "heur_local_search"
+    }
+
+    fn capabilities(&self) -> Capabilities {
+        Capabilities {
+            objective: Objective::MinPower,
+            multi_mode: true,
+            pre_existing: true,
+            cost_bound: true,
+            exact: false,
+        }
+    }
+
+    fn solve(
+        &self,
+        instance: &Instance,
+        options: &SolveOptions,
+    ) -> Result<SolveOutcome, EngineError> {
+        let (result, wall) = timed(|| -> Result<_, ModelError> {
+            let seed = power_greedy::solve(instance, options.cost_bound)?;
+            local_search::solve(
+                instance,
+                &seed.placement,
+                options.cost_bound,
+                local_search::LocalSearchOptions::default(),
+            )
+        });
+        evaluated_outcome(
+            self.name(),
+            instance,
+            &result?.placement,
+            ModePolicy::Assigned,
+            wall,
+        )
+    }
+}
+
+/// Constructive heuristic polished by seeded simulated annealing.
+struct AnnealingSolver;
+
+impl Solver for AnnealingSolver {
+    fn name(&self) -> &'static str {
+        "heur_annealing"
+    }
+
+    fn capabilities(&self) -> Capabilities {
+        Capabilities {
+            objective: Objective::MinPower,
+            multi_mode: true,
+            pre_existing: true,
+            cost_bound: true,
+            exact: false,
+        }
+    }
+
+    fn solve(
+        &self,
+        instance: &Instance,
+        options: &SolveOptions,
+    ) -> Result<SolveOutcome, EngineError> {
+        let (result, wall) = timed(|| -> Result<_, ModelError> {
+            let seed = power_greedy::solve(instance, options.cost_bound)?;
+            annealing::solve(
+                instance,
+                &seed.placement,
+                options.cost_bound,
+                annealing::AnnealingOptions {
+                    iterations: 5_000,
+                    seed: options.seed,
+                    ..Default::default()
+                },
+            )
+        });
+        evaluated_outcome(
+            self.name(),
+            instance,
+            &result?.placement,
+            ModePolicy::Assigned,
+            wall,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use replica_model::{ModeSet, PowerModel};
+    use replica_tree::TreeBuilder;
+
+    fn small_instance() -> Instance {
+        let mut b = TreeBuilder::new();
+        let r = b.root();
+        let a = b.add_child(r);
+        let c = b.add_child(r);
+        b.add_client(a, 4);
+        b.add_client(c, 5);
+        b.add_client(r, 2);
+        Instance::builder(b.build().unwrap())
+            .modes(ModeSet::new(vec![5, 10]).unwrap())
+            .power(PowerModel::new(1.0, 2.0))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn registry_registers_all_ten() {
+        let registry = Registry::with_all();
+        assert_eq!(registry.len(), 10);
+        for name in [
+            "greedy",
+            "dp_mincost_nopre",
+            "dp_mincost",
+            "dp_power",
+            "dp_power_pruned",
+            "greedy_power",
+            "exhaustive",
+            "heur_power_greedy",
+            "heur_local_search",
+            "heur_annealing",
+        ] {
+            assert!(registry.get(name).is_some(), "{name} missing");
+        }
+        assert!(registry.get("nope").is_none());
+    }
+
+    #[test]
+    fn every_supporting_solver_solves_the_small_instance() {
+        let registry = Registry::with_all();
+        let instance = small_instance();
+        let options = SolveOptions::default();
+        for solver in registry.iter() {
+            if !solver.supports(&instance) {
+                continue;
+            }
+            let outcome = solver
+                .solve(&instance, &options)
+                .unwrap_or_else(|e| panic!("{} failed: {e}", solver.name()));
+            assert!(outcome.servers >= 1, "{}", solver.name());
+            assert!(outcome.power > 0.0, "{}", solver.name());
+        }
+    }
+
+    #[test]
+    fn mincost_dp_rejects_multi_mode() {
+        let registry = Registry::with_all();
+        let instance = small_instance();
+        assert!(!registry.get("dp_mincost").unwrap().supports(&instance));
+        let err = registry
+            .solve("dp_mincost", &instance, &SolveOptions::default())
+            .unwrap_err();
+        assert!(matches!(err, EngineError::Unsupported(_)));
+    }
+
+    #[test]
+    fn outcomes_are_model_reevaluated_and_agree_on_exact_solvers() {
+        let registry = Registry::with_all();
+        let instance = small_instance();
+        let options = SolveOptions::default();
+        let full = registry.solve("dp_power", &instance, &options).unwrap();
+        let pruned = registry
+            .solve("dp_power_pruned", &instance, &options)
+            .unwrap();
+        let oracle = registry.solve("exhaustive", &instance, &options).unwrap();
+        assert!((full.power - oracle.power).abs() < 1e-9);
+        assert!((pruned.power - oracle.power).abs() < 1e-9);
+    }
+
+    #[test]
+    fn registration_replaces_same_name() {
+        let mut registry = Registry::with_all();
+        let before = registry.len();
+        registry.register(Box::new(GreedySolver));
+        assert_eq!(registry.len(), before);
+    }
+}

@@ -1,0 +1,342 @@
+//! Named instance families: topology × demand-pattern generators beyond
+//! the paper's own evaluation setup.
+//!
+//! A [`Scenario`] is a reproducible instance distribution: topology shape,
+//! demand pattern, size and the paper's Experiment-3 mode/cost/power
+//! parameters. `scenario.instances(seed, count)` yields a fleet of
+//! instances that is byte-identical for a fixed seed, which is what the
+//! [`Fleet`](crate::fleet::Fleet) runner consumes.
+//!
+//! ## Topology families
+//!
+//! | [`Topology`] | Shape | Paper relation |
+//! |---|---|---|
+//! | `Fat` | random, 6–9 children | §5.1 Experiments 1–2 and §5.2 Experiment 3 trees |
+//! | `High` | random, 2–4 children | the "high trees" of Figures 6, 7 and 10 |
+//! | `Binary` | random, exactly 2 children | limit of the high-tree family (maximum height for a branching tree) |
+//! | `Caterpillar` | spine with one leaf-leg per spine node | §2.1 worst case for server chains: every request path shares the spine |
+//! | `Star` | root with `N − 1` leaf children | §2.1 worst case for node degree: the root merge dominates |
+//!
+//! ## Demand patterns
+//!
+//! | [`Demand`] | Volumes | Paper relation |
+//! |---|---|---|
+//! | `Uniform` | i.i.d. uniform `1..=5` | the paper's client draws (§5.1 uses 1–6, §5.2 uses 1–5) |
+//! | `Skewed` | power-law, mostly 1 with rare `W_M`-sized bursts | generalizes §5 beyond uniform volumes |
+//! | `FlashCrowd` | baseline 1, one random subtree saturated at `W_M` | the localized burst that §6's update strategies must absorb |
+//! | `Drifting` | gradient from 1 up to `W_M` across the client order | the drift regime of §6 (Experiment 2 re-draws volumes; drift is its adversarial cousin) |
+
+use crate::seeding;
+use rand::rngs::StdRng;
+use rand::Rng;
+use replica_model::{CostModel, Instance, ModeSet, PowerModel, PreExisting};
+use replica_tree::{generate, GeneratorConfig, NodeId, Tree};
+use serde::{Deserialize, Serialize};
+
+/// Tree-shape family of a scenario.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Topology {
+    /// Random tree with 6–9 children per node (the paper's default).
+    Fat,
+    /// Random tree with 2–4 children per node (the paper's "high trees").
+    High,
+    /// Random strictly binary tree.
+    Binary,
+    /// Deterministic caterpillar: a spine with one client leg per node.
+    Caterpillar,
+    /// Deterministic star: a root with `N − 1` client leaves.
+    Star,
+}
+
+impl Topology {
+    /// Short lowercase label used in scenario names.
+    pub fn label(self) -> &'static str {
+        match self {
+            Topology::Fat => "fat",
+            Topology::High => "high",
+            Topology::Binary => "binary",
+            Topology::Caterpillar => "caterpillar",
+            Topology::Star => "star",
+        }
+    }
+
+    /// All topology families.
+    pub fn all() -> [Topology; 5] {
+        [
+            Topology::Fat,
+            Topology::High,
+            Topology::Binary,
+            Topology::Caterpillar,
+            Topology::Star,
+        ]
+    }
+
+    /// Builds a tree of roughly `nodes` internal nodes (exactly `nodes`
+    /// for the random families). Client volumes are placeholders until a
+    /// [`Demand`] is applied.
+    fn build(self, nodes: usize, rng: &mut StdRng) -> Tree {
+        assert!(nodes >= 2, "scenarios need at least two internal nodes");
+        let random = |children: (usize, usize), rng: &mut StdRng| {
+            let config = GeneratorConfig {
+                internal_nodes: nodes,
+                children_range: children,
+                // Every node carries a client so demand patterns are fully
+                // expressive (the paper's Experiment 3 does the same).
+                client_probability: 1.0,
+                requests_range: (1, 1),
+            };
+            generate::random_tree(&config, rng)
+        };
+        match self {
+            Topology::Fat => random((6, 9), rng),
+            Topology::High => random((2, 4), rng),
+            Topology::Binary => random((2, 2), rng),
+            Topology::Caterpillar => generate::caterpillar(nodes / 2, 1),
+            Topology::Star => generate::star(nodes - 1, 1),
+        }
+    }
+}
+
+/// Client-demand family of a scenario.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Demand {
+    /// I.i.d. uniform volumes in `1..=5` (the paper's setup).
+    Uniform,
+    /// Power-law volumes: mostly 1, occasionally up to `W_M`.
+    Skewed,
+    /// Volume 1 everywhere except one random subtree saturated at `W_M`.
+    FlashCrowd,
+    /// Volumes rise from 1 to `W_M` across the client order (spatial
+    /// drift), with ±1 jitter.
+    Drifting,
+}
+
+impl Demand {
+    /// Short lowercase label used in scenario names.
+    pub fn label(self) -> &'static str {
+        match self {
+            Demand::Uniform => "uniform",
+            Demand::Skewed => "skewed",
+            Demand::FlashCrowd => "flashcrowd",
+            Demand::Drifting => "drifting",
+        }
+    }
+
+    /// All demand patterns.
+    pub fn all() -> [Demand; 4] {
+        [
+            Demand::Uniform,
+            Demand::Skewed,
+            Demand::FlashCrowd,
+            Demand::Drifting,
+        ]
+    }
+
+    /// Overwrites every client volume in `tree` according to the pattern.
+    /// Volumes never exceed `w_max`, so one-client-per-node topologies
+    /// stay feasible (§2's `client(j) ≤ W_M` criterion).
+    fn apply(self, tree: &mut Tree, w_max: u64, rng: &mut StdRng) {
+        let clients: Vec<_> = tree.client_ids().collect();
+        let n = clients.len().max(1);
+        match self {
+            Demand::Uniform => {
+                for c in clients {
+                    tree.set_requests(c, rng.random_range(1..=5u64.min(w_max)));
+                }
+            }
+            Demand::Skewed => {
+                for c in clients {
+                    let u: f64 = rng.random();
+                    let v = ((w_max as f64) * u.powi(4)).round() as u64;
+                    tree.set_requests(c, v.clamp(1, w_max));
+                }
+            }
+            Demand::FlashCrowd => {
+                for &c in &clients {
+                    tree.set_requests(c, 1);
+                }
+                // Saturate the subtree under a random hot node.
+                let hot_index = rng.random_range(0..tree.internal_count());
+                let mut stack = vec![NodeId::from_index(hot_index)];
+                while let Some(node) = stack.pop() {
+                    for c in tree.clients_of(node).to_vec() {
+                        tree.set_requests(c, w_max);
+                    }
+                    stack.extend_from_slice(tree.children(node));
+                }
+            }
+            Demand::Drifting => {
+                for (i, c) in clients.into_iter().enumerate() {
+                    let base = 1 + (i as u64 * (w_max - 1)) / (n as u64 - 1).max(1);
+                    let jitter = rng.random_range(0..=2u64);
+                    let v = (base + jitter).saturating_sub(1);
+                    tree.set_requests(c, v.clamp(1, w_max));
+                }
+            }
+        }
+    }
+}
+
+/// A named, reproducible instance family.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Scenario {
+    /// `"<topology>/<demand>/<nodes>n"`.
+    pub name: String,
+    /// Tree-shape family.
+    pub topology: Topology,
+    /// Demand pattern.
+    pub demand: Demand,
+    /// Internal-node target per tree.
+    pub nodes: usize,
+    /// Pre-existing servers per tree (placed at the top mode, like the
+    /// paper's Experiment 3).
+    pub pre_existing: usize,
+    /// Mode capacities (paper: `{5, 10}`).
+    pub modes: Vec<u64>,
+    /// Eq. 4 creation cost (uniform across modes).
+    pub create: f64,
+    /// Eq. 4 deletion cost.
+    pub delete: f64,
+    /// Eq. 4 mode-change cost.
+    pub changed: f64,
+}
+
+impl Scenario {
+    /// A scenario with the paper's Experiment-3 parameters.
+    pub fn new(topology: Topology, demand: Demand, nodes: usize) -> Self {
+        Scenario {
+            name: format!("{}/{}/{}n", topology.label(), demand.label(), nodes),
+            topology,
+            demand,
+            nodes,
+            pre_existing: nodes / 10,
+            modes: vec![5, 10],
+            create: 0.1,
+            delete: 0.01,
+            changed: 0.001,
+        }
+    }
+
+    /// Builds instance `index` of the fleet seeded by `seed`. The RNG
+    /// stream mixes in the scenario name, so instance `i` of different
+    /// scenarios draws independently.
+    pub fn instance(&self, seed: u64, index: usize) -> Instance {
+        let mut rng = seeding::rng(seed ^ seeding::label_stream(&self.name), index as u64);
+        let modes = ModeSet::new(self.modes.clone()).expect("scenario modes are valid");
+        let w_max = modes.max_capacity();
+        let mut tree = self.topology.build(self.nodes, &mut rng);
+        self.demand.apply(&mut tree, w_max, &mut rng);
+        let pre = generate::random_pre_existing(&tree, self.pre_existing, &mut rng);
+        let top_mode = modes.count() - 1;
+        let power = PowerModel::paper_experiment3(&modes);
+        Instance::builder(tree)
+            .pre_existing(PreExisting::at_mode(pre, top_mode))
+            .cost(CostModel::uniform(
+                modes.count(),
+                self.create,
+                self.delete,
+                self.changed,
+            ))
+            .power(power)
+            .modes(modes)
+            .build()
+            .expect("scenario instances are structurally valid")
+    }
+
+    /// Builds a whole seeded fleet.
+    pub fn instances(&self, seed: u64, count: usize) -> Vec<Instance> {
+        (0..count).map(|i| self.instance(seed, i)).collect()
+    }
+}
+
+/// The full topology × demand cross product at the given size (20
+/// scenarios).
+pub fn standard_families(nodes: usize) -> Vec<Scenario> {
+    let mut out = Vec::new();
+    for topology in Topology::all() {
+        for demand in Demand::all() {
+            out.push(Scenario::new(topology, demand, nodes));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cross_product_covers_all_families() {
+        let families = standard_families(30);
+        assert_eq!(families.len(), 20);
+        let mut names: Vec<_> = families.iter().map(|s| s.name.clone()).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), 20, "scenario names must be unique");
+    }
+
+    #[test]
+    fn instances_are_reproducible_and_feasible() {
+        for scenario in standard_families(24) {
+            let a = scenario.instance(7, 3);
+            let b = scenario.instance(7, 3);
+            assert_eq!(
+                serde_json::to_string(a.tree()).unwrap(),
+                serde_json::to_string(b.tree()).unwrap(),
+                "{}: same seed must give the same tree",
+                scenario.name
+            );
+            assert!(
+                a.feasible(),
+                "{}: scenario instances must be feasible",
+                scenario.name
+            );
+            let c = scenario.instance(8, 3);
+            assert_ne!(
+                serde_json::to_string(a.tree()).unwrap(),
+                serde_json::to_string(c.tree()).unwrap(),
+                "{}: different seeds must differ",
+                scenario.name
+            );
+        }
+    }
+
+    #[test]
+    fn demand_patterns_shape_volumes() {
+        let scenario = |demand| Scenario::new(Topology::Fat, demand, 60);
+
+        // Flash crowd: at least one client saturated, most at baseline.
+        let inst = scenario(Demand::FlashCrowd).instance(3, 0);
+        let tree = inst.tree();
+        let volumes: Vec<u64> = tree.client_ids().map(|c| tree.requests(c)).collect();
+        assert!(volumes.contains(&10), "a hot client at W_M");
+        assert!(
+            volumes.iter().filter(|&&v| v == 1).count() * 2 > volumes.len(),
+            "baseline clients dominate"
+        );
+
+        // Skewed: median must sit low, max above the uniform ceiling.
+        let inst = scenario(Demand::Skewed).instance(3, 0);
+        let tree = inst.tree();
+        let mut volumes: Vec<u64> = tree.client_ids().map(|c| tree.requests(c)).collect();
+        volumes.sort_unstable();
+        assert!(volumes[volumes.len() / 2] <= 2, "skewed median is small");
+
+        // Drifting: later clients ask for more on average.
+        let inst = scenario(Demand::Drifting).instance(3, 0);
+        let tree = inst.tree();
+        let volumes: Vec<u64> = tree.client_ids().map(|c| tree.requests(c)).collect();
+        let half = volumes.len() / 2;
+        let early: u64 = volumes[..half].iter().sum();
+        let late: u64 = volumes[half..].iter().sum();
+        assert!(late > early, "drift must rise across the client order");
+    }
+
+    #[test]
+    fn deterministic_topologies_have_expected_shape() {
+        let cat = Scenario::new(Topology::Caterpillar, Demand::Uniform, 40).instance(1, 0);
+        assert_eq!(cat.tree().internal_count(), 40);
+        let star = Scenario::new(Topology::Star, Demand::Uniform, 40).instance(1, 0);
+        assert_eq!(star.tree().children(star.tree().root()).len(), 39);
+    }
+}

@@ -1,0 +1,84 @@
+//! Fleet reproducibility: a seeded sweep across the scenario families —
+//! all five topology families × all four demand patterns — must produce a
+//! byte-identical deterministic digest across repeated runs and across
+//! worker-thread counts, including the randomized annealing solver (whose
+//! seeds the fleet derives per instance).
+
+use replica_engine::{standard_families, Fleet, FleetConfig, Registry, SolveOptions};
+
+fn digest(registry: &Registry, threads: Option<usize>, seed: u64) -> String {
+    let scenarios = standard_families(16);
+    assert_eq!(scenarios.len(), 20, "5 topologies × 4 demand patterns");
+    let jobs = Fleet::jobs_from_scenarios(&scenarios, seed, 2);
+    let config = FleetConfig {
+        solvers: vec![
+            "greedy".into(),
+            "greedy_power".into(),
+            "dp_power".into(),
+            "heur_annealing".into(),
+        ],
+        options: SolveOptions::default(),
+        seed,
+        reference: Some("dp_power".into()),
+        threads,
+    };
+    Fleet::new(registry, config).run(&jobs).digest()
+}
+
+#[test]
+fn seeded_fleet_sweep_is_byte_identical_across_runs_and_thread_counts() {
+    let registry = Registry::with_all();
+    let base = digest(&registry, None, 0xF1EE7);
+
+    // Same seed, repeated: identical.
+    assert_eq!(base, digest(&registry, None, 0xF1EE7));
+    // Forced serial and odd parallel widths: identical.
+    assert_eq!(base, digest(&registry, Some(1), 0xF1EE7));
+    assert_eq!(base, digest(&registry, Some(3), 0xF1EE7));
+    assert_eq!(base, digest(&registry, Some(13), 0xF1EE7));
+    // A different seed must actually change the fleet.
+    assert_ne!(base, digest(&registry, None, 0xBEEF));
+
+    // The digest covers every (scenario, solver) pair.
+    for topology in ["fat", "high", "binary", "caterpillar", "star"] {
+        assert!(base.contains(topology), "{topology} missing from digest");
+    }
+    for demand in ["uniform", "skewed", "flashcrowd", "drifting"] {
+        assert!(base.contains(demand), "{demand} missing from digest");
+    }
+}
+
+#[test]
+fn exact_dp_dominates_every_other_solver_across_the_sweep() {
+    let registry = Registry::with_all();
+    let scenarios = standard_families(16);
+    let jobs = Fleet::jobs_from_scenarios(&scenarios, 7, 2);
+    let config = FleetConfig {
+        solvers: vec![
+            "greedy_power".into(),
+            "heur_power_greedy".into(),
+            "dp_power".into(),
+        ],
+        reference: Some("dp_power".into()),
+        ..Default::default()
+    };
+    let report = Fleet::new(&registry, config).run(&jobs);
+    assert_eq!(report.summaries.len(), scenarios.len() * 3);
+    for summary in &report.summaries {
+        assert!(
+            summary.solved == 2,
+            "{}/{}: every instance of the sweep is feasible (solved {})",
+            summary.scenario,
+            summary.solver,
+            summary.solved
+        );
+        if let Some(gap) = summary.power_gap_vs_ref {
+            assert!(
+                gap >= 1.0 - 1e-9,
+                "{}/{}: mean power ratio {gap} beats the exact DP",
+                summary.scenario,
+                summary.solver
+            );
+        }
+    }
+}

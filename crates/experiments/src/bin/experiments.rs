@@ -144,14 +144,20 @@ fn run_exp2(args: &Args) {
     if let Some(s) = args.get_usize("seed").unwrap_or_else(|e| die(&e)) {
         cfg.seed = s as u64;
     }
-    eprintln!("[exp2/{name}] {} trees, {} nodes, {} steps …", cfg.trees, cfg.nodes, cfg.steps);
+    eprintln!(
+        "[exp2/{name}] {} trees, {} nodes, {} steps …",
+        cfg.trees, cfg.nodes, cfg.steps
+    );
     let start = std::time::Instant::now();
     let output = exp2::run(&cfg);
     let left = exp2::cumulative_table(&output, &format!("{name}: cumulative reused servers"));
     let right = exp2::histogram_table(&output, &format!("{name}: reuse difference histogram"));
     println!("{}", left.to_ascii());
     println!("{}", right.to_ascii());
-    println!("mean per-step reuse difference (DP − GR): {:.2}", output.diff_histogram.mean());
+    println!(
+        "mean per-step reuse difference (DP − GR): {:.2}",
+        output.diff_histogram.mean()
+    );
     write(&left, args, &format!("{name}_cumulative.csv"));
     write(&right, args, &format!("{name}_histogram.csv"));
     eprintln!("[exp2/{name}] done in {:.1?}", start.elapsed());
@@ -221,7 +227,10 @@ fn run_heur(args: &Args) {
     if let Some(s) = args.get_usize("seed").unwrap_or_else(|e| die(&e)) {
         cfg.seed = s as u64;
     }
-    eprintln!("[heur] {} trees, {} nodes, E = {} …", cfg.trees, cfg.nodes, cfg.pre_existing);
+    eprintln!(
+        "[heur] {} trees, {} nodes, E = {} …",
+        cfg.trees, cfg.nodes, cfg.pre_existing
+    );
     let start = std::time::Instant::now();
     let rows = heuristics_quality::run(&cfg);
     let table = heuristics_quality::table(&rows, "heuristics: power ratio to the exact optimum");
@@ -244,7 +253,10 @@ fn run_strat(args: &Args) {
     if let Some(s) = args.get_usize("steps").unwrap_or_else(|e| die(&e)) {
         cfg.steps = s;
     }
-    eprintln!("[strat] {} trees, {} nodes, {} steps …", cfg.trees, cfg.nodes, cfg.steps);
+    eprintln!(
+        "[strat] {} trees, {} nodes, {} steps …",
+        cfg.trees, cfg.nodes, cfg.steps
+    );
     let start = std::time::Instant::now();
     let cells = strategies_study::run(&cfg);
     let table = strategies_study::table(&cells, "update strategies: cost vs usage vs breakage");

@@ -58,7 +58,8 @@ impl Args {
     /// Adds a flag programmatically (used by the `all` command to fan out
     /// variants).
     pub fn with_flag(mut self, name: &str, value: Option<&str>) -> Self {
-        self.flags.push((name.to_string(), value.map(str::to_string)));
+        self.flags
+            .push((name.to_string(), value.map(str::to_string)));
         self
     }
 }

@@ -1,19 +1,14 @@
 //! Shared plumbing for the experiment harness.
 
 use rand::rngs::StdRng;
-use rand::SeedableRng;
 use rayon::prelude::*;
 
 /// Derives a per-tree RNG from an experiment seed and the tree index, so
 /// that experiments are reproducible regardless of thread scheduling.
+/// Delegates to the engine's seed derivation so experiments and fleet
+/// runs share one stream-mixing scheme.
 pub fn tree_rng(experiment_seed: u64, tree_index: usize) -> StdRng {
-    // SplitMix64 step keeps per-tree streams decorrelated even for
-    // consecutive indices.
-    let mut z = experiment_seed
-        .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(tree_index as u64 + 1));
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    StdRng::seed_from_u64(z ^ (z >> 31))
+    replica_engine::seeding::rng(experiment_seed, tree_index as u64)
 }
 
 /// Runs `per_tree` for `count` trees in parallel, preserving index order in

@@ -15,7 +15,7 @@
 
 use crate::common::{mean, par_trees, tree_rng};
 use crate::report::{fmt, Table};
-use replica_core::{dp_mincost, greedy};
+use replica_engine::{Registry, SolveOptions};
 use replica_model::Instance;
 use replica_tree::{generate, GeneratorConfig, TreeShape};
 use serde::{Deserialize, Serialize};
@@ -58,7 +58,11 @@ impl Exp1Config {
 
     /// Figure 6 parameters (high trees).
     pub fn figure6() -> Self {
-        Exp1Config { shape: TreeShape::PaperHigh, seed: 0xF1606, ..Self::figure4() }
+        Exp1Config {
+            shape: TreeShape::PaperHigh,
+            seed: 0xF1606,
+            ..Self::figure4()
+        }
     }
 }
 
@@ -85,22 +89,27 @@ pub struct Exp1Output {
     pub max_tree_gap: i64,
 }
 
-/// Runs the sweep; one DP + one GR execution per `(tree, E)` pair.
+/// Runs the sweep; one DP + one GR execution per `(tree, E)` pair, both
+/// dispatched through the engine registry.
 pub fn run(config: &Exp1Config) -> Exp1Output {
+    let registry = Registry::with_all();
+    let options = SolveOptions::default();
     let per_tree: Vec<Vec<(u64, u64, u64)>> = par_trees(config.trees, |i| {
         let mut rng = tree_rng(config.seed, i);
         let gen = GeneratorConfig::paper_fat(config.nodes).with_shape(config.shape);
         let tree = generate::random_tree(&gen, &mut rng);
         // GR is oblivious to E: one run covers every E value.
-        let gr = greedy::greedy_min_replicas(&tree, config.capacity)
+        let bare = Instance::min_cost(tree.clone(), config.capacity, [], 0.0, 0.0)
+            .expect("valid instance");
+        let gr = registry
+            .solve("greedy", &bare, &options)
             .expect("paper workloads are feasible at W = 10");
         config
             .e_values
             .iter()
             .map(|&e| {
                 let pre = generate::random_pre_existing(&tree, e, &mut rng);
-                let gr_reused =
-                    pre.iter().filter(|&&p| gr.placement.has_server(p)).count() as u64;
+                let gr_reused = pre.iter().filter(|&&p| gr.placement.has_server(p)).count() as u64;
                 let instance = Instance::min_cost(
                     tree.clone(),
                     config.capacity,
@@ -109,7 +118,8 @@ pub fn run(config: &Exp1Config) -> Exp1Output {
                     config.delete,
                 )
                 .expect("valid instance");
-                let dp = dp_mincost::solve_min_cost(&instance)
+                let dp = registry
+                    .solve("dp_mincost", &instance, &options)
                     .expect("feasible instance stays feasible with pre-existing servers");
                 debug_assert_eq!(dp.servers, gr.servers, "both algorithms are count-optimal");
                 (dp.reused, gr_reused, dp.servers)
@@ -134,7 +144,10 @@ pub fn run(config: &Exp1Config) -> Exp1Output {
         .map(|&(dp, gr, _)| dp as i64 - gr as i64)
         .max()
         .unwrap_or(0);
-    Exp1Output { points, max_tree_gap }
+    Exp1Output {
+        points,
+        max_tree_gap,
+    }
 }
 
 /// Headline statistics the paper quotes for Figure 4.
@@ -201,7 +214,10 @@ mod tests {
                 p.gr_reused
             );
             assert!(p.servers > 0.0);
-            assert!(p.dp_reused <= p.servers + 1e-9, "cannot reuse more than placed");
+            assert!(
+                p.dp_reused <= p.servers + 1e-9,
+                "cannot reuse more than placed"
+            );
         }
     }
 

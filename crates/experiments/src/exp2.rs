@@ -60,7 +60,11 @@ impl Exp2Config {
 
     /// Figure 7 parameters (high trees).
     pub fn figure7() -> Self {
-        Exp2Config { shape: TreeShape::PaperHigh, seed: 0xF1607, ..Self::figure5() }
+        Exp2Config {
+            shape: TreeShape::PaperHigh,
+            seed: 0xF1607,
+            ..Self::figure5()
+        }
     }
 }
 
@@ -79,7 +83,9 @@ pub struct Exp2Output {
 
 /// Runs both algorithms over the same request sequences on every tree.
 pub fn run(config: &Exp2Config) -> Exp2Output {
-    let evolution = Evolution::Resample { range: config.request_range };
+    let evolution = Evolution::Resample {
+        range: config.request_range,
+    };
     let dyn_config = DynamicConfig {
         steps: config.steps,
         capacity: config.capacity,
@@ -93,13 +99,23 @@ pub fn run(config: &Exp2Config) -> Exp2Output {
         // the RNG is re-derived per run.
         let tree = generate::random_tree(&gen, &mut tree_rng(config.seed, i));
         let mut evo_rng = tree_rng(config.seed ^ 0xE0, i);
-        let dp = run_dynamic(tree.clone(), evolution, Algorithm::DpMinCost, dyn_config,
-            &mut evo_rng)
-            .expect("paper workloads are feasible");
+        let dp = run_dynamic(
+            tree.clone(),
+            evolution,
+            Algorithm::DpMinCost,
+            dyn_config,
+            &mut evo_rng,
+        )
+        .expect("paper workloads are feasible");
         let mut evo_rng = tree_rng(config.seed ^ 0xE0, i);
-        let gr = run_dynamic(tree, evolution, Algorithm::GreedyOblivious, dyn_config,
-            &mut evo_rng)
-            .expect("paper workloads are feasible");
+        let gr = run_dynamic(
+            tree,
+            evolution,
+            Algorithm::GreedyOblivious,
+            dyn_config,
+            &mut evo_rng,
+        )
+        .expect("paper workloads are feasible");
         let diffs = metrics::reuse_differences(&dp, &gr);
         (metrics::cumulative(&dp), metrics::cumulative(&gr), diffs)
     });
@@ -112,13 +128,23 @@ pub fn run(config: &Exp2Config) -> Exp2Output {
         .map(|s| mean(per_tree.iter().map(|t| t.1[s] as f64)))
         .collect();
     let diff_histogram = histogram(per_tree.iter().flat_map(|t| t.2.iter().copied()));
-    Exp2Output { dp_cumulative, gr_cumulative, diff_histogram, trees: config.trees }
+    Exp2Output {
+        dp_cumulative,
+        gr_cumulative,
+        diff_histogram,
+        trees: config.trees,
+    }
 }
 
 /// Left panel as a table: cumulative reuse per step.
 pub fn cumulative_table(output: &Exp2Output, title: &str) -> Table {
     let mut t = Table::new(title, &["step", "dp_cumulative", "gr_cumulative"]);
-    for (i, (d, g)) in output.dp_cumulative.iter().zip(&output.gr_cumulative).enumerate() {
+    for (i, (d, g)) in output
+        .dp_cumulative
+        .iter()
+        .zip(&output.gr_cumulative)
+        .enumerate()
+    {
         t.push_row(vec![(i + 1).to_string(), fmt(*d, 2), fmt(*g, 2)]);
     }
     t
@@ -143,7 +169,12 @@ mod tests {
     use super::*;
 
     fn quick_config() -> Exp2Config {
-        Exp2Config { trees: 4, nodes: 30, steps: 6, ..Exp2Config::figure5() }
+        Exp2Config {
+            trees: 4,
+            nodes: 30,
+            steps: 6,
+            ..Exp2Config::figure5()
+        }
     }
 
     #[test]
@@ -151,7 +182,10 @@ mod tests {
         let out = run(&quick_config());
         assert_eq!(out.dp_cumulative.len(), 6);
         for w in out.dp_cumulative.windows(2) {
-            assert!(w[1] >= w[0] - 1e-9, "cumulative series must be non-decreasing");
+            assert!(
+                w[1] >= w[0] - 1e-9,
+                "cumulative series must be non-decreasing"
+            );
         }
         // The DP's total reuse must beat the oblivious greedy's.
         let dp_total = *out.dp_cumulative.last().unwrap();

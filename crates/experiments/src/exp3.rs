@@ -12,7 +12,11 @@
 //! The DP needs a single run per tree: the cost bound only filters the root
 //! scan, so every bound on the x-axis is answered from the same
 //! [`PowerDp`] candidates. Likewise, `GR`'s capacity sweep is computed once
-//! per tree.
+//! per tree. This is the one experiment that deliberately stays on the
+//! algorithms' deep (amortized) APIs instead of the engine registry: the
+//! registry's per-solve interface would re-run the DP for each of the ~30
+//! bounds on the x-axis, defeating the amortization this module exists to
+//! exploit.
 //!
 //! Variants: Figure 9 (no pre-existing servers), Figure 10 (high trees),
 //! Figure 11 (expensive create/delete: createᵢ = deleteᵢ = 1,
@@ -83,7 +87,11 @@ impl Exp3Config {
 
     /// Figure 9: no pre-existing replicas.
     pub fn figure9() -> Self {
-        Exp3Config { pre_existing: 0, seed: 0xF1609, ..Self::figure8() }
+        Exp3Config {
+            pre_existing: 0,
+            seed: 0xF1609,
+            ..Self::figure8()
+        }
     }
 
     /// Figure 10: high trees, lower bound range.
@@ -122,7 +130,12 @@ impl Exp3Config {
         Instance::builder(tree)
             .modes(modes)
             .pre_existing(PreExisting::at_mode(pre, self.pre_mode))
-            .cost(CostModel::uniform(m, self.create, self.delete, self.changed))
+            .cost(CostModel::uniform(
+                m,
+                self.create,
+                self.delete,
+                self.changed,
+            ))
             .power(power)
             .build()
             .expect("valid instance")
@@ -174,10 +187,8 @@ pub fn run(config: &Exp3Config) -> Vec<Exp3Point> {
                     .map(|&(_, p)| p)
                     .min_by(f64::total_cmp)
             };
-            let dp: Vec<Option<f64>> =
-                per_tree.iter().map(|t| best_within(&t.0)).collect();
-            let gr: Vec<Option<f64>> =
-                per_tree.iter().map(|t| best_within(&t.1)).collect();
+            let dp: Vec<Option<f64>> = per_tree.iter().map(|t| best_within(&t.0)).collect();
+            let gr: Vec<Option<f64>> = per_tree.iter().map(|t| best_within(&t.1)).collect();
             Exp3Point {
                 bound,
                 dp_inverse_power: mean(dp.iter().map(|p| p.map_or(0.0, |v| 1.0 / v))),
@@ -205,7 +216,13 @@ pub fn mean_gr_excess(points: &[Exp3Point], lo: f64, hi: f64) -> f64 {
 pub fn table(points: &[Exp3Point], title: &str) -> Table {
     let mut t = Table::new(
         title,
-        &["cost_bound", "dp_inverse_power", "gr_inverse_power", "dp_solved", "gr_solved"],
+        &[
+            "cost_bound",
+            "dp_inverse_power",
+            "gr_inverse_power",
+            "dp_solved",
+            "gr_solved",
+        ],
     );
     for p in points {
         t.push_row(vec![
@@ -244,7 +261,10 @@ mod tests {
                 p.dp_inverse_power,
                 p.gr_inverse_power
             );
-            assert!(p.dp_solved >= p.gr_solved, "optimal DP solves whenever GR does");
+            assert!(
+                p.dp_solved >= p.gr_solved,
+                "optimal DP solves whenever GR does"
+            );
         }
     }
 
@@ -271,7 +291,11 @@ mod tests {
 
     #[test]
     fn figure9_has_no_preexisting() {
-        let cfg = Exp3Config { trees: 2, nodes: 20, ..Exp3Config::figure9() };
+        let cfg = Exp3Config {
+            trees: 2,
+            nodes: 20,
+            ..Exp3Config::figure9()
+        };
         let inst = cfg.instance(0);
         assert!(inst.pre_existing().is_empty());
     }

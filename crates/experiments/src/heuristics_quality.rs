@@ -12,9 +12,17 @@
 use crate::common::{mean, par_trees};
 use crate::exp3::Exp3Config;
 use crate::report::{fmt, Table};
-use replica_core::heuristics::{annealing, local_search, power_greedy};
-use replica_core::{bounds, dp_power, greedy_power};
+use replica_core::{bounds, dp_power};
+use replica_engine::{Registry, SolveOptions};
 use serde::{Deserialize, Serialize};
+
+/// The registry solvers competing against the exact DP.
+const COMPETITORS: [&str; 4] = [
+    "greedy_power",
+    "heur_power_greedy",
+    "heur_local_search",
+    "heur_annealing",
+];
 
 /// Configuration of the study.
 #[derive(Clone, Debug, Serialize, Deserialize)]
@@ -62,17 +70,17 @@ pub struct SolverRow {
     pub mean_optimal_over_bound: f64,
 }
 
-/// Per-(tree, budget) raw powers.
+/// Per-(tree, budget) raw powers: the exact optimum, the certified lower
+/// bound, and one entry per registry competitor.
 struct Sample {
     optimal: f64,
     lower_bound: f64,
-    gr: Option<f64>,
-    constructive: Option<f64>,
-    polished: Option<f64>,
-    annealed: Option<f64>,
+    competitors: Vec<Option<f64>>,
 }
 
-/// Runs the study.
+/// Runs the study. The exact DP keeps its deep API (one run answers every
+/// budget — the Pareto front also *defines* the budgets); the competitors
+/// are dispatched uniformly through the engine registry.
 pub fn run(config: &HeuristicsConfig) -> Vec<SolverRow> {
     let exp3 = Exp3Config {
         trees: config.trees,
@@ -81,6 +89,7 @@ pub fn run(config: &HeuristicsConfig) -> Vec<SolverRow> {
         seed: config.seed,
         ..Exp3Config::figure8()
     };
+    let registry = Registry::with_all();
 
     // samples[b][t] = measurements of tree t at budget index b.
     let per_tree: Vec<Vec<Option<Sample>>> = par_trees(config.trees, |i| {
@@ -92,7 +101,6 @@ pub fn run(config: &HeuristicsConfig) -> Vec<SolverRow> {
         let front = dp.pareto_front();
         let c_min = front.first().map(|&(c, _)| c).unwrap_or(0.0);
         let c_opt = front.last().map(|&(c, _)| c).unwrap_or(0.0);
-        let gr_points = greedy_power::paper_sweep(&instance);
 
         config
             .budget_fractions
@@ -103,35 +111,23 @@ pub fn run(config: &HeuristicsConfig) -> Vec<SolverRow> {
                     None => f64::INFINITY,
                 };
                 let optimal = dp.best_within(budget)?.power;
-                let gr = greedy_power::best_within(&gr_points, budget).map(|p| p.power);
-                let constructive = power_greedy::solve(&instance, budget).ok();
-                let polished = constructive.as_ref().and_then(|c| {
-                    local_search::solve(
-                        &instance,
-                        &c.placement,
-                        budget,
-                        local_search::LocalSearchOptions::default(),
-                    )
-                    .ok()
-                    .map(|r| r.power)
-                });
-                let annealed = constructive.as_ref().and_then(|c| {
-                    annealing::solve(
-                        &instance,
-                        &c.placement,
-                        budget,
-                        annealing::AnnealingOptions { iterations: 5_000, ..Default::default() },
-                    )
-                    .ok()
-                    .map(|r| r.power)
-                });
+                let options = SolveOptions {
+                    cost_bound: budget,
+                    seed: replica_engine::seeding::mix(config.seed, i as u64),
+                };
+                let competitors = COMPETITORS
+                    .iter()
+                    .map(|name| {
+                        registry
+                            .solve(name, &instance, &options)
+                            .ok()
+                            .map(|o| o.power)
+                    })
+                    .collect();
                 Some(Sample {
                     optimal,
                     lower_bound,
-                    gr,
-                    constructive: constructive.map(|c| c.power),
-                    polished,
-                    annealed,
+                    competitors,
                 })
             })
             .collect()
@@ -140,9 +136,8 @@ pub fn run(config: &HeuristicsConfig) -> Vec<SolverRow> {
     let mut rows = Vec::new();
     for (b, &fraction) in config.budget_fractions.iter().enumerate() {
         let samples: Vec<&Sample> = per_tree.iter().filter_map(|t| t[b].as_ref()).collect();
-        let optimal_over_bound =
-            mean(samples.iter().map(|s| s.optimal / s.lower_bound));
-        let mut push = |solver: &str, pick: fn(&Sample) -> Option<f64>| {
+        let optimal_over_bound = mean(samples.iter().map(|s| s.optimal / s.lower_bound));
+        let mut push = |solver: &str, pick: &dyn Fn(&Sample) -> Option<f64>| {
             let ratios: Vec<f64> = samples
                 .iter()
                 .filter_map(|s| pick(s).map(|v| v / s.optimal))
@@ -156,11 +151,10 @@ pub fn run(config: &HeuristicsConfig) -> Vec<SolverRow> {
                 mean_optimal_over_bound: optimal_over_bound,
             });
         };
-        push("exact_dp", |s| Some(s.optimal));
-        push("gr_capacity_sweep", |s| s.gr);
-        push("power_greedy", |s| s.constructive);
-        push("power_greedy+local_search", |s| s.polished);
-        push("power_greedy+annealing", |s| s.annealed);
+        push("exact_dp", &|s| Some(s.optimal));
+        for (k, name) in COMPETITORS.iter().enumerate() {
+            push(name, &move |s| s.competitors[k]);
+        }
     }
     rows
 }
@@ -169,7 +163,14 @@ pub fn run(config: &HeuristicsConfig) -> Vec<SolverRow> {
 pub fn table(rows: &[SolverRow], title: &str) -> Table {
     let mut t = Table::new(
         title,
-        &["budget", "solver", "mean_ratio", "max_ratio", "solved", "optimum_over_lb"],
+        &[
+            "budget",
+            "solver",
+            "mean_ratio",
+            "max_ratio",
+            "solved",
+            "optimum_over_lb",
+        ],
     );
     for r in rows {
         t.push_row(vec![
@@ -230,7 +231,7 @@ mod tests {
             };
             // Only comparable when both solved the same trees; with the
             // quick config that is the case.
-            assert!(get("power_greedy+local_search") <= get("power_greedy") + 1e-9);
+            assert!(get("heur_local_search") <= get("heur_power_greedy") + 1e-9);
         }
     }
 

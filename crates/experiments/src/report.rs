@@ -50,8 +50,11 @@ impl Table {
         let _ = writeln!(out, "{}", header.join("  "));
         let _ = writeln!(out, "{}", "-".repeat(header.join("  ").len()));
         for row in &self.rows {
-            let cells: Vec<String> =
-                row.iter().zip(&widths).map(|(c, &w)| format!("{c:>w$}")).collect();
+            let cells: Vec<String> = row
+                .iter()
+                .zip(&widths)
+                .map(|(c, &w)| format!("{c:>w$}"))
+                .collect();
             let _ = writeln!(out, "{}", cells.join("  "));
         }
         out

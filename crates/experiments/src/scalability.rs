@@ -1,4 +1,4 @@
-//! Scalability runs — §5's runtime claims.
+//! Scalability runs — §5's runtime claims, timed through the engine.
 //!
 //! The paper reports (on a 2008-era Intel Xeon 5250): `MinCost-WithPre` on
 //! 500 nodes / 125 pre-existing in ~30 minutes; the power DP on 300 nodes
@@ -7,24 +7,37 @@
 //! module reproduces is the *scaling shape* (and, on modern hardware, a
 //! large constant-factor improvement thanks to sparse tables and packed
 //! state keys).
+//!
+//! Dispatch and timing go through [`replica_engine`]: each row names a
+//! registry solver, and the wall-clock comes from the engine's per-solve
+//! measurement (which excludes instance construction and re-evaluation).
 
 use crate::common::tree_rng;
 use crate::report::{fmt, Table};
-use replica_core::{dp_mincost, dp_power};
+use replica_engine::{Registry, SolveOptions};
 use replica_model::{CostModel, Instance, ModeSet, PowerModel, PreExisting};
 use replica_tree::{generate, GeneratorConfig};
 use serde::{Deserialize, Serialize};
-use std::time::Instant;
 
 /// Which solver a scalability row measures.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub enum Solver {
-    /// `MinCost-WithPre` DP (§3).
+    /// `MinCost-WithPre` DP (§3) — registry solver `dp_mincost`.
     MinCost,
-    /// Power DP without pre-existing servers (§4.3).
+    /// Power DP without pre-existing servers (§4.3) — `dp_power`.
     PowerNoPre,
-    /// Power DP with pre-existing servers (§4.3).
+    /// Power DP with pre-existing servers (§4.3) — `dp_power`.
     PowerWithPre,
+}
+
+impl Solver {
+    /// The engine registry name this row dispatches to.
+    pub fn registry_name(self) -> &'static str {
+        match self {
+            Solver::MinCost => "dp_mincost",
+            Solver::PowerNoPre | Solver::PowerWithPre => "dp_power",
+        }
+    }
 }
 
 /// One timed configuration.
@@ -79,53 +92,63 @@ impl ScaleConfig {
     }
 }
 
-fn time_min_cost(nodes: usize, pre: usize, repeats: usize, seed: u64) -> f64 {
-    let mut total = 0.0;
-    for r in 0..repeats {
-        let mut rng = tree_rng(seed, r);
-        let tree = generate::random_tree(&GeneratorConfig::paper_fat(nodes), &mut rng);
-        let pre_nodes = generate::random_pre_existing(&tree, pre, &mut rng);
-        let instance = Instance::min_cost(tree, 10, pre_nodes, 0.1, 0.01).unwrap();
-        let start = Instant::now();
-        let result = dp_mincost::solve_min_cost(&instance).unwrap();
-        total += start.elapsed().as_secs_f64() * 1e3;
-        std::hint::black_box(result.servers);
+/// Builds the instance for one repetition of a row.
+fn row_instance(solver: Solver, nodes: usize, pre: usize, seed: u64, rep: usize) -> Instance {
+    match solver {
+        Solver::MinCost => {
+            let mut rng = tree_rng(seed, rep);
+            let tree = generate::random_tree(&GeneratorConfig::paper_fat(nodes), &mut rng);
+            let pre_nodes = generate::random_pre_existing(&tree, pre, &mut rng);
+            Instance::min_cost(tree, 10, pre_nodes, 0.1, 0.01).expect("valid instance")
+        }
+        Solver::PowerNoPre | Solver::PowerWithPre => {
+            let mut rng = tree_rng(seed, 1000 + rep);
+            let tree = generate::random_tree(&GeneratorConfig::paper_power(nodes), &mut rng);
+            let pre_nodes = generate::random_pre_existing(&tree, pre, &mut rng);
+            let modes = ModeSet::new(vec![5, 10]).expect("valid modes");
+            let power = PowerModel::paper_experiment3(&modes);
+            Instance::builder(tree)
+                .pre_existing(PreExisting::at_mode(pre_nodes, 1))
+                .cost(CostModel::uniform(2, 0.1, 0.01, 0.001))
+                .power(power)
+                .modes(modes)
+                .build()
+                .expect("valid instance")
+        }
     }
-    total / repeats as f64
 }
 
-fn time_power(nodes: usize, pre: usize, repeats: usize, seed: u64) -> f64 {
+/// Mean engine-measured wall-clock (milliseconds) of one row.
+fn time_row(
+    registry: &Registry,
+    solver: Solver,
+    nodes: usize,
+    pre: usize,
+    config: &ScaleConfig,
+) -> f64 {
+    let options = SolveOptions::default();
     let mut total = 0.0;
-    for r in 0..repeats {
-        let mut rng = tree_rng(seed, 1000 + r);
-        let tree = generate::random_tree(&GeneratorConfig::paper_power(nodes), &mut rng);
-        let pre_nodes = generate::random_pre_existing(&tree, pre, &mut rng);
-        let modes = ModeSet::new(vec![5, 10]).unwrap();
-        let power = PowerModel::paper_experiment3(&modes);
-        let instance = Instance::builder(tree)
-            .modes(modes)
-            .pre_existing(PreExisting::at_mode(pre_nodes, 1))
-            .cost(CostModel::uniform(2, 0.1, 0.01, 0.001))
-            .power(power)
-            .build()
-            .unwrap();
-        let start = Instant::now();
-        let dp = dp_power::PowerDp::run(&instance).unwrap();
-        total += start.elapsed().as_secs_f64() * 1e3;
-        std::hint::black_box(dp.candidates().len());
+    for rep in 0..config.repeats {
+        let instance = row_instance(solver, nodes, pre, config.seed, rep);
+        let outcome = registry
+            .solve(solver.registry_name(), &instance, &options)
+            .expect("scalability instances are feasible");
+        total += outcome.wall.as_secs_f64() * 1e3;
+        std::hint::black_box(outcome.servers);
     }
-    total / repeats as f64
+    total / config.repeats as f64
 }
 
 /// Runs the sweep (serial: each point is itself timed).
 pub fn run(config: &ScaleConfig) -> Vec<ScalePoint> {
+    let registry = Registry::with_all();
     let mut out = Vec::new();
     for &(nodes, pre) in &config.min_cost {
         out.push(ScalePoint {
             solver: Solver::MinCost,
             nodes,
             pre_existing: pre,
-            millis: time_min_cost(nodes, pre, config.repeats, config.seed),
+            millis: time_row(&registry, Solver::MinCost, nodes, pre, config),
         });
     }
     for &nodes in &config.power_nopre {
@@ -133,7 +156,7 @@ pub fn run(config: &ScaleConfig) -> Vec<ScalePoint> {
             solver: Solver::PowerNoPre,
             nodes,
             pre_existing: 0,
-            millis: time_power(nodes, 0, config.repeats, config.seed),
+            millis: time_row(&registry, Solver::PowerNoPre, nodes, 0, config),
         });
     }
     for &(nodes, pre) in &config.power_withpre {
@@ -141,7 +164,7 @@ pub fn run(config: &ScaleConfig) -> Vec<ScalePoint> {
             solver: Solver::PowerWithPre,
             nodes,
             pre_existing: pre,
-            millis: time_power(nodes, pre, config.repeats, config.seed),
+            millis: time_row(&registry, Solver::PowerWithPre, nodes, pre, config),
         });
     }
     out
@@ -181,5 +204,16 @@ mod tests {
         }
         let t = table(&points, "scale-quick");
         assert_eq!(t.rows.len(), 3);
+    }
+
+    #[test]
+    fn rows_map_to_registry_solvers() {
+        assert_eq!(Solver::MinCost.registry_name(), "dp_mincost");
+        assert_eq!(Solver::PowerNoPre.registry_name(), "dp_power");
+        assert_eq!(Solver::PowerWithPre.registry_name(), "dp_power");
+        let registry = Registry::with_all();
+        for s in [Solver::MinCost, Solver::PowerNoPre, Solver::PowerWithPre] {
+            assert!(registry.get(s.registry_name()).is_some());
+        }
     }
 }

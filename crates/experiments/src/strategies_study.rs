@@ -68,15 +68,30 @@ pub type StrategyList = Vec<(&'static str, UpdateStrategy)>;
 pub fn matrix() -> (EvolutionList, StrategyList) {
     (
         vec![
-            ("gentle-walk", Evolution::RandomWalk { step: 1, range: (1, 6) }),
+            (
+                "gentle-walk",
+                Evolution::RandomWalk {
+                    step: 1,
+                    range: (1, 6),
+                },
+            ),
             ("full-redraw", Evolution::Resample { range: (1, 6) }),
-            ("bursty-churn", Evolution::Churn { range: (1, 6), quiet_probability: 0.25 }),
+            (
+                "bursty-churn",
+                Evolution::Churn {
+                    range: (1, 6),
+                    quiet_probability: 0.25,
+                },
+            ),
         ],
         vec![
             ("systematic", UpdateStrategy::Systematic),
             ("lazy", UpdateStrategy::Lazy),
             ("periodic-5", UpdateStrategy::Periodic { period: 5 }),
-            ("load-0.85", UpdateStrategy::LoadTriggered { threshold: 0.85 }),
+            (
+                "load-0.85",
+                UpdateStrategy::LoadTriggered { threshold: 0.85 },
+            ),
         ],
     )
 }
@@ -95,8 +110,7 @@ pub fn run(config: &StrategiesConfig) -> Vec<StrategyCell> {
     for (evo_name, evolution) in &evolutions {
         for (strat_name, strategy) in &strategies {
             let summaries: Vec<StrategySummary> = par_trees(config.trees, |i| {
-                let gen =
-                    GeneratorConfig::paper_fat(config.nodes).with_shape(config.shape);
+                let gen = GeneratorConfig::paper_fat(config.nodes).with_shape(config.shape);
                 let tree = generate::random_tree(&gen, &mut tree_rng(config.seed, i));
                 let records = run_with_strategy(
                     tree,
@@ -126,7 +140,14 @@ pub fn run(config: &StrategiesConfig) -> Vec<StrategyCell> {
 pub fn table(cells: &[StrategyCell], title: &str) -> Table {
     let mut t = Table::new(
         title,
-        &["evolution", "strategy", "reconfigs", "total_cost", "server_steps", "broken_steps"],
+        &[
+            "evolution",
+            "strategy",
+            "reconfigs",
+            "total_cost",
+            "server_steps",
+            "broken_steps",
+        ],
     );
     for c in cells {
         t.push_row(vec![
@@ -146,7 +167,12 @@ mod tests {
     use super::*;
 
     fn quick() -> StrategiesConfig {
-        StrategiesConfig { trees: 3, nodes: 40, steps: 10, ..StrategiesConfig::default_study() }
+        StrategiesConfig {
+            trees: 3,
+            nodes: 40,
+            steps: 10,
+            ..StrategiesConfig::default_study()
+        }
     }
 
     #[test]

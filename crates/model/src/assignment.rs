@@ -63,7 +63,11 @@ impl Assignment {
             .client_ids()
             .map(|c| nearest[tree.client(c).attach.index()])
             .collect();
-        Assignment { server_of, inflow, outflow }
+        Assignment {
+            server_of,
+            inflow,
+            outflow,
+        }
     }
 
     /// Load of the server at `node` (meaningful only for servers).
@@ -88,7 +92,11 @@ impl Assignment {
             let load = self.load(node);
             let capacity = modes.capacity(mode);
             if load > capacity {
-                return Err(ModelError::Overloaded { node, load, capacity });
+                return Err(ModelError::Overloaded {
+                    node,
+                    load,
+                    capacity,
+                });
             }
         }
         if self.outflow[tree.root().index()] > 0 {
@@ -204,7 +212,11 @@ mod tests {
         let err = compute_validated(&t, &p, &modes).unwrap_err();
         assert_eq!(
             err,
-            ModelError::Overloaded { node: r, load: 9, capacity: 8 }
+            ModelError::Overloaded {
+                node: r,
+                load: 9,
+                capacity: 8
+            }
         );
     }
 
@@ -227,7 +239,14 @@ mod tests {
         p.insert(a, 0); // absorbs 7 > 6: overloaded
         p.insert(r, 0);
         let err = compute_validated(&t, &p, &modes).unwrap_err();
-        assert_eq!(err, ModelError::Overloaded { node: a, load: 7, capacity: 6 });
+        assert_eq!(
+            err,
+            ModelError::Overloaded {
+                node: a,
+                load: 7,
+                capacity: 6
+            }
+        );
 
         // With B and C as servers, A passes nothing.
         let mut p = Placement::empty(&t);

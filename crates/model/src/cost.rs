@@ -97,7 +97,9 @@ impl CostModel {
             .chain(self.changed.iter().flatten());
         for &v in all {
             if !v.is_finite() || v < 0.0 {
-                return Err(ModelError::InvalidCost(format!("cost entry {v} out of range")));
+                return Err(ModelError::InvalidCost(format!(
+                    "cost entry {v} out of range"
+                )));
             }
         }
         Ok(())
@@ -205,7 +207,9 @@ mod tests {
     fn validation_catches_dimension_mismatch() {
         let modes = ModeSet::new(vec![5, 10]).unwrap();
         assert!(CostModel::simple(0.1, 0.01).validate(&modes).is_err());
-        assert!(CostModel::uniform(2, 0.1, 0.01, 0.001).validate(&modes).is_ok());
+        assert!(CostModel::uniform(2, 0.1, 0.01, 0.001)
+            .validate(&modes)
+            .is_ok());
         let mut bad = CostModel::uniform(2, 0.1, 0.01, 0.001);
         bad.changed[1].pop();
         assert!(bad.validate(&modes).is_err());

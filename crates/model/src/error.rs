@@ -40,7 +40,11 @@ impl fmt::Display for ModelError {
             ModelError::InvalidPower(msg) => write!(f, "invalid power model: {msg}"),
             ModelError::InvalidPreExisting(msg) => write!(f, "invalid pre-existing set: {msg}"),
             ModelError::InvalidPlacement(msg) => write!(f, "invalid placement: {msg}"),
-            ModelError::Overloaded { node, load, capacity } => write!(
+            ModelError::Overloaded {
+                node,
+                load,
+                capacity,
+            } => write!(
                 f,
                 "server {node} receives {load} requests, over its mode capacity {capacity}"
             ),
@@ -58,9 +62,15 @@ mod tests {
 
     #[test]
     fn display_formats() {
-        let e = ModelError::Overloaded { node: NodeId::from_index(3), load: 12, capacity: 10 };
+        let e = ModelError::Overloaded {
+            node: NodeId::from_index(3),
+            load: 12,
+            capacity: 10,
+        };
         let s = e.to_string();
         assert!(s.contains("n3") && s.contains("12") && s.contains("10"));
-        assert!(ModelError::Unserved(ClientId::from_index(1)).to_string().contains("c1"));
+        assert!(ModelError::Unserved(ClientId::from_index(1))
+            .to_string()
+            .contains("c1"));
     }
 }

@@ -174,7 +174,13 @@ impl InstanceBuilder {
         cost.validate(&modes)?;
         self.power.validate()?;
         self.pre_existing.validate(&self.tree, &modes)?;
-        Ok(Instance { tree: self.tree, modes, pre_existing: self.pre_existing, cost, power: self.power })
+        Ok(Instance {
+            tree: self.tree,
+            modes,
+            pre_existing: self.pre_existing,
+            cost,
+            power: self.power,
+        })
     }
 }
 
@@ -197,7 +203,10 @@ mod tests {
 
     #[test]
     fn builder_defaults() {
-        let inst = Instance::builder(tree(&[3, 4])).capacity(10).build().unwrap();
+        let inst = Instance::builder(tree(&[3, 4]))
+            .capacity(10)
+            .build()
+            .unwrap();
         assert_eq!(inst.mode_count(), 1);
         assert_eq!(inst.max_capacity(), 10);
         assert!(inst.pre_existing().is_empty());
@@ -226,7 +235,10 @@ mod tests {
         // One node with an 11-request client: infeasible at W = 10.
         let inst = Instance::builder(tree(&[11])).capacity(10).build().unwrap();
         assert!(!inst.feasible());
-        let inst = Instance::builder(tree(&[10, 10, 10])).capacity(10).build().unwrap();
+        let inst = Instance::builder(tree(&[10, 10, 10]))
+            .capacity(10)
+            .build()
+            .unwrap();
         assert!(inst.feasible());
     }
 
@@ -244,23 +256,32 @@ mod tests {
             .build();
         assert!(bad_pre.is_err());
 
-        let bad_power =
-            Instance::builder(tree(&[1])).capacity(5).power(PowerModel::new(-2.0, 2.0)).build();
+        let bad_power = Instance::builder(tree(&[1]))
+            .capacity(5)
+            .power(PowerModel::new(-2.0, 2.0))
+            .build();
         assert!(bad_power.is_err());
     }
 
     #[test]
     fn set_pre_existing_validates() {
-        let mut inst = Instance::builder(tree(&[2, 3])).capacity(10).build().unwrap();
-        assert!(inst.set_pre_existing(PreExisting::at_mode([NodeId::from_index(1)], 0)).is_ok());
+        let mut inst = Instance::builder(tree(&[2, 3]))
+            .capacity(10)
+            .build()
+            .unwrap();
+        assert!(inst
+            .set_pre_existing(PreExisting::at_mode([NodeId::from_index(1)], 0))
+            .is_ok());
         assert_eq!(inst.pre_existing().count(), 1);
-        assert!(inst.set_pre_existing(PreExisting::at_mode([NodeId::from_index(9)], 0)).is_err());
+        assert!(inst
+            .set_pre_existing(PreExisting::at_mode([NodeId::from_index(9)], 0))
+            .is_err());
     }
 
     #[test]
     fn serde_round_trip() {
-        let inst = Instance::min_cost(tree(&[3, 4]), 10, vec![NodeId::from_index(2)], 0.1, 0.01)
-            .unwrap();
+        let inst =
+            Instance::min_cost(tree(&[3, 4]), 10, vec![NodeId::from_index(2)], 0.1, 0.01).unwrap();
         let json = serde_json::to_string(&inst).unwrap();
         let back: Instance = serde_json::from_str(&json).unwrap();
         assert_eq!(back.max_capacity(), 10);

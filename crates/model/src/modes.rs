@@ -26,7 +26,9 @@ impl ModeSet {
             return Err(ModelError::InvalidModes("no modes given".into()));
         }
         if caps[0] == 0 {
-            return Err(ModelError::InvalidModes("capacity 0 is not operable".into()));
+            return Err(ModelError::InvalidModes(
+                "capacity 0 is not operable".into(),
+            ));
         }
         if !caps.windows(2).all(|w| w[0] < w[1]) {
             return Err(ModelError::InvalidModes(format!(

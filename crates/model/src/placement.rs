@@ -22,11 +22,18 @@ impl Placement {
 
     /// An empty placement for `tree`.
     pub fn empty(tree: &Tree) -> Self {
-        Placement { modes: vec![None; tree.internal_count()], servers: 0 }
+        Placement {
+            modes: vec![None; tree.internal_count()],
+            servers: 0,
+        }
     }
 
     /// A placement with a server at every listed node, all in `mode`.
-    pub fn from_nodes<I: IntoIterator<Item = NodeId>>(tree: &Tree, nodes: I, mode: ModeIdx) -> Self {
+    pub fn from_nodes<I: IntoIterator<Item = NodeId>>(
+        tree: &Tree,
+        nodes: I,
+        mode: ModeIdx,
+    ) -> Self {
         let mut p = Placement::empty(tree);
         for n in nodes {
             p.insert(n, mode);

@@ -24,20 +24,29 @@ impl PowerModel {
     /// Creates a model; parameters are validated by [`PowerModel::validate`]
     /// when the instance is assembled.
     pub fn new(static_power: f64, alpha: f64) -> Self {
-        PowerModel { static_power, alpha }
+        PowerModel {
+            static_power,
+            alpha,
+        }
     }
 
     /// The paper's Experiment 3 model: `Pᵢ = W₁³/10 + Wᵢ³`, i.e.
     /// `P_static = W₁³/10` and `α = 3`.
     pub fn paper_experiment3(modes: &ModeSet) -> Self {
         let w1 = modes.capacity(0) as f64;
-        PowerModel { static_power: w1.powi(3) / 10.0, alpha: 3.0 }
+        PowerModel {
+            static_power: w1.powi(3) / 10.0,
+            alpha: 3.0,
+        }
     }
 
     /// Zero-static-power model (the NP-completeness reduction of §4.2 uses
     /// this).
     pub fn dynamic_only(alpha: f64) -> Self {
-        PowerModel { static_power: 0.0, alpha }
+        PowerModel {
+            static_power: 0.0,
+            alpha,
+        }
     }
 
     /// Sanity checks: non-negative finite static power, `α ∈ [1, 10]`.
@@ -49,7 +58,10 @@ impl PowerModel {
             )));
         }
         if !self.alpha.is_finite() || !(1.0..=10.0).contains(&self.alpha) {
-            return Err(ModelError::InvalidPower(format!("alpha {} out of range", self.alpha)));
+            return Err(ModelError::InvalidPower(format!(
+                "alpha {} out of range",
+                self.alpha
+            )));
         }
         Ok(())
     }

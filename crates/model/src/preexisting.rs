@@ -30,7 +30,9 @@ impl PreExisting {
 
     /// All listed nodes pre-exist at `mode`.
     pub fn at_mode<I: IntoIterator<Item = NodeId>>(nodes: I, mode: ModeIdx) -> Self {
-        PreExisting { entries: nodes.into_iter().map(|n| (n, mode)).collect() }
+        PreExisting {
+            entries: nodes.into_iter().map(|n| (n, mode)).collect(),
+        }
     }
 
     /// Explicit per-node original modes.
@@ -101,7 +103,9 @@ impl PreExisting {
 
 impl FromIterator<(NodeId, ModeIdx)> for PreExisting {
     fn from_iter<I: IntoIterator<Item = (NodeId, ModeIdx)>>(iter: I) -> Self {
-        PreExisting { entries: iter.into_iter().collect() }
+        PreExisting {
+            entries: iter.into_iter().collect(),
+        }
     }
 }
 
@@ -146,8 +150,9 @@ mod tests {
 
     #[test]
     fn from_iterator_and_serde() {
-        let pre: PreExisting =
-            [(NodeId::from_index(0), 0), (NodeId::from_index(2), 1)].into_iter().collect();
+        let pre: PreExisting = [(NodeId::from_index(0), 0), (NodeId::from_index(2), 1)]
+            .into_iter()
+            .collect();
         let json = serde_json::to_string(&pre).unwrap();
         let back: PreExisting = serde_json::from_str(&json).unwrap();
         assert_eq!(back, pre);

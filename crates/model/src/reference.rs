@@ -38,7 +38,10 @@ pub fn loads_by_summing(tree: &Tree, placement: &Placement) -> Vec<u64> {
 pub fn assert_matches_reference(tree: &Tree, placement: &Placement) {
     let fast = Assignment::compute(tree, placement);
     let slow_servers = servers_by_walking(tree, placement);
-    assert_eq!(fast.server_of, slow_servers, "per-client server assignment diverged");
+    assert_eq!(
+        fast.server_of, slow_servers,
+        "per-client server assignment diverged"
+    );
     let slow_loads = loads_by_summing(tree, placement);
     for (node, _) in placement.servers() {
         assert_eq!(

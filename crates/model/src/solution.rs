@@ -46,8 +46,7 @@ impl SolutionCounts {
 
     /// Total number of servers `R = Σnᵢ + Σeᵢᵢ'`.
     pub fn total_servers(&self) -> u64 {
-        self.new_by_mode.iter().sum::<u64>()
-            + self.reused.iter().flatten().sum::<u64>()
+        self.new_by_mode.iter().sum::<u64>() + self.reused.iter().flatten().sum::<u64>()
     }
 
     /// Number of reused pre-existing servers `e = Σᵢᵢ' eᵢᵢ'`.
@@ -115,9 +114,11 @@ impl Solution {
             // sound.
             for (node, _) in placement.clone().servers() {
                 let load = assignment.load(node);
-                let mode = modes
-                    .mode_for_load(load)
-                    .ok_or(ModelError::Overloaded { node, load, capacity: modes.max_capacity() })?;
+                let mode = modes.mode_for_load(load).ok_or(ModelError::Overloaded {
+                    node,
+                    load,
+                    capacity: modes.max_capacity(),
+                })?;
                 placement.insert(node, mode);
             }
         }
@@ -139,13 +140,18 @@ impl Solution {
             }
         }
 
-        let cost = instance.cost().total(
-            &counts.new_by_mode,
-            &counts.reused,
-            &counts.deleted_by_mode,
-        );
+        let cost =
+            instance
+                .cost()
+                .total(&counts.new_by_mode, &counts.reused, &counts.deleted_by_mode);
         let power = instance.power().total(modes, &counts.by_operated_mode());
-        Ok(Solution { placement, assignment, counts, cost, power })
+        Ok(Solution {
+            placement,
+            assignment,
+            counts,
+            cost,
+            power,
+        })
     }
 }
 
@@ -265,7 +271,10 @@ mod tests {
         p3.insert(c, 0);
         p3.insert(r, 1); // root load = 7 + 4 = 11 > 10? No: B's 7 pass A… 7+3 absorbed? —
                          // B:7 flows up through A (no server), +4 at root = 11 with C absorbed 3.
-        assert!(Solution::evaluate(&inst, &p3).is_err(), "root overloads at 11 > 10");
+        assert!(
+            Solution::evaluate(&inst, &p3).is_err(),
+            "root overloads at 11 > 10"
+        );
     }
 
     #[test]

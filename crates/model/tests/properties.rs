@@ -11,11 +11,7 @@ use replica_model::{
 };
 use replica_tree::{generate, GeneratorConfig, NodeId};
 
-fn tree_and_placement(
-    seed: u64,
-    nodes: usize,
-    density: f64,
-) -> (replica_tree::Tree, Placement) {
+fn tree_and_placement(seed: u64, nodes: usize, density: f64) -> (replica_tree::Tree, Placement) {
     let mut rng = StdRng::seed_from_u64(seed);
     let cfg = GeneratorConfig {
         internal_nodes: nodes,

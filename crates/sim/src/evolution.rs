@@ -49,7 +49,10 @@ impl Evolution {
                     tree.set_requests(c, rng.random_range(lo..=hi));
                 }
             }
-            Evolution::RandomWalk { step, range: (lo, hi) } => {
+            Evolution::RandomWalk {
+                step,
+                range: (lo, hi),
+            } => {
                 assert!(lo <= hi, "invalid range");
                 for c in clients {
                     let cur = tree.requests(c);
@@ -58,7 +61,10 @@ impl Evolution {
                     tree.set_requests(c, next);
                 }
             }
-            Evolution::Churn { range: (lo, hi), quiet_probability } => {
+            Evolution::Churn {
+                range: (lo, hi),
+                quiet_probability,
+            } => {
                 assert!(lo <= hi, "invalid range");
                 assert!((0.0..=1.0).contains(&quiet_probability));
                 for c in clients {
@@ -101,10 +107,17 @@ mod tests {
         let mut t = tree(3);
         let before: Vec<u64> = t.client_ids().map(|c| t.requests(c)).collect();
         let mut rng = StdRng::seed_from_u64(4);
-        Evolution::RandomWalk { step: 1, range: (1, 6) }.apply(&mut t, &mut rng);
+        Evolution::RandomWalk {
+            step: 1,
+            range: (1, 6),
+        }
+        .apply(&mut t, &mut rng);
         for (c, &old) in t.client_ids().zip(&before) {
             let new = t.requests(c);
-            assert!(new.abs_diff(old) <= 1, "walk step exceeded 1: {old} → {new}");
+            assert!(
+                new.abs_diff(old) <= 1,
+                "walk step exceeded 1: {old} → {new}"
+            );
             assert!((1..=6).contains(&new));
         }
     }
@@ -113,7 +126,11 @@ mod tests {
     fn churn_produces_quiet_clients() {
         let mut t = tree(5);
         let mut rng = StdRng::seed_from_u64(6);
-        Evolution::Churn { range: (1, 6), quiet_probability: 0.5 }.apply(&mut t, &mut rng);
+        Evolution::Churn {
+            range: (1, 6),
+            quiet_probability: 0.5,
+        }
+        .apply(&mut t, &mut rng);
         let quiet = t.client_ids().filter(|&c| t.requests(c) == 0).count();
         let active = t.client_count() - quiet;
         assert!(quiet > 0, "with p = 0.5 some client should be quiet");
@@ -124,10 +141,8 @@ mod tests {
     fn deterministic_under_seed() {
         let mut t1 = tree(7);
         let mut t2 = tree(7);
-        Evolution::Resample { range: (1, 6) }
-            .apply(&mut t1, &mut StdRng::seed_from_u64(8));
-        Evolution::Resample { range: (1, 6) }
-            .apply(&mut t2, &mut StdRng::seed_from_u64(8));
+        Evolution::Resample { range: (1, 6) }.apply(&mut t1, &mut StdRng::seed_from_u64(8));
+        Evolution::Resample { range: (1, 6) }.apply(&mut t2, &mut StdRng::seed_from_u64(8));
         for c in t1.client_ids() {
             assert_eq!(t1.requests(c), t2.requests(c));
         }

@@ -56,14 +56,19 @@ pub fn histogram<I: IntoIterator<Item = i64>>(values: I) -> Histogram {
     for v in values {
         *buckets.entry(v).or_insert(0) += 1;
     }
-    Histogram { buckets: buckets.into_iter().collect() }
+    Histogram {
+        buckets: buckets.into_iter().collect(),
+    }
 }
 
 /// Pairwise reuse differences `a − b` for two record series of equal length
 /// (DP vs GR on the same request sequence).
 pub fn reuse_differences(a: &[StepRecord], b: &[StepRecord]) -> Vec<i64> {
     assert_eq!(a.len(), b.len(), "series must cover the same steps");
-    a.iter().zip(b).map(|(x, y)| x.reused as i64 - y.reused as i64).collect()
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| x.reused as i64 - y.reused as i64)
+        .collect()
 }
 
 #[cfg(test)]
@@ -71,7 +76,12 @@ mod tests {
     use super::*;
 
     fn rec(step: usize, reused: u64) -> StepRecord {
-        StepRecord { step, servers: 10, reused, cost: 0.0 }
+        StepRecord {
+            step,
+            servers: 10,
+            reused,
+            cost: 0.0,
+        }
     }
 
     #[test]

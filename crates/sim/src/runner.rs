@@ -43,7 +43,12 @@ pub struct DynamicConfig {
 impl DynamicConfig {
     /// Experiment 2 defaults: 20 steps, `W = 10`, create 0.1 / delete 0.01.
     pub fn paper() -> Self {
-        DynamicConfig { steps: 20, capacity: 10, create: 0.1, delete: 0.01 }
+        DynamicConfig {
+            steps: 20,
+            capacity: 10,
+            create: 0.1,
+            delete: 0.01,
+        }
     }
 }
 
@@ -74,8 +79,10 @@ pub fn run_dynamic<R: Rng + ?Sized>(
     let mut records = Vec::with_capacity(config.steps);
     for step in 1..=config.steps {
         evolution.apply(&mut tree, rng);
-        let pre_nodes: Vec<_> =
-            previous.as_ref().map(|p| p.server_nodes()).unwrap_or_default();
+        let pre_nodes: Vec<_> = previous
+            .as_ref()
+            .map(|p| p.server_nodes())
+            .unwrap_or_default();
 
         let (placement, servers, reused, cost) = match algorithm {
             Algorithm::GreedyOblivious => {
@@ -103,7 +110,12 @@ pub fn run_dynamic<R: Rng + ?Sized>(
                 (r.placement, r.servers, r.reused, r.cost)
             }
         };
-        records.push(StepRecord { step, servers, reused, cost });
+        records.push(StepRecord {
+            step,
+            servers,
+            reused,
+            cost,
+        });
         previous = Some(placement);
     }
     Ok(records)
@@ -128,7 +140,10 @@ mod tests {
             tree(1),
             Evolution::Resample { range: (1, 6) },
             Algorithm::DpMinCost,
-            DynamicConfig { steps: 3, ..DynamicConfig::paper() },
+            DynamicConfig {
+                steps: 3,
+                ..DynamicConfig::paper()
+            },
             &mut rng,
         )
         .unwrap();
@@ -142,12 +157,27 @@ mod tests {
         // Both algorithms see identical request sequences (same seed) and
         // must land on the same optimal count; the DP reuses at least as
         // much in total.
-        let cfg = DynamicConfig { steps: 8, ..DynamicConfig::paper() };
+        let cfg = DynamicConfig {
+            steps: 8,
+            ..DynamicConfig::paper()
+        };
         let evo = Evolution::Resample { range: (1, 6) };
-        let gr = run_dynamic(tree(2), evo, Algorithm::GreedyOblivious, cfg,
-            &mut StdRng::seed_from_u64(3)).unwrap();
-        let dp = run_dynamic(tree(2), evo, Algorithm::DpMinCost, cfg,
-            &mut StdRng::seed_from_u64(3)).unwrap();
+        let gr = run_dynamic(
+            tree(2),
+            evo,
+            Algorithm::GreedyOblivious,
+            cfg,
+            &mut StdRng::seed_from_u64(3),
+        )
+        .unwrap();
+        let dp = run_dynamic(
+            tree(2),
+            evo,
+            Algorithm::DpMinCost,
+            cfg,
+            &mut StdRng::seed_from_u64(3),
+        )
+        .unwrap();
         for (g, d) in gr.iter().zip(&dp) {
             assert_eq!(g.servers, d.servers, "step {}", g.step);
         }
@@ -165,9 +195,15 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(4);
         let records = run_dynamic(
             tree(5),
-            Evolution::RandomWalk { step: 1, range: (1, 6) },
+            Evolution::RandomWalk {
+                step: 1,
+                range: (1, 6),
+            },
             Algorithm::DpMinCost,
-            DynamicConfig { steps: 6, ..DynamicConfig::paper() },
+            DynamicConfig {
+                steps: 6,
+                ..DynamicConfig::paper()
+            },
             &mut rng,
         )
         .unwrap();

@@ -86,14 +86,14 @@ pub fn run_with_strategy<R: Rng + ?Sized>(
             UpdateStrategy::Systematic => true,
             UpdateStrategy::Lazy => !valid,
             UpdateStrategy::Periodic { period } => !valid || period == 0 || step % period == 0,
-            UpdateStrategy::LoadTriggered { threshold } => {
-                !valid || max_utilization > threshold
-            }
+            UpdateStrategy::LoadTriggered { threshold } => !valid || max_utilization > threshold,
         };
 
         let (recomputed, servers, cost) = if due {
-            let pre_nodes: Vec<_> =
-                placement.as_ref().map(|p| p.server_nodes()).unwrap_or_default();
+            let pre_nodes: Vec<_> = placement
+                .as_ref()
+                .map(|p| p.server_nodes())
+                .unwrap_or_default();
             let instance = Instance::min_cost(
                 tree.clone(),
                 config.capacity,
@@ -172,7 +172,12 @@ mod tests {
     use replica_tree::{generate, GeneratorConfig};
 
     fn config() -> StrategyConfig {
-        StrategyConfig { steps: 12, capacity: 10, create: 0.1, delete: 0.01 }
+        StrategyConfig {
+            steps: 12,
+            capacity: 10,
+            create: 0.1,
+            delete: 0.01,
+        }
     }
 
     fn tree(seed: u64) -> Tree {
@@ -199,14 +204,20 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(2);
         let recs = run_with_strategy(
             tree(2),
-            Evolution::RandomWalk { step: 1, range: (1, 6) },
+            Evolution::RandomWalk {
+                step: 1,
+                range: (1, 6),
+            },
             UpdateStrategy::Lazy,
             config(),
             &mut rng,
         )
         .unwrap();
         let summary = StrategySummary::from_records(&recs);
-        assert!(summary.reconfigurations < recs.len(), "lazy must skip some steps");
+        assert!(
+            summary.reconfigurations < recs.len(),
+            "lazy must skip some steps"
+        );
         // Whenever the placement was invalid, a recomputation followed.
         for r in &recs {
             if !r.valid_before {
@@ -220,7 +231,10 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(3);
         let recs = run_with_strategy(
             tree(3),
-            Evolution::RandomWalk { step: 1, range: (1, 6) },
+            Evolution::RandomWalk {
+                step: 1,
+                range: (1, 6),
+            },
             UpdateStrategy::Periodic { period: 4 },
             config(),
             &mut rng,
@@ -235,11 +249,26 @@ mod tests {
 
     #[test]
     fn lazy_total_cost_at_most_systematic() {
-        let evo = Evolution::RandomWalk { step: 1, range: (1, 6) };
-        let lazy = run_with_strategy(tree(4), evo, UpdateStrategy::Lazy, config(),
-            &mut StdRng::seed_from_u64(5)).unwrap();
-        let sys = run_with_strategy(tree(4), evo, UpdateStrategy::Systematic, config(),
-            &mut StdRng::seed_from_u64(5)).unwrap();
+        let evo = Evolution::RandomWalk {
+            step: 1,
+            range: (1, 6),
+        };
+        let lazy = run_with_strategy(
+            tree(4),
+            evo,
+            UpdateStrategy::Lazy,
+            config(),
+            &mut StdRng::seed_from_u64(5),
+        )
+        .unwrap();
+        let sys = run_with_strategy(
+            tree(4),
+            evo,
+            UpdateStrategy::Systematic,
+            config(),
+            &mut StdRng::seed_from_u64(5),
+        )
+        .unwrap();
         let lazy_cost = StrategySummary::from_records(&lazy).total_cost;
         let sys_cost = StrategySummary::from_records(&sys).total_cost;
         assert!(
@@ -254,7 +283,10 @@ mod tests {
         // breakage counts are not pointwise comparable; what *is* guaranteed
         // is that the trigger is a superset condition of "broken" — it fires
         // whenever lazy would — and that breakage is always repaired.
-        let evo = Evolution::RandomWalk { step: 1, range: (1, 6) };
+        let evo = Evolution::RandomWalk {
+            step: 1,
+            range: (1, 6),
+        };
         let recs = run_with_strategy(
             tree(6),
             evo,

@@ -21,7 +21,11 @@ impl TreeBuilder {
     /// Creates a builder holding just the root node.
     pub fn new() -> Self {
         TreeBuilder {
-            nodes: vec![NodeData { parent: None, children: Vec::new(), clients: Vec::new() }],
+            nodes: vec![NodeData {
+                parent: None,
+                children: Vec::new(),
+                clients: Vec::new(),
+            }],
             clients: Vec::new(),
         }
     }
@@ -30,8 +34,15 @@ impl TreeBuilder {
     /// `clients` clients.
     pub fn with_capacity(internal: usize, clients: usize) -> Self {
         let mut nodes = Vec::with_capacity(internal.max(1));
-        nodes.push(NodeData { parent: None, children: Vec::new(), clients: Vec::new() });
-        TreeBuilder { nodes, clients: Vec::with_capacity(clients) }
+        nodes.push(NodeData {
+            parent: None,
+            children: Vec::new(),
+            clients: Vec::new(),
+        });
+        TreeBuilder {
+            nodes,
+            clients: Vec::with_capacity(clients),
+        }
     }
 
     /// Handle of the root node.
@@ -70,14 +81,20 @@ impl TreeBuilder {
     pub fn add_client(&mut self, node: NodeId, requests: u64) -> ClientId {
         assert!(node.index() < self.nodes.len(), "unknown node {node}");
         let id = ClientId::from_index(self.clients.len());
-        self.clients.push(Client { attach: node, requests });
+        self.clients.push(Client {
+            attach: node,
+            requests,
+        });
         self.nodes[node.index()].clients.push(id);
         id
     }
 
     /// Finalizes the tree, running structural validation.
     pub fn build(self) -> Result<Tree, TreeError> {
-        let tree = Tree { nodes: self.nodes, clients: self.clients };
+        let tree = Tree {
+            nodes: self.nodes,
+            clients: self.clients,
+        };
         crate::validate::validate(&tree)?;
         Ok(tree)
     }
@@ -93,7 +110,8 @@ impl TreeBuilder {
                 self.add_client(NodeId::from_index(idx), requests);
             }
         }
-        self.build().expect("builder-constructed trees are structurally valid")
+        self.build()
+            .expect("builder-constructed trees are structurally valid")
     }
 }
 

@@ -42,7 +42,12 @@ pub fn to_dot(tree: &Tree, style: &DotStyle) -> String {
             attrs.push("style=filled".to_string());
             attrs.push("fillcolor=lightblue".to_string());
         }
-        let _ = writeln!(out, "  \"{n}\" [label=\"{n}\"{}{}];", if attrs.is_empty() { "" } else { ", " }, attrs.join(", "));
+        let _ = writeln!(
+            out,
+            "  \"{n}\" [label=\"{n}\"{}{}];",
+            if attrs.is_empty() { "" } else { ", " },
+            attrs.join(", ")
+        );
     }
     for c in tree.client_ids() {
         let r = tree.requests(c);

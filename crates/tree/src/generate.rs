@@ -69,17 +69,26 @@ impl GeneratorConfig {
 
     /// High-tree variants (Figures 6/7): 2–4 children, 1–6 requests.
     pub fn paper_high(internal_nodes: usize) -> Self {
-        GeneratorConfig { children_range: TreeShape::PaperHigh.children_range(), ..Self::paper_fat(internal_nodes) }
+        GeneratorConfig {
+            children_range: TreeShape::PaperHigh.children_range(),
+            ..Self::paper_fat(internal_nodes)
+        }
     }
 
     /// Experiment 3 defaults (Figure 8): `N = 50` fat trees, 1–5 requests.
     pub fn paper_power(internal_nodes: usize) -> Self {
-        GeneratorConfig { requests_range: (1, 5), ..Self::paper_fat(internal_nodes) }
+        GeneratorConfig {
+            requests_range: (1, 5),
+            ..Self::paper_fat(internal_nodes)
+        }
     }
 
     /// Experiment 3 on high trees (Figure 10).
     pub fn paper_power_high(internal_nodes: usize) -> Self {
-        GeneratorConfig { children_range: TreeShape::PaperHigh.children_range(), ..Self::paper_power(internal_nodes) }
+        GeneratorConfig {
+            children_range: TreeShape::PaperHigh.children_range(),
+            ..Self::paper_power(internal_nodes)
+        }
     }
 
     /// Replaces the children range with the one of `shape`.
@@ -97,7 +106,10 @@ impl GeneratorConfig {
 pub fn random_tree<R: Rng + ?Sized>(config: &GeneratorConfig, rng: &mut R) -> Tree {
     assert!(config.internal_nodes > 0, "need at least the root");
     let (cmin, cmax) = config.children_range;
-    assert!(cmin >= 1 && cmin <= cmax, "invalid children range {cmin}..={cmax}");
+    assert!(
+        cmin >= 1 && cmin <= cmax,
+        "invalid children range {cmin}..={cmax}"
+    );
     let (rmin, rmax) = config.requests_range;
     assert!(rmin <= rmax, "invalid requests range {rmin}..={rmax}");
     assert!(
@@ -110,7 +122,9 @@ pub fn random_tree<R: Rng + ?Sized>(config: &GeneratorConfig, rng: &mut R) -> Tr
     let mut frontier = VecDeque::with_capacity(cmax);
     frontier.push_back(b.root());
     while remaining > 0 {
-        let node = frontier.pop_front().expect("frontier non-empty while nodes remain");
+        let node = frontier
+            .pop_front()
+            .expect("frontier non-empty while nodes remain");
         let want = rng.random_range(cmin..=cmax).min(remaining);
         for _ in 0..want {
             frontier.push_back(b.add_child(node));
@@ -258,8 +272,14 @@ mod tests {
         let a = random_tree(&cfg, &mut StdRng::seed_from_u64(7));
         let b = random_tree(&cfg, &mut StdRng::seed_from_u64(7));
         let c = random_tree(&cfg, &mut StdRng::seed_from_u64(8));
-        assert_eq!(serde_json::to_string(&a).unwrap(), serde_json::to_string(&b).unwrap());
-        assert_ne!(serde_json::to_string(&a).unwrap(), serde_json::to_string(&c).unwrap());
+        assert_eq!(
+            serde_json::to_string(&a).unwrap(),
+            serde_json::to_string(&b).unwrap()
+        );
+        assert_ne!(
+            serde_json::to_string(&a).unwrap(),
+            serde_json::to_string(&c).unwrap()
+        );
     }
 
     #[test]

@@ -21,7 +21,10 @@ impl<'de> Deserialize<'de> for Tree {
         D: Deserializer<'de>,
     {
         let raw = RawTree::deserialize(deserializer)?;
-        let tree = Tree { nodes: raw.nodes, clients: raw.clients };
+        let tree = Tree {
+            nodes: raw.nodes,
+            clients: raw.clients,
+        };
         crate::validate::validate(&tree).map_err(serde::de::Error::custom)?;
         Ok(tree)
     }

@@ -65,7 +65,11 @@ impl TreeStats {
             max_node_client_load,
             height: traversal::height(tree),
             max_children,
-            mean_children: if non_leaf == 0 { 0.0 } else { child_sum as f64 / non_leaf as f64 },
+            mean_children: if non_leaf == 0 {
+                0.0
+            } else {
+                child_sum as f64 / non_leaf as f64
+            },
             internal_leaves,
         }
     }
@@ -155,8 +159,14 @@ mod tests {
         }
         let mean_clients = clients as f64 / TREES as f64;
         let mean_requests = requests as f64 / TREES as f64;
-        assert!((40.0..60.0).contains(&mean_clients), "mean clients {mean_clients}");
-        assert!((140.0..210.0).contains(&mean_requests), "mean requests {mean_requests}");
+        assert!(
+            (40.0..60.0).contains(&mean_clients),
+            "mean clients {mean_clients}"
+        );
+        assert!(
+            (140.0..210.0).contains(&mean_requests),
+            "mean requests {mean_requests}"
+        );
     }
 
     #[test]

@@ -52,7 +52,10 @@ struct Parser<'s> {
 
 impl<'s> Parser<'s> {
     fn new(input: &'s str) -> Self {
-        Parser { bytes: input.as_bytes(), pos: 0 }
+        Parser {
+            bytes: input.as_bytes(),
+            pos: 0,
+        }
     }
 
     fn skip_ws(&mut self) {
@@ -81,7 +84,10 @@ impl<'s> Parser<'s> {
     }
 
     fn error(&self, message: String) -> ParseError {
-        ParseError { offset: self.pos, message }
+        ParseError {
+            offset: self.pos,
+            message,
+        }
     }
 
     fn number(&mut self) -> Result<u64, ParseError> {
@@ -96,7 +102,10 @@ impl<'s> Parser<'s> {
         std::str::from_utf8(&self.bytes[start..self.pos])
             .expect("digits are valid UTF-8")
             .parse()
-            .map_err(|e| ParseError { offset: start, message: format!("bad number: {e}") })
+            .map_err(|e| ParseError {
+                offset: start,
+                message: format!("bad number: {e}"),
+            })
     }
 
     fn describe(byte: Option<u8>) -> String {
@@ -161,9 +170,10 @@ pub fn parse(input: &str) -> Result<Tree, ParseError> {
     if p.peek().is_some() {
         return Err(p.error("trailing input after the root node".into()));
     }
-    builder
-        .build()
-        .map_err(|e| ParseError { offset: 0, message: format!("invalid tree: {e}") })
+    builder.build().map_err(|e| ParseError {
+        offset: 0,
+        message: format!("invalid tree: {e}"),
+    })
 }
 
 /// Renders a tree in the text format (children first, then clients —

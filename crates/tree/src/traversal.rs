@@ -102,7 +102,11 @@ impl SubtreeCounts {
                 requests_within[i] += requests_within[ci];
             }
         }
-        SubtreeCounts { internal_below, pre_existing_below, requests_within }
+        SubtreeCounts {
+            internal_below,
+            pre_existing_below,
+            requests_within,
+        }
     }
 
     /// Internal nodes in the subtree of `j`, including `j`.

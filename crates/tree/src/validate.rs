@@ -35,11 +35,17 @@ impl fmt::Display for TreeError {
             TreeError::RootHasParent => write!(f, "root node has a parent pointer"),
             TreeError::OrphanNode(n) => write!(f, "non-root node {n} has no parent"),
             TreeError::LinkMismatch { parent, child } => {
-                write!(f, "parent/child links disagree between {parent} and {child}")
+                write!(
+                    f,
+                    "parent/child links disagree between {parent} and {child}"
+                )
             }
             TreeError::DanglingHandle(what) => write!(f, "dangling handle: {what}"),
             TreeError::NotATree(n) => {
-                write!(f, "node {n} is unreachable from the root or lies on a cycle")
+                write!(
+                    f,
+                    "node {n} is unreachable from the root or lies on a cycle"
+                )
             }
             TreeError::ClientLinkMismatch(what) => write!(f, "client link mismatch: {what}"),
         }
@@ -69,7 +75,10 @@ pub fn validate(tree: &Tree) -> Result<(), TreeError> {
                 }
                 Some(p) => {
                     if !tree.nodes[p.index()].children.contains(&id) {
-                        return Err(TreeError::LinkMismatch { parent: p, child: id });
+                        return Err(TreeError::LinkMismatch {
+                            parent: p,
+                            child: id,
+                        });
                     }
                 }
             }
@@ -79,7 +88,10 @@ pub fn validate(tree: &Tree) -> Result<(), TreeError> {
                 return Err(TreeError::DanglingHandle(format!("child of {id}")));
             }
             if tree.nodes[c.index()].parent != Some(id) {
-                return Err(TreeError::LinkMismatch { parent: id, child: c });
+                return Err(TreeError::LinkMismatch {
+                    parent: id,
+                    child: c,
+                });
             }
         }
         for &cl in &node.clients {
@@ -178,7 +190,10 @@ mod tests {
     fn detects_client_mismatch() {
         let mut t = valid_tree();
         t.clients[0].attach = NodeId::from_index(2);
-        assert!(matches!(validate(&t), Err(TreeError::ClientLinkMismatch(_))));
+        assert!(matches!(
+            validate(&t),
+            Err(TreeError::ClientLinkMismatch(_))
+        ));
     }
 
     #[test]

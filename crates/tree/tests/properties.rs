@@ -8,14 +8,20 @@ use rand::SeedableRng;
 use replica_tree::{generate, text_format, traversal, GeneratorConfig, TreeStats};
 
 fn arbitrary_config() -> impl Strategy<Value = GeneratorConfig> {
-    (1usize..120, 1usize..4, 0usize..6, 0.0f64..1.0, 1u64..8, 0u64..8).prop_map(
-        |(nodes, cmin, cextra, p, rmin, rextra)| GeneratorConfig {
+    (
+        1usize..120,
+        1usize..4,
+        0usize..6,
+        0.0f64..1.0,
+        1u64..8,
+        0u64..8,
+    )
+        .prop_map(|(nodes, cmin, cextra, p, rmin, rextra)| GeneratorConfig {
             internal_nodes: nodes,
             children_range: (cmin, cmin + cextra),
             client_probability: p,
             requests_range: (rmin, rmin + rextra),
-        },
-    )
+        })
 }
 
 proptest! {

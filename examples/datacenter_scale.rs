@@ -60,10 +60,16 @@ fn main() {
         dp.candidates().len()
     );
 
-    println!("cost/power Pareto front ({} points, endpoints + knees):", front.len());
+    println!(
+        "cost/power Pareto front ({} points, endpoints + knees):",
+        front.len()
+    );
     let show = |i: usize| {
         let (c, p) = front[i];
-        println!("  cost {c:9.2} → power {p:10.0}  ({}× the power bound)", (p / lb_power * 100.0).round() / 100.0);
+        println!(
+            "  cost {c:9.2} → power {p:10.0}  ({}× the power bound)",
+            (p / lb_power * 100.0).round() / 100.0
+        );
     };
     show(0);
     for i in [front.len() / 4, front.len() / 2, 3 * front.len() / 4] {

@@ -16,16 +16,36 @@ use rand::{rngs::StdRng, SeedableRng};
 use replica_sim::strategy::{StrategyConfig, StrategySummary};
 
 fn main() {
-    let config = StrategyConfig { steps: 48, capacity: 10, create: 0.1, delete: 0.01 };
+    let config = StrategyConfig {
+        steps: 48,
+        capacity: 10,
+        create: 0.1,
+        delete: 0.01,
+    };
     let strategies: [(&str, UpdateStrategy); 4] = [
         ("systematic", UpdateStrategy::Systematic),
         ("lazy", UpdateStrategy::Lazy),
         ("periodic(6)", UpdateStrategy::Periodic { period: 6 }),
-        ("load(0.85)", UpdateStrategy::LoadTriggered { threshold: 0.85 }),
+        (
+            "load(0.85)",
+            UpdateStrategy::LoadTriggered { threshold: 0.85 },
+        ),
     ];
     let evolutions: [(&str, Evolution); 2] = [
-        ("gentle drift", Evolution::RandomWalk { step: 1, range: (1, 6) }),
-        ("bursty churn", Evolution::Churn { range: (1, 6), quiet_probability: 0.2 }),
+        (
+            "gentle drift",
+            Evolution::RandomWalk {
+                step: 1,
+                range: (1, 6),
+            },
+        ),
+        (
+            "bursty churn",
+            Evolution::Churn {
+                range: (1, 6),
+                quiet_probability: 0.2,
+            },
+        ),
     ];
 
     for (evo_name, evolution) in evolutions {

@@ -36,7 +36,11 @@ fn main() {
             "optimal power {:.3e} vs P_max {:.3e} → {}",
             optimal.power,
             gadget.p_max,
-            if within { "PARTITION EXISTS" } else { "no partition" }
+            if within {
+                "PARTITION EXISTS"
+            } else {
+                "no partition"
+            }
         );
         assert_eq!(within, gadget.has_partition(), "Theorem 2 must hold");
 

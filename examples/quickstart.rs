@@ -22,7 +22,10 @@ fn main() {
     // 3a. The oblivious greedy (GR of [19]): optimal replica count, but it
     //     reuses the pre-existing servers only by accident.
     let greedy = greedy_min_replicas(&tree, 10).expect("feasible at W = 10");
-    let gr_reused = pre.iter().filter(|&&n| greedy.placement.has_server(n)).count();
+    let gr_reused = pre
+        .iter()
+        .filter(|&&n| greedy.placement.has_server(n))
+        .count();
     println!(
         "GR   : {} servers, {} reused incidentally",
         greedy.servers, gr_reused
@@ -30,8 +33,8 @@ fn main() {
 
     // 3b. The paper's MinCost-WithPre dynamic program (Theorem 1): same
     //     optimal count, minimal reconfiguration cost.
-    let instance = Instance::min_cost(tree.clone(), 10, pre.clone(), 0.1, 0.01)
-        .expect("valid instance");
+    let instance =
+        Instance::min_cost(tree.clone(), 10, pre.clone(), 0.1, 0.01).expect("valid instance");
     let dp = solve_min_cost(&instance).expect("feasible instance");
     println!(
         "DP   : {} servers, {} reused deliberately, cost {:.2}",

@@ -64,7 +64,10 @@ fn main() {
     let day_plan = day_dp
         .reconstruct(day_dp.best_within(f64::INFINITY).expect("unconstrained"))
         .expect("reconstructible");
-    println!("=== daytime ({} streams) ===", daytime.tree().total_requests());
+    println!(
+        "=== daytime ({} streams) ===",
+        daytime.tree().total_requests()
+    );
     println!(
         "{} servers, power {:.0}\nreplicas at: {:?}\n",
         day_plan.servers,
@@ -82,7 +85,10 @@ fn main() {
         .power(power_model)
         .build()
         .unwrap();
-    println!("=== evening peak ({} streams) ===", evening.tree().total_requests());
+    println!(
+        "=== evening peak ({} streams) ===",
+        evening.tree().total_requests()
+    );
     let evening_dp = PowerDp::run(&evening).expect("feasible");
 
     println!("reconfiguration budget → optimal plan:");

@@ -15,9 +15,38 @@
 //!   (Theorem 1) and `MinPower-BoundedCost` (Theorem 3), the `GR` baselines,
 //!   the NP-completeness gadget (Theorem 2), heuristics, and an exhaustive
 //!   oracle;
+//! * [`engine`] — the unified solver subsystem: every algorithm behind one
+//!   [`Solver`](replica_engine::Solver) trait with capability flags and
+//!   per-solve timing, a name-addressable registry, a rayon-parallel
+//!   [`Fleet`](replica_engine::Fleet) runner with deterministic seeding
+//!   and aggregate statistics, and named scenario families (five topology
+//!   shapes × four demand patterns) for reproducible sweeps;
 //! * [`sim`] — dynamic replica management (request evolution, update
 //!   strategies);
-//! * [`experiments`] — the evaluation harness regenerating Figures 4–11.
+//! * [`experiments`] — the evaluation harness regenerating Figures 4–11,
+//!   dispatching through the engine.
+//!
+//! ## Fleet quickstart
+//!
+//! ```
+//! use power_replica::engine::prelude::*;
+//!
+//! let registry = Registry::with_all();
+//! let scenarios = vec![
+//!     Scenario::new(Topology::Fat, Demand::Uniform, 20),
+//!     Scenario::new(Topology::Star, Demand::FlashCrowd, 20),
+//! ];
+//! let jobs = Fleet::jobs_from_scenarios(&scenarios, 42, 3);
+//! let fleet = Fleet::new(
+//!     &registry,
+//!     FleetConfig {
+//!         solvers: vec!["dp_power".into(), "greedy_power".into()],
+//!         ..Default::default()
+//!     },
+//! );
+//! let report = fleet.run(&jobs);
+//! assert_eq!(report.summaries.len(), scenarios.len() * 2);
+//! ```
 //!
 //! ## Quickstart
 //!
@@ -44,6 +73,7 @@
 //! `EXPERIMENTS.md` for the reproduction report.
 
 pub use replica_core as core;
+pub use replica_engine as engine;
 pub use replica_experiments as experiments;
 pub use replica_model as model;
 pub use replica_sim as sim;
@@ -54,11 +84,10 @@ pub mod prelude {
     pub use replica_core::{
         dp_power::{solve_min_power, solve_min_power_bounded_cost, PowerDp},
         greedy::greedy_min_replicas,
-        greedy_power,
-        heuristics,
-        np_gadget,
-        solve_min_cost,
-        solve_min_count,
+        greedy_power, heuristics, np_gadget, solve_min_cost, solve_min_count,
+    };
+    pub use replica_engine::{
+        standard_families, Demand, Fleet, FleetConfig, Registry, Scenario, SolveOptions, Topology,
     };
     pub use replica_model::prelude::*;
     pub use replica_sim::{

@@ -97,7 +97,10 @@ fn exact_dp_dominates_every_baseline_and_heuristic() {
                     &inst,
                     &h.placement,
                     bound,
-                    annealing::AnnealingOptions { iterations: 2_000, ..Default::default() },
+                    annealing::AnnealingOptions {
+                        iterations: 2_000,
+                        ..Default::default()
+                    },
                 )
                 .unwrap();
                 assert!(sa.power <= h.power + 1e-9);

@@ -70,7 +70,10 @@ fn power_golden_star_of_twos() {
     assert_eq!(tight.servers, 1);
 
     let mid = solve_min_power_bounded_cost(&inst, 2.0).unwrap();
-    assert!((mid.power - 37.0).abs() < 1e-9, "two-server options cost 47 W");
+    assert!(
+        (mid.power - 37.0).abs() < 1e-9,
+        "two-server options cost 47 W"
+    );
 
     let loose = solve_min_power_bounded_cost(&inst, 3.0).unwrap();
     assert!((loose.power - 30.0).abs() < 1e-9);
@@ -124,7 +127,7 @@ fn lower_bounds_are_tight_on_golden_trees() {
     assert_eq!(bounds::min_servers(&t, 5), 3); // = optimum
     let t = tree("(((:3),:3),:3)");
     assert_eq!(bounds::min_servers(&t, 9), 1); // = optimum
-    // W = 5 optimum is 3; the bound sees ⌈9/5⌉ = 2 (not tight here —
-    // the chain structure is what forces the third server).
+                                               // W = 5 optimum is 3; the bound sees ⌈9/5⌉ = 2 (not tight here —
+                                               // the chain structure is what forces the third server).
     assert_eq!(bounds::min_servers(&t, 5), 2);
 }

@@ -74,8 +74,8 @@ fn figure2_greedy_power_decisions_fail() {
     // going through A."
     let (inst, [r, a, b, c]) = figure2(10);
     let ten = solve_min_power(&inst).unwrap();
-    let blocks_a = ten.placement.has_server(a)
-        || (ten.placement.has_server(b) && ten.placement.has_server(c));
+    let blocks_a =
+        ten.placement.has_server(a) || (ten.placement.has_server(b) && ten.placement.has_server(c));
     assert!(blocks_a, "nothing may traverse A");
     assert!(ten.placement.has_server(r));
     // One W₂ server at A beats two W₁ servers at B and C:

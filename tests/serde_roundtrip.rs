@@ -63,7 +63,10 @@ fn corrupted_trees_are_rejected() {
     let broken = json.replacen("\"parent\":0", "\"parent\":5", 1);
     assert_ne!(json, broken);
     let result: Result<Tree, _> = serde_json::from_str(&broken);
-    assert!(result.is_err(), "structural validation must reject the corruption");
+    assert!(
+        result.is_err(),
+        "structural validation must reject the corruption"
+    );
 }
 
 #[test]

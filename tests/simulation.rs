@@ -11,13 +11,28 @@ fn experiment2_invariants_on_mid_size_trees() {
     for seed in 0..5 {
         let mut rng = StdRng::seed_from_u64(seed);
         let tree = random_tree(&GeneratorConfig::paper_fat(60), &mut rng);
-        let cfg = DynamicConfig { steps: 10, ..DynamicConfig::paper() };
+        let cfg = DynamicConfig {
+            steps: 10,
+            ..DynamicConfig::paper()
+        };
         let evo = Evolution::Resample { range: (1, 6) };
 
-        let dp = run_dynamic(tree.clone(), evo, Algorithm::DpMinCost, cfg,
-            &mut StdRng::seed_from_u64(seed + 100)).unwrap();
-        let gr = run_dynamic(tree, evo, Algorithm::GreedyOblivious, cfg,
-            &mut StdRng::seed_from_u64(seed + 100)).unwrap();
+        let dp = run_dynamic(
+            tree.clone(),
+            evo,
+            Algorithm::DpMinCost,
+            cfg,
+            &mut StdRng::seed_from_u64(seed + 100),
+        )
+        .unwrap();
+        let gr = run_dynamic(
+            tree,
+            evo,
+            Algorithm::GreedyOblivious,
+            cfg,
+            &mut StdRng::seed_from_u64(seed + 100),
+        )
+        .unwrap();
 
         // Identical demand ⇒ identical optimal counts.
         for (d, g) in dp.iter().zip(&gr) {
@@ -43,9 +58,20 @@ fn experiment2_invariants_on_mid_size_trees() {
 
 #[test]
 fn strategies_order_by_reconfiguration_effort() {
-    let cfg = StrategyConfig { steps: 20, capacity: 10, create: 0.1, delete: 0.01 };
-    let evo = Evolution::RandomWalk { step: 1, range: (1, 6) };
-    let tree = random_tree(&GeneratorConfig::paper_fat(60), &mut StdRng::seed_from_u64(7));
+    let cfg = StrategyConfig {
+        steps: 20,
+        capacity: 10,
+        create: 0.1,
+        delete: 0.01,
+    };
+    let evo = Evolution::RandomWalk {
+        step: 1,
+        range: (1, 6),
+    };
+    let tree = random_tree(
+        &GeneratorConfig::paper_fat(60),
+        &mut StdRng::seed_from_u64(7),
+    );
 
     let run = |strategy| {
         let records = run_with_strategy(
@@ -71,8 +97,16 @@ fn strategies_order_by_reconfiguration_effort() {
 
 #[test]
 fn churn_forces_more_updates_than_gentle_drift() {
-    let cfg = StrategyConfig { steps: 20, capacity: 10, create: 0.1, delete: 0.01 };
-    let tree = random_tree(&GeneratorConfig::paper_fat(60), &mut StdRng::seed_from_u64(8));
+    let cfg = StrategyConfig {
+        steps: 20,
+        capacity: 10,
+        create: 0.1,
+        delete: 0.01,
+    };
+    let tree = random_tree(
+        &GeneratorConfig::paper_fat(60),
+        &mut StdRng::seed_from_u64(8),
+    );
     let run = |evolution| {
         let records = run_with_strategy(
             tree.clone(),
@@ -84,7 +118,10 @@ fn churn_forces_more_updates_than_gentle_drift() {
         .unwrap();
         StrategySummary::from_records(&records).reconfigurations
     };
-    let gentle = run(Evolution::RandomWalk { step: 1, range: (1, 6) });
+    let gentle = run(Evolution::RandomWalk {
+        step: 1,
+        range: (1, 6),
+    });
     let bursty = run(Evolution::Resample { range: (1, 6) });
     assert!(
         bursty >= gentle,
@@ -98,10 +135,16 @@ fn dynamic_runs_stay_feasible_under_churn() {
     // still be valid for the volumes it was computed against.
     let mut rng = StdRng::seed_from_u64(9);
     let tree = random_tree(&GeneratorConfig::paper_fat(50), &mut rng);
-    let cfg = DynamicConfig { steps: 8, ..DynamicConfig::paper() };
+    let cfg = DynamicConfig {
+        steps: 8,
+        ..DynamicConfig::paper()
+    };
     let records = run_dynamic(
         tree,
-        Evolution::Churn { range: (1, 6), quiet_probability: 0.3 },
+        Evolution::Churn {
+            range: (1, 6),
+            quiet_probability: 0.3,
+        },
         Algorithm::DpMinCost,
         cfg,
         &mut rng,

@@ -1,0 +1,301 @@
+//! Vendored minimal stand-in for the `rayon` crate.
+//!
+//! The build environment has no crate registry, so this crate implements
+//! the subset of rayon's API the workspace uses — `into_par_iter()` /
+//! `par_iter()` / `par_chunks()` with `map` / `collect` / `reduce` /
+//! `for_each`, [`current_num_threads`] and a [`ThreadPoolBuilder`] whose
+//! pools scope a thread-count override — on top of `std::thread::scope`.
+//!
+//! Semantics preserved from real rayon:
+//! * `collect::<Vec<_>>()` returns results **in input order** regardless of
+//!   scheduling, so seeded pipelines stay deterministic;
+//! * closures run concurrently on up to [`current_num_threads`] OS threads;
+//! * `reduce` folds per-thread partials with the caller's associative op.
+//!
+//! Unlike real rayon there is no work-stealing: items are split into
+//! contiguous chunks, one per worker. For the coarse per-instance /
+//! per-tree grains this workspace parallelizes over, that is the same
+//! schedule rayon's `with_min_len` tuning would aim for anyway.
+
+use std::cell::Cell;
+use std::ops::Range;
+
+thread_local! {
+    /// Per-thread thread-count override (0 = use the machine's
+    /// parallelism). Thread-local so concurrent [`ThreadPool::install`]
+    /// scopes — e.g. two `#[test]`s running in one binary — cannot race
+    /// each other or leak an override into unrelated work. Parallel
+    /// operations consult it on the *calling* thread when choosing their
+    /// worker count.
+    static NUM_THREADS_OVERRIDE: Cell<usize> = const { Cell::new(0) };
+}
+
+/// Number of worker threads parallel operations started from this thread
+/// will use.
+pub fn current_num_threads() -> usize {
+    let forced = NUM_THREADS_OVERRIDE.get();
+    if forced > 0 {
+        return forced;
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Builder for a [`ThreadPool`] (subset of rayon's).
+#[derive(Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// Starts a builder with default settings.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the worker-thread count (0 = machine default).
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    /// Builds the pool. Never fails in this implementation.
+    pub fn build(self) -> Result<ThreadPool, BuildError> {
+        Ok(ThreadPool {
+            num_threads: self.num_threads,
+        })
+    }
+}
+
+/// Error type of [`ThreadPoolBuilder::build`] (never constructed here).
+#[derive(Debug)]
+pub struct BuildError;
+
+impl std::fmt::Display for BuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "thread pool construction failed")
+    }
+}
+
+impl std::error::Error for BuildError {}
+
+/// A scoped thread-count override (subset of rayon's `ThreadPool`).
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    /// Runs `op` with this pool's thread count in effect.
+    ///
+    /// Unlike real rayon the closure executes on the calling thread; only
+    /// the worker count used by parallel operations inside it changes.
+    pub fn install<R>(&self, op: impl FnOnce() -> R) -> R {
+        let prev = NUM_THREADS_OVERRIDE.replace(self.num_threads);
+        let guard = RestoreGuard(prev);
+        let result = op();
+        drop(guard);
+        result
+    }
+}
+
+struct RestoreGuard(usize);
+
+impl Drop for RestoreGuard {
+    fn drop(&mut self) {
+        NUM_THREADS_OVERRIDE.set(self.0);
+    }
+}
+
+/// Runs `f` over `items` on up to [`current_num_threads`] threads,
+/// returning outputs in input order.
+fn parallel_map<T: Send, U: Send, F>(items: Vec<T>, f: &F) -> Vec<U>
+where
+    F: Fn(T) -> U + Sync,
+{
+    let threads = current_num_threads().max(1);
+    let n = items.len();
+    if threads == 1 || n <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    // Contiguous chunks, one per worker; join order restores input order.
+    let chunk_len = n.div_ceil(threads);
+    let mut chunks: Vec<Vec<T>> = Vec::new();
+    let mut iter = items.into_iter();
+    loop {
+        let chunk: Vec<T> = iter.by_ref().take(chunk_len).collect();
+        if chunk.is_empty() {
+            break;
+        }
+        chunks.push(chunk);
+    }
+    let mut out: Vec<U> = Vec::with_capacity(n);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|chunk| scope.spawn(move || chunk.into_iter().map(f).collect::<Vec<U>>()))
+            .collect();
+        for h in handles {
+            out.extend(h.join().expect("parallel worker panicked"));
+        }
+    });
+    out
+}
+
+/// A materialized parallel iterator.
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParIter<T> {
+    /// Maps every item through `f` (lazily; executed by the consumer).
+    pub fn map<U: Send, F: Fn(T) -> U + Sync>(self, f: F) -> ParMap<T, F> {
+        ParMap {
+            items: self.items,
+            f,
+        }
+    }
+
+    /// Runs `f` on every item for its side effects.
+    pub fn for_each<F: Fn(T) + Sync>(self, f: F) {
+        parallel_map(self.items, &|t| f(t));
+    }
+}
+
+/// The result of [`ParIter::map`]: consumable in parallel.
+pub struct ParMap<T, F> {
+    items: Vec<T>,
+    f: F,
+}
+
+impl<T: Send, U: Send, F: Fn(T) -> U + Sync> ParMap<T, F> {
+    /// Executes the map in parallel and collects in input order.
+    pub fn collect<C: FromParallelIterator<U>>(self) -> C {
+        C::from_ordered_vec(parallel_map(self.items, &self.f))
+    }
+
+    /// Executes the map in parallel, then folds all outputs with `op`
+    /// starting from `identity()` (op must be associative).
+    pub fn reduce<ID, OP>(self, identity: ID, op: OP) -> U
+    where
+        ID: Fn() -> U,
+        OP: Fn(U, U) -> U,
+    {
+        parallel_map(self.items, &self.f)
+            .into_iter()
+            .fold(identity(), op)
+    }
+}
+
+/// Collection targets for [`ParMap::collect`].
+pub trait FromParallelIterator<U> {
+    /// Builds the collection from outputs already in input order.
+    fn from_ordered_vec(v: Vec<U>) -> Self;
+}
+
+impl<U> FromParallelIterator<U> for Vec<U> {
+    fn from_ordered_vec(v: Vec<U>) -> Self {
+        v
+    }
+}
+
+/// Conversion into a [`ParIter`] (subset of rayon's trait of the same
+/// name).
+pub trait IntoParallelIterator {
+    /// Item type yielded in parallel.
+    type Item: Send;
+    /// Materializes the parallel iterator.
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl IntoParallelIterator for Range<usize> {
+    type Item = usize;
+    fn into_par_iter(self) -> ParIter<usize> {
+        ParIter {
+            items: self.collect(),
+        }
+    }
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+/// Borrowing parallel iteration over slices.
+pub trait ParallelSlice<T: Sync> {
+    /// Parallel iterator over `&T`.
+    fn par_iter(&self) -> ParIter<&T>;
+    /// Parallel iterator over contiguous `chunk_size`-sized sub-slices.
+    fn par_chunks(&self, chunk_size: usize) -> ParIter<&[T]>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_iter(&self) -> ParIter<&T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+
+    fn par_chunks(&self, chunk_size: usize) -> ParIter<&[T]> {
+        assert!(chunk_size > 0, "chunk size must be positive");
+        ParIter {
+            items: self.chunks(chunk_size).collect(),
+        }
+    }
+}
+
+/// Glob import mirroring `rayon::prelude`.
+pub mod prelude {
+    pub use crate::{FromParallelIterator, IntoParallelIterator, ParallelSlice};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let out: Vec<usize> = (0..1000).into_par_iter().map(|i| i * 3).collect();
+        assert_eq!(out, (0..1000).map(|i| i * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn chunks_and_reduce() {
+        let data: Vec<u64> = (1..=100).collect();
+        let total = data
+            .par_chunks(7)
+            .map(|c| c.iter().sum::<u64>())
+            .reduce(|| 0, |a, b| a + b);
+        assert_eq!(total, 5050);
+    }
+
+    #[test]
+    fn install_overrides_thread_count() {
+        let pool = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        assert_eq!(pool.install(current_num_threads), 2);
+        let nested = ThreadPoolBuilder::new().num_threads(5).build().unwrap();
+        pool.install(|| assert_eq!(nested.install(current_num_threads), 5));
+    }
+
+    #[test]
+    fn results_identical_across_thread_counts() {
+        let run = |threads| {
+            let pool = ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .unwrap();
+            pool.install(|| {
+                (0..257usize)
+                    .into_par_iter()
+                    .map(|i| i * i % 97)
+                    .collect::<Vec<_>>()
+            })
+        };
+        assert_eq!(run(1), run(3));
+        assert_eq!(run(1), run(16));
+    }
+}

@@ -1,0 +1,412 @@
+//! Vendored minimal stand-in for `serde` (offline build).
+//!
+//! The build environment has no crate registry, so this crate provides the
+//! subset of serde's surface the workspace uses — the [`Serialize`] /
+//! [`Deserialize`] traits with their derive macros, [`Deserializer`] and
+//! [`de::Error`] — over a much simpler data model: serialization produces a
+//! [`Value`] tree directly (no visitor machinery), and deserialization
+//! consumes one. `serde_json` (also vendored) renders and parses that
+//! tree.
+//!
+//! Derive support (see `serde_derive`): named-field structs, newtype
+//! structs (transparent), enums with unit and struct variants, and the
+//! container attributes `#[serde(transparent)]` and
+//! `#[serde(try_from = "...", into = "...")]`.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use crate::de::Error as _;
+
+/// A self-describing serialized tree (the wire-agnostic data model).
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// Any integer (fits every integral type the workspace serializes).
+    Int(i128),
+    /// A floating-point number.
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An ordered sequence.
+    Array(Vec<Value>),
+    /// An ordered map (field order preserved; duplicate keys never
+    /// produced by this crate).
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Int(_) => "integer",
+            Value::Float(_) => "float",
+            Value::Str(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+}
+
+/// Types that can serialize themselves into a [`Value`].
+pub trait Serialize {
+    /// Produces the value tree of `self`.
+    fn serialize(&self) -> Value;
+}
+
+/// Error plumbing (subset of `serde::de`).
+pub mod de {
+    /// Errors a [`Deserializer`](crate::Deserializer) can produce.
+    pub trait Error: Sized + std::fmt::Display {
+        /// Builds an error from an arbitrary message.
+        fn custom<T: std::fmt::Display>(msg: T) -> Self;
+    }
+}
+
+/// A source of one [`Value`] (subset of serde's `Deserializer`).
+pub trait Deserializer<'de> {
+    /// Error type reported by this source.
+    type Error: de::Error;
+    /// Consumes the source, yielding its value tree.
+    fn take_value(self) -> Result<Value, Self::Error>;
+}
+
+/// Types reconstructible from a [`Deserializer`].
+pub trait Deserialize<'de>: Sized {
+    /// Reconstructs `Self`.
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error>;
+}
+
+/// The plain-string error used when deserializing out of a [`Value`].
+#[derive(Clone, Debug)]
+pub struct DeError(pub String);
+
+impl std::fmt::Display for DeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+impl de::Error for DeError {
+    fn custom<T: std::fmt::Display>(msg: T) -> Self {
+        DeError(msg.to_string())
+    }
+}
+
+/// A [`Deserializer`] over an owned [`Value`].
+pub struct ValueDeserializer {
+    value: Value,
+}
+
+impl ValueDeserializer {
+    /// Wraps a value tree.
+    pub fn new(value: Value) -> Self {
+        ValueDeserializer { value }
+    }
+}
+
+impl<'de> Deserializer<'de> for ValueDeserializer {
+    type Error = DeError;
+    fn take_value(self) -> Result<Value, DeError> {
+        Ok(self.value)
+    }
+}
+
+/// Deserializes a `T` out of an owned value tree.
+pub fn from_value<'de, T: Deserialize<'de>>(value: Value) -> Result<T, DeError> {
+    T::deserialize(ValueDeserializer::new(value))
+}
+
+/// Support code for the derive macros (not part of the public API).
+pub mod __private {
+    use super::*;
+
+    /// Field-by-field extractor over an object's entries.
+    pub struct FieldMap {
+        entries: Vec<(String, Value)>,
+    }
+
+    impl FieldMap {
+        /// Expects `value` to be an object.
+        pub fn new(value: Value, type_name: &str) -> Result<Self, DeError> {
+            match value {
+                Value::Object(entries) => Ok(FieldMap { entries }),
+                other => Err(DeError(format!(
+                    "{type_name}: expected an object, found {}",
+                    other.kind()
+                ))),
+            }
+        }
+
+        /// Removes and returns the named field (`Null` when absent, which
+        /// lets `Option` fields default to `None`).
+        pub fn take(&mut self, name: &str) -> Value {
+            match self.entries.iter().position(|(k, _)| k == name) {
+                Some(i) => self.entries.remove(i).1,
+                None => Value::Null,
+            }
+        }
+    }
+
+    /// Deserializes one struct field, contextualizing errors.
+    pub fn field<'de, T: Deserialize<'de>>(
+        map: &mut FieldMap,
+        type_name: &str,
+        name: &str,
+    ) -> Result<T, DeError> {
+        from_value(map.take(name)).map_err(|e| DeError(format!("{type_name}.{name}: {e}")))
+    }
+
+    /// Splits an externally tagged enum value into `(tag, payload)`.
+    pub fn enum_parts(value: Value, type_name: &str) -> Result<(String, Value), DeError> {
+        match value {
+            Value::Str(tag) => Ok((tag, Value::Null)),
+            Value::Object(mut entries) if entries.len() == 1 => {
+                let (tag, payload) = entries.remove(0);
+                Ok((tag, payload))
+            }
+            other => Err(DeError(format!(
+                "{type_name}: expected a variant tag, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Serialize impls for primitives and std containers.
+// ---------------------------------------------------------------------------
+
+macro_rules! impl_ser_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self) -> Value {
+                Value::Int(*self as i128)
+            }
+        }
+    )*};
+}
+
+impl_ser_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn serialize(&self) -> Value {
+        Value::Float(*self)
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize(&self) -> Value {
+        Value::Float(*self as f64)
+    }
+}
+
+impl Serialize for bool {
+    fn serialize(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Serialize for String {
+    fn serialize(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Serialize for str {
+    fn serialize(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize(&self) -> Value {
+        (**self).serialize()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize(&self) -> Value {
+        match self {
+            None => Value::Null,
+            Some(v) => v.serialize(),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for std::collections::BTreeMap<K, V> {
+    /// Maps serialize as arrays of `[key, value]` pairs (keys need not be
+    /// strings, unlike JSON objects).
+    fn serialize(&self) -> Value {
+        Value::Array(
+            self.iter()
+                .map(|(k, v)| Value::Array(vec![k.serialize(), v.serialize()]))
+                .collect(),
+        )
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn serialize(&self) -> Value {
+        Value::Array(vec![self.0.serialize(), self.1.serialize()])
+    }
+}
+
+impl<A: Serialize, B: Serialize, C: Serialize> Serialize for (A, B, C) {
+    fn serialize(&self) -> Value {
+        Value::Array(vec![
+            self.0.serialize(),
+            self.1.serialize(),
+            self.2.serialize(),
+        ])
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Deserialize impls for primitives and std containers.
+// ---------------------------------------------------------------------------
+
+fn take<'de, D: Deserializer<'de>>(d: D) -> Result<Value, D::Error> {
+    d.take_value()
+}
+
+fn mismatch<E: de::Error>(expected: &str, found: &Value) -> E {
+    E::custom(format!("expected {expected}, found {}", found.kind()))
+}
+
+macro_rules! impl_de_int {
+    ($($t:ty),*) => {$(
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+                match take(d)? {
+                    Value::Int(i) => <$t>::try_from(i).map_err(|_| {
+                        D::Error::custom(format!(
+                            "integer {i} out of range for {}",
+                            stringify!($t)
+                        ))
+                    }),
+                    other => Err(mismatch(stringify!($t), &other)),
+                }
+            }
+        }
+    )*};
+}
+
+impl_de_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl<'de> Deserialize<'de> for f64 {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match take(d)? {
+            Value::Float(f) => Ok(f),
+            Value::Int(i) => Ok(i as f64),
+            other => Err(mismatch("number", &other)),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for f32 {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        f64::deserialize(d).map(|f| f as f32)
+    }
+}
+
+impl<'de> Deserialize<'de> for bool {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match take(d)? {
+            Value::Bool(b) => Ok(b),
+            other => Err(mismatch("bool", &other)),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match take(d)? {
+            Value::Str(s) => Ok(s),
+            other => Err(mismatch("string", &other)),
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match take(d)? {
+            Value::Null => Ok(None),
+            other => from_value(other).map(Some).map_err(D::Error::custom),
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match take(d)? {
+            Value::Array(items) => items
+                .into_iter()
+                .map(|v| from_value(v).map_err(D::Error::custom))
+                .collect(),
+            other => Err(mismatch("array", &other)),
+        }
+    }
+}
+
+impl<'de, K: Deserialize<'de> + Ord, V: Deserialize<'de>> Deserialize<'de>
+    for std::collections::BTreeMap<K, V>
+{
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match take(d)? {
+            Value::Array(items) => items
+                .into_iter()
+                .map(|pair| from_value::<(K, V)>(pair).map_err(D::Error::custom))
+                .collect(),
+            other => Err(mismatch("array of [key, value] pairs", &other)),
+        }
+    }
+}
+
+impl<'de, A: Deserialize<'de>, B: Deserialize<'de>> Deserialize<'de> for (A, B) {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match take(d)? {
+            Value::Array(items) if items.len() == 2 => {
+                let mut it = items.into_iter();
+                let a = from_value(it.next().expect("len checked")).map_err(D::Error::custom)?;
+                let b = from_value(it.next().expect("len checked")).map_err(D::Error::custom)?;
+                Ok((a, b))
+            }
+            other => Err(mismatch("2-element array", &other)),
+        }
+    }
+}
+
+impl<'de, A: Deserialize<'de>, B: Deserialize<'de>, C: Deserialize<'de>> Deserialize<'de>
+    for (A, B, C)
+{
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match take(d)? {
+            Value::Array(items) if items.len() == 3 => {
+                let mut it = items.into_iter();
+                let a = from_value(it.next().expect("len checked")).map_err(D::Error::custom)?;
+                let b = from_value(it.next().expect("len checked")).map_err(D::Error::custom)?;
+                let c = from_value(it.next().expect("len checked")).map_err(D::Error::custom)?;
+                Ok((a, b, c))
+            }
+            other => Err(mismatch("3-element array", &other)),
+        }
+    }
+}

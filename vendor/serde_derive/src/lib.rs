@@ -1,0 +1,403 @@
+//! Vendored minimal `#[derive(Serialize)]` / `#[derive(Deserialize)]`
+//! macros for the sibling vendored `serde` crate.
+//!
+//! Implemented without `syn`/`quote` (no crate registry in the build
+//! environment): the derive input is walked token-by-token, which is
+//! sufficient for the shapes this workspace uses — named-field structs,
+//! single-field tuple structs (serialized transparently), and enums with
+//! unit or struct variants — plus the container attributes
+//! `#[serde(transparent)]` and `#[serde(try_from = "…", into = "…")]`.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+use std::iter::Peekable;
+
+type TokenIter = Peekable<proc_macro::token_stream::IntoIter>;
+
+/// What a derive input parsed into.
+struct Input {
+    name: String,
+    attrs: ContainerAttrs,
+    kind: Kind,
+}
+
+#[derive(Default)]
+struct ContainerAttrs {
+    transparent: bool,
+    try_from: Option<String>,
+    into: Option<String>,
+}
+
+enum Kind {
+    /// Named-field struct: field names in declaration order.
+    Struct(Vec<String>),
+    /// Tuple struct with the given arity (only arity 1 is supported).
+    Tuple(usize),
+    /// Enum: `(variant, None)` for unit, `(variant, Some(fields))` for
+    /// struct variants.
+    Enum(Vec<(String, Option<Vec<String>>)>),
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let input = parse(input);
+    gen_serialize(&input)
+        .parse()
+        .expect("generated Serialize impl must parse")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let input = parse(input);
+    gen_deserialize(&input)
+        .parse()
+        .expect("generated Deserialize impl must parse")
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn parse(stream: TokenStream) -> Input {
+    let mut iter = stream.into_iter().peekable();
+    let attrs = skip_attrs(&mut iter);
+    skip_visibility(&mut iter);
+    let keyword = expect_ident(&mut iter);
+    let name = expect_ident(&mut iter);
+    if matches!(iter.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("vendored serde derive does not support generic type `{name}`");
+    }
+    let kind = match keyword.as_str() {
+        "struct" => parse_struct_body(&mut iter, &name),
+        "enum" => parse_enum_body(&mut iter, &name),
+        other => panic!("derive input must be a struct or enum, found `{other}`"),
+    };
+    Input { name, attrs, kind }
+}
+
+/// Skips (and inspects) leading attributes, returning any serde container
+/// configuration found.
+fn skip_attrs(iter: &mut TokenIter) -> ContainerAttrs {
+    let mut attrs = ContainerAttrs::default();
+    while matches!(iter.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        iter.next();
+        let Some(TokenTree::Group(group)) = iter.next() else {
+            panic!("`#` must be followed by a bracketed attribute");
+        };
+        let mut inner = group.stream().into_iter();
+        if let Some(TokenTree::Ident(id)) = inner.next() {
+            if id.to_string() == "serde" {
+                if let Some(TokenTree::Group(args)) = inner.next() {
+                    parse_serde_attr(&args.stream().to_string(), &mut attrs);
+                }
+            }
+        }
+    }
+    attrs
+}
+
+/// Extracts `transparent` / `try_from` / `into` from a `serde(...)` body
+/// rendered as a string (e.g. `try_from = "Vec<u64>", into = "Vec<u64>"`).
+fn parse_serde_attr(body: &str, attrs: &mut ContainerAttrs) {
+    for part in split_top_level_commas(body) {
+        let part = part.trim();
+        if part == "transparent" {
+            attrs.transparent = true;
+        } else if let Some(rest) = part.strip_prefix("try_from") {
+            attrs.try_from = Some(unquote(rest));
+        } else if let Some(rest) = part.strip_prefix("into") {
+            attrs.into = Some(unquote(rest));
+        }
+        // Unknown keys are ignored, like real serde ignores other crates'.
+    }
+}
+
+/// Splits on commas that are not nested in quotes (sufficient for
+/// attribute bodies, which contain no bracket nesting outside strings).
+fn split_top_level_commas(s: &str) -> Vec<String> {
+    let mut parts = Vec::new();
+    let mut current = String::new();
+    let mut in_string = false;
+    for c in s.chars() {
+        match c {
+            '"' => {
+                in_string = !in_string;
+                current.push(c);
+            }
+            ',' if !in_string => parts.push(std::mem::take(&mut current)),
+            _ => current.push(c),
+        }
+    }
+    if !current.trim().is_empty() {
+        parts.push(current);
+    }
+    parts
+}
+
+/// `= "Vec<u64>"` → `Vec<u64>` (tolerating the spacing `to_string`
+/// inserts between tokens).
+fn unquote(rest: &str) -> String {
+    let rest = rest.trim().trim_start_matches('=').trim();
+    rest.trim_matches('"').replace(' ', "")
+}
+
+fn skip_visibility(iter: &mut TokenIter) {
+    if matches!(iter.peek(), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        iter.next();
+        if matches!(iter.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            iter.next();
+        }
+    }
+}
+
+fn expect_ident(iter: &mut TokenIter) -> String {
+    match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected identifier, found {other:?}"),
+    }
+}
+
+fn parse_struct_body(iter: &mut TokenIter, name: &str) -> Kind {
+    match iter.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            Kind::Struct(parse_named_fields(g.stream()))
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            Kind::Tuple(count_tuple_fields(g.stream()))
+        }
+        other => panic!("struct `{name}` has an unsupported body: {other:?}"),
+    }
+}
+
+/// Field names of a `{ ... }` field list.
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let mut iter = stream.into_iter().peekable();
+    let mut fields = Vec::new();
+    loop {
+        skip_attrs(&mut iter);
+        if iter.peek().is_none() {
+            break;
+        }
+        skip_visibility(&mut iter);
+        fields.push(expect_ident(&mut iter));
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("expected `:` after field name, found {other:?}"),
+        }
+        // Consume the type: everything until a comma outside angle
+        // brackets (parens/brackets arrive pre-grouped, so only `<`/`>`
+        // nesting needs manual tracking).
+        let mut angle_depth = 0usize;
+        for tok in iter.by_ref() {
+            match &tok {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => {
+                    angle_depth = angle_depth.saturating_sub(1);
+                }
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => break,
+                _ => {}
+            }
+        }
+    }
+    fields
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut count = 0usize;
+    let mut angle_depth = 0usize;
+    let mut saw_tokens = false;
+    for tok in stream {
+        match &tok {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => {
+                angle_depth = angle_depth.saturating_sub(1);
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                count += 1;
+                saw_tokens = false;
+                continue;
+            }
+            _ => {}
+        }
+        saw_tokens = true;
+    }
+    if saw_tokens {
+        count += 1;
+    }
+    count
+}
+
+fn parse_enum_body(iter: &mut TokenIter, name: &str) -> Kind {
+    let Some(TokenTree::Group(g)) = iter.next() else {
+        panic!("enum `{name}` has no body");
+    };
+    let mut iter = g.stream().into_iter().peekable();
+    let mut variants = Vec::new();
+    loop {
+        skip_attrs(&mut iter);
+        if iter.peek().is_none() {
+            break;
+        }
+        let vname = expect_ident(&mut iter);
+        let fields = match iter.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream());
+                iter.next();
+                Some(fields)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                panic!("vendored serde derive does not support tuple variant `{name}::{vname}`")
+            }
+            _ => None,
+        };
+        variants.push((vname, fields));
+        if matches!(iter.peek(), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            iter.next();
+        }
+    }
+    Kind::Enum(variants)
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+fn gen_serialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = if let Some(into) = &input.attrs.into {
+        format!(
+            "let proxy: {into} = ::std::convert::Into::into(::std::clone::Clone::clone(self));\n\
+             ::serde::Serialize::serialize(&proxy)"
+        )
+    } else {
+        match &input.kind {
+            Kind::Tuple(1) => "::serde::Serialize::serialize(&self.0)".to_string(),
+            Kind::Tuple(n) => panic!("tuple struct `{name}` has {n} fields; only 1 supported"),
+            Kind::Struct(fields) => {
+                let entries: String = fields
+                    .iter()
+                    .map(|f| {
+                        format!(
+                            "(::std::string::String::from({f:?}), \
+                             ::serde::Serialize::serialize(&self.{f})),"
+                        )
+                    })
+                    .collect();
+                format!("::serde::Value::Object(::std::vec![{entries}])")
+            }
+            Kind::Enum(variants) => {
+                let arms: String = variants
+                    .iter()
+                    .map(|(v, fields)| match fields {
+                        None => format!(
+                            "{name}::{v} => \
+                             ::serde::Value::Str(::std::string::String::from({v:?})),"
+                        ),
+                        Some(fields) => {
+                            let bind = fields.join(", ");
+                            let entries: String = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "(::std::string::String::from({f:?}), \
+                                         ::serde::Serialize::serialize({f})),"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{v} {{ {bind} }} => ::serde::Value::Object(\
+                                 ::std::vec![(::std::string::String::from({v:?}), \
+                                 ::serde::Value::Object(::std::vec![{entries}]))]),"
+                            )
+                        }
+                    })
+                    .collect();
+                format!("match self {{ {arms} }}")
+            }
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn serialize(&self) -> ::serde::Value {{\n{body}\n}}\n\
+         }}"
+    )
+}
+
+fn gen_deserialize(input: &Input) -> String {
+    let name = &input.name;
+    let custom = "<D::Error as ::serde::de::Error>::custom";
+    let body = if let Some(try_from) = &input.attrs.try_from {
+        format!(
+            "let proxy: {try_from} = ::serde::Deserialize::deserialize(deserializer)?;\n\
+             <Self as ::std::convert::TryFrom<{try_from}>>::try_from(proxy)\
+                 .map_err(|e| {custom}(e))"
+        )
+    } else {
+        match &input.kind {
+            Kind::Tuple(1) => format!(
+                "::std::result::Result::Ok({name}(\
+                 ::serde::Deserialize::deserialize(deserializer)?))"
+            ),
+            Kind::Tuple(n) => panic!("tuple struct `{name}` has {n} fields; only 1 supported"),
+            Kind::Struct(fields) => {
+                let assigns: String = fields
+                    .iter()
+                    .map(|f| {
+                        format!(
+                            "{f}: ::serde::__private::field(&mut map, {name:?}, {f:?})\
+                             .map_err(|e| {custom}(e))?,"
+                        )
+                    })
+                    .collect();
+                format!(
+                    "let value = ::serde::Deserializer::take_value(deserializer)?;\n\
+                     let mut map = ::serde::__private::FieldMap::new(value, {name:?})\
+                         .map_err(|e| {custom}(e))?;\n\
+                     ::std::result::Result::Ok({name} {{ {assigns} }})"
+                )
+            }
+            Kind::Enum(variants) => {
+                let arms: String = variants
+                    .iter()
+                    .map(|(v, fields)| match fields {
+                        None => format!("{v:?} => ::std::result::Result::Ok({name}::{v}),"),
+                        Some(fields) => {
+                            let context = format!("{name}::{v}");
+                            let assigns: String = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "{f}: ::serde::__private::field(\
+                                         &mut map, {context:?}, {f:?})\
+                                         .map_err(|e| {custom}(e))?,"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{v:?} => {{\n\
+                                 let mut map = ::serde::__private::FieldMap::new(\
+                                     payload, {context:?}).map_err(|e| {custom}(e))?;\n\
+                                 ::std::result::Result::Ok({name}::{v} {{ {assigns} }})\n\
+                                 }},"
+                            )
+                        }
+                    })
+                    .collect();
+                format!(
+                    "let value = ::serde::Deserializer::take_value(deserializer)?;\n\
+                     let (tag, payload) = ::serde::__private::enum_parts(value, {name:?})\
+                         .map_err(|e| {custom}(e))?;\n\
+                     let _ = &payload;\n\
+                     match tag.as_str() {{ {arms} other => ::std::result::Result::Err(\
+                     {custom}(::std::format!(\"unknown variant `{{other}}` of {name}\"))), }}"
+                )
+            }
+        }
+    };
+    format!(
+        "impl<'de> ::serde::Deserialize<'de> for {name} {{\n\
+             fn deserialize<D: ::serde::Deserializer<'de>>(deserializer: D) \
+                 -> ::std::result::Result<Self, D::Error> {{\n{body}\n}}\n\
+         }}"
+    )
+}
