@@ -18,7 +18,7 @@ fn bench_solvers_head_to_head(c: &mut Criterion) {
     let instance = power_instance(21, 50, 5);
     for name in [
         "dp_power",
-        "dp_power_pruned",
+        "dp_power_full",
         "greedy_power",
         "heur_power_greedy",
         "heur_local_search",

@@ -1,4 +1,12 @@
-//! Shared fixtures for the benchmark suite (see `benches/`).
+//! # `replica-bench` — benchmark suite fixtures
+//!
+//! Shared deterministic instance builders for the criterion benches under
+//! `benches/` (DP ablations, heuristic head-to-heads, fleet-level sweeps)
+//! and the `timing` binary. Everything is seeded so runs are comparable
+//! across machines and commits; dispatch goes through the engine
+//! registry, so what is benched is exactly what fleet runs execute.
+//!
+//! Architecture overview: `docs/ARCHITECTURE.md` at the repository root.
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;

@@ -1,5 +1,5 @@
 //! The classical `MinCost-NoPre` dynamic program (Cidon, Kutten & Soffer
-//! [6]).
+//! \[6\]).
 //!
 //! Without pre-existing replicas the cost of Eq. 2 is minimized by
 //! minimizing the replica count, which this `O(N²)`-style DP does exactly:

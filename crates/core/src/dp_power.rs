@@ -11,7 +11,7 @@
 //! where `nᵢ` counts new servers assigned mode `i` and `eᵢᵢ'` reused
 //! pre-existing servers re-moded `i → i'` inside the subtree (excluding the
 //! node itself). States are bit-packed `u128` keys
-//! ([`StateCodec`](crate::state::StateCodec)), merged child-by-child exactly
+//! ([`crate::state::StateCodec`]), merged child-by-child exactly
 //! like the `MinCost` DP but with an extra mode choice whenever a replica is
 //! placed. The Lemma 1 argument carries over verbatim: cost (Eq. 4) and
 //! power (Eq. 3) depend only on the state vector, so the flow-minimal
@@ -173,20 +173,16 @@ impl<'a> PowerDp<'a> {
             })
     }
 
+    /// Raw `(cost, power)` pairs of every root candidate — the input to a
+    /// budget-sweep frontier (see [`crate::frontier`]).
+    pub fn cost_power_points(&self) -> Vec<(f64, f64)> {
+        self.candidates.iter().map(|c| (c.cost, c.power)).collect()
+    }
+
     /// The cost/power Pareto front, sorted by increasing cost, strictly
-    /// decreasing power.
+    /// decreasing power (near-ties within `COST_EPSILON` collapsed).
     pub fn pareto_front(&self) -> Vec<(f64, f64)> {
-        let mut points: Vec<(f64, f64)> =
-            self.candidates.iter().map(|c| (c.cost, c.power)).collect();
-        points.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.total_cmp(&b.1)));
-        let mut front: Vec<(f64, f64)> = Vec::new();
-        for (cost, power) in points {
-            match front.last() {
-                Some(&(_, best_power)) if power >= best_power - replica_model::COST_EPSILON => {}
-                _ => front.push((cost, power)),
-            }
-        }
-        front
+        crate::frontier::pareto_filter(self.cost_power_points(), replica_model::COST_EPSILON)
     }
 
     /// Rebuilds a full placement achieving `candidate`.

@@ -236,19 +236,16 @@ impl<'a> PrunedPowerDp<'a> {
             .min_by(|a, b| a.power.total_cmp(&b.power).then(a.cost.total_cmp(&b.cost)))
     }
 
-    /// The cost/power Pareto front (increasing cost, decreasing power).
+    /// Raw `(cost, power)` pairs of every root candidate — the input to a
+    /// budget-sweep frontier (see [`crate::frontier`]).
+    pub fn cost_power_points(&self) -> Vec<(f64, f64)> {
+        self.candidates.iter().map(|c| (c.cost, c.power)).collect()
+    }
+
+    /// The cost/power Pareto front (increasing cost, decreasing power,
+    /// near-ties within `COST_EPSILON` collapsed).
     pub fn pareto_front(&self) -> Vec<(f64, f64)> {
-        let mut points: Vec<(f64, f64)> =
-            self.candidates.iter().map(|c| (c.cost, c.power)).collect();
-        points.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.total_cmp(&b.1)));
-        let mut front: Vec<(f64, f64)> = Vec::new();
-        for (cost, power) in points {
-            match front.last() {
-                Some(&(_, p)) if power >= p - replica_model::COST_EPSILON => {}
-                _ => front.push((cost, power)),
-            }
-        }
-        front
+        crate::frontier::pareto_filter(self.cost_power_points(), replica_model::COST_EPSILON)
     }
 
     /// Rebuilds a placement achieving `candidate` (bit-exact backtrack, see

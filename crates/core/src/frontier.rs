@@ -1,0 +1,82 @@
+//! Cost/power frontier extraction — the shared kernel behind every
+//! amortized budget sweep.
+//!
+//! Both exact DPs ([`dp_power`](crate::dp_power),
+//! [`dp_power_pruned`](crate::dp_power_pruned)), the capacity-swept `GR`
+//! baseline ([`greedy_power`](crate::greedy_power)) and the exhaustive
+//! oracle all end a run holding a bag of feasible `(cost, power)`
+//! aggregates; answering *"minimum power within budget `b`"* for every `b`
+//! only needs the Pareto-undominated subset of that bag. This module
+//! extracts it once so the engine's budget-sweep API and the experiment
+//! harness agree on one pruning rule.
+
+/// Reduces `(cost, power)` points to their Pareto front: sorted by strictly
+/// increasing cost with power decreasing by more than `epsilon` at each
+/// step.
+///
+/// With `epsilon = 0.0` the filter is *exact*: for every budget `b`, the
+/// minimum power over the returned front equals the minimum power over the
+/// input points (a dropped point is weakly dominated by an earlier kept
+/// one). A positive `epsilon` additionally drops near-ties, which is what
+/// plotting wants.
+pub fn pareto_filter(mut points: Vec<(f64, f64)>, epsilon: f64) -> Vec<(f64, f64)> {
+    points.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.total_cmp(&b.1)));
+    let mut front: Vec<(f64, f64)> = Vec::new();
+    for (cost, power) in points {
+        match front.last() {
+            Some(&(_, best)) if power >= best - epsilon => {}
+            _ => front.push((cost, power)),
+        }
+    }
+    front
+}
+
+/// Minimum power among `points` with cost within `cost_bound`
+/// (tolerantly, matching the root-scan filters of the DPs).
+pub fn min_power_within(points: &[(f64, f64)], cost_bound: f64) -> Option<f64> {
+    points
+        .iter()
+        .filter(|(c, _)| replica_model::le_tolerant(*c, cost_bound))
+        .map(|&(_, p)| p)
+        .min_by(f64::total_cmp)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_filter_preserves_best_within_every_budget() {
+        let points = vec![
+            (3.0, 10.0),
+            (1.0, 12.0),
+            (2.0, 12.0), // dominated by (1, 12)
+            (3.0, 10.0 + 1e-12),
+            (5.0, 8.0),
+            (4.0, 11.0), // dominated by (3, 10)
+        ];
+        let front = pareto_filter(points.clone(), 0.0);
+        assert_eq!(front, vec![(1.0, 12.0), (3.0, 10.0), (5.0, 8.0)]);
+        for bound in [0.5, 1.0, 1.5, 2.0, 3.0, 4.0, 5.0, f64::INFINITY] {
+            assert_eq!(
+                min_power_within(&front, bound),
+                min_power_within(&points, bound),
+                "bound {bound}"
+            );
+        }
+    }
+
+    #[test]
+    fn epsilon_filter_drops_near_ties() {
+        let points = vec![(1.0, 10.0), (2.0, 10.0 - 1e-12), (3.0, 5.0)];
+        assert_eq!(pareto_filter(points.clone(), 0.0).len(), 3);
+        assert_eq!(pareto_filter(points, 1e-9).len(), 2);
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        assert!(pareto_filter(Vec::new(), 0.0).is_empty());
+        assert_eq!(pareto_filter(vec![(1.0, 2.0)], 0.0), vec![(1.0, 2.0)]);
+        assert_eq!(min_power_within(&[], 10.0), None);
+    }
+}

@@ -1,4 +1,4 @@
-//! The greedy replica-count minimizer (`GR`) of Wu, Lin & Liu [19].
+//! The greedy replica-count minimizer (`GR`) of Wu, Lin & Liu \[19\].
 //!
 //! For the classical `MinCost-NoPre` problem (closest policy, identical
 //! capacity `W`, no pre-existing servers) the following bottom-up greedy is
@@ -16,7 +16,7 @@
 //! Largest-first simultaneously minimizes the number of replicas placed for
 //! `j`'s constraint *and* the residual flow passed upward, and placing at a
 //! child's root dominates placing deeper in its subtree; an exchange
-//! argument then yields global optimality (see [19] for the full proof — the
+//! argument then yields global optimality (see \[19\] for the full proof — the
 //! test-suite cross-validates against two independent dynamic programs).
 //!
 //! `GR` is the baseline the paper compares against in every experiment: it

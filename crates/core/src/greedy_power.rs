@@ -1,6 +1,6 @@
 //! The power-adapted greedy baseline (`GR`) of Experiment 3 (§5.2).
 //!
-//! The paper compares its bi-criteria DP against the algorithm of [19]
+//! The paper compares its bi-criteria DP against the algorithm of \[19\]
 //! "modified for power as explained above": `GR` knows nothing about power,
 //! but it can be swept over the capacity value — *"we try all values
 //! 5 ≤ W ≤ 10, and compute the corresponding cost and power consumption.

@@ -20,6 +20,9 @@
 //! re-evaluate — every optimum claimed by a DP is cross-checked against that
 //! independent evaluation in the test suite.
 //!
+//! Where this crate sits in the workspace: `docs/ARCHITECTURE.md` at the
+//! repository root (crate map, paper-notation table, data-flow diagrams).
+//!
 //! ## Quickstart
 //!
 //! ```
@@ -59,6 +62,7 @@ pub mod dp_mincost_nopre;
 pub mod dp_power;
 pub mod dp_power_pruned;
 pub mod exhaustive;
+pub mod frontier;
 pub mod greedy;
 pub mod greedy_power;
 pub mod heuristics;

@@ -1,25 +1,35 @@
-//! The parallel scenario-fleet runner.
+//! The parallel scenario-fleet runner, with streaming aggregation.
 //!
 //! A [`Fleet`] evaluates a batch of labelled instances against a set of
 //! registered solvers — the cartesian product `instances × solvers` — in
-//! parallel with rayon, and aggregates the outcomes per `(scenario,
-//! solver)` group: cost/power distributions, server counts, wall-clock
-//! means, plus optimality gaps and speedups against a reference solver
-//! (the exact DP by default).
+//! parallel with rayon, and folds every outcome into per-`(scenario,
+//! solver)` online accumulators ([`crate::stream`]) the moment it is
+//! produced: cost/power/gap distributions (count, mean, min, max, P²
+//! p50/p90), server counts, wall-clock means, and speedups against a
+//! reference solver (the exact DP by default). The full cell matrix is
+//! **never materialized** — peak memory is bounded by one batch of jobs
+//! ([`FleetConfig::batch_jobs`] × solver count) plus the fixed-size
+//! accumulators, so fleets scale past what `instances × solvers` cells
+//! would fit in memory. Callers who want the raw per-cell stream tap it
+//! via [`Fleet::run_with_observer`].
 //!
 //! Determinism: per-instance solver seeds derive from the fleet seed via
-//! [`seeding::mix`], results are collected in job order regardless of
-//! scheduling, and aggregation runs sequentially over that order — so a
-//! seeded fleet report (minus wall-clock fields) is **byte-identical**
-//! across runs and across thread counts. [`FleetReport::digest`] exposes
-//! exactly the deterministic portion; the determinism suite pins it.
+//! [`seeding::mix`]; jobs are solved in parallel batch by batch, but each
+//! batch's results come back in job order and are folded **sequentially in
+//! that order** — so every aggregate (including the quantile sketches) and
+//! the per-cell checksum are byte-identical across runs and across thread
+//! counts. [`FleetReport::digest`] exposes exactly the deterministic
+//! portion; the determinism suite pins it.
 
 use crate::registry::Registry;
 use crate::scenarios::Scenario;
 use crate::seeding;
 use crate::solver::{SolveOptions, Solver};
+use crate::stream::{MetricAccumulator, Stats};
 use rayon::prelude::*;
 use replica_model::Instance;
+use std::collections::HashMap;
+use std::fmt;
 use std::fmt::Write as _;
 
 /// One labelled instance of a fleet.
@@ -43,11 +53,15 @@ pub struct FleetConfig {
     /// Fleet seed: drives per-instance solver seeds.
     pub seed: u64,
     /// Reference solver for gap/speedup columns (defaults to `dp_power`
-    /// when present among [`FleetConfig::solvers`]).
+    /// when present among [`FleetConfig::solvers`], then `dp_power_full`).
     pub reference: Option<String>,
     /// Worker-thread override (`None` = machine default). Results are
     /// identical for every value; only wall-clock changes.
     pub threads: Option<usize>,
+    /// Jobs solved in parallel per streaming batch: the peak-memory knob.
+    /// Results are identical for every value; only scheduling granularity
+    /// changes.
+    pub batch_jobs: usize,
 }
 
 impl Default for FleetConfig {
@@ -62,6 +76,7 @@ impl Default for FleetConfig {
             seed: 0xF1EE7,
             reference: None,
             threads: None,
+            batch_jobs: 64,
         }
     }
 }
@@ -98,10 +113,12 @@ impl CellResult {
     }
 }
 
-/// One `(instance, solver)` evaluation.
-pub struct FleetCell {
+/// One `(instance, solver)` evaluation, as seen by the streaming observer
+/// of [`Fleet::run_with_observer`]. Borrowed and transient: the cell is
+/// gone after the callback returns (zero retention on the hot path).
+pub struct FleetCell<'a> {
     /// Scenario label of the instance.
-    pub scenario: String,
+    pub scenario: &'a str,
     /// Instance index within the scenario.
     pub instance: usize,
     /// Solver name.
@@ -113,26 +130,27 @@ pub struct FleetCell {
     pub wall_seconds: f64,
 }
 
-/// Simple distribution statistics.
-#[derive(Clone, Copy, Debug, Default, PartialEq)]
-pub struct Stats {
-    /// Arithmetic mean.
-    pub mean: f64,
-    /// Minimum.
-    pub min: f64,
-    /// Maximum.
-    pub max: f64,
-}
-
-impl Stats {
-    fn of(values: &[f64]) -> Stats {
-        if values.is_empty() {
-            return Stats::default();
+impl FleetCell<'_> {
+    /// Writes the deterministic digest line of this cell (what the fleet
+    /// checksum accumulates; timing excluded).
+    fn write_digest(&self, out: &mut impl fmt::Write) -> fmt::Result {
+        match &self.result {
+            CellResult::Solved(o) => writeln!(
+                out,
+                "{}#{} {}: cost={:.9} power={:.9} servers={}",
+                self.scenario, self.instance, self.solver, o.cost, o.power, o.servers
+            ),
+            CellResult::Unsupported => writeln!(
+                out,
+                "{}#{} {}: unsupported",
+                self.scenario, self.instance, self.solver
+            ),
+            CellResult::Failed(e) => writeln!(
+                out,
+                "{}#{} {}: error={}",
+                self.scenario, self.instance, self.solver, e
+            ),
         }
-        let mean = values.iter().sum::<f64>() / values.len() as f64;
-        let min = values.iter().copied().fold(f64::INFINITY, f64::min);
-        let max = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
-        Stats { mean, min, max }
     }
 }
 
@@ -159,19 +177,220 @@ pub struct FleetSummary {
     /// solved (1.0 = matches the exact optimum when the reference is an
     /// exact DP).
     pub power_gap_vs_ref: Option<f64>,
+    /// Full distribution of the per-instance power ratios behind
+    /// [`FleetSummary::power_gap_vs_ref`].
+    pub gap_vs_ref: Option<Stats>,
     /// Mean wall-clock seconds per solve (non-deterministic).
     pub mean_wall_seconds: f64,
     /// Reference mean wall over this solver's mean wall
     /// (non-deterministic; > 1 means faster than the reference).
     pub speedup_vs_ref: Option<f64>,
+    /// Distribution of per-instance wall ratios (reference over this
+    /// solver; non-deterministic).
+    pub speedup_dist: Option<Stats>,
 }
 
-/// The outcome of a fleet run.
+/// The outcome of a fleet run: streaming aggregates only — the cell
+/// matrix itself is folded away as it is produced.
 pub struct FleetReport {
-    /// Every `(instance, solver)` cell, in deterministic job order.
-    pub cells: Vec<FleetCell>,
-    /// Per-`(scenario, solver)` aggregates, in first-appearance order.
+    /// Per-`(scenario, solver)` aggregates, in first-appearance (job)
+    /// order.
     pub summaries: Vec<FleetSummary>,
+    /// Number of `(instance, solver)` cells evaluated.
+    pub cell_count: usize,
+    /// FNV-1a checksum over every cell's deterministic digest line, in
+    /// job order — the cell matrix's fingerprint without its memory.
+    pub cell_checksum: u64,
+}
+
+/// Streaming per-group state.
+struct GroupAcc {
+    scenario: String,
+    solver: &'static str,
+    solved: usize,
+    failed: usize,
+    unsupported: usize,
+    cost: MetricAccumulator,
+    power: MetricAccumulator,
+    servers_sum: f64,
+    gap: MetricAccumulator,
+    wall_sum: f64,
+    speedup: MetricAccumulator,
+}
+
+impl GroupAcc {
+    fn new(scenario: String, solver: &'static str) -> Self {
+        GroupAcc {
+            scenario,
+            solver,
+            solved: 0,
+            failed: 0,
+            unsupported: 0,
+            cost: MetricAccumulator::default(),
+            power: MetricAccumulator::default(),
+            servers_sum: 0.0,
+            gap: MetricAccumulator::default(),
+            wall_sum: 0.0,
+            speedup: MetricAccumulator::default(),
+        }
+    }
+}
+
+/// The sequential fold target: group accumulators in first-appearance
+/// order plus the fleet-level cell fingerprint. Groups for a scenario
+/// occupy `solvers.len()` consecutive slots (config solver order), so
+/// the per-cell lookup is one borrowed-key map probe — the fold's hot
+/// path allocates nothing.
+struct Aggregation {
+    groups: Vec<GroupAcc>,
+    scenario_base: HashMap<String, usize>,
+    has_reference: bool,
+    cell_count: usize,
+    checksum: FnvHasher,
+}
+
+/// Incremental FNV-1a over anything `write!`-able (the cell checksum
+/// never materializes the formatted line).
+struct FnvHasher(u64);
+
+impl FnvHasher {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+}
+
+impl fmt::Write for FnvHasher {
+    fn write_str(&mut self, s: &str) -> fmt::Result {
+        for byte in s.bytes() {
+            self.0 = (self.0 ^ byte as u64).wrapping_mul(Self::PRIME);
+        }
+        Ok(())
+    }
+}
+
+impl Aggregation {
+    fn new(has_reference: bool) -> Self {
+        Aggregation {
+            groups: Vec::new(),
+            scenario_base: HashMap::new(),
+            has_reference,
+            cell_count: 0,
+            checksum: FnvHasher(FnvHasher::OFFSET),
+        }
+    }
+
+    /// First group slot of `scenario`, creating the scenario's group row
+    /// on first appearance.
+    fn scenario_base(&mut self, scenario: &str, solvers: &[&dyn Solver]) -> usize {
+        if let Some(&base) = self.scenario_base.get(scenario) {
+            return base;
+        }
+        let base = self.groups.len();
+        for solver in solvers {
+            self.groups
+                .push(GroupAcc::new(scenario.to_string(), solver.name()));
+        }
+        self.scenario_base.insert(scenario.to_string(), base);
+        base
+    }
+
+    /// Folds one job's row of cells in, in solver order.
+    fn fold_job(
+        &mut self,
+        job: &FleetJob,
+        row: Vec<(CellResult, f64)>,
+        solvers: &[&dyn Solver],
+        reference_slot: Option<usize>,
+        observe: &mut dyn FnMut(&FleetCell),
+    ) {
+        let base = self.scenario_base(&job.scenario, solvers);
+        let reference = reference_slot
+            .and_then(|s| row[s].0.outcome().map(|outcome| (outcome.power, row[s].1)));
+        for (s, (result, wall_seconds)) in row.into_iter().enumerate() {
+            let cell = FleetCell {
+                scenario: &job.scenario,
+                instance: job.index,
+                solver: solvers[s].name(),
+                result,
+                wall_seconds,
+            };
+            observe(&cell);
+            self.cell_count += 1;
+            cell.write_digest(&mut self.checksum)
+                .expect("hashing cannot fail");
+
+            let group = &mut self.groups[base + s];
+            match &cell.result {
+                CellResult::Solved(outcome) => {
+                    group.solved += 1;
+                    group.cost.push(outcome.cost);
+                    group.power.push(outcome.power);
+                    group.servers_sum += outcome.servers as f64;
+                    group.wall_sum += cell.wall_seconds;
+                    if let Some((ref_power, ref_wall)) = reference {
+                        if ref_power > 0.0 {
+                            group.gap.push(outcome.power / ref_power);
+                        }
+                        if cell.wall_seconds > 0.0 {
+                            group.speedup.push(ref_wall / cell.wall_seconds);
+                        }
+                    }
+                }
+                CellResult::Unsupported => group.unsupported += 1,
+                CellResult::Failed(_) => group.failed += 1,
+            }
+        }
+    }
+
+    /// Final snapshot: summaries in first-appearance order.
+    fn finish(self, reference: Option<&str>) -> FleetReport {
+        // Reference mean wall per scenario, for the speedup column.
+        let ref_wall: HashMap<&str, f64> = self
+            .groups
+            .iter()
+            .filter(|g| Some(g.solver) == reference && g.solved > 0)
+            .map(|g| (g.scenario.as_str(), g.wall_sum / g.solved as f64))
+            .collect();
+
+        let has_reference = self.has_reference;
+        let summaries = self
+            .groups
+            .iter()
+            .map(|g| {
+                let mean_wall = if g.solved == 0 {
+                    0.0
+                } else {
+                    g.wall_sum / g.solved as f64
+                };
+                FleetSummary {
+                    scenario: g.scenario.clone(),
+                    solver: g.solver,
+                    solved: g.solved,
+                    failed: g.failed,
+                    unsupported: g.unsupported,
+                    cost: g.cost.stats(),
+                    power: g.power.stats(),
+                    mean_servers: if g.solved == 0 {
+                        0.0
+                    } else {
+                        g.servers_sum / g.solved as f64
+                    },
+                    power_gap_vs_ref: (has_reference && g.gap.count() > 0).then(|| g.gap.mean()),
+                    gap_vs_ref: (has_reference && g.gap.count() > 0).then(|| g.gap.stats()),
+                    mean_wall_seconds: mean_wall,
+                    speedup_vs_ref: ref_wall
+                        .get(g.scenario.as_str())
+                        .filter(|_| mean_wall > 0.0)
+                        .map(|w| w / mean_wall),
+                    speedup_dist: (g.speedup.count() > 0).then(|| g.speedup.stats()),
+                }
+            })
+            .collect();
+        FleetReport {
+            summaries,
+            cell_count: self.cell_count,
+            cell_checksum: self.checksum.0,
+        }
+    }
 }
 
 /// The runner itself: a registry plus a configuration.
@@ -207,210 +426,117 @@ impl<'r> Fleet<'r> {
         jobs
     }
 
-    /// Evaluates every job against every configured solver, in parallel.
+    /// Evaluates every job against every configured solver, streaming the
+    /// outcomes into aggregates.
     pub fn run(&self, jobs: &[FleetJob]) -> FleetReport {
+        self.run_with_observer(jobs, |_| {})
+    }
+
+    /// Like [`Fleet::run`], additionally handing every cell to `observe`
+    /// the moment its batch is folded — in deterministic job order,
+    /// regardless of thread count. The cell is dropped right after the
+    /// callback: this is the zero-retention tap for exporters.
+    pub fn run_with_observer(
+        &self,
+        jobs: &[FleetJob],
+        mut observe: impl FnMut(&FleetCell),
+    ) -> FleetReport {
         let solvers: Vec<&dyn Solver> = self
             .config
             .solvers
             .iter()
             .map(|name| self.registry.get(name).expect("validated in Fleet::new"))
             .collect();
+        // Default reference: prefer the fast pruned DP over the
+        // full-state one, regardless of their order in the solver list.
+        let reference: Option<String> = self.config.reference.clone().or_else(|| {
+            ["dp_power", "dp_power_full"]
+                .into_iter()
+                .find(|p| self.config.solvers.iter().any(|s| s == p))
+                .map(str::to_string)
+        });
+        let reference_slot: Option<usize> = reference
+            .as_deref()
+            .and_then(|r| solvers.iter().position(|s| s.name() == r));
 
-        let run_all = || -> Vec<FleetCell> {
-            let tasks: Vec<(usize, usize)> = (0..jobs.len())
-                .flat_map(|j| (0..solvers.len()).map(move |s| (j, s)))
-                .collect();
-            tasks
-                .into_par_iter()
-                .map(|(j, s)| self.run_cell(&jobs[j], j, solvers[s]))
-                .collect()
+        let batch = self.config.batch_jobs.max(1);
+        let n_solvers = solvers.len();
+        let mut agg = Aggregation::new(reference.is_some());
+        let mut body = || {
+            for start in (0..jobs.len()).step_by(batch) {
+                let end = (start + batch).min(jobs.len());
+                // Parallel production at (job, solver) grain — a slow
+                // solver never serializes behind its row-mates — bounded
+                // by the batch size...
+                let tasks: Vec<(usize, usize)> = (start..end)
+                    .flat_map(|j| (0..n_solvers).map(move |s| (j, s)))
+                    .collect();
+                let cells: Vec<(CellResult, f64)> = tasks
+                    .into_par_iter()
+                    .map(|(j, s)| self.run_cell(&jobs[j], j, solvers[s]))
+                    .collect();
+                // ...then regrouped into job-major rows and folded
+                // sequentially in job order (determinism).
+                let mut cells = cells.into_iter();
+                for job in &jobs[start..end] {
+                    let row: Vec<(CellResult, f64)> = cells.by_ref().take(n_solvers).collect();
+                    agg.fold_job(job, row, &solvers, reference_slot, &mut observe);
+                }
+            }
         };
-
-        let cells = match self.config.threads {
-            None => run_all(),
+        match self.config.threads {
+            None => body(),
             Some(n) => rayon::ThreadPoolBuilder::new()
                 .num_threads(n)
                 .build()
                 .expect("thread pool")
-                .install(run_all),
-        };
-
-        let summaries = self.summarize(&cells);
-        FleetReport { cells, summaries }
+                .install(body),
+        }
+        agg.finish(reference.as_deref())
     }
 
-    fn run_cell(&self, job: &FleetJob, job_index: usize, solver: &dyn Solver) -> FleetCell {
+    /// Solves one `(job, solver)` cell.
+    fn run_cell(&self, job: &FleetJob, job_index: usize, solver: &dyn Solver) -> (CellResult, f64) {
         let mut options = self.config.options;
         // Per-instance seed: reproducible, decorrelated, independent of
         // which solvers run alongside.
         options.seed = seeding::mix(self.config.seed, job_index as u64);
         if !solver.supports(&job.instance) {
-            return FleetCell {
-                scenario: job.scenario.clone(),
-                instance: job.index,
-                solver: solver.name(),
-                result: CellResult::Unsupported,
-                wall_seconds: 0.0,
-            };
+            return (CellResult::Unsupported, 0.0);
         }
         match solver.solve(&job.instance, &options) {
-            Ok(outcome) => FleetCell {
-                scenario: job.scenario.clone(),
-                instance: job.index,
-                solver: solver.name(),
-                result: CellResult::Solved(CellOutcome {
+            Ok(outcome) => (
+                CellResult::Solved(CellOutcome {
                     cost: outcome.cost,
                     power: outcome.power,
                     servers: outcome.servers,
                 }),
-                wall_seconds: outcome.wall.as_secs_f64(),
-            },
-            Err(e) => FleetCell {
-                scenario: job.scenario.clone(),
-                instance: job.index,
-                solver: solver.name(),
-                result: CellResult::Failed(e.to_string()),
-                wall_seconds: 0.0,
-            },
+                outcome.wall.as_secs_f64(),
+            ),
+            Err(e) => (CellResult::Failed(e.to_string()), 0.0),
         }
-    }
-
-    fn summarize(&self, cells: &[FleetCell]) -> Vec<FleetSummary> {
-        use std::collections::HashMap;
-
-        let reference = self.config.reference.clone().or_else(|| {
-            self.config
-                .solvers
-                .iter()
-                .find(|s| s.as_str() == "dp_power" || s.as_str() == "dp_power_pruned")
-                .cloned()
-        });
-
-        // One pass: group cells per (scenario, solver) preserving
-        // first-appearance order, and index reference outcomes per
-        // (scenario, instance) — everything O(cells).
-        let mut keys: Vec<(String, &'static str)> = Vec::new();
-        let mut groups: HashMap<(String, &'static str), Vec<&FleetCell>> = HashMap::new();
-        let mut ref_power: HashMap<(&str, usize), f64> = HashMap::new();
-        let mut ref_walls: HashMap<&str, Vec<f64>> = HashMap::new();
-        for cell in cells {
-            let key = (cell.scenario.clone(), cell.solver);
-            groups
-                .entry(key.clone())
-                .or_insert_with(|| {
-                    keys.push(key);
-                    Vec::new()
-                })
-                .push(cell);
-            if reference.as_deref() == Some(cell.solver) {
-                if let CellResult::Solved(outcome) = &cell.result {
-                    ref_power.insert((cell.scenario.as_str(), cell.instance), outcome.power);
-                    ref_walls
-                        .entry(cell.scenario.as_str())
-                        .or_default()
-                        .push(cell.wall_seconds);
-                }
-            }
-        }
-
-        let mean = |v: &[f64]| {
-            if v.is_empty() {
-                0.0
-            } else {
-                v.iter().sum::<f64>() / v.len() as f64
-            }
-        };
-
-        keys.into_iter()
-            .map(|key| {
-                let group = &groups[&key];
-                let (scenario, solver) = key;
-                let solved: Vec<&CellOutcome> =
-                    group.iter().filter_map(|c| c.result.outcome()).collect();
-                let unsupported = group
-                    .iter()
-                    .filter(|c| matches!(c.result, CellResult::Unsupported))
-                    .count();
-                let failed = group.len() - solved.len() - unsupported;
-                let costs: Vec<f64> = solved.iter().map(|o| o.cost).collect();
-                let powers: Vec<f64> = solved.iter().map(|o| o.power).collect();
-                let walls: Vec<f64> = group
-                    .iter()
-                    .filter(|c| c.result.outcome().is_some())
-                    .map(|c| c.wall_seconds)
-                    .collect();
-
-                // Power ratio to the reference over commonly solved
-                // instances.
-                let ratios: Vec<f64> = group
-                    .iter()
-                    .filter_map(|c| {
-                        let mine = c.result.outcome()?.power;
-                        let theirs = *ref_power.get(&(c.scenario.as_str(), c.instance))?;
-                        (theirs > 0.0).then_some(mine / theirs)
-                    })
-                    .collect();
-                let power_gap_vs_ref =
-                    (reference.is_some() && !ratios.is_empty()).then(|| mean(&ratios));
-
-                // Speedup: reference mean wall / this solver's mean wall.
-                let mean_wall = mean(&walls);
-                let speedup_vs_ref = ref_walls
-                    .get(scenario.as_str())
-                    .filter(|w| !w.is_empty() && mean_wall > 0.0)
-                    .map(|w| mean(w) / mean_wall);
-
-                FleetSummary {
-                    scenario,
-                    solver,
-                    solved: solved.len(),
-                    failed,
-                    unsupported,
-                    cost: Stats::of(&costs),
-                    power: Stats::of(&powers),
-                    mean_servers: mean(
-                        &solved.iter().map(|o| o.servers as f64).collect::<Vec<_>>(),
-                    ),
-                    power_gap_vs_ref,
-                    mean_wall_seconds: mean_wall,
-                    speedup_vs_ref,
-                }
-            })
-            .collect()
     }
 }
 
 impl FleetReport {
-    /// The deterministic portion of the report: every cell outcome and
-    /// every aggregate, timing fields excluded. Byte-identical across
-    /// runs and thread counts for a fixed seed.
+    /// The deterministic portion of the report: the cell-matrix
+    /// fingerprint (count + checksum over every cell's outcome line, in
+    /// job order) and every aggregate, timing fields excluded.
+    /// Byte-identical across runs, thread counts and batch sizes for a
+    /// fixed seed.
     pub fn digest(&self) -> String {
         let mut out = String::new();
-        for c in &self.cells {
-            match &c.result {
-                CellResult::Solved(o) => writeln!(
-                    out,
-                    "{}#{} {}: cost={:.9} power={:.9} servers={}",
-                    c.scenario, c.instance, c.solver, o.cost, o.power, o.servers
-                ),
-                CellResult::Unsupported => writeln!(
-                    out,
-                    "{}#{} {}: unsupported",
-                    c.scenario, c.instance, c.solver
-                ),
-                CellResult::Failed(e) => writeln!(
-                    out,
-                    "{}#{} {}: error={}",
-                    c.scenario, c.instance, c.solver, e
-                ),
-            }
-            .expect("writing to String cannot fail");
-        }
+        writeln!(
+            out,
+            "cells={} checksum={:016x}",
+            self.cell_count, self.cell_checksum
+        )
+        .expect("writing to String cannot fail");
         for s in &self.summaries {
             writeln!(
                 out,
                 "{} {}: solved={} failed={} unsupported={} cost[{:.9}/{:.9}/{:.9}] \
-                 power[{:.9}/{:.9}/{:.9}] servers={:.4} gap={}",
+                 power[{:.9}/{:.9}/{:.9}] power_p50={:.9} servers={:.4} gap={}",
                 s.scenario,
                 s.solver,
                 s.solved,
@@ -422,6 +548,7 @@ impl FleetReport {
                 s.power.min,
                 s.power.mean,
                 s.power.max,
+                s.power.p50,
                 s.mean_servers,
                 s.power_gap_vs_ref
                     .map_or("-".to_string(), |g| format!("{g:.9}")),
@@ -440,13 +567,14 @@ impl FleetReport {
             "solved",
             "fail",
             "power_mean",
+            "power_p90",
             "cost_mean",
             "servers",
             "gap_vs_ref",
             "ms/solve",
             "speedup",
         ];
-        let mut rows: Vec<[String; 10]> = vec![header.map(String::from)];
+        let mut rows: Vec<[String; 11]> = vec![header.map(String::from)];
         for s in &self.summaries {
             rows.push([
                 s.scenario.clone(),
@@ -454,6 +582,7 @@ impl FleetReport {
                 s.solved.to_string(),
                 (s.failed + s.unsupported).to_string(),
                 format!("{:.2}", s.power.mean),
+                format!("{:.2}", s.power.p90),
                 format!("{:.3}", s.cost.mean),
                 format!("{:.1}", s.mean_servers),
                 s.power_gap_vs_ref.map_or("-".into(), |g| format!("{g:.4}")),
@@ -507,7 +636,7 @@ mod tests {
         let fleet = Fleet::new(&registry, config);
         let jobs = tiny_jobs();
         let report = fleet.run(&jobs);
-        assert_eq!(report.cells.len(), jobs.len() * 3);
+        assert_eq!(report.cell_count, jobs.len() * 3);
         assert_eq!(report.summaries.len(), 2 * 3, "2 scenarios × 3 solvers");
         for s in &report.summaries {
             assert_eq!(
@@ -515,6 +644,8 @@ mod tests {
                 "{}/{} should solve everything",
                 s.scenario, s.solver
             );
+            assert_eq!(s.cost.count, 3);
+            assert!(s.power.min <= s.power.p50 && s.power.p50 <= s.power.max);
             if s.solver != "dp_power" {
                 let gap = s.power_gap_vs_ref.expect("reference present");
                 assert!(
@@ -522,6 +653,9 @@ mod tests {
                     "{}: exact DP must win, gap {gap}",
                     s.solver
                 );
+                let dist = s.gap_vs_ref.expect("gap distribution present");
+                assert_eq!(dist.count, 3);
+                assert!((dist.mean - gap).abs() < 1e-12);
             }
         }
     }
@@ -538,9 +672,9 @@ mod tests {
     }
 
     #[test]
-    fn digest_is_stable_across_runs_and_thread_counts() {
+    fn digest_is_stable_across_runs_threads_and_batch_sizes() {
         let registry = Registry::with_all();
-        let digest_with = |threads: Option<usize>| {
+        let digest_with = |threads: Option<usize>, batch_jobs: usize| {
             let config = FleetConfig {
                 solvers: vec![
                     "greedy_power".into(),
@@ -548,23 +682,61 @@ mod tests {
                     "heur_annealing".into(),
                 ],
                 threads,
+                batch_jobs,
                 ..Default::default()
             };
             Fleet::new(&registry, config).run(&tiny_jobs()).digest()
         };
-        let base = digest_with(None);
-        assert_eq!(base, digest_with(None), "same config, same digest");
+        let base = digest_with(None, 64);
+        assert_eq!(base, digest_with(None, 64), "same config, same digest");
         assert_eq!(
             base,
-            digest_with(Some(1)),
+            digest_with(Some(1), 64),
             "single-threaded digest identical"
         );
         assert_eq!(
             base,
-            digest_with(Some(7)),
+            digest_with(Some(7), 64),
             "odd thread count digest identical"
         );
+        assert_eq!(
+            base,
+            digest_with(None, 1),
+            "one-job batches digest identical"
+        );
+        assert_eq!(
+            base,
+            digest_with(Some(3), 2),
+            "threads × batch interplay digest identical"
+        );
         assert!(base.contains("dp_power"));
+        assert!(base.starts_with("cells="));
+    }
+
+    #[test]
+    fn observer_streams_cells_in_job_order() {
+        let registry = Registry::with_all();
+        let config = FleetConfig {
+            solvers: vec!["greedy".into(), "greedy_power".into()],
+            batch_jobs: 2,
+            ..Default::default()
+        };
+        let jobs = tiny_jobs();
+        let mut seen: Vec<(String, usize, &'static str)> = Vec::new();
+        let report = Fleet::new(&registry, config).run_with_observer(&jobs, |cell| {
+            seen.push((cell.scenario.to_string(), cell.instance, cell.solver));
+        });
+        assert_eq!(seen.len(), report.cell_count);
+        let expected: Vec<(String, usize, &'static str)> = jobs
+            .iter()
+            .flat_map(|j| {
+                [
+                    (j.scenario.clone(), j.index, "greedy"),
+                    (j.scenario.clone(), j.index, "greedy_power"),
+                ]
+            })
+            .collect();
+        assert_eq!(seen, expected, "cells observed in deterministic job order");
     }
 
     #[test]

@@ -1,30 +1,39 @@
 //! # `replica-engine` — unified solver registry + parallel fleet runner
 //!
 //! The algorithms of `replica-core` are free functions with per-algorithm
-//! signatures; this crate turns them into one subsystem with three
-//! layers:
+//! signatures; this crate turns them into one subsystem (see
+//! `docs/ARCHITECTURE.md` at the repository root for the full crate map
+//! and data-flow diagrams):
 //!
 //! 1. **[`solver`]** — the uniform [`Solver`] trait: every algorithm
 //!    becomes `solve(&Instance, &SolveOptions) -> SolveOutcome`, with
 //!    per-solve wall-clock timing, capability flags (mode support,
-//!    pre-existing exploitation, cost-budget handling, exactness) and
-//!    metrics re-derived through the model crate's independent Eq. 2/3/4
-//!    evaluation so outcomes are always comparable.
+//!    pre-existing exploitation, cost-budget handling, exactness,
+//!    amortized sweeps) and metrics re-derived through the model crate's
+//!    independent Eq. 2/3/4 evaluation so outcomes are always comparable.
 //! 2. **[`registry`]** — a name-addressable [`Registry`] covering all ten
-//!    algorithms (both optimal DPs, the pruned DP, both greedy baselines,
-//!    the three §6 heuristics and the exhaustive oracle).
-//! 3. **[`fleet`]** — the rayon-powered [`Fleet`] runner: a batch of
-//!    labelled instances × solvers evaluated in parallel with
-//!    deterministic per-instance seeding ([`seeding`]), reusable scratch
-//!    buffers on the greedy hot path, and per-`(scenario, solver)`
-//!    aggregates — cost/power distributions, optimality gaps and
-//!    speedups against the exact DP.
+//!    algorithms (the pruned exact DP as the default `dp_power`, the
+//!    full-state DP as its `dp_power_full` cross-check, both greedy
+//!    baselines, the three §6 heuristics and the exhaustive oracle).
+//! 3. **[`sweep`]** — the amortized budget-sweep API: one run per
+//!    instance returns the whole budget → (cost, power) [`Frontier`]
+//!    through [`Registry::sweep`], natively where the algorithm amortizes
+//!    (the DPs, the capacity-swept `GR`, the oracle) and via a generic
+//!    per-budget adapter everywhere else.
+//! 4. **[`fleet`]** — the rayon-powered [`Fleet`] runner: labelled
+//!    instances × solvers evaluated in parallel with deterministic
+//!    per-instance seeding ([`seeding`]) and folded, in job order, into
+//!    per-`(scenario, solver)` **streaming accumulators** ([`stream`]) —
+//!    cost/power/gap distributions with P² percentile sketches,
+//!    optimality gaps and speedups against the exact DP — without ever
+//!    materializing the cell matrix.
 //!
 //! **[`scenarios`]** supplies the fleets: named, reproducible instance
 //! families crossing five topology shapes (fat, high, binary,
-//! caterpillar, star) with four demand patterns (uniform, skewed,
-//! flash-crowd, drifting) — the paper's §5 setups plus the stress shapes
-//! they motivate.
+//! caterpillar, star) with seven demand patterns — the paper-aligned
+//! four (uniform, skewed, flash-crowd, drifting) plus three churn
+//! families backed by `replica-sim` evolutions (walk-drift over rounds,
+//! quiet churn, heterogeneous per-subtree mixes).
 //!
 //! ## Quickstart
 //!
@@ -40,6 +49,15 @@
 //! let greedy = registry.solve("greedy_power", &instance, &options).unwrap();
 //! assert!(exact.power <= greedy.power + 1e-9);
 //!
+//! // One amortized run answers every cost budget (Figures 8–11 style).
+//! let budgets: Vec<f64> = (5..=40).map(f64::from).collect();
+//! let sweep = registry.sweep("dp_power", &instance, &options, &budgets).unwrap();
+//! assert!(sweep.amortized);
+//! assert_eq!(
+//!     sweep.frontier.best_within(f64::INFINITY).map(|p| p.power),
+//!     Some(exact.power),
+//! );
+//!
 //! // A seeded fleet: scenarios × solvers in parallel, aggregated.
 //! let fleet = Fleet::new(
 //!     &registry,
@@ -54,23 +72,34 @@
 //! println!("{}", report.table());
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod fleet;
 pub mod registry;
 pub mod scenarios;
 pub mod seeding;
 pub mod solver;
+pub mod stream;
+pub mod sweep;
 
-pub use fleet::{Fleet, FleetCell, FleetConfig, FleetJob, FleetReport, FleetSummary, Stats};
+pub use fleet::{Fleet, FleetCell, FleetConfig, FleetJob, FleetReport, FleetSummary};
 pub use registry::Registry;
-pub use scenarios::{standard_families, Demand, Scenario, Topology};
+pub use scenarios::{
+    churn_families, extended_families, standard_families, Demand, Scenario, Topology,
+};
 pub use solver::{Capabilities, EngineError, Objective, SolveOptions, SolveOutcome, Solver};
+pub use stream::{MetricAccumulator, Stats};
+pub use sweep::{BudgetSweepSolver, Frontier, FrontierPoint, SweepOutcome};
 
 /// One-stop imports for engine users.
 pub mod prelude {
     pub use crate::fleet::{Fleet, FleetConfig, FleetJob, FleetReport};
     pub use crate::registry::Registry;
-    pub use crate::scenarios::{standard_families, Demand, Scenario, Topology};
+    pub use crate::scenarios::{
+        churn_families, extended_families, standard_families, Demand, Scenario, Topology,
+    };
     pub use crate::solver::{
         Capabilities, EngineError, Objective, SolveOptions, SolveOutcome, Solver,
     };
+    pub use crate::sweep::{BudgetSweepSolver, Frontier, FrontierPoint, SweepOutcome};
 }

@@ -1,29 +1,41 @@
 //! The solver registry: every algorithm in `replica-core`, wrapped behind
 //! [`Solver`] and addressable by name.
 //!
-//! | Name | Wraps | Objective | Exact |
-//! |---|---|---|---|
-//! | `greedy` | [`replica_core::greedy`] (`GR` of \[19\]) | cost | count-optimal |
-//! | `dp_mincost_nopre` | [`replica_core::dp_mincost_nopre`] (\[6\]) | cost | count-optimal |
-//! | `dp_mincost` | [`replica_core::dp_mincost`] (Theorem 1) | cost | ✓ (single-mode) |
-//! | `dp_power` | [`replica_core::dp_power`] (Theorem 3) | power | ✓ |
-//! | `dp_power_pruned` | [`replica_core::dp_power_pruned`] | power | ✓ |
-//! | `greedy_power` | [`replica_core::greedy_power`] (§5.2 baseline) | power | — |
-//! | `exhaustive` | [`replica_core::exhaustive`] (oracle) | power | ✓ (small instances) |
-//! | `heur_power_greedy` | [`replica_core::heuristics::power_greedy`] | power | — |
-//! | `heur_local_search` | power_greedy + [`replica_core::heuristics::local_search`] | power | — |
-//! | `heur_annealing` | power_greedy + [`replica_core::heuristics::annealing`] | power | — |
+//! | Name | Wraps | Objective | Exact | Amortized sweep |
+//! |---|---|---|---|---|
+//! | `greedy` | [`replica_core::greedy`] (`GR` of \[19\]) | cost | count-optimal | — |
+//! | `dp_mincost_nopre` | [`replica_core::dp_mincost_nopre`] (\[6\]) | cost | count-optimal | — |
+//! | `dp_mincost` | [`replica_core::dp_mincost`] (Theorem 1) | cost | ✓ (single-mode) | — |
+//! | `dp_power` | [`replica_core::dp_power_pruned`] (pruned Theorem 3) | power | ✓ | ✓ |
+//! | `dp_power_full` | [`replica_core::dp_power`] (full-state Theorem 3) | power | ✓ | ✓ |
+//! | `greedy_power` | [`replica_core::greedy_power`] (§5.2 baseline) | power | — | ✓ |
+//! | `exhaustive` | [`replica_core::exhaustive`] (oracle) | power | ✓ (small instances) | ✓ |
+//! | `heur_power_greedy` | [`replica_core::heuristics::power_greedy`] | power | — | — |
+//! | `heur_local_search` | power_greedy + [`replica_core::heuristics::local_search`] | power | — | — |
+//! | `heur_annealing` | power_greedy + [`replica_core::heuristics::annealing`] | power | — | — |
+//!
+//! `dp_power` is the dominance-*pruned* exact DP: it returns bit-equal
+//! optima to the paper's full state-vector DP while running 1–2 orders of
+//! magnitude faster in fleet runs, so it is the default. The full-state
+//! algorithm stays registered as `dp_power_full`, the cross-check the
+//! oracle suite exercises against the pruned one.
 //!
 //! `greedy` / `dp_mincost_nopre` are *count-optimal*: they return the
 //! minimum replica count (the classical `MinCost` optimum), which equals
 //! the Eq. 2 cost optimum only without pre-existing servers; their `exact`
 //! flag is therefore `false` under the stricter Eq. 4 reading the
 //! [`Capabilities`] docs define.
+//!
+//! Solvers with an amortized budget sweep (`dp_power`, `dp_power_full`,
+//! `greedy_power`, `exhaustive`) answer every cost budget from one run via
+//! [`Registry::sweep`]; the rest are adapted per budget
+//! ([`crate::sweep::sweep_via_solves`]).
 
 use crate::solver::{
     evaluated_outcome, timed, Capabilities, EngineError, Objective, SolveOptions, SolveOutcome,
     Solver,
 };
+use crate::sweep::{sweep_via_solves, BudgetSweepSolver, Frontier, SweepOutcome};
 use replica_core::heuristics::{annealing, local_search, power_greedy};
 use replica_core::{
     dp_mincost, dp_mincost_nopre, dp_power, dp_power_pruned, exhaustive, greedy, greedy_power,
@@ -57,8 +69,8 @@ impl Registry {
         registry.register(Box::new(GreedySolver));
         registry.register(Box::new(MinCountDpSolver));
         registry.register(Box::new(MinCostDpSolver));
-        registry.register(Box::new(PowerDpSolver));
         registry.register(Box::new(PrunedPowerDpSolver));
+        registry.register(Box::new(FullPowerDpSolver));
         registry.register(Box::new(GreedyPowerSolver));
         registry.register(Box::new(ExhaustiveSolver));
         registry.register(Box::new(PowerGreedySolver));
@@ -113,6 +125,58 @@ impl Registry {
             .ok_or_else(|| EngineError::Unsupported(format!("no solver named {name:?}")))?;
         solver.solve(instance, options)
     }
+
+    /// Budget sweep through the named solver: the full budget → (cost,
+    /// power) [`Frontier`] of one instance.
+    ///
+    /// Dispatches to the solver's amortized
+    /// [`BudgetSweepSolver`] path when it has one (one algorithm run
+    /// answers every budget; `budgets` is ignored) and otherwise adapts
+    /// the plain per-solve interface with one solve per entry of
+    /// `budgets` ([`sweep_via_solves`]).
+    ///
+    /// ```
+    /// use replica_engine::prelude::*;
+    ///
+    /// let instance = Scenario::new(Topology::Fat, Demand::Uniform, 12).instance(7, 0);
+    /// let registry = Registry::with_all();
+    /// let budgets: Vec<f64> = (5..=30).map(f64::from).collect();
+    /// let sweep = registry
+    ///     .sweep("dp_power", &instance, &SolveOptions::default(), &budgets)
+    ///     .unwrap();
+    /// assert!(sweep.amortized, "the exact DP answers all budgets in one run");
+    /// // Power is non-increasing in the budget along the frontier.
+    /// let powers: Vec<Option<f64>> = sweep.frontier.sample(&budgets);
+    /// for pair in powers.windows(2) {
+    ///     if let (Some(a), Some(b)) = (pair[0], pair[1]) {
+    ///         assert!(b <= a + 1e-9);
+    ///     }
+    /// }
+    /// ```
+    pub fn sweep(
+        &self,
+        name: &str,
+        instance: &Instance,
+        options: &SolveOptions,
+        budgets: &[f64],
+    ) -> Result<SweepOutcome, EngineError> {
+        let solver = self
+            .get(name)
+            .ok_or_else(|| EngineError::Unsupported(format!("no solver named {name:?}")))?;
+        let (native, (result, wall)) = match solver.as_budget_sweep() {
+            Some(amortized) => (true, timed(|| amortized.sweep_frontier(instance, options))),
+            None => (
+                false,
+                timed(|| sweep_via_solves(solver, instance, options, budgets)),
+            ),
+        };
+        Ok(SweepOutcome {
+            solver: solver.name(),
+            frontier: result?,
+            wall,
+            amortized: native,
+        })
+    }
 }
 
 impl Default for Registry {
@@ -140,6 +204,7 @@ impl Solver for GreedySolver {
             pre_existing: false,
             cost_bound: false,
             exact: false,
+            amortized_sweep: false,
         }
     }
 
@@ -183,6 +248,7 @@ impl Solver for MinCountDpSolver {
             pre_existing: false,
             cost_bound: false,
             exact: false,
+            amortized_sweep: false,
         }
     }
 
@@ -218,6 +284,7 @@ impl Solver for MinCostDpSolver {
             pre_existing: true,
             cost_bound: false,
             exact: true,
+            amortized_sweep: false,
         }
     }
 
@@ -242,12 +309,13 @@ impl Solver for MinCostDpSolver {
     }
 }
 
-/// The full state-vector `MinPower-BoundedCost` DP (Theorem 3).
-struct PowerDpSolver;
+/// The full state-vector `MinPower-BoundedCost` DP (Theorem 3), kept as
+/// the cross-check against the default pruned reformulation.
+struct FullPowerDpSolver;
 
-impl Solver for PowerDpSolver {
+impl Solver for FullPowerDpSolver {
     fn name(&self) -> &'static str {
-        "dp_power"
+        "dp_power_full"
     }
 
     fn capabilities(&self) -> Capabilities {
@@ -257,6 +325,7 @@ impl Solver for PowerDpSolver {
             pre_existing: true,
             cost_bound: true,
             exact: true,
+            amortized_sweep: true,
         }
     }
 
@@ -283,14 +352,31 @@ impl Solver for PowerDpSolver {
             wall,
         )
     }
+
+    fn as_budget_sweep(&self) -> Option<&dyn BudgetSweepSolver> {
+        Some(self)
+    }
 }
 
-/// The dominance-pruned exact power DP (beyond the paper).
+impl BudgetSweepSolver for FullPowerDpSolver {
+    fn sweep_frontier(
+        &self,
+        instance: &Instance,
+        _options: &SolveOptions,
+    ) -> Result<Frontier, EngineError> {
+        let dp = dp_power::PowerDp::run(instance)?;
+        Ok(Frontier::from_points(dp.cost_power_points()))
+    }
+}
+
+/// The dominance-pruned exact power DP (beyond the paper) — the default
+/// `dp_power`: bit-equal optima, 1–2 orders of magnitude faster in fleet
+/// runs than the full-state formulation.
 struct PrunedPowerDpSolver;
 
 impl Solver for PrunedPowerDpSolver {
     fn name(&self) -> &'static str {
-        "dp_power_pruned"
+        "dp_power"
     }
 
     fn capabilities(&self) -> Capabilities {
@@ -300,6 +386,7 @@ impl Solver for PrunedPowerDpSolver {
             pre_existing: true,
             cost_bound: true,
             exact: true,
+            amortized_sweep: true,
         }
     }
 
@@ -320,6 +407,21 @@ impl Solver for PrunedPowerDpSolver {
         });
         evaluated_outcome(self.name(), instance, &result?, ModePolicy::Assigned, wall)
     }
+
+    fn as_budget_sweep(&self) -> Option<&dyn BudgetSweepSolver> {
+        Some(self)
+    }
+}
+
+impl BudgetSweepSolver for PrunedPowerDpSolver {
+    fn sweep_frontier(
+        &self,
+        instance: &Instance,
+        _options: &SolveOptions,
+    ) -> Result<Frontier, EngineError> {
+        let dp = dp_power_pruned::PrunedPowerDp::run(instance)?;
+        Ok(Frontier::from_points(dp.cost_power_points()))
+    }
 }
 
 /// The §5.2 baseline: `GR` swept over trial capacities, best power kept.
@@ -337,6 +439,7 @@ impl Solver for GreedyPowerSolver {
             pre_existing: false,
             cost_bound: true,
             exact: false,
+            amortized_sweep: true,
         }
     }
 
@@ -353,6 +456,28 @@ impl Solver for GreedyPowerSolver {
             ModePolicy::Assigned,
             wall,
         )
+    }
+
+    fn as_budget_sweep(&self) -> Option<&dyn BudgetSweepSolver> {
+        Some(self)
+    }
+}
+
+impl BudgetSweepSolver for GreedyPowerSolver {
+    fn sweep_frontier(
+        &self,
+        instance: &Instance,
+        _options: &SolveOptions,
+    ) -> Result<Frontier, EngineError> {
+        // The capacity sweep is computed once; every budget filters the
+        // same handful of points. An instance no trial capacity can serve
+        // yields an empty frontier, not an error (matching the paper's
+        // "value 0 when the algorithm fails" convention).
+        let points = greedy_power::paper_sweep(instance)
+            .into_iter()
+            .map(|p| (p.cost, p.power))
+            .collect();
+        Ok(Frontier::from_points(points))
     }
 }
 
@@ -371,6 +496,7 @@ impl Solver for ExhaustiveSolver {
             pre_existing: true,
             cost_bound: true,
             exact: true,
+            amortized_sweep: true,
         }
     }
 
@@ -401,6 +527,26 @@ impl Solver for ExhaustiveSolver {
             wall,
         )
     }
+
+    fn as_budget_sweep(&self) -> Option<&dyn BudgetSweepSolver> {
+        Some(self)
+    }
+}
+
+impl BudgetSweepSolver for ExhaustiveSolver {
+    fn sweep_frontier(
+        &self,
+        instance: &Instance,
+        _options: &SolveOptions,
+    ) -> Result<Frontier, EngineError> {
+        if !self.supports(instance) {
+            return Err(EngineError::Unsupported(format!(
+                "instance too large for exhaustive enumeration (> {} combinations)",
+                exhaustive::MAX_COMBINATIONS
+            )));
+        }
+        Ok(Frontier::from_points(exhaustive::pareto(instance)))
+    }
 }
 
 /// The §6 constructive fill-threshold heuristic.
@@ -418,6 +564,7 @@ impl Solver for PowerGreedySolver {
             pre_existing: true,
             cost_bound: true,
             exact: false,
+            amortized_sweep: false,
         }
     }
 
@@ -452,6 +599,7 @@ impl Solver for LocalSearchSolver {
             pre_existing: true,
             cost_bound: true,
             exact: false,
+            amortized_sweep: false,
         }
     }
 
@@ -494,6 +642,7 @@ impl Solver for AnnealingSolver {
             pre_existing: true,
             cost_bound: true,
             exact: false,
+            amortized_sweep: false,
         }
     }
 
@@ -555,7 +704,7 @@ mod tests {
             "dp_mincost_nopre",
             "dp_mincost",
             "dp_power",
-            "dp_power_pruned",
+            "dp_power_full",
             "greedy_power",
             "exhaustive",
             "heur_power_greedy",
@@ -600,10 +749,10 @@ mod tests {
         let registry = Registry::with_all();
         let instance = small_instance();
         let options = SolveOptions::default();
-        let full = registry.solve("dp_power", &instance, &options).unwrap();
-        let pruned = registry
-            .solve("dp_power_pruned", &instance, &options)
+        let full = registry
+            .solve("dp_power_full", &instance, &options)
             .unwrap();
+        let pruned = registry.solve("dp_power", &instance, &options).unwrap();
         let oracle = registry.solve("exhaustive", &instance, &options).unwrap();
         assert!((full.power - oracle.power).abs() < 1e-9);
         assert!((pruned.power - oracle.power).abs() < 1e-9);
@@ -615,5 +764,84 @@ mod tests {
         let before = registry.len();
         registry.register(Box::new(GreedySolver));
         assert_eq!(registry.len(), before);
+    }
+
+    #[test]
+    fn sweep_capability_flag_agrees_with_the_sweep_hook() {
+        let registry = Registry::with_all();
+        let mut amortized = 0usize;
+        for solver in registry.iter() {
+            assert_eq!(
+                solver.capabilities().amortized_sweep,
+                solver.as_budget_sweep().is_some(),
+                "{}: amortized_sweep flag out of sync",
+                solver.name()
+            );
+            amortized += solver.capabilities().amortized_sweep as usize;
+        }
+        assert_eq!(
+            amortized, 4,
+            "dp_power, dp_power_full, greedy_power, exhaustive"
+        );
+    }
+
+    #[test]
+    fn native_sweep_matches_per_budget_solves() {
+        let registry = Registry::with_all();
+        let instance = small_instance();
+        let options = SolveOptions::default();
+        let budgets: Vec<f64> = (1..=12).map(f64::from).collect();
+        for name in ["dp_power", "dp_power_full", "greedy_power", "exhaustive"] {
+            let sweep = registry
+                .sweep(name, &instance, &options, &budgets)
+                .unwrap_or_else(|e| panic!("{name}: {e}"));
+            assert!(sweep.amortized, "{name} advertises an amortized path");
+            for &bound in &budgets {
+                let amortized = sweep.frontier.best_within(bound).map(|p| p.power);
+                let direct = registry
+                    .solve(name, &instance, &SolveOptions::with_cost_bound(bound))
+                    .ok()
+                    .map(|o| o.power);
+                match (amortized, direct) {
+                    (Some(a), Some(d)) => assert!(
+                        (a - d).abs() < 1e-9,
+                        "{name} bound {bound}: frontier {a} vs direct {d}"
+                    ),
+                    (None, None) => {}
+                    other => {
+                        panic!("{name} bound {bound}: feasibility disagreement {other:?}")
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fallback_sweep_adapts_non_sweep_solvers() {
+        let registry = Registry::with_all();
+        let instance = small_instance();
+        let budgets: Vec<f64> = (1..=12).map(f64::from).collect();
+        let sweep = registry
+            .sweep(
+                "heur_power_greedy",
+                &instance,
+                &SolveOptions::default(),
+                &budgets,
+            )
+            .unwrap();
+        assert!(!sweep.amortized, "heuristics have no amortized path");
+        assert!(!sweep.frontier.is_empty());
+        // The fallback frontier never beats the exact DP's.
+        let exact = registry
+            .sweep("dp_power", &instance, &SolveOptions::default(), &budgets)
+            .unwrap();
+        for &bound in &budgets {
+            if let (Some(h), Some(e)) = (
+                sweep.frontier.best_within(bound),
+                exact.frontier.best_within(bound),
+            ) {
+                assert!(h.power >= e.power - 1e-9, "bound {bound}");
+            }
+        }
     }
 }

@@ -25,13 +25,35 @@
 //! | `Skewed` | power-law, mostly 1 with rare `W_M`-sized bursts | generalizes §5 beyond uniform volumes |
 //! | `FlashCrowd` | baseline 1, one random subtree saturated at `W_M` | the localized burst that §6's update strategies must absorb |
 //! | `Drifting` | gradient from 1 up to `W_M` across the client order | the drift regime of §6 (Experiment 2 re-draws volumes; drift is its adversarial cousin) |
+//!
+//! ## Churn families (via `replica-sim`)
+//!
+//! Three further patterns snapshot what a placement faces *after* the
+//! dynamic evolutions of [`replica_sim::Evolution`] have run for a while
+//! — the §6 setting where request volumes change between reconfiguration
+//! steps. They are kept out of [`Demand::all`] (and
+//! [`standard_families`]) so the paper-aligned 5 × 4 cross product stays
+//! stable; [`churn_families`] / [`extended_families`] add them in.
+//!
+//! | [`Demand`] | Volumes | Sim relation |
+//! |---|---|---|
+//! | `WalkDrift` | uniform start, then [`WALK_DRIFT_ROUNDS`] rounds of ±1 random walk | cumulative [`replica_sim::Evolution::RandomWalk`] drift over rounds |
+//! | `QuietChurn` | uniform re-draw with clients independently going quiet (volume 0) | one [`replica_sim::Evolution::Churn`] step — bursty on/off churn |
+//! | `SubtreeMix` | each root subtree draws its own pattern (uniform / skewed / saturated) | heterogeneous per-subtree demand mixes |
 
 use crate::seeding;
 use rand::rngs::StdRng;
 use rand::Rng;
 use replica_model::{CostModel, Instance, ModeSet, PowerModel, PreExisting};
+use replica_sim::Evolution;
 use replica_tree::{generate, GeneratorConfig, NodeId, Tree};
 use serde::{Deserialize, Serialize};
+
+/// Random-walk rounds behind [`Demand::WalkDrift`].
+pub const WALK_DRIFT_ROUNDS: usize = 10;
+
+/// Probability of a client going quiet under [`Demand::QuietChurn`].
+pub const QUIET_PROBABILITY: f64 = 0.25;
 
 /// Tree-shape family of a scenario.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
@@ -109,6 +131,16 @@ pub enum Demand {
     /// Volumes rise from 1 to `W_M` across the client order (spatial
     /// drift), with ±1 jitter.
     Drifting,
+    /// Uniform start evolved through [`WALK_DRIFT_ROUNDS`] rounds of the
+    /// sim's ±1 random walk — temporal drift accumulated over
+    /// reconfiguration intervals.
+    WalkDrift,
+    /// Uniform re-draw with clients independently quiet (volume 0) with
+    /// probability [`QUIET_PROBABILITY`] — the sim's bursty on/off churn.
+    QuietChurn,
+    /// Heterogeneous per-subtree mixes: each subtree under the root
+    /// cycles through uniform / skewed / saturated demand.
+    SubtreeMix,
 }
 
 impl Demand {
@@ -119,10 +151,14 @@ impl Demand {
             Demand::Skewed => "skewed",
             Demand::FlashCrowd => "flashcrowd",
             Demand::Drifting => "drifting",
+            Demand::WalkDrift => "walkdrift",
+            Demand::QuietChurn => "quietchurn",
+            Demand::SubtreeMix => "subtreemix",
         }
     }
 
-    /// All demand patterns.
+    /// The paper-aligned demand patterns (the [`standard_families`]
+    /// cross product).
     pub fn all() -> [Demand; 4] {
         [
             Demand::Uniform,
@@ -130,6 +166,18 @@ impl Demand {
             Demand::FlashCrowd,
             Demand::Drifting,
         ]
+    }
+
+    /// The churn patterns backed by `replica-sim` evolutions.
+    pub fn churn() -> [Demand; 3] {
+        [Demand::WalkDrift, Demand::QuietChurn, Demand::SubtreeMix]
+    }
+
+    /// Every demand pattern: paper-aligned plus churn.
+    pub fn all_extended() -> [Demand; 7] {
+        let [a, b, c, d] = Demand::all();
+        let [e, f, g] = Demand::churn();
+        [a, b, c, d, e, f, g]
     }
 
     /// Overwrites every client volume in `tree` according to the pattern.
@@ -171,6 +219,45 @@ impl Demand {
                     let jitter = rng.random_range(0..=2u64);
                     let v = (base + jitter).saturating_sub(1);
                     tree.set_requests(c, v.clamp(1, w_max));
+                }
+            }
+            Demand::WalkDrift => {
+                Demand::Uniform.apply(tree, w_max, rng);
+                Evolution::RandomWalk {
+                    step: 1,
+                    range: (1, w_max),
+                }
+                .apply_rounds(tree, WALK_DRIFT_ROUNDS, rng);
+            }
+            Demand::QuietChurn => {
+                Evolution::Churn {
+                    range: (1, 5u64.min(w_max)),
+                    quiet_probability: QUIET_PROBABILITY,
+                }
+                .apply(tree, rng);
+            }
+            Demand::SubtreeMix => {
+                // Clients attached directly to the root stay at baseline;
+                // each root subtree cycles through one of three regimes.
+                for c in tree.clients_of(tree.root()).to_vec() {
+                    tree.set_requests(c, 1);
+                }
+                for (i, &top) in tree.children(tree.root()).to_vec().iter().enumerate() {
+                    let mut stack = vec![top];
+                    while let Some(node) = stack.pop() {
+                        for c in tree.clients_of(node).to_vec() {
+                            let v = match i % 3 {
+                                0 => rng.random_range(1..=5u64.min(w_max)),
+                                1 => {
+                                    let u: f64 = rng.random();
+                                    (((w_max as f64) * u.powi(4)).round() as u64).clamp(1, w_max)
+                                }
+                                _ => w_max,
+                            };
+                            tree.set_requests(c, v);
+                        }
+                        stack.extend_from_slice(tree.children(node));
+                    }
                 }
             }
         }
@@ -249,8 +336,8 @@ impl Scenario {
     }
 }
 
-/// The full topology × demand cross product at the given size (20
-/// scenarios).
+/// The paper-aligned topology × demand cross product at the given size
+/// (20 scenarios).
 pub fn standard_families(nodes: usize) -> Vec<Scenario> {
     let mut out = Vec::new();
     for topology in Topology::all() {
@@ -258,6 +345,26 @@ pub fn standard_families(nodes: usize) -> Vec<Scenario> {
             out.push(Scenario::new(topology, demand, nodes));
         }
     }
+    out
+}
+
+/// The topology × churn-demand cross product at the given size (15
+/// scenarios): the `replica-sim` evolutions as static instance families.
+pub fn churn_families(nodes: usize) -> Vec<Scenario> {
+    let mut out = Vec::new();
+    for topology in Topology::all() {
+        for demand in Demand::churn() {
+            out.push(Scenario::new(topology, demand, nodes));
+        }
+    }
+    out
+}
+
+/// Every family: [`standard_families`] plus [`churn_families`] (35
+/// scenarios).
+pub fn extended_families(nodes: usize) -> Vec<Scenario> {
+    let mut out = standard_families(nodes);
+    out.extend(churn_families(nodes));
     out
 }
 
@@ -269,15 +376,17 @@ mod tests {
     fn cross_product_covers_all_families() {
         let families = standard_families(30);
         assert_eq!(families.len(), 20);
-        let mut names: Vec<_> = families.iter().map(|s| s.name.clone()).collect();
+        let extended = extended_families(30);
+        assert_eq!(extended.len(), 35, "20 standard + 15 churn");
+        let mut names: Vec<_> = extended.iter().map(|s| s.name.clone()).collect();
         names.sort();
         names.dedup();
-        assert_eq!(names.len(), 20, "scenario names must be unique");
+        assert_eq!(names.len(), 35, "scenario names must be unique");
     }
 
     #[test]
     fn instances_are_reproducible_and_feasible() {
-        for scenario in standard_families(24) {
+        for scenario in extended_families(24) {
             let a = scenario.instance(7, 3);
             let b = scenario.instance(7, 3);
             assert_eq!(
@@ -330,6 +439,54 @@ mod tests {
         let early: u64 = volumes[..half].iter().sum();
         let late: u64 = volumes[half..].iter().sum();
         assert!(late > early, "drift must rise across the client order");
+    }
+
+    #[test]
+    fn churn_patterns_shape_volumes() {
+        let scenario = |demand| Scenario::new(Topology::Fat, demand, 60);
+
+        // Quiet churn: some clients off, the rest in the active range.
+        let inst = scenario(Demand::QuietChurn).instance(3, 0);
+        let tree = inst.tree();
+        let volumes: Vec<u64> = tree.client_ids().map(|c| tree.requests(c)).collect();
+        let quiet = volumes.iter().filter(|&&v| v == 0).count();
+        assert!(quiet > 0, "p = 0.25 should silence someone");
+        assert!(quiet * 2 < volumes.len(), "most clients stay active");
+        assert!(volumes.iter().all(|&v| v <= 5), "active range is 1..=5");
+
+        // Walk drift: everything in range, and the walk actually moved
+        // the profile away from a plain uniform draw.
+        let walked = scenario(Demand::WalkDrift).instance(3, 0);
+        let wtree = walked.tree();
+        let wvol: Vec<u64> = wtree.client_ids().map(|c| wtree.requests(c)).collect();
+        let w_max = walked.max_capacity();
+        assert!(wvol.iter().all(|&v| (1..=w_max).contains(&v)));
+        assert!(
+            wvol.iter().any(|&v| v > 5),
+            "ten ±1 rounds push some client past the uniform ceiling"
+        );
+
+        // Subtree mix: the saturated subtrees give the instance both
+        // baseline and W_M volumes.
+        let mixed = scenario(Demand::SubtreeMix).instance(3, 0);
+        let mtree = mixed.tree();
+        let mvol: Vec<u64> = mtree.client_ids().map(|c| mtree.requests(c)).collect();
+        assert!(mvol.contains(&mixed.max_capacity()), "a saturated subtree");
+        assert!(mvol.iter().any(|&v| v < mixed.max_capacity()), "a mild one");
+    }
+
+    #[test]
+    fn churn_instances_are_solvable_by_the_exact_dp() {
+        use crate::registry::Registry;
+        use crate::solver::SolveOptions;
+        let registry = Registry::with_all();
+        for scenario in churn_families(14) {
+            let instance = scenario.instance(5, 0);
+            let outcome = registry
+                .solve("dp_power", &instance, &SolveOptions::default())
+                .unwrap_or_else(|e| panic!("{}: {e}", scenario.name));
+            assert!(outcome.power > 0.0, "{}", scenario.name);
+        }
     }
 
     #[test]

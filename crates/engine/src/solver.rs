@@ -45,6 +45,10 @@ pub struct Capabilities {
     /// Provably optimal for [`Self::objective`] on every instance whose
     /// features it supports.
     pub exact: bool,
+    /// Has an amortized budget-sweep path: one run answers every cost
+    /// budget (see [`crate::sweep::BudgetSweepSolver`]). Must agree with
+    /// [`Solver::as_budget_sweep`] returning `Some`.
+    pub amortized_sweep: bool,
 }
 
 /// Per-solve knobs shared by every solver.
@@ -143,6 +147,15 @@ pub trait Solver: Send + Sync {
     fn supports(&self, instance: &Instance) -> bool {
         let caps = self.capabilities();
         caps.multi_mode || instance.mode_count() == 1
+    }
+
+    /// The amortized budget-sweep view of this solver, when it has one.
+    ///
+    /// `None` (the default) means the registry's sweep entry point falls
+    /// back to one [`Solver::solve`] per requested budget
+    /// ([`crate::sweep::sweep_via_solves`]).
+    fn as_budget_sweep(&self) -> Option<&dyn crate::sweep::BudgetSweepSolver> {
+        None
     }
 }
 

@@ -215,8 +215,8 @@ fn exact_power_solvers_agree_pairwise_on_larger_trees() {
             .unwrap();
         for bound in [25.0, 40.0, f64::INFINITY] {
             let options = SolveOptions::with_cost_bound(bound);
-            let full = registry.solve("dp_power", &instance, &options);
-            let pruned = registry.solve("dp_power_pruned", &instance, &options);
+            let full = registry.solve("dp_power_full", &instance, &options);
+            let pruned = registry.solve("dp_power", &instance, &options);
             match (full, pruned) {
                 (Ok(a), Ok(b)) => assert!(
                     (a.power - b.power).abs() < 1e-6,

@@ -1,14 +1,15 @@
 //! Fleet reproducibility: a seeded sweep across the scenario families —
-//! all five topology families × all four demand patterns — must produce a
-//! byte-identical deterministic digest across repeated runs and across
-//! worker-thread counts, including the randomized annealing solver (whose
-//! seeds the fleet derives per instance).
+//! all five topology families × every demand pattern, churn included —
+//! must produce a byte-identical deterministic digest across repeated
+//! runs, across worker-thread counts and across streaming batch sizes,
+//! including the randomized annealing solver (whose seeds the fleet
+//! derives per instance).
 
-use replica_engine::{standard_families, Fleet, FleetConfig, Registry, SolveOptions};
+use replica_engine::{extended_families, Fleet, FleetConfig, Registry, SolveOptions};
 
-fn digest(registry: &Registry, threads: Option<usize>, seed: u64) -> String {
-    let scenarios = standard_families(16);
-    assert_eq!(scenarios.len(), 20, "5 topologies × 4 demand patterns");
+fn digest(registry: &Registry, threads: Option<usize>, batch_jobs: usize, seed: u64) -> String {
+    let scenarios = extended_families(16);
+    assert_eq!(scenarios.len(), 35, "5 topologies × 7 demand patterns");
     let jobs = Fleet::jobs_from_scenarios(&scenarios, seed, 2);
     let config = FleetConfig {
         solvers: vec![
@@ -21,6 +22,7 @@ fn digest(registry: &Registry, threads: Option<usize>, seed: u64) -> String {
         seed,
         reference: Some("dp_power".into()),
         threads,
+        batch_jobs,
     };
     Fleet::new(registry, config).run(&jobs).digest()
 }
@@ -28,22 +30,33 @@ fn digest(registry: &Registry, threads: Option<usize>, seed: u64) -> String {
 #[test]
 fn seeded_fleet_sweep_is_byte_identical_across_runs_and_thread_counts() {
     let registry = Registry::with_all();
-    let base = digest(&registry, None, 0xF1EE7);
+    let base = digest(&registry, None, 64, 0xF1EE7);
 
     // Same seed, repeated: identical.
-    assert_eq!(base, digest(&registry, None, 0xF1EE7));
+    assert_eq!(base, digest(&registry, None, 64, 0xF1EE7));
     // Forced serial and odd parallel widths: identical.
-    assert_eq!(base, digest(&registry, Some(1), 0xF1EE7));
-    assert_eq!(base, digest(&registry, Some(3), 0xF1EE7));
-    assert_eq!(base, digest(&registry, Some(13), 0xF1EE7));
+    assert_eq!(base, digest(&registry, Some(1), 64, 0xF1EE7));
+    assert_eq!(base, digest(&registry, Some(3), 64, 0xF1EE7));
+    assert_eq!(base, digest(&registry, Some(13), 64, 0xF1EE7));
+    // Streaming batch size is a memory knob, not a semantic one.
+    assert_eq!(base, digest(&registry, None, 1, 0xF1EE7));
+    assert_eq!(base, digest(&registry, Some(5), 3, 0xF1EE7));
     // A different seed must actually change the fleet.
-    assert_ne!(base, digest(&registry, None, 0xBEEF));
+    assert_ne!(base, digest(&registry, None, 64, 0xBEEF));
 
     // The digest covers every (scenario, solver) pair.
     for topology in ["fat", "high", "binary", "caterpillar", "star"] {
         assert!(base.contains(topology), "{topology} missing from digest");
     }
-    for demand in ["uniform", "skewed", "flashcrowd", "drifting"] {
+    for demand in [
+        "uniform",
+        "skewed",
+        "flashcrowd",
+        "drifting",
+        "walkdrift",
+        "quietchurn",
+        "subtreemix",
+    ] {
         assert!(base.contains(demand), "{demand} missing from digest");
     }
 }
@@ -51,7 +64,7 @@ fn seeded_fleet_sweep_is_byte_identical_across_runs_and_thread_counts() {
 #[test]
 fn exact_dp_dominates_every_other_solver_across_the_sweep() {
     let registry = Registry::with_all();
-    let scenarios = standard_families(16);
+    let scenarios = extended_families(16);
     let jobs = Fleet::jobs_from_scenarios(&scenarios, 7, 2);
     let config = FleetConfig {
         solvers: vec![
@@ -64,6 +77,7 @@ fn exact_dp_dominates_every_other_solver_across_the_sweep() {
     };
     let report = Fleet::new(&registry, config).run(&jobs);
     assert_eq!(report.summaries.len(), scenarios.len() * 3);
+    assert_eq!(report.cell_count, jobs.len() * 3);
     for summary in &report.summaries {
         assert!(
             summary.solved == 2,

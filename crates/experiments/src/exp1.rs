@@ -2,7 +2,7 @@
 //!
 //! §5.1: *"we draw 200 random trees without any existing replica in them.
 //! Then we randomly add 0 ≤ E ≤ 100 pre-existing servers in each tree.
-//! Finally, we execute both the greedy algorithm (GR) of [19], and the
+//! Finally, we execute both the greedy algorithm (GR) of \[19\], and the
 //! algorithm of Section 3 (DP) on each tree, and since both algorithms
 //! return a solution with the minimum number of replicas, the cost of the
 //! solution is directly related to the number of pre-existing replicas that

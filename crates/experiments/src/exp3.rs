@@ -10,13 +10,14 @@
 //! average the inverse of the power over the 100 trees."*
 //!
 //! The DP needs a single run per tree: the cost bound only filters the root
-//! scan, so every bound on the x-axis is answered from the same
-//! [`PowerDp`] candidates. Likewise, `GR`'s capacity sweep is computed once
-//! per tree. This is the one experiment that deliberately stays on the
-//! algorithms' deep (amortized) APIs instead of the engine registry: the
-//! registry's per-solve interface would re-run the DP for each of the ~30
-//! bounds on the x-axis, defeating the amortization this module exists to
-//! exploit.
+//! scan, so every bound on the x-axis is answered from the same DP
+//! candidates. Likewise, `GR`'s capacity sweep is computed once per tree.
+//! Since the engine grew its amortized budget-sweep API, this experiment
+//! dispatches through [`Registry::sweep`] like every other one: each tree
+//! is one `sweep` call per solver, returning the full budget → (cost,
+//! power) [`Frontier`] that every bound on the x-axis then samples. (It
+//! formerly had to stay on the algorithms' deep APIs precisely because the
+//! registry's per-solve interface would have re-run the DP per bound.)
 //!
 //! Variants: Figure 9 (no pre-existing servers), Figure 10 (high trees),
 //! Figure 11 (expensive create/delete: createᵢ = deleteᵢ = 1,
@@ -24,7 +25,7 @@
 
 use crate::common::{mean, par_trees, tree_rng};
 use crate::report::{fmt, Table};
-use replica_core::{dp_power, greedy_power};
+use replica_engine::{Frontier, Registry, SolveOptions};
 use replica_model::{CostModel, Instance, ModeSet, PowerModel, PreExisting};
 use replica_tree::{generate, GeneratorConfig, TreeShape};
 use serde::{Deserialize, Serialize};
@@ -157,38 +158,55 @@ pub struct Exp3Point {
     pub gr_solved: usize,
 }
 
-/// Per-tree cached sweeps: DP Pareto points and GR `(cost, power)` points.
-type TreeSweeps = (Vec<(f64, f64)>, Vec<(f64, f64)>);
+/// The registry solver whose frontier plays the paper's bi-criteria DP
+/// (the default `dp_power` is the pruned exact DP — bit-equal optima).
+pub const DP_SOLVER: &str = "dp_power";
 
-/// Runs the sweep: one DP run + one GR sweep per tree, then every bound is
-/// answered from the cached candidates.
+/// The registry solver playing the capacity-swept `GR` baseline.
+pub const GR_SOLVER: &str = "greedy_power";
+
+/// Runs the sweep: one amortized [`Registry::sweep`] per (tree, solver),
+/// then every bound samples the cached frontiers.
 pub fn run(config: &Exp3Config) -> Vec<Exp3Point> {
-    let per_tree: Vec<TreeSweeps> = par_trees(config.trees, |i| {
+    run_with_registry(config, &Registry::with_all())
+}
+
+/// [`run`] against a caller-supplied registry (e.g. with extra solvers
+/// swapped in). Panics if the registry lacks [`DP_SOLVER`] or
+/// [`GR_SOLVER`] — a configuration error, unlike per-tree infeasibility.
+pub fn run_with_registry(config: &Exp3Config, registry: &Registry) -> Vec<Exp3Point> {
+    for solver in [DP_SOLVER, GR_SOLVER] {
+        assert!(
+            registry.get(solver).is_some(),
+            "exp3 registry is missing the {solver:?} solver"
+        );
+    }
+    let options = SolveOptions::default();
+    let per_tree: Vec<(Frontier, Frontier)> = par_trees(config.trees, |i| {
         let instance = config.instance(i);
-        let dp_points: Vec<(f64, f64)> = match dp_power::PowerDp::run(&instance) {
-            Ok(dp) => dp.pareto_front(),
-            Err(_) => Vec::new(),
+        // An infeasible tree contributes an empty frontier: the paper
+        // counts it as "value 0" at every bound.
+        let frontier_of = |solver: &str| {
+            registry
+                .sweep(solver, &instance, &options, &config.bounds)
+                .map(|outcome| outcome.frontier)
+                .unwrap_or_default()
         };
-        let gr_points: Vec<(f64, f64)> = greedy_power::paper_sweep(&instance)
-            .into_iter()
-            .map(|p| (p.cost, p.power))
-            .collect();
-        (dp_points, gr_points)
+        (frontier_of(DP_SOLVER), frontier_of(GR_SOLVER))
     });
 
     config
         .bounds
         .iter()
         .map(|&bound| {
-            let best_within = |points: &[(f64, f64)]| -> Option<f64> {
-                points
-                    .iter()
-                    .filter(|(c, _)| replica_model::le_tolerant(*c, bound))
-                    .map(|&(_, p)| p)
-                    .min_by(f64::total_cmp)
-            };
-            let dp: Vec<Option<f64>> = per_tree.iter().map(|t| best_within(&t.0)).collect();
-            let gr: Vec<Option<f64>> = per_tree.iter().map(|t| best_within(&t.1)).collect();
+            let dp: Vec<Option<f64>> = per_tree
+                .iter()
+                .map(|t| t.0.best_within(bound).map(|p| p.power))
+                .collect();
+            let gr: Vec<Option<f64>> = per_tree
+                .iter()
+                .map(|t| t.1.best_within(bound).map(|p| p.power))
+                .collect();
             Exp3Point {
                 bound,
                 dp_inverse_power: mean(dp.iter().map(|p| p.map_or(0.0, |v| 1.0 / v))),
@@ -298,6 +316,38 @@ mod tests {
         };
         let inst = cfg.instance(0);
         assert!(inst.pre_existing().is_empty());
+    }
+
+    #[test]
+    fn registry_dispatch_matches_the_deep_amortized_apis() {
+        // The values this module produced before the engine grew its
+        // budget-sweep API: one raw PowerDp run + one raw GR capacity
+        // sweep per tree, filtered per bound.
+        use replica_core::{dp_power, greedy_power};
+        let cfg = quick_config();
+        let points = run(&cfg);
+        for (b, point) in cfg.bounds.iter().zip(&points) {
+            let mut dp_inv = Vec::new();
+            let mut gr_inv = Vec::new();
+            for i in 0..cfg.trees {
+                let instance = cfg.instance(i);
+                let dp = dp_power::PowerDp::run(&instance)
+                    .ok()
+                    .and_then(|dp| dp.best_within(*b).map(|c| c.power));
+                let gr = greedy_power::best_within(&greedy_power::paper_sweep(&instance), *b)
+                    .map(|p| p.power);
+                dp_inv.push(dp.map_or(0.0, |v| 1.0 / v));
+                gr_inv.push(gr.map_or(0.0, |v| 1.0 / v));
+            }
+            assert!(
+                (point.dp_inverse_power - mean(dp_inv)).abs() < 1e-12,
+                "bound {b}: DP value drifted from the deep-API computation"
+            );
+            assert!(
+                (point.gr_inverse_power - mean(gr_inv)).abs() < 1e-12,
+                "bound {b}: GR value drifted from the deep-API computation"
+            );
+        }
     }
 
     #[test]

@@ -14,8 +14,14 @@
 //!
 //! Every experiment is seeded and deterministic; trees are processed in
 //! parallel with rayon (the natural grain here — hundreds of independent
-//! trees per configuration). The `experiments` binary drives everything and
-//! writes CSV + ASCII tables; `EXPERIMENTS.md` records paper-vs-measured.
+//! trees per configuration). All dispatch goes through the engine registry
+//! — per-solve for single-budget experiments, the amortized
+//! `Registry::sweep` for the bounded-cost sweep of [`exp3`]. The
+//! `experiments` binary drives everything and writes CSV + ASCII tables;
+//! `EXPERIMENTS.md` records paper-vs-measured.
+//!
+//! Where this crate sits in the workspace: `docs/ARCHITECTURE.md` at the
+//! repository root.
 
 pub mod cli;
 pub mod common;

@@ -24,9 +24,12 @@ use serde::{Deserialize, Serialize};
 pub enum Solver {
     /// `MinCost-WithPre` DP (§3) — registry solver `dp_mincost`.
     MinCost,
-    /// Power DP without pre-existing servers (§4.3) — `dp_power`.
+    /// Power DP without pre-existing servers (§4.3) — `dp_power_full`
+    /// (the paper's full state-vector algorithm, whose scaling this
+    /// module reproduces; the registry's default `dp_power` is the pruned
+    /// reformulation).
     PowerNoPre,
-    /// Power DP with pre-existing servers (§4.3) — `dp_power`.
+    /// Power DP with pre-existing servers (§4.3) — `dp_power_full`.
     PowerWithPre,
 }
 
@@ -35,7 +38,7 @@ impl Solver {
     pub fn registry_name(self) -> &'static str {
         match self {
             Solver::MinCost => "dp_mincost",
-            Solver::PowerNoPre | Solver::PowerWithPre => "dp_power",
+            Solver::PowerNoPre | Solver::PowerWithPre => "dp_power_full",
         }
     }
 }
@@ -209,8 +212,8 @@ mod tests {
     #[test]
     fn rows_map_to_registry_solvers() {
         assert_eq!(Solver::MinCost.registry_name(), "dp_mincost");
-        assert_eq!(Solver::PowerNoPre.registry_name(), "dp_power");
-        assert_eq!(Solver::PowerWithPre.registry_name(), "dp_power");
+        assert_eq!(Solver::PowerNoPre.registry_name(), "dp_power_full");
+        assert_eq!(Solver::PowerWithPre.registry_name(), "dp_power_full");
         let registry = Registry::with_all();
         for s in [Solver::MinCost, Solver::PowerNoPre, Solver::PowerWithPre] {
             assert!(registry.get(s.registry_name()).is_some());

@@ -22,6 +22,9 @@
 //! * [`solution`] — evaluated placements: server counts `nᵢ`, `eᵢᵢ'`, `kᵢ`,
 //!   total cost and power.
 //!
+//! Where this crate sits in the workspace: `docs/ARCHITECTURE.md` at the
+//! repository root (crate map, paper-notation table, data-flow diagrams).
+//!
 //! ## Example
 //!
 //! ```

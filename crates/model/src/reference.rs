@@ -1,6 +1,6 @@
 //! A deliberately naive reference implementation of the closest policy.
 //!
-//! [`Assignment`](crate::assignment::Assignment) computes routing with two
+//! [`Assignment`] computes routing with two
 //! linear passes; this module recomputes the same quantities the slow,
 //! obviously-correct way (walk each client's root path, then sum loads per
 //! server). It exists purely so the test suite can differentially test the

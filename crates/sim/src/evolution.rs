@@ -39,6 +39,16 @@ pub enum Evolution {
 }
 
 impl Evolution {
+    /// Advances the tree through `rounds` consecutive steps — the
+    /// cumulative drift a placement would face after that many
+    /// reconfiguration intervals (the engine's churn scenario families
+    /// snapshot volumes this way).
+    pub fn apply_rounds<R: Rng + ?Sized>(&self, tree: &mut Tree, rounds: usize, rng: &mut R) {
+        for _ in 0..rounds {
+            self.apply(tree, rng);
+        }
+    }
+
     /// Advances every client volume in place.
     pub fn apply<R: Rng + ?Sized>(&self, tree: &mut Tree, rng: &mut R) {
         let clients: Vec<_> = tree.client_ids().collect();

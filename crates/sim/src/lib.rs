@@ -16,6 +16,10 @@
 //!   (only when the placement breaks), periodic, or load-triggered;
 //! * [`metrics`] — cumulative-reuse series and difference histograms, the
 //!   two panels of Figure 5.
+//!
+//! The engine's churn scenario families are built on [`evolution`]
+//! (`replica_engine::scenarios`); where this crate sits in the workspace:
+//! `docs/ARCHITECTURE.md` at the repository root.
 
 pub mod evolution;
 pub mod metrics;

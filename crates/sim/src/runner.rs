@@ -19,7 +19,7 @@ use serde::{Deserialize, Serialize};
 /// Which algorithm recomputes the placement each step.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub enum Algorithm {
-    /// `GR` of [19]: replica-count-optimal, oblivious to the previous
+    /// `GR` of \[19\]: replica-count-optimal, oblivious to the previous
     /// placement (reuse is incidental).
     GreedyOblivious,
     /// The paper's `MinCost-WithPre` DP: cost-optimal given the previous

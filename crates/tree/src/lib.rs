@@ -23,6 +23,9 @@
 //!   2–4-children trees) plus standard synthetic shapes,
 //! * [statistics](stats), [Graphviz export](dot) and serde round-tripping.
 //!
+//! Where this crate sits in the workspace: `docs/ARCHITECTURE.md` at the
+//! repository root (crate map, paper-notation table, data-flow diagrams).
+//!
 //! ## Example
 //!
 //! ```

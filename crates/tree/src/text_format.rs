@@ -17,7 +17,7 @@
 //!
 //! The format exists for test fixtures and CLI ergonomics — `serde` JSON
 //! remains the lossless interchange format (it preserves node identities).
-//! Parsing validates through the same [`TreeBuilder`](crate::TreeBuilder)
+//! Parsing validates through the same [`TreeBuilder`]
 //! path as programmatic construction. Node ids are assigned in
 //! depth-first, left-to-right order with the root as `n0`, and
 //! [`to_text`] emits children before clients, so `parse → to_text` is the

@@ -1,11 +1,13 @@
 //! Multi-scenario, multi-solver parallel fleet sweep.
 //!
-//! Runs every engine scenario family (five topology shapes × four demand
-//! patterns) against four solvers — the exact power DP, its pruned
-//! variant, the paper's capacity-swept `GR` baseline and the §6
-//! constructive heuristic — in parallel, and prints the aggregate table:
-//! power/cost distributions, optimality gaps against the exact DP, and
-//! per-solve timings.
+//! Runs every engine scenario family (five topology shapes × seven demand
+//! patterns, the three sim-backed churn families included) against four
+//! solvers — the default exact power DP (`dp_power`, the pruned
+//! reformulation), the paper's full-state DP (`dp_power_full`), the
+//! capacity-swept `GR` baseline and the §6 constructive heuristic — in
+//! parallel with streaming aggregation, and prints the aggregate table:
+//! power/cost distributions (with P² percentiles), optimality gaps
+//! against the exact DP, and per-solve timings.
 //!
 //! ```text
 //! cargo run --release --example fleet_sweep
@@ -22,7 +24,7 @@ fn main() {
     let seed = 0x5EED;
 
     let registry = Registry::with_all();
-    let scenarios = standard_families(nodes);
+    let scenarios = extended_families(nodes);
     let jobs = Fleet::jobs_from_scenarios(&scenarios, seed, per_scenario);
     println!(
         "fleet: {} scenarios × {per_scenario} instances × 4 solvers = {} solves\n",
@@ -33,7 +35,7 @@ fn main() {
     let config = FleetConfig {
         solvers: vec![
             "dp_power".into(),
-            "dp_power_pruned".into(),
+            "dp_power_full".into(),
             "greedy_power".into(),
             "heur_power_greedy".into(),
         ],
@@ -47,7 +49,15 @@ fn main() {
 
     // Headline: how far from optimal are the polynomial-time solvers on
     // each demand pattern?
-    for demand in ["uniform", "skewed", "flashcrowd", "drifting"] {
+    for demand in [
+        "uniform",
+        "skewed",
+        "flashcrowd",
+        "drifting",
+        "walkdrift",
+        "quietchurn",
+        "subtreemix",
+    ] {
         let gaps: Vec<f64> = report
             .summaries
             .iter()

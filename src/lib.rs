@@ -17,14 +17,20 @@
 //!   oracle;
 //! * [`engine`] — the unified solver subsystem: every algorithm behind one
 //!   [`Solver`](replica_engine::Solver) trait with capability flags and
-//!   per-solve timing, a name-addressable registry, a rayon-parallel
+//!   per-solve timing, a name-addressable registry with an amortized
+//!   budget-sweep API ([`Registry::sweep`](replica_engine::Registry::sweep)
+//!   — one run answers every cost budget), a rayon-parallel
 //!   [`Fleet`](replica_engine::Fleet) runner with deterministic seeding
-//!   and aggregate statistics, and named scenario families (five topology
-//!   shapes × four demand patterns) for reproducible sweeps;
+//!   and streaming per-group aggregation, and named scenario families
+//!   (five topology shapes × seven demand patterns, sim-backed churn
+//!   included) for reproducible sweeps;
 //! * [`sim`] — dynamic replica management (request evolution, update
 //!   strategies);
 //! * [`experiments`] — the evaluation harness regenerating Figures 4–11,
 //!   dispatching through the engine.
+//!
+//! The full crate map, the paper-notation-to-code table and the fleet
+//! data-flow diagram live in `docs/ARCHITECTURE.md`.
 //!
 //! ## Fleet quickstart
 //!
@@ -87,7 +93,8 @@ pub mod prelude {
         greedy_power, heuristics, np_gadget, solve_min_cost, solve_min_count,
     };
     pub use replica_engine::{
-        standard_families, Demand, Fleet, FleetConfig, Registry, Scenario, SolveOptions, Topology,
+        churn_families, extended_families, standard_families, Demand, Fleet, FleetConfig, Frontier,
+        Registry, Scenario, SolveOptions, Topology,
     };
     pub use replica_model::prelude::*;
     pub use replica_sim::{

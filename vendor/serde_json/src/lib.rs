@@ -1,6 +1,6 @@
 //! Vendored minimal stand-in for `serde_json` (offline build): compact
 //! JSON rendering and parsing over the vendored `serde` crate's
-//! [`Value`](serde::Value) data model.
+//! [`Value`] data model.
 //!
 //! Output format matches upstream `serde_json::to_string`: compact (no
 //! whitespace), object fields in declaration order, strings escaped per
