@@ -20,17 +20,28 @@
 //! the per-cell checksum are byte-identical across runs and across thread
 //! counts. [`FleetReport::digest`] exposes exactly the deterministic
 //! portion; the determinism suite pins it.
+//!
+//! Sharding (the `replica-fleetd` seams): [`Fleet::run_shard_with_observer`]
+//! runs one contiguous job range with the *global* per-job seeding, so a
+//! shard worker produces exactly the cells the full run would;
+//! [`Fleet::run_shard_recorded`] additionally snapshots mergeable
+//! per-group state ([`GroupState`]); and [`FleetFold`] is the
+//! coordinator-side fold target that replays shard cell streams — in
+//! shard order — into a report byte-identical to a single-process
+//! [`Fleet::run`].
 
 use crate::registry::Registry;
 use crate::scenarios::Scenario;
 use crate::seeding;
 use crate::solver::{SolveOptions, Solver};
-use crate::stream::{MetricAccumulator, Stats};
+use crate::stream::{MetricAccumulator, MetricSink, RecordedMetric, Stats};
 use rayon::prelude::*;
 use replica_model::Instance;
+use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::fmt;
 use std::fmt::Write as _;
+use std::ops::Range;
 
 /// One labelled instance of a fleet.
 pub struct FleetJob {
@@ -59,9 +70,29 @@ pub struct FleetConfig {
     /// identical for every value; only wall-clock changes.
     pub threads: Option<usize>,
     /// Jobs solved in parallel per streaming batch: the peak-memory knob.
-    /// Results are identical for every value; only scheduling granularity
-    /// changes.
+    /// Results are identical for every valid value; only scheduling
+    /// granularity changes. Must be at least 1 — [`Fleet::new`] rejects
+    /// `0` as a configuration error (a zero-job batch cannot make
+    /// progress, and silently clamping it would hide the typo).
     pub batch_jobs: usize,
+}
+
+impl FleetConfig {
+    /// The reference solver this configuration resolves to: the explicit
+    /// [`FleetConfig::reference`] when set, else the fast pruned DP over
+    /// the full-state one, whichever appears among
+    /// [`FleetConfig::solvers`] (regardless of position).
+    ///
+    /// Shared with `replica-fleetd` so sharded and in-process runs agree
+    /// on the gap/speedup baseline by construction.
+    pub fn resolved_reference(&self) -> Option<String> {
+        self.reference.clone().or_else(|| {
+            ["dp_power", "dp_power_full"]
+                .into_iter()
+                .find(|p| self.solvers.iter().any(|s| s == p))
+                .map(str::to_string)
+        })
+    }
 }
 
 impl Default for FleetConfig {
@@ -203,22 +234,25 @@ pub struct FleetReport {
     pub cell_checksum: u64,
 }
 
-/// Streaming per-group state.
-struct GroupAcc {
+/// Streaming per-group state, generic over whether the metric
+/// accumulators keep their observation tape ([`MetricSink`]):
+/// [`MetricAccumulator`] for in-process runs, [`RecordedMetric`] for
+/// shard workers that must serialize mergeable state.
+struct GroupAcc<M> {
     scenario: String,
     solver: &'static str,
     solved: usize,
     failed: usize,
     unsupported: usize,
-    cost: MetricAccumulator,
-    power: MetricAccumulator,
+    cost: M,
+    power: M,
     servers_sum: f64,
-    gap: MetricAccumulator,
+    gap: M,
     wall_sum: f64,
-    speedup: MetricAccumulator,
+    speedup: M,
 }
 
-impl GroupAcc {
+impl<M: MetricSink> GroupAcc<M> {
     fn new(scenario: String, solver: &'static str) -> Self {
         GroupAcc {
             scenario,
@@ -226,12 +260,12 @@ impl GroupAcc {
             solved: 0,
             failed: 0,
             unsupported: 0,
-            cost: MetricAccumulator::default(),
-            power: MetricAccumulator::default(),
+            cost: M::default(),
+            power: M::default(),
             servers_sum: 0.0,
-            gap: MetricAccumulator::default(),
+            gap: M::default(),
             wall_sum: 0.0,
-            speedup: MetricAccumulator::default(),
+            speedup: M::default(),
         }
     }
 }
@@ -241,8 +275,8 @@ impl GroupAcc {
 /// occupy `solvers.len()` consecutive slots (config solver order), so
 /// the per-cell lookup is one borrowed-key map probe — the fold's hot
 /// path allocates nothing.
-struct Aggregation {
-    groups: Vec<GroupAcc>,
+struct Aggregation<M> {
+    groups: Vec<GroupAcc<M>>,
     scenario_base: HashMap<String, usize>,
     has_reference: bool,
     cell_count: usize,
@@ -267,7 +301,7 @@ impl fmt::Write for FnvHasher {
     }
 }
 
-impl Aggregation {
+impl<M: MetricSink> Aggregation<M> {
     fn new(has_reference: bool) -> Self {
         Aggregation {
             groups: Vec::new(),
@@ -280,36 +314,38 @@ impl Aggregation {
 
     /// First group slot of `scenario`, creating the scenario's group row
     /// on first appearance.
-    fn scenario_base(&mut self, scenario: &str, solvers: &[&dyn Solver]) -> usize {
+    fn scenario_base(&mut self, scenario: &str, solvers: &[&'static str]) -> usize {
         if let Some(&base) = self.scenario_base.get(scenario) {
             return base;
         }
         let base = self.groups.len();
         for solver in solvers {
             self.groups
-                .push(GroupAcc::new(scenario.to_string(), solver.name()));
+                .push(GroupAcc::new(scenario.to_string(), solver));
         }
         self.scenario_base.insert(scenario.to_string(), base);
         base
     }
 
     /// Folds one job's row of cells in, in solver order.
-    fn fold_job(
+    fn fold_row(
         &mut self,
-        job: &FleetJob,
+        scenario: &str,
+        instance: usize,
         row: Vec<(CellResult, f64)>,
-        solvers: &[&dyn Solver],
+        solvers: &[&'static str],
         reference_slot: Option<usize>,
         observe: &mut dyn FnMut(&FleetCell),
     ) {
-        let base = self.scenario_base(&job.scenario, solvers);
+        assert_eq!(row.len(), solvers.len(), "cell row width != solver count");
+        let base = self.scenario_base(scenario, solvers);
         let reference = reference_slot
             .and_then(|s| row[s].0.outcome().map(|outcome| (outcome.power, row[s].1)));
         for (s, (result, wall_seconds)) in row.into_iter().enumerate() {
             let cell = FleetCell {
-                scenario: &job.scenario,
-                instance: job.index,
-                solver: solvers[s].name(),
+                scenario,
+                instance,
+                solver: solvers[s],
                 result,
                 wall_seconds,
             };
@@ -393,6 +429,228 @@ impl Aggregation {
     }
 }
 
+impl Aggregation<RecordedMetric> {
+    /// Snapshots every group's mergeable state, in first-appearance
+    /// order.
+    fn group_states(&self) -> Vec<GroupState> {
+        self.groups
+            .iter()
+            .map(|g| GroupState {
+                scenario: g.scenario.clone(),
+                solver: g.solver.to_string(),
+                solved: g.solved,
+                failed: g.failed,
+                unsupported: g.unsupported,
+                servers_sum: g.servers_sum,
+                wall_sum: g.wall_sum,
+                cost: g.cost.clone(),
+                power: g.power.clone(),
+                gap: g.gap.clone(),
+                speedup: g.speedup.clone(),
+            })
+            .collect()
+    }
+}
+
+/// The serializable, mergeable aggregation state of one `(scenario,
+/// solver)` group — what a `replica-fleetd` shard worker ships besides
+/// its raw cell stream.
+///
+/// Merging contract: left-folding the group states of contiguous shards
+/// in shard order ([`GroupState::merge_in_order`]) reproduces the
+/// sequential in-process accumulators exactly — counts and integer-valued
+/// sums pairwise, distribution metrics by ordered tape replay
+/// ([`RecordedMetric::merge_in_order`]). The coordinator uses this as an
+/// independent second route to the merged aggregates and cross-checks it
+/// against the canonical cell-replay route ([`GroupState::agrees_with`]).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct GroupState {
+    /// Scenario label.
+    pub scenario: String,
+    /// Solver name (a registry key).
+    pub solver: String,
+    /// Instances solved.
+    pub solved: usize,
+    /// Instances where the solver errored.
+    pub failed: usize,
+    /// Instances outside the solver's capabilities.
+    pub unsupported: usize,
+    /// Sum of server counts over solved instances. Server counts are
+    /// small integers, so this f64 sum is exact and order-independent —
+    /// pairwise merge is bit-exact.
+    pub servers_sum: f64,
+    /// Sum of wall-clock seconds over solved instances. Non-deterministic
+    /// measurement; its pairwise merge is exact only in real arithmetic
+    /// (see [`GroupState::agrees_with`]).
+    pub wall_sum: f64,
+    /// Cost distribution (mergeable).
+    pub cost: RecordedMetric,
+    /// Power distribution (mergeable).
+    pub power: RecordedMetric,
+    /// Power-ratio-to-reference distribution (mergeable).
+    pub gap: RecordedMetric,
+    /// Wall-ratio-to-reference distribution (mergeable).
+    pub speedup: RecordedMetric,
+}
+
+impl GroupState {
+    /// Merges the state of the *immediately following* contiguous shard's
+    /// same group into `self`. Errors if the group keys disagree.
+    pub fn merge_in_order(&mut self, other: &GroupState) -> Result<(), String> {
+        if self.scenario != other.scenario || self.solver != other.solver {
+            return Err(format!(
+                "group key mismatch: {}/{} merged with {}/{}",
+                self.scenario, self.solver, other.scenario, other.solver
+            ));
+        }
+        self.solved += other.solved;
+        self.failed += other.failed;
+        self.unsupported += other.unsupported;
+        self.servers_sum += other.servers_sum;
+        self.wall_sum += other.wall_sum;
+        self.cost.merge_in_order(&other.cost);
+        self.power.merge_in_order(&other.power);
+        self.gap.merge_in_order(&other.gap);
+        self.speedup.merge_in_order(&other.speedup);
+        Ok(())
+    }
+
+    /// Checks this (merged) state against the corresponding summary of a
+    /// sequentially folded report.
+    ///
+    /// Everything deterministic must match **exactly** (bit-for-bit):
+    /// counts, the cost/power/gap distributions, the mean server count,
+    /// the speedup *distribution* (its inputs are the recorded wall
+    /// values, identical on both routes). The wall-clock *sum* is the one
+    /// field whose pairwise merge is exact only in real arithmetic —
+    /// floating-point addition is not associative — so the derived mean
+    /// wall is compared within 1 ulp-scale relative tolerance instead.
+    pub fn agrees_with(&self, summary: &FleetSummary) -> Result<(), String> {
+        let context = format!("{}/{}", self.scenario, self.solver);
+        let check = |what: &str, ok: bool| {
+            if ok {
+                Ok(())
+            } else {
+                Err(format!(
+                    "{context}: merged {what} diverged from the sequential fold"
+                ))
+            }
+        };
+        check(
+            "group key",
+            self.scenario == summary.scenario && self.solver == summary.solver,
+        )?;
+        check(
+            "solved/failed/unsupported counts",
+            (self.solved, self.failed, self.unsupported)
+                == (summary.solved, summary.failed, summary.unsupported),
+        )?;
+        check("cost distribution", self.cost.stats() == summary.cost)?;
+        check("power distribution", self.power.stats() == summary.power)?;
+        let mean_servers = if self.solved == 0 {
+            0.0
+        } else {
+            self.servers_sum / self.solved as f64
+        };
+        check("mean server count", mean_servers == summary.mean_servers)?;
+        let gap = (self.gap.count() > 0).then(|| self.gap.stats());
+        check("gap distribution", gap == summary.gap_vs_ref)?;
+        check(
+            "mean gap",
+            (self.gap.count() > 0).then(|| self.gap.mean()) == summary.power_gap_vs_ref,
+        )?;
+        check(
+            "speedup distribution",
+            (self.speedup.count() > 0).then(|| self.speedup.stats()) == summary.speedup_dist,
+        )?;
+        let mean_wall = if self.solved == 0 {
+            0.0
+        } else {
+            self.wall_sum / self.solved as f64
+        };
+        check(
+            "mean wall (tolerance)",
+            (mean_wall - summary.mean_wall_seconds).abs()
+                <= 1e-12 * summary.mean_wall_seconds.abs().max(1.0),
+        )?;
+        Ok(())
+    }
+}
+
+/// Order-preserving fold target for externally produced cell rows — the
+/// coordinator-side merge seam of sharded fleets.
+///
+/// `replica-fleetd` feeds every shard's recorded cells through
+/// [`FleetFold::fold_row`] in shard order; because this drives the exact
+/// same sequential fold as [`Fleet::run`], the finished report (aggregates,
+/// cell count **and** FNV cell checksum) is byte-identical to the
+/// single-process run by construction. Memory stays bounded by the group
+/// accumulators — folded rows are dropped immediately.
+pub struct FleetFold {
+    agg: Aggregation<MetricAccumulator>,
+    solvers: Vec<&'static str>,
+    reference: Option<String>,
+    reference_slot: Option<usize>,
+}
+
+impl FleetFold {
+    /// A fold over rows of `solvers.len()` cells each, with gap/speedup
+    /// columns against `reference` (when it names one of `solvers`).
+    pub fn new(solvers: Vec<&'static str>, reference: Option<String>) -> Self {
+        let reference_slot = reference
+            .as_deref()
+            .and_then(|r| solvers.iter().position(|s| *s == r));
+        FleetFold {
+            agg: Aggregation::new(reference.is_some()),
+            solvers,
+            reference,
+            reference_slot,
+        }
+    }
+
+    /// Folds one job's row of cells (one per solver, in solver order).
+    /// Rows must arrive in job order for the determinism contract to
+    /// hold.
+    pub fn fold_row(&mut self, scenario: &str, instance: usize, row: Vec<(CellResult, f64)>) {
+        self.agg.fold_row(
+            scenario,
+            instance,
+            row,
+            &self.solvers,
+            self.reference_slot,
+            &mut |_| {},
+        );
+    }
+
+    /// Cells folded so far.
+    pub fn cell_count(&self) -> usize {
+        self.agg.cell_count
+    }
+
+    /// Running FNV-1a checksum over the folded cells' digest lines (the
+    /// shard-prefix value: after folding shards `0..=k` this equals the
+    /// checksum of a single run over those shards' jobs).
+    pub fn checksum(&self) -> u64 {
+        self.agg.checksum.0
+    }
+
+    /// Final snapshot.
+    pub fn finish(self) -> FleetReport {
+        let reference = self.reference;
+        self.agg.finish(reference.as_deref())
+    }
+}
+
+/// The outcome of [`Fleet::run_shard_recorded`]: the shard-local report
+/// plus the mergeable per-group state a shard worker serializes.
+pub struct ShardRun {
+    /// Aggregates of the shard's own job range (shard-local counts and
+    /// checksum — *not* the full-fleet values).
+    pub report: FleetReport,
+    /// Mergeable group states, in the shard's first-appearance order.
+    pub groups: Vec<GroupState>,
+}
+
 /// The runner itself: a registry plus a configuration.
 pub struct Fleet<'r> {
     registry: &'r Registry,
@@ -401,6 +659,13 @@ pub struct Fleet<'r> {
 
 impl<'r> Fleet<'r> {
     /// Builds a runner over `registry`.
+    ///
+    /// # Panics
+    ///
+    /// On configuration errors: a solver name not present in `registry`,
+    /// or `batch_jobs == 0` (a zero-job streaming batch cannot make
+    /// progress; the typo used to be silently clamped to 1, now it is
+    /// rejected up front).
     pub fn new(registry: &'r Registry, config: FleetConfig) -> Self {
         for name in &config.solvers {
             assert!(
@@ -408,6 +673,11 @@ impl<'r> Fleet<'r> {
                 "fleet configured with unknown solver {name:?}"
             );
         }
+        assert!(
+            config.batch_jobs > 0,
+            "fleet configured with batch_jobs = 0; the streaming batch \
+             size must be at least 1"
+        );
         Fleet { registry, config }
     }
 
@@ -439,32 +709,90 @@ impl<'r> Fleet<'r> {
     pub fn run_with_observer(
         &self,
         jobs: &[FleetJob],
+        observe: impl FnMut(&FleetCell),
+    ) -> FleetReport {
+        self.run_shard_with_observer(jobs, 0..jobs.len(), observe)
+    }
+
+    /// Runs one contiguous shard — `jobs[range]` — of the full job list.
+    ///
+    /// Per-job seeds derive from the job's **global** index in `jobs`, so
+    /// a shard evaluates exactly the cells a full [`Fleet::run`] would
+    /// for those jobs, regardless of how the job space is split. The
+    /// returned report is shard-local (its counts, checksum and
+    /// aggregates cover only the range); replaying shard cell streams
+    /// through a [`FleetFold`] in shard order reassembles the full-run
+    /// report byte-for-byte.
+    pub fn run_shard(&self, jobs: &[FleetJob], range: Range<usize>) -> FleetReport {
+        self.run_shard_with_observer(jobs, range, |_| {})
+    }
+
+    /// [`Fleet::run_shard`] with the streaming cell tap (the shard-worker
+    /// seam: `replica-fleetd` records the observed cells into its shard
+    /// report).
+    pub fn run_shard_with_observer(
+        &self,
+        jobs: &[FleetJob],
+        range: Range<usize>,
         mut observe: impl FnMut(&FleetCell),
     ) -> FleetReport {
+        let reference = self.config.resolved_reference();
+        self.run_range::<MetricAccumulator>(jobs, range, &mut observe)
+            .finish(reference.as_deref())
+    }
+
+    /// [`Fleet::run_shard_with_observer`] over **recording** accumulators:
+    /// additionally snapshots every group's mergeable [`GroupState`]
+    /// (tapes included), which is what a shard worker serializes for the
+    /// coordinator's state-merge cross-check. In-process runs should
+    /// prefer the non-recording entry points — recording costs `O(cells)`
+    /// memory.
+    pub fn run_shard_recorded(
+        &self,
+        jobs: &[FleetJob],
+        range: Range<usize>,
+        mut observe: impl FnMut(&FleetCell),
+    ) -> ShardRun {
+        let reference = self.config.resolved_reference();
+        let agg = self.run_range::<RecordedMetric>(jobs, range, &mut observe);
+        let groups = agg.group_states();
+        ShardRun {
+            report: agg.finish(reference.as_deref()),
+            groups,
+        }
+    }
+
+    /// The shared run body: solve `jobs[range]` batch by batch, fold
+    /// sequentially in job order into `M`-backed group accumulators.
+    fn run_range<M: MetricSink>(
+        &self,
+        jobs: &[FleetJob],
+        range: Range<usize>,
+        observe: &mut dyn FnMut(&FleetCell),
+    ) -> Aggregation<M> {
+        assert!(
+            range.start <= range.end && range.end <= jobs.len(),
+            "shard range {range:?} outside the job list (len {})",
+            jobs.len()
+        );
         let solvers: Vec<&dyn Solver> = self
             .config
             .solvers
             .iter()
             .map(|name| self.registry.get(name).expect("validated in Fleet::new"))
             .collect();
-        // Default reference: prefer the fast pruned DP over the
-        // full-state one, regardless of their order in the solver list.
-        let reference: Option<String> = self.config.reference.clone().or_else(|| {
-            ["dp_power", "dp_power_full"]
-                .into_iter()
-                .find(|p| self.config.solvers.iter().any(|s| s == p))
-                .map(str::to_string)
-        });
+        let solver_names: Vec<&'static str> = solvers.iter().map(|s| s.name()).collect();
+        let reference = self.config.resolved_reference();
         let reference_slot: Option<usize> = reference
             .as_deref()
-            .and_then(|r| solvers.iter().position(|s| s.name() == r));
+            .and_then(|r| solver_names.iter().position(|s| *s == r));
 
-        let batch = self.config.batch_jobs.max(1);
+        let batch = self.config.batch_jobs;
         let n_solvers = solvers.len();
         let mut agg = Aggregation::new(reference.is_some());
-        let mut body = || {
-            for start in (0..jobs.len()).step_by(batch) {
-                let end = (start + batch).min(jobs.len());
+        let body = || {
+            for start in (range.start..range.end).step_by(batch) {
+                let end = (start + batch).min(range.end);
                 // Parallel production at (job, solver) grain — a slow
                 // solver never serializes behind its row-mates — bounded
                 // by the batch size...
@@ -480,9 +808,17 @@ impl<'r> Fleet<'r> {
                 let mut cells = cells.into_iter();
                 for job in &jobs[start..end] {
                     let row: Vec<(CellResult, f64)> = cells.by_ref().take(n_solvers).collect();
-                    agg.fold_job(job, row, &solvers, reference_slot, &mut observe);
+                    agg.fold_row(
+                        &job.scenario,
+                        job.index,
+                        row,
+                        &solver_names,
+                        reference_slot,
+                        observe,
+                    );
                 }
             }
+            agg
         };
         match self.config.threads {
             None => body(),
@@ -492,7 +828,6 @@ impl<'r> Fleet<'r> {
                 .expect("thread pool")
                 .install(body),
         }
-        agg.finish(reference.as_deref())
     }
 
     /// Solves one `(job, solver)` cell.
@@ -561,35 +896,70 @@ impl FleetReport {
     /// Renders the aggregates as an aligned ASCII table (includes the
     /// non-deterministic timing columns).
     pub fn table(&self) -> String {
-        let header = [
-            "scenario",
-            "solver",
-            "solved",
-            "fail",
-            "power_mean",
-            "power_p90",
-            "cost_mean",
-            "servers",
-            "gap_vs_ref",
-            "ms/solve",
-            "speedup",
-        ];
-        let mut rows: Vec<[String; 11]> = vec![header.map(String::from)];
+        let mut rows = vec![vec![
+            "scenario".to_string(),
+            "solver".into(),
+            "solved".into(),
+            "fail".into(),
+            "power_mean".into(),
+            "power_p90".into(),
+            "cost_mean".into(),
+            "servers".into(),
+            "gap_vs_ref".into(),
+            "ms/solve".into(),
+            "speedup".into(),
+        ]];
         for s in &self.summaries {
-            rows.push([
-                s.scenario.clone(),
-                s.solver.to_string(),
-                s.solved.to_string(),
-                (s.failed + s.unsupported).to_string(),
-                format!("{:.2}", s.power.mean),
-                format!("{:.2}", s.power.p90),
-                format!("{:.3}", s.cost.mean),
-                format!("{:.1}", s.mean_servers),
-                s.power_gap_vs_ref.map_or("-".into(), |g| format!("{g:.4}")),
-                format!("{:.3}", s.mean_wall_seconds * 1e3),
-                s.speedup_vs_ref.map_or("-".into(), |x| format!("{x:.1}x")),
-            ]);
+            let mut row = Self::deterministic_cells(s);
+            row.push(format!("{:.3}", s.mean_wall_seconds * 1e3));
+            row.push(s.speedup_vs_ref.map_or("-".into(), |x| format!("{x:.1}x")));
+            rows.push(row);
         }
+        Self::render(&rows)
+    }
+
+    /// Renders the aggregates as an aligned ASCII table **without** the
+    /// timing columns: every cell is a pure function of the fleet seed,
+    /// so — like [`FleetReport::digest`] — this rendering is
+    /// byte-identical across runs, thread counts, batch sizes *and*
+    /// process shardings of the same configuration. `replica-fleetd`
+    /// diffs it between merged and single-process runs.
+    pub fn table_deterministic(&self) -> String {
+        let mut rows = vec![vec![
+            "scenario".to_string(),
+            "solver".into(),
+            "solved".into(),
+            "fail".into(),
+            "power_mean".into(),
+            "power_p90".into(),
+            "cost_mean".into(),
+            "servers".into(),
+            "gap_vs_ref".into(),
+        ]];
+        for s in &self.summaries {
+            rows.push(Self::deterministic_cells(s));
+        }
+        Self::render(&rows)
+    }
+
+    /// The deterministic column cells of one summary row (shared by both
+    /// table renderings).
+    fn deterministic_cells(s: &FleetSummary) -> Vec<String> {
+        vec![
+            s.scenario.clone(),
+            s.solver.to_string(),
+            s.solved.to_string(),
+            (s.failed + s.unsupported).to_string(),
+            format!("{:.2}", s.power.mean),
+            format!("{:.2}", s.power.p90),
+            format!("{:.3}", s.cost.mean),
+            format!("{:.1}", s.mean_servers),
+            s.power_gap_vs_ref.map_or("-".into(), |g| format!("{g:.4}")),
+        ]
+    }
+
+    /// Column-aligned rendering with a rule under the header row.
+    fn render(rows: &[Vec<String>]) -> String {
         let widths: Vec<usize> = (0..rows[0].len())
             .map(|i| rows.iter().map(|r| r[i].len()).max().unwrap_or(0))
             .collect();
@@ -750,5 +1120,141 @@ mod tests {
         let table = report.table();
         assert!(table.contains("scenario"));
         assert!(table.lines().count() >= 2 + 2, "header + rule + 2 rows");
+    }
+
+    #[test]
+    #[should_panic(expected = "batch_jobs = 0")]
+    fn zero_batch_jobs_is_a_configuration_error() {
+        let registry = Registry::with_all();
+        let config = FleetConfig {
+            batch_jobs: 0,
+            ..Default::default()
+        };
+        let _ = Fleet::new(&registry, config);
+    }
+
+    fn shard_config() -> FleetConfig {
+        FleetConfig {
+            solvers: vec![
+                "greedy_power".into(),
+                "dp_power".into(),
+                "heur_annealing".into(),
+            ],
+            batch_jobs: 2,
+            ..Default::default()
+        }
+    }
+
+    /// Splits `0..n_jobs` into `shards` contiguous near-equal ranges.
+    fn split(n_jobs: usize, shards: usize) -> Vec<std::ops::Range<usize>> {
+        let chunk = n_jobs.div_ceil(shards.max(1));
+        (0..shards)
+            .map(|k| (k * chunk).min(n_jobs)..((k + 1) * chunk).min(n_jobs))
+            .collect()
+    }
+
+    /// One recorded job row: scenario, instance, per-solver cells.
+    type RecordedRow = (String, usize, Vec<(CellResult, f64)>);
+
+    #[test]
+    fn shard_runs_fold_back_into_the_sequential_report() {
+        let registry = Registry::with_all();
+        let fleet = Fleet::new(&registry, shard_config());
+        let jobs = tiny_jobs();
+        let whole = fleet.run(&jobs);
+
+        for shards in [1, 2, 3, jobs.len() + 3] {
+            // Worker side: run each contiguous range, recording cells and
+            // mergeable group state.
+            let mut fold = FleetFold::new(
+                vec!["greedy_power", "dp_power", "heur_annealing"],
+                Some("dp_power".into()),
+            );
+            let mut merged_groups: Option<Vec<GroupState>> = None;
+            for range in split(jobs.len(), shards) {
+                let mut rows: Vec<RecordedRow> = Vec::new();
+                let shard = fleet.run_shard_recorded(&jobs, range, |cell| {
+                    if rows.last().map(|(s, i, _)| (s.as_str(), *i))
+                        != Some((cell.scenario, cell.instance))
+                    {
+                        rows.push((cell.scenario.to_string(), cell.instance, Vec::new()));
+                    }
+                    rows.last_mut()
+                        .expect("row pushed above")
+                        .2
+                        .push((cell.result.clone(), cell.wall_seconds));
+                });
+                // Coordinator side, canonical route: replay the cells.
+                for (scenario, instance, row) in rows {
+                    fold.fold_row(&scenario, instance, row);
+                }
+                // Coordinator side, state route: merge the group states.
+                merged_groups = Some(match merged_groups.take() {
+                    None => shard.groups,
+                    Some(mut acc) => {
+                        for group in &shard.groups {
+                            match acc
+                                .iter_mut()
+                                .find(|g| g.scenario == group.scenario && g.solver == group.solver)
+                            {
+                                Some(existing) => existing.merge_in_order(group).unwrap(),
+                                None => acc.push(group.clone()),
+                            }
+                        }
+                        acc
+                    }
+                });
+            }
+            let merged = fold.finish();
+            assert_eq!(
+                merged.digest(),
+                whole.digest(),
+                "{shards}-way shard replay must be byte-identical"
+            );
+            assert_eq!(merged.cell_count, whole.cell_count);
+            assert_eq!(merged.cell_checksum, whole.cell_checksum);
+            assert_eq!(merged.table_deterministic(), whole.table_deterministic());
+            // And the independently merged group states agree, field by
+            // field, with the canonical replay of the same shard cells
+            // (not with `whole`: its wall-clock *measurements* differ
+            // run to run, and the wall-based columns reflect that).
+            let groups = merged_groups.expect("at least one shard");
+            assert_eq!(groups.len(), merged.summaries.len());
+            for (state, summary) in groups.iter().zip(&merged.summaries) {
+                state.agrees_with(summary).unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_table_drops_timing_columns() {
+        let registry = Registry::with_all();
+        let report = Fleet::new(&registry, shard_config()).run(&tiny_jobs());
+        let table = report.table_deterministic();
+        assert!(table.contains("gap_vs_ref"));
+        assert!(!table.contains("ms/solve"));
+        assert!(!table.contains("speedup"));
+    }
+
+    #[test]
+    fn group_state_round_trips_and_detects_divergence() {
+        let registry = Registry::with_all();
+        let fleet = Fleet::new(&registry, shard_config());
+        let jobs = tiny_jobs();
+        let shard = fleet.run_shard_recorded(&jobs, 0..jobs.len(), |_| {});
+        for (state, summary) in shard.groups.iter().zip(&shard.report.summaries) {
+            // Wire round-trip preserves agreement bit for bit.
+            let json = serde_json::to_string(state).unwrap();
+            let back: GroupState = serde_json::from_str(&json).unwrap();
+            back.agrees_with(summary).unwrap();
+        }
+        // A tampered state is caught.
+        let mut bad = shard.groups[1].clone();
+        bad.power.push(1.0);
+        assert!(bad.agrees_with(&shard.report.summaries[1]).is_err());
+        // Merging mismatched group keys is refused.
+        let mut a = shard.groups[0].clone();
+        let b = shard.groups[1].clone();
+        assert!(a.merge_in_order(&b).is_err());
     }
 }

@@ -26,7 +26,10 @@
 //!    per-`(scenario, solver)` **streaming accumulators** ([`stream`]) —
 //!    cost/power/gap distributions with P² percentile sketches,
 //!    optimality gaps and speedups against the exact DP — without ever
-//!    materializing the cell matrix.
+//!    materializing the cell matrix. Shard-scoped entry points
+//!    ([`Fleet::run_shard_recorded`], [`FleetFold`], [`GroupState`],
+//!    [`RecordedMetric`]) let `replica-fleetd` split a fleet across
+//!    processes and merge the pieces back byte-identically.
 //!
 //! **[`scenarios`]** supplies the fleets: named, reproducible instance
 //! families crossing five topology shapes (fat, high, binary,
@@ -82,18 +85,21 @@ pub mod solver;
 pub mod stream;
 pub mod sweep;
 
-pub use fleet::{Fleet, FleetCell, FleetConfig, FleetJob, FleetReport, FleetSummary};
+pub use fleet::{
+    CellOutcome, CellResult, Fleet, FleetCell, FleetConfig, FleetFold, FleetJob, FleetReport,
+    FleetSummary, GroupState, ShardRun,
+};
 pub use registry::Registry;
 pub use scenarios::{
     churn_families, extended_families, standard_families, Demand, Scenario, Topology,
 };
 pub use solver::{Capabilities, EngineError, Objective, SolveOptions, SolveOutcome, Solver};
-pub use stream::{MetricAccumulator, Stats};
+pub use stream::{MetricAccumulator, RecordedMetric, Stats};
 pub use sweep::{BudgetSweepSolver, Frontier, FrontierPoint, SweepOutcome};
 
 /// One-stop imports for engine users.
 pub mod prelude {
-    pub use crate::fleet::{Fleet, FleetConfig, FleetJob, FleetReport};
+    pub use crate::fleet::{Fleet, FleetConfig, FleetFold, FleetJob, FleetReport};
     pub use crate::registry::Registry;
     pub use crate::scenarios::{
         churn_families, extended_families, standard_families, Demand, Scenario, Topology,

@@ -11,13 +11,24 @@
 //! parallelizes the *production* of outcomes, see
 //! [`crate::fleet`]) — so every statistic here, including the sketch, is
 //! byte-identical across runs and worker-thread counts.
+//!
+//! **Merging (sharded fleets).** [`RecordedMetric`] is the mergeable form
+//! used by `replica-fleetd` shard reports: the same accumulator plus the
+//! ordered observation tape. Count, min and max admit an exact pairwise
+//! merge; the running sum (floating-point addition is not associative)
+//! and the P² sketches (state transitions are order-sensitive and lossy)
+//! do not, so [`RecordedMetric::merge_in_order`] replays the right-hand
+//! tape — making a left-fold over contiguous shards *literally* the
+//! sequential computation, bit for bit.
+
+use serde::{Deserialize, Serialize};
 
 /// Distribution statistics of one metric over a cell group.
 ///
 /// Produced incrementally by [`MetricAccumulator`]; `p50`/`p90` are P²
 /// estimates there (exact while `count < 5`). [`Stats::of`] computes the
 /// exact batch equivalent for small slices (tests, one-shot reports).
-#[derive(Clone, Copy, Debug, Default, PartialEq)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
 pub struct Stats {
     /// Number of observations.
     pub count: usize,
@@ -242,6 +253,168 @@ impl MetricAccumulator {
     }
 }
 
+/// A mergeable [`MetricAccumulator`]: the same moments and sketches plus
+/// the ordered observation tape, which is what makes *exact* merging
+/// possible at all.
+///
+/// Why a tape? Two of the accumulator's components cannot be merged from
+/// end states alone:
+///
+/// * the running **sum** — floating-point addition is not associative, so
+///   `sum(A) + sum(B)` can differ in the last ulp from folding `B`'s
+///   values onto `sum(A)` one by one (which is what the sequential
+///   accumulator computes);
+/// * the **P² sketches** — their five-marker state is a lossy,
+///   order-sensitive function of the whole value sequence.
+///
+/// `count`, `min` and `max` *do* merge pairwise exactly, and
+/// [`RecordedMetric::merge_in_order`] verifies the replayed result
+/// against that pairwise combination. Everything else replays the
+/// right-hand tape in order. The contract (pinned by the shard
+/// determinism suite): left-folding the recorded metrics of contiguous
+/// shards, in shard order, yields state bit-identical to one sequential
+/// accumulator over the concatenated value sequence.
+///
+/// Serialization is the tape alone — state is rebuilt by replay on
+/// deserialize, so a wire round-trip is bit-exact by construction and
+/// the non-finite `min`/`max` sentinels of an empty accumulator never
+/// reach JSON (which cannot represent them).
+///
+/// The price of mergeability is `O(n)` state, which is why the in-process
+/// fleet keeps using the plain accumulator: tapes exist only at the shard
+/// boundary, bounded by shard size.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[serde(try_from = "Vec<f64>", into = "Vec<f64>")]
+pub struct RecordedMetric {
+    acc: MetricAccumulator,
+    tape: Vec<f64>,
+}
+
+impl RecordedMetric {
+    /// Folds one observation in (and records it on the tape).
+    pub fn push(&mut self, value: f64) {
+        self.acc.push(value);
+        self.tape.push(value);
+    }
+
+    /// Observations folded so far.
+    pub fn count(&self) -> usize {
+        self.acc.count()
+    }
+
+    /// Running mean (`0.0` with no observations).
+    pub fn mean(&self) -> f64 {
+        self.acc.mean()
+    }
+
+    /// Snapshot of the accumulated distribution.
+    pub fn stats(&self) -> Stats {
+        self.acc.stats()
+    }
+
+    /// The ordered observation sequence.
+    pub fn tape(&self) -> &[f64] {
+        &self.tape
+    }
+
+    /// Merges `other` — the recorded metric of the *immediately
+    /// following* contiguous value range — into `self`.
+    ///
+    /// Count/min/max are combined pairwise (exact); the sum and both P²
+    /// sketches replay `other`'s tape in order, and the pairwise moments
+    /// double-check the replay (a mismatch would mean corrupted state and
+    /// panics).
+    pub fn merge_in_order(&mut self, other: &RecordedMetric) {
+        // The exact pairwise moment combination, computed up front…
+        let count = self.acc.count + other.acc.count;
+        let min = self.acc.min.min(other.acc.min);
+        let max = self.acc.max.max(other.acc.max);
+        // …then the order-preserving replay of the right-hand tape, which
+        // count/min/max must agree with.
+        for &value in &other.tape {
+            self.acc.push(value);
+        }
+        self.tape.extend_from_slice(&other.tape);
+        assert_eq!(self.acc.count, count, "replayed count diverged");
+        assert!(
+            self.acc.min.total_cmp(&min).is_eq() && self.acc.max.total_cmp(&max).is_eq(),
+            "replayed min/max diverged from the pairwise combination"
+        );
+    }
+}
+
+impl From<RecordedMetric> for Vec<f64> {
+    fn from(metric: RecordedMetric) -> Vec<f64> {
+        metric.tape
+    }
+}
+
+impl TryFrom<Vec<f64>> for RecordedMetric {
+    type Error = String;
+
+    /// Rebuilds the accumulator by replaying the tape. Non-finite values
+    /// are rejected: the JSON wire cannot represent them (they render as
+    /// `null`), so accepting them locally would create states that
+    /// silently change across a round-trip.
+    fn try_from(tape: Vec<f64>) -> Result<Self, Self::Error> {
+        let mut metric = RecordedMetric::default();
+        for &value in &tape {
+            if !value.is_finite() {
+                return Err(format!(
+                    "non-finite value {value} in a recorded metric tape"
+                ));
+            }
+            metric.acc.push(value);
+        }
+        metric.tape = tape;
+        Ok(metric)
+    }
+}
+
+/// Uniform push/snapshot interface over the plain and recorded
+/// accumulators, so the fleet's fold is generic over whether tapes are
+/// kept (in-process runs: no; shard workers: yes).
+pub(crate) trait MetricSink: Default {
+    /// Folds one observation in.
+    fn push(&mut self, value: f64);
+    /// Observations folded so far.
+    fn count(&self) -> usize;
+    /// Running mean.
+    fn mean(&self) -> f64;
+    /// Distribution snapshot.
+    fn stats(&self) -> Stats;
+}
+
+impl MetricSink for MetricAccumulator {
+    fn push(&mut self, value: f64) {
+        MetricAccumulator::push(self, value);
+    }
+    fn count(&self) -> usize {
+        MetricAccumulator::count(self)
+    }
+    fn mean(&self) -> f64 {
+        MetricAccumulator::mean(self)
+    }
+    fn stats(&self) -> Stats {
+        MetricAccumulator::stats(self)
+    }
+}
+
+impl MetricSink for RecordedMetric {
+    fn push(&mut self, value: f64) {
+        RecordedMetric::push(self, value);
+    }
+    fn count(&self) -> usize {
+        RecordedMetric::count(self)
+    }
+    fn mean(&self) -> f64 {
+        RecordedMetric::mean(self)
+    }
+    fn stats(&self) -> Stats {
+        RecordedMetric::stats(self)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -318,5 +491,95 @@ mod tests {
         let s = acc.stats();
         assert_eq!((s.min, s.max, s.p50, s.p90), (7.5, 7.5, 7.5, 7.5));
         assert!((s.mean - 7.5).abs() < 1e-12);
+    }
+
+    /// The full internal state (sum, min/max, both sketches' markers),
+    /// via the derived Debug — the strictest bit-identity proxy we have.
+    fn state_of(metric: &RecordedMetric) -> String {
+        format!("{metric:?}")
+    }
+
+    fn sequential(values: &[f64]) -> RecordedMetric {
+        let mut acc = RecordedMetric::default();
+        for &v in values {
+            acc.push(v);
+        }
+        acc
+    }
+
+    #[test]
+    fn merge_in_order_is_bit_identical_to_the_sequential_fold() {
+        let mut rng = StdRng::seed_from_u64(17);
+        let values: Vec<f64> = (0..1_000)
+            .map(|_| rng.random::<f64>() * 1e3 - 500.0)
+            .collect();
+        let whole = sequential(&values);
+        for splits in [
+            vec![0],
+            vec![1],
+            vec![4],
+            vec![5],
+            vec![500],
+            vec![999],
+            vec![1000],
+            vec![3, 9, 400, 401, 998],
+        ] {
+            let mut merged = RecordedMetric::default();
+            let mut start = 0;
+            for &end in splits.iter().chain(std::iter::once(&values.len())) {
+                merged.merge_in_order(&sequential(&values[start..end]));
+                start = end;
+            }
+            assert_eq!(
+                state_of(&merged),
+                state_of(&whole),
+                "split {splits:?} must replay to the sequential state"
+            );
+        }
+    }
+
+    #[test]
+    fn merged_empty_shards_are_identity() {
+        let values = [3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0];
+        let mut merged = RecordedMetric::default();
+        merged.merge_in_order(&RecordedMetric::default());
+        merged.merge_in_order(&sequential(&values));
+        merged.merge_in_order(&RecordedMetric::default());
+        assert_eq!(state_of(&merged), state_of(&sequential(&values)));
+        assert_eq!(merged.count(), values.len());
+    }
+
+    #[test]
+    fn recorded_metric_round_trips_through_json_bit_exactly() {
+        let mut rng = StdRng::seed_from_u64(23);
+        // Awkward values on purpose: denormal-ish, negative, shortest-
+        // round-trip-sensitive.
+        let values: Vec<f64> = (0..64)
+            .map(|_| (rng.random::<f64>() - 0.5) * 1e-3)
+            .chain([0.1 + 0.2, 1e16, -7.0])
+            .collect();
+        let acc = sequential(&values);
+        let json = serde_json::to_string(&acc).unwrap();
+        let back: RecordedMetric = serde_json::from_str(&json).unwrap();
+        assert_eq!(state_of(&back), state_of(&acc));
+        // Empty tape round-trips too (min/max sentinels never hit JSON).
+        let empty_json = serde_json::to_string(&RecordedMetric::default()).unwrap();
+        assert_eq!(empty_json, "[]");
+        let back: RecordedMetric = serde_json::from_str(&empty_json).unwrap();
+        assert_eq!(back.count(), 0);
+        assert_eq!(back.stats(), Stats::default());
+    }
+
+    #[test]
+    fn recorded_metric_matches_plain_accumulator() {
+        let values: Vec<f64> = (0..500).map(|i| ((i * 83) % 107) as f64).collect();
+        let mut plain = MetricAccumulator::default();
+        let mut recorded = RecordedMetric::default();
+        for &v in &values {
+            plain.push(v);
+            recorded.push(v);
+        }
+        assert_eq!(plain.stats(), recorded.stats());
+        assert_eq!(recorded.tape(), &values[..]);
     }
 }

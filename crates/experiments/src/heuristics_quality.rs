@@ -62,6 +62,10 @@ pub struct SolverRow {
     pub solver: String,
     /// Mean power ratio to the exact optimum at the same budget.
     pub mean_ratio_to_optimal: f64,
+    /// Median power ratio (P², the fleet runner's estimator).
+    pub p50_ratio_to_optimal: f64,
+    /// 90th-percentile power ratio (P²).
+    pub p90_ratio_to_optimal: f64,
     /// Worst ratio observed.
     pub max_ratio_to_optimal: f64,
     /// Trees solved within the budget.
@@ -142,10 +146,13 @@ pub fn run(config: &HeuristicsConfig) -> Vec<SolverRow> {
                 .iter()
                 .filter_map(|s| pick(s).map(|v| v / s.optimal))
                 .collect();
+            let (p50, p90) = crate::report::p50_p90(ratios.iter().copied());
             rows.push(SolverRow {
                 budget_fraction: fraction,
                 solver: solver.to_string(),
                 mean_ratio_to_optimal: mean(ratios.iter().copied()),
+                p50_ratio_to_optimal: p50,
+                p90_ratio_to_optimal: p90,
                 max_ratio_to_optimal: ratios.iter().copied().fold(1.0, f64::max),
                 solved: ratios.len(),
                 mean_optimal_over_bound: optimal_over_bound,
@@ -167,6 +174,8 @@ pub fn table(rows: &[SolverRow], title: &str) -> Table {
             "budget",
             "solver",
             "mean_ratio",
+            "ratio_p50",
+            "ratio_p90",
             "max_ratio",
             "solved",
             "optimum_over_lb",
@@ -177,6 +186,8 @@ pub fn table(rows: &[SolverRow], title: &str) -> Table {
             r.budget_fraction.map_or("inf".to_string(), |f| fmt(f, 2)),
             r.solver.clone(),
             fmt(r.mean_ratio_to_optimal, 4),
+            fmt(r.p50_ratio_to_optimal, 4),
+            fmt(r.p90_ratio_to_optimal, 4),
             fmt(r.max_ratio_to_optimal, 4),
             r.solved.to_string(),
             fmt(r.mean_optimal_over_bound, 4),
@@ -210,6 +221,21 @@ mod tests {
                 r.budget_fraction
             );
             assert!(r.mean_optimal_over_bound >= 1.0 - 1e-9);
+            if r.solved > 0 {
+                assert!(
+                    r.p50_ratio_to_optimal >= 1.0 - 1e-9
+                        && r.p50_ratio_to_optimal <= r.max_ratio_to_optimal + 1e-9,
+                    "{}: p50 {} outside [1, max {}]",
+                    r.solver,
+                    r.p50_ratio_to_optimal,
+                    r.max_ratio_to_optimal
+                );
+                assert!(
+                    r.p90_ratio_to_optimal <= r.max_ratio_to_optimal + 1e-9,
+                    "{}: p90 above max",
+                    r.solver
+                );
+            }
         }
         // The exact DP solves every tree at every budget fraction (budgets
         // are defined from its own front).

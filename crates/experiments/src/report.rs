@@ -96,6 +96,20 @@ pub fn fmt(value: f64, decimals: usize) -> String {
     format!("{value:.decimals$}")
 }
 
+/// Streams `values` (in their natural experiment order) through the
+/// engine's P² sketches and returns the `(p50, p90)` estimates — the
+/// same estimator behind the fleet runner's percentile columns, so
+/// experiment CSVs and fleet tables quote comparable numbers. Exact
+/// below five observations; `(0.0, 0.0)` when empty.
+pub fn p50_p90<I: IntoIterator<Item = f64>>(values: I) -> (f64, f64) {
+    let mut acc = replica_engine::MetricAccumulator::default();
+    for value in values {
+        acc.push(value);
+    }
+    let stats = acc.stats();
+    (stats.p50, stats.p90)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -145,5 +159,19 @@ mod tests {
     fn fmt_decimals() {
         assert_eq!(fmt(1.23456, 2), "1.23");
         assert_eq!(fmt(2.0, 3), "2.000");
+    }
+
+    #[test]
+    fn percentiles_match_the_engine_estimator() {
+        assert_eq!(p50_p90([]), (0.0, 0.0));
+        assert_eq!(p50_p90([3.0, 1.0, 2.0]), (2.0, 3.0), "exact under five");
+        let values: Vec<f64> = (0..1000).map(|i| ((i * 37) % 1000) as f64).collect();
+        let (p50, p90) = p50_p90(values.iter().copied());
+        assert!((p50 - 500.0).abs() < 25.0, "p50 ≈ median, got {p50}");
+        assert!((p90 - 900.0).abs() < 25.0, "p90 ≈ 900, got {p90}");
+        // Same estimator as the fleet's accumulators, bit for bit.
+        let mut acc = replica_engine::MetricAccumulator::default();
+        values.iter().for_each(|&v| acc.push(v));
+        assert_eq!((acc.stats().p50, acc.stats().p90), (p50, p90));
     }
 }

@@ -53,6 +53,10 @@ pub struct StrategyCell {
     pub reconfigurations: f64,
     /// Mean total reconfiguration cost per run.
     pub total_cost: f64,
+    /// Median total cost per run (P², the fleet runner's estimator).
+    pub cost_p50: f64,
+    /// 90th-percentile total cost per run (P²).
+    pub cost_p90: f64,
     /// Mean server-steps per run (resource usage).
     pub server_steps: f64,
     /// Mean steps that started with a broken placement.
@@ -123,11 +127,15 @@ pub fn run(config: &StrategiesConfig) -> Vec<StrategyCell> {
                 .expect("paper workloads stay feasible");
                 StrategySummary::from_records(&records)
             });
+            let (cost_p50, cost_p90) =
+                crate::report::p50_p90(summaries.iter().map(|s| s.total_cost));
             cells.push(StrategyCell {
                 evolution: evo_name.to_string(),
                 strategy: strat_name.to_string(),
                 reconfigurations: mean(summaries.iter().map(|s| s.reconfigurations as f64)),
                 total_cost: mean(summaries.iter().map(|s| s.total_cost)),
+                cost_p50,
+                cost_p90,
                 server_steps: mean(summaries.iter().map(|s| s.server_steps as f64)),
                 invalid_steps: mean(summaries.iter().map(|s| s.invalid_steps as f64)),
             });
@@ -145,6 +153,8 @@ pub fn table(cells: &[StrategyCell], title: &str) -> Table {
             "strategy",
             "reconfigs",
             "total_cost",
+            "cost_p50",
+            "cost_p90",
             "server_steps",
             "broken_steps",
         ],
@@ -155,6 +165,8 @@ pub fn table(cells: &[StrategyCell], title: &str) -> Table {
             c.strategy.clone(),
             fmt(c.reconfigurations, 1),
             fmt(c.total_cost, 2),
+            fmt(c.cost_p50, 2),
+            fmt(c.cost_p90, 2),
             fmt(c.server_steps, 1),
             fmt(c.invalid_steps, 1),
         ]);
@@ -182,6 +194,15 @@ mod tests {
         for c in &cells {
             assert!(c.reconfigurations >= 0.0 && c.reconfigurations <= 10.0);
             assert!(c.server_steps > 0.0);
+            assert!(
+                c.cost_p50 <= c.cost_p90 + 1e-9,
+                "{}/{}: p50 {} above p90 {}",
+                c.evolution,
+                c.strategy,
+                c.cost_p50,
+                c.cost_p90
+            );
+            assert!(c.cost_p50 >= 0.0 && c.cost_p90 >= 0.0);
         }
     }
 

@@ -1,0 +1,210 @@
+//! The serializable description of one fleet campaign.
+//!
+//! A [`Campaign`] is everything a worker process needs to rebuild the
+//! exact job space of a fleet run: the scenario list (full [`Scenario`]
+//! objects, not just names — plans stay self-contained even if the
+//! built-in families change), the per-scenario instance count, the
+//! solver list and the seed. Workers and the coordinator never exchange
+//! instances — only this description plus shard ranges — because
+//! instance generation is deterministic in `(scenario, seed, index)`.
+
+use replica_engine::scenarios::{churn_families, extended_families, standard_families};
+use replica_engine::{Fleet, FleetConfig, FleetJob, Registry, Scenario, SolveOptions};
+use serde::{Deserialize, Serialize};
+
+/// A self-contained, reproducible fleet campaign.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Campaign {
+    /// The instance families evaluated (job order: scenarios in this
+    /// order, instances `0..instances_per_scenario` within each).
+    pub scenarios: Vec<Scenario>,
+    /// Instances generated per scenario.
+    pub instances_per_scenario: usize,
+    /// Solver names (registry keys), in cell-row order.
+    pub solvers: Vec<String>,
+    /// Reference solver for gap/speedup columns (`None` = the engine's
+    /// default preference: `dp_power`, then `dp_power_full`).
+    pub reference: Option<String>,
+    /// Fleet seed: drives instance generation and per-instance solver
+    /// seeds.
+    pub seed: u64,
+    /// Streaming batch size of each worker's in-process fleet run.
+    pub batch_jobs: usize,
+    /// Cost budget handed to every solve (`None` = unconstrained).
+    pub cost_bound: Option<f64>,
+}
+
+impl Campaign {
+    /// Default solver line-up for CLI-built campaigns.
+    pub fn default_solvers() -> Vec<String> {
+        vec![
+            "dp_power".into(),
+            "greedy_power".into(),
+            "heur_power_greedy".into(),
+        ]
+    }
+
+    /// Builds a campaign over a named scenario set: `"standard"` (the
+    /// paper-aligned 5 × 4 cross product), `"churn"` (the sim-backed
+    /// 5 × 3), or `"extended"` (both).
+    pub fn from_set(set: &str, nodes: usize, count: usize, seed: u64) -> Result<Campaign, String> {
+        let scenarios = match set {
+            "standard" => standard_families(nodes),
+            "churn" => churn_families(nodes),
+            "extended" => extended_families(nodes),
+            other => {
+                return Err(format!(
+                    "unknown scenario set {other:?} (expected standard, churn or extended)"
+                ))
+            }
+        };
+        Ok(Campaign {
+            scenarios,
+            instances_per_scenario: count,
+            solvers: Self::default_solvers(),
+            reference: None,
+            seed,
+            batch_jobs: 64,
+            cost_bound: None,
+        })
+    }
+
+    /// Total number of jobs (instances) in the campaign's job space.
+    pub fn job_count(&self) -> usize {
+        self.scenarios.len() * self.instances_per_scenario
+    }
+
+    /// Rebuilds the full deterministic job list, in job order.
+    pub fn jobs(&self) -> Vec<FleetJob> {
+        Fleet::jobs_from_scenarios(&self.scenarios, self.seed, self.instances_per_scenario)
+    }
+
+    /// The fleet configuration every worker runs with.
+    pub fn fleet_config(&self) -> FleetConfig {
+        FleetConfig {
+            solvers: self.solvers.clone(),
+            options: SolveOptions {
+                cost_bound: self.cost_bound.unwrap_or(f64::INFINITY),
+                ..SolveOptions::default()
+            },
+            seed: self.seed,
+            reference: self.reference.clone(),
+            threads: None,
+            batch_jobs: self.batch_jobs,
+        }
+    }
+
+    /// Validates the campaign against `registry`, returning a
+    /// human-readable error instead of the engine's panics.
+    pub fn validate(&self, registry: &Registry) -> Result<(), String> {
+        if self.scenarios.is_empty() {
+            return Err("campaign has no scenarios".into());
+        }
+        if self.instances_per_scenario == 0 {
+            return Err("campaign has instances_per_scenario = 0".into());
+        }
+        if self.solvers.is_empty() {
+            return Err("campaign has no solvers".into());
+        }
+        if self.batch_jobs == 0 {
+            return Err("campaign has batch_jobs = 0 (must be at least 1)".into());
+        }
+        for name in &self.solvers {
+            if registry.get(name).is_none() {
+                return Err(format!("unknown solver {name:?} in campaign"));
+            }
+        }
+        if let Some(reference) = &self.reference {
+            if !self.solvers.iter().any(|s| s == reference) {
+                return Err(format!(
+                    "reference solver {reference:?} is not among the campaign solvers"
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// FNV-1a fingerprint of the campaign's canonical JSON encoding.
+    /// Plans stamp it and workers echo it, so a merge can refuse shard
+    /// reports produced from a different campaign.
+    pub fn fingerprint(&self) -> u64 {
+        let json = serde_json::to_string(self).expect("campaign serialization cannot fail");
+        let mut hash = 0xcbf2_9ce4_8422_2325u64;
+        for byte in json.bytes() {
+            hash ^= byte as u64;
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        hash
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn named_sets_resolve() {
+        assert_eq!(
+            Campaign::from_set("standard", 12, 2, 1)
+                .unwrap()
+                .scenarios
+                .len(),
+            20
+        );
+        assert_eq!(
+            Campaign::from_set("churn", 12, 2, 1)
+                .unwrap()
+                .scenarios
+                .len(),
+            15
+        );
+        let extended = Campaign::from_set("extended", 12, 2, 1).unwrap();
+        assert_eq!(extended.scenarios.len(), 35);
+        assert_eq!(extended.job_count(), 70);
+        assert!(Campaign::from_set("nope", 12, 2, 1).is_err());
+    }
+
+    #[test]
+    fn fingerprint_tracks_content() {
+        let a = Campaign::from_set("standard", 12, 2, 1).unwrap();
+        let mut b = a.clone();
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        b.seed = 2;
+        assert_ne!(a.fingerprint(), b.fingerprint());
+    }
+
+    #[test]
+    fn validation_catches_config_errors() {
+        let registry = Registry::with_all();
+        let good = Campaign::from_set("standard", 12, 1, 1).unwrap();
+        good.validate(&registry).unwrap();
+
+        let mut bad = good.clone();
+        bad.solvers.push("not_a_solver".into());
+        assert!(bad.validate(&registry).is_err());
+
+        let mut bad = good.clone();
+        bad.batch_jobs = 0;
+        assert!(bad.validate(&registry).is_err());
+
+        let mut bad = good.clone();
+        bad.reference = Some("exhaustive".into());
+        assert!(
+            bad.validate(&registry).is_err(),
+            "reference must be in solvers"
+        );
+
+        let mut bad = good;
+        bad.instances_per_scenario = 0;
+        assert!(bad.validate(&registry).is_err());
+    }
+
+    #[test]
+    fn campaign_round_trips_through_json() {
+        let campaign = Campaign::from_set("churn", 10, 3, 7).unwrap();
+        let json = serde_json::to_string(&campaign).unwrap();
+        let back: Campaign = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.fingerprint(), campaign.fingerprint());
+        assert_eq!(back.job_count(), campaign.job_count());
+    }
+}

@@ -1,0 +1,408 @@
+//! The `fleetd` command-line interface: `plan`, `work`, `merge`, `run`.
+//!
+//! The four subcommands are the sharding protocol made visible:
+//!
+//! ```text
+//! fleetd plan  … --out plan.json          # split the job space
+//! fleetd work  --plan plan.json --shard K --out shard-K.json   # × N processes
+//! fleetd merge --plan plan.json shard-*.json                   # deterministic merge
+//! fleetd run   … --shards N               # all of the above + determinism proof
+//! ```
+//!
+//! `run` spawns the workers itself (re-invoking this binary), merges,
+//! and — unless `--no-verify` — re-runs the campaign single-process and
+//! proves the merged report byte-identical.
+
+use crate::campaign::Campaign;
+use crate::coordinator::{prove_against_single_process, read_json, run_plan, write_json, Workers};
+use crate::merge::merge_reports;
+use crate::output::{render, Format};
+use crate::plan::ShardPlan;
+use crate::shard::ShardReport;
+use crate::worker;
+use std::collections::HashMap;
+use std::path::PathBuf;
+
+const USAGE: &str = "\
+fleetd — sharded multi-process fleet campaigns with deterministic merge
+
+USAGE:
+    fleetd plan  [CAMPAIGN FLAGS] --shards N --out plan.json
+    fleetd work  --plan plan.json --shard K --out shard-K.json
+    fleetd merge --plan plan.json [--format F] [--out FILE] shard-0.json shard-1.json …
+    fleetd run   [CAMPAIGN FLAGS] --shards N [--format F] [--out FILE]
+                 [--in-process] [--no-verify] [--work-dir DIR]
+    fleetd help
+
+CAMPAIGN FLAGS (plan, run):
+    --scenarios SET     standard | churn | extended      [default: standard]
+    --nodes N           internal nodes per tree          [default: 16]
+    --count K           instances per scenario           [default: 2]
+    --solvers a,b,c     registry solver names            [default: dp_power,greedy_power,heur_power_greedy]
+    --reference NAME    gap/speedup baseline             [default: engine preference]
+    --seed N            fleet seed                       [default: 991987]
+    --batch-jobs N      worker streaming batch size      [default: 64]
+    --cost-bound X      cost budget per solve            [default: unconstrained]
+
+OUTPUT:
+    --format F          table | table-det | csv | json | json-det   [default: table]
+    --out FILE          write the rendering to FILE instead of stdout
+
+`run` prints the determinism proof (merged vs single-process digest,
+cell count, FNV cell checksum) to stderr; `--no-verify` skips the
+comparison run.
+";
+
+/// Boolean switches (flags without a value).
+const SWITCHES: &[&str] = &["--in-process", "--no-verify", "--help"];
+
+/// The shared campaign flags of `plan` and `run`.
+const CAMPAIGN_FLAGS: &[&str] = &[
+    "scenarios",
+    "nodes",
+    "count",
+    "solvers",
+    "reference",
+    "seed",
+    "batch-jobs",
+    "cost-bound",
+];
+
+/// Valued flags accepted per subcommand (a misspelled flag must be an
+/// error, not a silently ignored entry that runs the wrong campaign).
+fn allowed_flags(command: &str) -> Option<Vec<&'static str>> {
+    let mut allowed: Vec<&'static str> = match command {
+        "plan" => vec!["shards", "out"],
+        "work" => return Some(vec!["plan", "shard", "out"]),
+        "merge" => return Some(vec!["plan", "format", "out"]),
+        "run" => vec!["shards", "format", "out", "work-dir"],
+        _ => return None,
+    };
+    allowed.extend_from_slice(CAMPAIGN_FLAGS);
+    Some(allowed)
+}
+
+/// Parsed command line: `--flag value` pairs, boolean switches, and
+/// positional arguments.
+#[derive(Debug)]
+struct Args {
+    flags: HashMap<String, String>,
+    switches: Vec<String>,
+    positional: Vec<String>,
+}
+
+impl Args {
+    fn parse(args: &[String], allowed: Option<&[&str]>) -> Result<Args, String> {
+        let mut flags = HashMap::new();
+        let mut switches = Vec::new();
+        let mut positional = Vec::new();
+        let mut iter = args.iter();
+        while let Some(arg) = iter.next() {
+            if SWITCHES.contains(&arg.as_str()) {
+                switches.push(arg.clone());
+            } else if let Some(name) = arg.strip_prefix("--") {
+                if let Some(allowed) = allowed {
+                    if !allowed.contains(&name) {
+                        return Err(format!(
+                            "unknown flag --{name} (run `fleetd help` for the accepted flags)"
+                        ));
+                    }
+                }
+                let value = iter
+                    .next()
+                    .ok_or_else(|| format!("flag --{name} needs a value"))?;
+                flags.insert(name.to_string(), value.clone());
+            } else {
+                positional.push(arg.clone());
+            }
+        }
+        Ok(Args {
+            flags,
+            switches,
+            positional,
+        })
+    }
+
+    fn get(&self, name: &str) -> Option<&str> {
+        self.flags.get(name).map(String::as_str)
+    }
+
+    fn parsed<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
+        match self.get(name) {
+            None => Ok(default),
+            Some(text) => text
+                .parse()
+                .map_err(|_| format!("--{name}: cannot parse {text:?}")),
+        }
+    }
+
+    fn has(&self, switch: &str) -> bool {
+        self.switches.iter().any(|s| s == switch)
+    }
+}
+
+/// Builds a campaign from the shared campaign flags.
+fn campaign_from(args: &Args) -> Result<Campaign, String> {
+    let set = args.get("scenarios").unwrap_or("standard");
+    let nodes = args.parsed("nodes", 16usize)?;
+    let count = args.parsed("count", 2usize)?;
+    let seed = args.parsed("seed", 991987u64)?;
+    let mut campaign = Campaign::from_set(set, nodes, count, seed)?;
+    if let Some(solvers) = args.get("solvers") {
+        campaign.solvers = solvers.split(',').map(str::to_string).collect();
+    }
+    if let Some(reference) = args.get("reference") {
+        campaign.reference = Some(reference.to_string());
+    }
+    campaign.batch_jobs = args.parsed("batch-jobs", campaign.batch_jobs)?;
+    if args.get("cost-bound").is_some() {
+        campaign.cost_bound = Some(args.parsed("cost-bound", f64::INFINITY)?);
+    }
+    Ok(campaign)
+}
+
+/// Writes `text` to `--out` when given, else to stdout.
+fn emit(args: &Args, text: &str) -> Result<(), String> {
+    match args.get("out") {
+        Some(path) => {
+            let path = PathBuf::from(path);
+            if let Some(parent) = path.parent() {
+                if !parent.as_os_str().is_empty() {
+                    std::fs::create_dir_all(parent)
+                        .map_err(|e| format!("cannot create {}: {e}", parent.display()))?;
+                }
+            }
+            std::fs::write(&path, text).map_err(|e| format!("cannot write {}: {e}", path.display()))
+        }
+        None => {
+            print!("{text}");
+            Ok(())
+        }
+    }
+}
+
+fn cmd_plan(args: &Args) -> Result<(), String> {
+    let campaign = campaign_from(args)?;
+    let shards = args.parsed("shards", 2usize)?;
+    let plan = ShardPlan::new(campaign, shards)?;
+    let out = args
+        .get("out")
+        .ok_or("plan needs --out <plan.json>")?
+        .to_string();
+    write_json(&PathBuf::from(&out), &plan)?;
+    eprintln!(
+        "planned {} jobs into {} shards ({}), fingerprint {:016x} → {out}",
+        plan.campaign.job_count(),
+        plan.shards.len(),
+        plan.shards
+            .iter()
+            .map(|s| s.len().to_string())
+            .collect::<Vec<_>>()
+            .join("+"),
+        plan.fingerprint,
+    );
+    Ok(())
+}
+
+fn cmd_work(args: &Args) -> Result<(), String> {
+    let plan_path = args.get("plan").ok_or("work needs --plan <plan.json>")?;
+    let plan: ShardPlan = read_json(&PathBuf::from(plan_path))?;
+    let shard: usize = match args.get("shard") {
+        Some(text) => text
+            .parse()
+            .map_err(|_| format!("--shard: cannot parse {text:?}"))?,
+        None => return Err("work needs --shard <index>".into()),
+    };
+    let out = args.get("out").ok_or("work needs --out <shard.json>")?;
+    let report = worker::run_shard(&plan, shard)?;
+    write_json(&PathBuf::from(out), &report)?;
+    eprintln!(
+        "shard {}/{}: jobs {}..{}, {} cells, checksum {:016x} → {out}",
+        report.shard,
+        report.shard_count,
+        report.start,
+        report.end,
+        report.cell_count,
+        report.checksum,
+    );
+    Ok(())
+}
+
+fn cmd_merge(args: &Args) -> Result<(), String> {
+    let plan_path = args.get("plan").ok_or("merge needs --plan <plan.json>")?;
+    let plan: ShardPlan = read_json(&PathBuf::from(plan_path))?;
+    if args.positional.is_empty() {
+        return Err("merge needs the shard report files as arguments".into());
+    }
+    let reports: Vec<ShardReport> = args
+        .positional
+        .iter()
+        .map(|p| read_json(&PathBuf::from(p)))
+        .collect::<Result<_, _>>()?;
+    let merged = merge_reports(&plan, &reports)?;
+    eprintln!(
+        "merged {} shards: {} cells, checksum {:016x}",
+        reports.len(),
+        merged.cell_count,
+        merged.cell_checksum
+    );
+    let format = Format::parse(args.get("format").unwrap_or("table"))?;
+    emit(args, &render(&merged, format))
+}
+
+fn cmd_run(args: &Args) -> Result<(), String> {
+    let campaign = campaign_from(args)?;
+    let shards = args.parsed("shards", 2usize)?;
+    let plan = ShardPlan::new(campaign, shards)?;
+    let workers = if args.has("--in-process") {
+        Workers::InProcess
+    } else {
+        Workers::current_exe(args.get("work-dir").map(PathBuf::from))?
+    };
+    eprintln!(
+        "running {} jobs × {} solvers over {} shards ({})",
+        plan.campaign.job_count(),
+        plan.campaign.solvers.len(),
+        plan.shards.len(),
+        if args.has("--in-process") {
+            "in-process"
+        } else {
+            "one process per shard"
+        },
+    );
+    let merged = run_plan(&plan, &workers)?;
+    if !args.has("--no-verify") {
+        eprintln!("{}", prove_against_single_process(&plan, &merged)?);
+    }
+    let format = Format::parse(args.get("format").unwrap_or("table"))?;
+    emit(args, &render(&merged, format))
+}
+
+/// Entry point: returns the process exit code.
+pub fn main(args: Vec<String>) -> i32 {
+    let Some((command, rest)) = args.split_first() else {
+        eprint!("{USAGE}");
+        return 2;
+    };
+    let parsed = match Args::parse(rest, allowed_flags(command).as_deref()) {
+        Ok(parsed) => parsed,
+        Err(e) => {
+            eprintln!("fleetd: {e}");
+            return 2;
+        }
+    };
+    if parsed.has("--help") {
+        eprint!("{USAGE}");
+        return 0;
+    }
+    let result = match command.as_str() {
+        "plan" => cmd_plan(&parsed),
+        "work" => cmd_work(&parsed),
+        "merge" => cmd_merge(&parsed),
+        "run" => cmd_run(&parsed),
+        "help" | "--help" | "-h" => {
+            eprint!("{USAGE}");
+            return 0;
+        }
+        other => {
+            eprintln!("fleetd: unknown command {other:?}\n");
+            eprint!("{USAGE}");
+            return 2;
+        }
+    };
+    match result {
+        Ok(()) => 0,
+        Err(e) => {
+            eprintln!("fleetd: {e}");
+            1
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn args_parse_flags_switches_and_positionals() {
+        let args = Args::parse(
+            &[
+                "--plan".into(),
+                "p.json".into(),
+                "a.json".into(),
+                "--in-process".into(),
+                "b.json".into(),
+            ],
+            allowed_flags("merge").as_deref(),
+        )
+        .unwrap();
+        assert_eq!(args.get("plan"), Some("p.json"));
+        assert!(args.has("--in-process"));
+        assert_eq!(args.positional, vec!["a.json", "b.json"]);
+        assert!(
+            Args::parse(&["--plan".into()], None).is_err(),
+            "value missing"
+        );
+    }
+
+    #[test]
+    fn unknown_and_misspelled_flags_are_rejected() {
+        // `--shard` is a `work` flag; on `run` the correct one is
+        // `--shards` — the typo must fail, not silently run 2 shards.
+        let err = Args::parse(
+            &["--shard".into(), "4".into()],
+            allowed_flags("run").as_deref(),
+        )
+        .unwrap_err();
+        assert!(err.contains("unknown flag --shard"), "{err}");
+        assert!(Args::parse(
+            &["--scenario".into(), "churn".into()],
+            allowed_flags("plan").as_deref(),
+        )
+        .is_err());
+        // The same flag is fine where it belongs.
+        assert!(Args::parse(
+            &["--shard".into(), "4".into()],
+            allowed_flags("work").as_deref(),
+        )
+        .is_ok());
+        // End to end: exit code 2, nothing runs.
+        assert_eq!(
+            main(vec!["run".into(), "--shard".into(), "4".into()]),
+            2,
+            "typoed flag must be a usage error"
+        );
+    }
+
+    #[test]
+    fn campaign_flags_apply() {
+        let args = Args::parse(
+            &[
+                "--scenarios".into(),
+                "churn".into(),
+                "--nodes".into(),
+                "10".into(),
+                "--count".into(),
+                "3".into(),
+                "--solvers".into(),
+                "dp_power,greedy_power".into(),
+                "--seed".into(),
+                "7".into(),
+            ],
+            allowed_flags("run").as_deref(),
+        )
+        .unwrap();
+        let campaign = campaign_from(&args).unwrap();
+        assert_eq!(campaign.scenarios.len(), 15);
+        assert_eq!(campaign.instances_per_scenario, 3);
+        assert_eq!(campaign.solvers, vec!["dp_power", "greedy_power"]);
+        assert_eq!(campaign.seed, 7);
+        assert!(campaign.cost_bound.is_none());
+    }
+
+    #[test]
+    fn unknown_command_is_usage_error() {
+        assert_eq!(main(vec!["frobnicate".into()]), 2);
+        assert_eq!(main(vec![]), 2);
+    }
+}

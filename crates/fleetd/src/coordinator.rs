@@ -1,0 +1,223 @@
+//! The coordinator: spawning shard workers and merging their reports.
+//!
+//! The multi-process path re-invokes this same binary (`fleetd work`)
+//! once per shard via [`std::process::Command`], hands each worker the
+//! plan file plus its shard index, waits for all of them, then merges
+//! the reports with [`crate::merge::merge_reports`]. Workers are plain
+//! OS processes — no shared memory, no IPC beyond the JSON files — so
+//! the same plan/work/merge protocol extends to many machines with a
+//! shared filesystem (or any file transport) unchanged.
+//!
+//! [`Workers::InProcess`] runs the same protocol without spawning
+//! (shard loop in the current process): the mode for examples, tests
+//! and environments where spawning is unavailable.
+
+use crate::merge::merge_reports;
+use crate::plan::ShardPlan;
+use crate::shard::ShardReport;
+use replica_engine::{Fleet, FleetReport, Registry};
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::{Command, Stdio};
+
+/// How shard workers are executed.
+#[derive(Clone, Debug)]
+pub enum Workers {
+    /// Run every shard sequentially in the current process (each shard
+    /// still solves its own jobs with rayon). No subprocesses, no files.
+    InProcess,
+    /// Spawn one OS process per shard, re-invoking `exe work …` — the
+    /// production mode. Shard reports travel through `work_dir` (a
+    /// unique temp directory when `None`, removed after the merge).
+    Processes {
+        /// The `fleetd` binary to invoke (usually
+        /// [`std::env::current_exe`]).
+        exe: PathBuf,
+        /// Directory for `plan.json` / `shard-K.json`; kept if given,
+        /// temporary otherwise.
+        work_dir: Option<PathBuf>,
+    },
+}
+
+impl Workers {
+    /// The multi-process mode driving this very binary (the common
+    /// case for the `fleetd` CLI). Reports travel through `work_dir`
+    /// when given, a removed-after-merge temp directory otherwise.
+    pub fn current_exe(work_dir: Option<PathBuf>) -> Result<Workers, String> {
+        Ok(Workers::Processes {
+            exe: std::env::current_exe()
+                .map_err(|e| format!("cannot resolve the current executable: {e}"))?,
+            work_dir,
+        })
+    }
+}
+
+/// Runs a planned campaign shard by shard and merges the results.
+pub fn run_plan(plan: &ShardPlan, workers: &Workers) -> Result<FleetReport, String> {
+    let reports = match workers {
+        Workers::InProcess => (0..plan.shards.len())
+            .map(|k| crate::worker::run_shard(plan, k))
+            .collect::<Result<Vec<_>, _>>()?,
+        Workers::Processes { exe, work_dir } => spawn_workers(plan, exe, work_dir.as_deref())?,
+    };
+    merge_reports(plan, &reports)
+}
+
+/// Spawns one `fleetd work` process per shard and collects the reports.
+fn spawn_workers(
+    plan: &ShardPlan,
+    exe: &Path,
+    work_dir: Option<&Path>,
+) -> Result<Vec<ShardReport>, String> {
+    let (dir, ephemeral) = match work_dir {
+        Some(dir) => (dir.to_path_buf(), false),
+        None => {
+            let dir = std::env::temp_dir().join(format!(
+                "fleetd-{}-{:016x}",
+                std::process::id(),
+                plan.fingerprint
+            ));
+            (dir, true)
+        }
+    };
+    fs::create_dir_all(&dir).map_err(|e| format!("cannot create {}: {e}", dir.display()))?;
+    let run = || -> Result<Vec<ShardReport>, String> {
+        let plan_path = dir.join("plan.json");
+        write_json(&plan_path, plan)?;
+
+        // Spawn all workers up front: shards run concurrently, each a
+        // full OS process with its own rayon pool.
+        let mut children = Vec::new();
+        for manifest in &plan.shards {
+            let out = dir.join(format!("shard-{}.json", manifest.shard));
+            let child = Command::new(exe)
+                .arg("work")
+                .arg("--plan")
+                .arg(&plan_path)
+                .arg("--shard")
+                .arg(manifest.shard.to_string())
+                .arg("--out")
+                .arg(&out)
+                .stdin(Stdio::null())
+                .stdout(Stdio::null())
+                // stderr inherited: worker failures surface directly.
+                .spawn()
+                .map_err(|e| format!("cannot spawn worker for shard {}: {e}", manifest.shard))?;
+            children.push((manifest.shard, out, child));
+        }
+
+        let mut reports = Vec::with_capacity(children.len());
+        let mut failures = Vec::new();
+        for (shard, out, mut child) in children {
+            let status = child
+                .wait()
+                .map_err(|e| format!("waiting for shard {shard} worker: {e}"))?;
+            if !status.success() {
+                failures.push(format!("shard {shard} worker exited with {status}"));
+                continue;
+            }
+            match read_json::<ShardReport>(&out) {
+                Ok(report) => reports.push(report),
+                Err(e) => failures.push(e),
+            }
+        }
+        if failures.is_empty() {
+            Ok(reports)
+        } else {
+            Err(failures.join("; "))
+        }
+    };
+    let result = run();
+    if ephemeral {
+        let _ = fs::remove_dir_all(&dir);
+    }
+    result
+}
+
+/// Runs the same campaign single-process ([`Fleet::run`]) — the baseline
+/// of the determinism proof.
+pub fn run_single_process(plan: &ShardPlan) -> Result<FleetReport, String> {
+    let registry = Registry::with_all();
+    plan.campaign.validate(&registry)?;
+    let fleet = Fleet::new(&registry, plan.campaign.fleet_config());
+    Ok(fleet.run(&plan.campaign.jobs()))
+}
+
+/// Proves a merged report equivalent to a fresh single-process run of
+/// the same plan: byte-identical digest (aggregates + cell count + FNV
+/// cell checksum) and deterministic table. Returns the proof line to
+/// print.
+pub fn prove_against_single_process(
+    plan: &ShardPlan,
+    merged: &FleetReport,
+) -> Result<String, String> {
+    let single = run_single_process(plan)?;
+    if merged.digest() != single.digest() {
+        return Err(format!(
+            "determinism violation: merged digest differs from the single-process run\n\
+             merged:\n{}\nsingle:\n{}",
+            merged.digest(),
+            single.digest()
+        ));
+    }
+    if merged.table_deterministic() != single.table_deterministic() {
+        return Err("determinism violation: deterministic tables differ".into());
+    }
+    Ok(format!(
+        "determinism proof: merged == single-process ({} cells, checksum {:016x})",
+        merged.cell_count, merged.cell_checksum
+    ))
+}
+
+/// Serializes `value` as JSON to `path`.
+pub fn write_json<T: serde::Serialize>(path: &Path, value: &T) -> Result<(), String> {
+    let json = serde_json::to_string(value).map_err(|e| format!("serializing: {e}"))?;
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            fs::create_dir_all(parent)
+                .map_err(|e| format!("cannot create {}: {e}", parent.display()))?;
+        }
+    }
+    fs::write(path, json).map_err(|e| format!("cannot write {}: {e}", path.display()))
+}
+
+/// Parses a JSON file into `T`.
+pub fn read_json<T: for<'de> serde::Deserialize<'de>>(path: &Path) -> Result<T, String> {
+    let text =
+        fs::read_to_string(path).map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    serde_json::from_str(&text).map_err(|e| format!("parsing {}: {e}", path.display()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::campaign::Campaign;
+    use crate::plan::ShardPlan;
+
+    fn tiny_plan(shards: usize) -> ShardPlan {
+        let mut campaign = Campaign::from_set("standard", 12, 1, 11).unwrap();
+        campaign.scenarios.truncate(2);
+        campaign.instances_per_scenario = 2;
+        campaign.solvers = vec!["greedy_power".into(), "dp_power".into()];
+        ShardPlan::new(campaign, shards).unwrap()
+    }
+
+    #[test]
+    fn in_process_coordination_proves_out() {
+        let plan = tiny_plan(3);
+        let merged = run_plan(&plan, &Workers::InProcess).unwrap();
+        let proof = prove_against_single_process(&plan, &merged).unwrap();
+        assert!(proof.contains("merged == single-process"), "{proof}");
+    }
+
+    #[test]
+    fn json_files_round_trip() {
+        let dir = std::env::temp_dir().join(format!("fleetd-test-{}", std::process::id()));
+        let path = dir.join("plan.json");
+        let plan = tiny_plan(2);
+        write_json(&path, &plan).unwrap();
+        let back: ShardPlan = read_json(&path).unwrap();
+        assert_eq!(back.fingerprint, plan.fingerprint);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,64 @@
+//! # `replica-fleetd` — multi-process sharded fleet orchestration
+//!
+//! The engine's [`Fleet`](replica_engine::Fleet) parallelizes a
+//! campaign *within* one process; this crate shards it *across*
+//! processes — and merges the pieces back **byte-identically**:
+//!
+//! 1. **[`plan`]** — split the campaign's deterministic job space into
+//!    contiguous shard manifests, in job order ([`ShardPlan`]).
+//! 2. **[`worker`]** — one process per shard: rebuild the job list from
+//!    the plan (instances are pure functions of `(scenario, seed,
+//!    index)`), run the range through the in-process engine with
+//!    *global* job seeding, serialize a [`ShardReport`] — the raw cell
+//!    stream plus mergeable per-group accumulator state.
+//! 3. **[`merge`]** — fold the shard cell streams, in shard order,
+//!    through the engine's [`FleetFold`](replica_engine::FleetFold):
+//!    because that replays the exact sequential fold of an unsharded
+//!    run, the merged aggregates, cell count and FNV cell checksum are
+//!    byte-identical to a single-process `Fleet::run` *by construction*
+//!    — and the independently merged
+//!    [`GroupState`](replica_engine::GroupState)s cross-check it on
+//!    every merge.
+//! 4. **[`coordinator`]** — spawn the workers
+//!    ([`std::process::Command`], re-invoking the same binary), collect
+//!    and merge, optionally prove equivalence against a fresh
+//!    single-process run.
+//!
+//! The `fleetd` binary ([`cli`]) exposes the protocol as `plan` /
+//! `work` / `merge` / `run` subcommands with table, CSV and JSON output
+//! ([`output`]). The shard determinism suite pins the contract:
+//! any shard count merges to the identical report.
+//!
+//! ## Quickstart (in-process workers)
+//!
+//! ```
+//! use replica_fleetd::{Campaign, ShardPlan};
+//! use replica_fleetd::coordinator::{run_plan, run_single_process, Workers};
+//!
+//! let mut campaign = Campaign::from_set("standard", 12, 1, 42).unwrap();
+//! campaign.scenarios.truncate(2);
+//! campaign.solvers = vec!["dp_power".into(), "greedy_power".into()];
+//! let plan = ShardPlan::new(campaign, 3).unwrap();
+//!
+//! let merged = run_plan(&plan, &Workers::InProcess).unwrap();
+//! let single = run_single_process(&plan).unwrap();
+//! assert_eq!(merged.digest(), single.digest());
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod campaign;
+pub mod cli;
+pub mod coordinator;
+pub mod merge;
+pub mod output;
+pub mod plan;
+pub mod shard;
+pub mod worker;
+
+pub use campaign::Campaign;
+pub use coordinator::Workers;
+pub use merge::{merge_reports, run_sharded_in_process};
+pub use output::Format;
+pub use plan::{plan_shards, ShardManifest, ShardPlan};
+pub use shard::{CellRecord, CellStatus, ShardReport};

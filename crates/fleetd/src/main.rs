@@ -1,0 +1,8 @@
+//! The `fleetd` binary: sharded multi-process fleet campaigns.
+//!
+//! See `replica_fleetd::cli` for the subcommands, or run `fleetd help`.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    std::process::exit(replica_fleetd::cli::main(args));
+}

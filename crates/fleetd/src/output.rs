@@ -1,0 +1,197 @@
+//! Output renderings of a merged fleet report: ASCII tables, CSV and
+//! JSON (each with a deterministic, timing-free variant suitable for
+//! byte-level diffing between sharded and single-process runs).
+
+use replica_engine::{FleetReport, FleetSummary, Stats};
+use serde::Serialize;
+use std::fmt::Write as _;
+
+/// An output format of the `fleetd` CLI.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Format {
+    /// Aligned ASCII table, timing columns included.
+    Table,
+    /// Aligned ASCII table, deterministic columns only.
+    TableDeterministic,
+    /// CSV, one row per `(scenario, solver)` group, P² percentile
+    /// columns included; the timing columns come last.
+    Csv,
+    /// Compact JSON document of the full report.
+    Json,
+    /// Compact JSON document without the timing fields — byte-diffable
+    /// across shardings.
+    JsonDeterministic,
+}
+
+impl Format {
+    /// Parses a CLI format name.
+    pub fn parse(name: &str) -> Result<Format, String> {
+        match name {
+            "table" => Ok(Format::Table),
+            "table-det" => Ok(Format::TableDeterministic),
+            "csv" => Ok(Format::Csv),
+            "json" => Ok(Format::Json),
+            "json-det" => Ok(Format::JsonDeterministic),
+            other => Err(format!(
+                "unknown format {other:?} (expected table, table-det, csv, json or json-det)"
+            )),
+        }
+    }
+}
+
+/// Renders `report` in the requested format.
+pub fn render(report: &FleetReport, format: Format) -> String {
+    match format {
+        Format::Table => report.table(),
+        Format::TableDeterministic => report.table_deterministic(),
+        Format::Csv => csv(report),
+        Format::Json => json(report, true),
+        Format::JsonDeterministic => json(report, false),
+    }
+}
+
+/// CSV rendering: every deterministic aggregate — including the P²
+/// p50/p90 percentile columns for power, cost and gap — then the
+/// non-deterministic timing columns last.
+pub fn csv(report: &FleetReport) -> String {
+    let mut out = String::new();
+    out.push_str(
+        "scenario,solver,solved,failed,unsupported,\
+         power_mean,power_p50,power_p90,power_min,power_max,\
+         cost_mean,cost_p50,cost_p90,\
+         servers_mean,gap_mean,gap_p50,gap_p90,\
+         ms_per_solve,speedup_vs_ref\n",
+    );
+    for s in &report.summaries {
+        let opt = |v: Option<f64>| v.map_or(String::new(), |x| format!("{x:.6}"));
+        let _ = writeln!(
+            out,
+            "{},{},{},{},{},{:.6},{:.6},{:.6},{:.6},{:.6},{:.6},{:.6},{:.6},{:.4},{},{},{},{:.4},{}",
+            s.scenario,
+            s.solver,
+            s.solved,
+            s.failed,
+            s.unsupported,
+            s.power.mean,
+            s.power.p50,
+            s.power.p90,
+            s.power.min,
+            s.power.max,
+            s.cost.mean,
+            s.cost.p50,
+            s.cost.p90,
+            s.mean_servers,
+            opt(s.power_gap_vs_ref),
+            opt(s.gap_vs_ref.map(|g| g.p50)),
+            opt(s.gap_vs_ref.map(|g| g.p90)),
+            s.mean_wall_seconds * 1e3,
+            opt(s.speedup_vs_ref),
+        );
+    }
+    out
+}
+
+/// Serializable mirror of one summary row.
+#[derive(Serialize)]
+struct SummaryDoc {
+    scenario: String,
+    solver: String,
+    solved: usize,
+    failed: usize,
+    unsupported: usize,
+    cost: Stats,
+    power: Stats,
+    mean_servers: f64,
+    power_gap_vs_ref: Option<f64>,
+    gap_vs_ref: Option<Stats>,
+    mean_wall_seconds: Option<f64>,
+    speedup_vs_ref: Option<f64>,
+    speedup_dist: Option<Stats>,
+}
+
+/// Serializable mirror of a report.
+#[derive(Serialize)]
+struct ReportDoc {
+    cell_count: usize,
+    cell_checksum: String,
+    summaries: Vec<SummaryDoc>,
+}
+
+/// Compact JSON; `timing = false` drops every wall-clock-derived field,
+/// making the document a pure function of the fleet seed.
+pub fn json(report: &FleetReport, timing: bool) -> String {
+    let doc = ReportDoc {
+        cell_count: report.cell_count,
+        cell_checksum: format!("{:016x}", report.cell_checksum),
+        summaries: report.summaries.iter().map(|s| doc_of(s, timing)).collect(),
+    };
+    serde_json::to_string(&doc).expect("report serialization cannot fail")
+}
+
+fn doc_of(s: &FleetSummary, timing: bool) -> SummaryDoc {
+    SummaryDoc {
+        scenario: s.scenario.clone(),
+        solver: s.solver.to_string(),
+        solved: s.solved,
+        failed: s.failed,
+        unsupported: s.unsupported,
+        cost: s.cost,
+        power: s.power,
+        mean_servers: s.mean_servers,
+        power_gap_vs_ref: s.power_gap_vs_ref,
+        gap_vs_ref: s.gap_vs_ref,
+        mean_wall_seconds: timing.then_some(s.mean_wall_seconds),
+        speedup_vs_ref: if timing { s.speedup_vs_ref } else { None },
+        speedup_dist: if timing { s.speedup_dist } else { None },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::campaign::Campaign;
+    use crate::merge::run_sharded_in_process;
+    use crate::plan::ShardPlan;
+
+    fn report() -> FleetReport {
+        let mut campaign = Campaign::from_set("standard", 12, 1, 2).unwrap();
+        campaign.scenarios.truncate(2);
+        campaign.solvers = vec!["dp_power".into(), "greedy_power".into()];
+        run_sharded_in_process(&ShardPlan::new(campaign, 2).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn formats_parse_and_render() {
+        let report = report();
+        for (name, needle) in [
+            ("table", "ms/solve"),
+            ("table-det", "gap_vs_ref"),
+            ("csv", "power_p50"),
+            ("json", "cell_checksum"),
+            ("json-det", "cell_checksum"),
+        ] {
+            let format = Format::parse(name).unwrap();
+            let text = render(&report, format);
+            assert!(text.contains(needle), "{name} must contain {needle}");
+        }
+        assert!(Format::parse("yaml").is_err());
+    }
+
+    #[test]
+    fn deterministic_json_has_no_timing() {
+        let report = report();
+        let det = render(&report, Format::JsonDeterministic);
+        assert!(!det.contains("mean_wall_seconds\":0."), "no wall values");
+        assert!(det.contains("\"mean_wall_seconds\":null"));
+        let full = render(&report, Format::Json);
+        assert!(full.contains("\"mean_wall_seconds\":"));
+    }
+
+    #[test]
+    fn csv_has_one_row_per_group_plus_header() {
+        let report = report();
+        let csv = render(&report, Format::Csv);
+        assert_eq!(csv.lines().count(), 1 + report.summaries.len());
+        assert!(csv.starts_with("scenario,solver"));
+    }
+}

@@ -1,0 +1,91 @@
+//! The shard worker: one process, one contiguous job range.
+//!
+//! A worker rebuilds the campaign's deterministic job list from the plan
+//! (instances are functions of `(scenario, seed, index)` — nothing is
+//! shipped), runs its shard through the engine's in-process fleet with
+//! **global** job indices (so per-instance solver seeds match the
+//! unsharded run exactly), and serializes a [`ShardReport`]: the raw
+//! cell stream plus mergeable group state.
+//!
+//! Note the asymmetry: *solving* is `O(shard)`, but job *generation* is
+//! `O(campaign)` because the job list is materialized up front. Instance
+//! generation is orders of magnitude cheaper than solving, so this is
+//! the right trade for now; a lazy job stream is the obvious next step
+//! if campaigns outgrow worker memory.
+
+use crate::plan::ShardPlan;
+use crate::shard::{CellRecord, ShardReport};
+use replica_engine::{Fleet, Registry};
+
+/// Runs shard `shard` of `plan` in-process and returns its report.
+pub fn run_shard(plan: &ShardPlan, shard: usize) -> Result<ShardReport, String> {
+    let manifest = *plan.shards.get(shard).ok_or_else(|| {
+        format!(
+            "shard {shard} out of range (plan has {})",
+            plan.shards.len()
+        )
+    })?;
+    if plan.campaign.fingerprint() != plan.fingerprint {
+        return Err("plan fingerprint does not match its campaign (corrupted plan?)".into());
+    }
+    let registry = Registry::with_all();
+    plan.campaign.validate(&registry)?;
+
+    let jobs = plan.campaign.jobs();
+    let fleet = Fleet::new(&registry, plan.campaign.fleet_config());
+    let mut cells = Vec::with_capacity(manifest.len() * plan.campaign.solvers.len());
+    let run = fleet.run_shard_recorded(&jobs, manifest.start..manifest.end, |cell| {
+        cells.push(CellRecord::from_cell(cell));
+    });
+
+    Ok(ShardReport {
+        fingerprint: plan.fingerprint,
+        shard: manifest.shard,
+        shard_count: plan.shards.len(),
+        start: manifest.start,
+        end: manifest.end,
+        cell_count: run.report.cell_count,
+        checksum: run.report.cell_checksum,
+        cells,
+        groups: run.groups,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::campaign::Campaign;
+
+    fn tiny_plan(shards: usize) -> ShardPlan {
+        let mut campaign = Campaign::from_set("standard", 12, 1, 3).unwrap();
+        campaign.scenarios.truncate(2);
+        campaign.solvers = vec!["dp_power".into(), "greedy_power".into()];
+        ShardPlan::new(campaign, shards).unwrap()
+    }
+
+    #[test]
+    fn worker_reports_cover_exactly_their_range() {
+        let plan = tiny_plan(2);
+        for manifest in &plan.shards {
+            let report = run_shard(&plan, manifest.shard).unwrap();
+            assert_eq!(report.start, manifest.start);
+            assert_eq!(report.end, manifest.end);
+            assert_eq!(report.cell_count, manifest.len() * 2);
+            assert_eq!(report.cells.len(), report.cell_count);
+            assert_eq!(report.fingerprint, plan.fingerprint);
+        }
+        assert!(run_shard(&plan, 99).is_err());
+    }
+
+    #[test]
+    fn worker_is_deterministic() {
+        let plan = tiny_plan(3);
+        let a = run_shard(&plan, 1).unwrap();
+        let b = run_shard(&plan, 1).unwrap();
+        assert_eq!(a.checksum, b.checksum);
+        assert_eq!(a.cell_count, b.cell_count);
+        for (x, y) in a.cells.iter().zip(&b.cells) {
+            assert_eq!(x.status, y.status, "{}/{}", x.scenario, x.solver);
+        }
+    }
+}

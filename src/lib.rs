@@ -24,6 +24,9 @@
 //!   and streaming per-group aggregation, and named scenario families
 //!   (five topology shapes × seven demand patterns, sim-backed churn
 //!   included) for reproducible sweeps;
+//! * [`fleetd`] — multi-process sharded fleet orchestration: plan /
+//!   work / merge with a byte-identical deterministic merge (the
+//!   `fleetd` CLI drives it);
 //! * [`sim`] — dynamic replica management (request evolution, update
 //!   strategies);
 //! * [`experiments`] — the evaluation harness regenerating Figures 4–11,
@@ -81,6 +84,7 @@
 pub use replica_core as core;
 pub use replica_engine as engine;
 pub use replica_experiments as experiments;
+pub use replica_fleetd as fleetd;
 pub use replica_model as model;
 pub use replica_sim as sim;
 pub use replica_tree as tree;
