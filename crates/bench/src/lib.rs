@@ -1,10 +1,13 @@
 //! # `replica-bench` — benchmark suite fixtures
 //!
 //! Shared deterministic instance builders for the criterion benches under
-//! `benches/` (DP ablations, heuristic head-to-heads, fleet-level sweeps)
-//! and the `timing` binary. Everything is seeded so runs are comparable
-//! across machines and commits; dispatch goes through the engine
-//! registry, so what is benched is exactly what fleet runs execute.
+//! `benches/` (DP ablations, heuristic head-to-heads, fleet-level sweeps,
+//! lazy-vs-eager job generation in `benches/jobspace.rs`) and the
+//! `timing` / `jobspace_trajectory` binaries (the latter emits the
+//! committed `BENCH_jobspace.json` perf-trajectory artifact). Everything
+//! is seeded so runs are comparable across machines and commits;
+//! dispatch goes through the engine registry, so what is benched is
+//! exactly what fleet runs execute.
 //!
 //! Architecture overview: `docs/ARCHITECTURE.md` at the repository root.
 
@@ -46,7 +49,9 @@ pub fn min_cost_instance(seed: u64, nodes: usize, pre_count: usize) -> Instance 
 
 /// A small standard fleet (every engine scenario family at `nodes`
 /// internal nodes, `per_scenario` instances each) for fleet-level benches
-/// and smoke runs.
+/// and smoke runs — eagerly materialized; benches exercising the lazy
+/// path build a [`replica_engine::ScenarioSpace`] over
+/// [`replica_engine::standard_families`] instead.
 pub fn standard_fleet(
     seed: u64,
     nodes: usize,

@@ -21,15 +21,25 @@
 //! counts. [`FleetReport::digest`] exposes exactly the deterministic
 //! portion; the determinism suite pins it.
 //!
-//! Sharding (the `replica-fleetd` seams): [`Fleet::run_shard_with_observer`]
+//! Job generation is **lazy and indexed**: the runner's primary currency
+//! is a [`JobSpace`] — `index → FleetJob`, a pure function of the global
+//! job index — and each streaming batch's jobs are constructed on demand
+//! and dropped with the batch. Running a range of the space therefore
+//! costs `O(range)` in both generation time and peak memory, not
+//! `O(campaign)`. The historical `&[FleetJob]` entry points remain as
+//! thin adapters (a slice is itself a trivial `JobSpace`).
+//!
+//! Sharding (the `replica-fleetd` seams): [`Fleet::run_space_shard_with_observer`]
 //! runs one contiguous job range with the *global* per-job seeding, so a
-//! shard worker produces exactly the cells the full run would;
-//! [`Fleet::run_shard_recorded`] additionally snapshots mergeable
+//! shard worker produces exactly the cells the full run would — while
+//! constructing only that range's jobs;
+//! [`Fleet::run_space_shard_recorded`] additionally snapshots mergeable
 //! per-group state ([`GroupState`]); and [`FleetFold`] is the
 //! coordinator-side fold target that replays shard cell streams — in
 //! shard order — into a report byte-identical to a single-process
 //! [`Fleet::run`].
 
+use crate::jobspace::{JobSpace, ScenarioSpace};
 use crate::registry::Registry;
 use crate::scenarios::Scenario;
 use crate::seeding;
@@ -44,6 +54,7 @@ use std::fmt::Write as _;
 use std::ops::Range;
 
 /// One labelled instance of a fleet.
+#[derive(Clone)]
 pub struct FleetJob {
     /// Scenario (grouping) label.
     pub scenario: String,
@@ -681,25 +692,18 @@ impl<'r> Fleet<'r> {
         Fleet { registry, config }
     }
 
-    /// Labels `count` instances of every scenario into a job list.
+    /// Labels `count` instances of every scenario into an **eager** job
+    /// list — [`ScenarioSpace::materialize`] under its historical name.
+    /// Prefer [`Fleet::run_space`] over a [`ScenarioSpace`] directly:
+    /// the lazy path never holds more than one streaming batch of jobs.
     pub fn jobs_from_scenarios(scenarios: &[Scenario], seed: u64, count: usize) -> Vec<FleetJob> {
-        let mut jobs = Vec::with_capacity(scenarios.len() * count);
-        for scenario in scenarios {
-            for index in 0..count {
-                jobs.push(FleetJob {
-                    scenario: scenario.name.clone(),
-                    index,
-                    instance: scenario.instance(seed, index),
-                });
-            }
-        }
-        jobs
+        ScenarioSpace::new(scenarios, seed, count).materialize()
     }
 
     /// Evaluates every job against every configured solver, streaming the
-    /// outcomes into aggregates.
+    /// outcomes into aggregates (thin adapter: a slice is a [`JobSpace`]).
     pub fn run(&self, jobs: &[FleetJob]) -> FleetReport {
-        self.run_with_observer(jobs, |_| {})
+        self.run_space(jobs)
     }
 
     /// Like [`Fleet::run`], additionally handing every cell to `observe`
@@ -711,50 +715,102 @@ impl<'r> Fleet<'r> {
         jobs: &[FleetJob],
         observe: impl FnMut(&FleetCell),
     ) -> FleetReport {
-        self.run_shard_with_observer(jobs, 0..jobs.len(), observe)
+        self.run_space_with_observer(jobs, observe)
     }
 
-    /// Runs one contiguous shard — `jobs[range]` — of the full job list.
-    ///
-    /// Per-job seeds derive from the job's **global** index in `jobs`, so
-    /// a shard evaluates exactly the cells a full [`Fleet::run`] would
-    /// for those jobs, regardless of how the job space is split. The
-    /// returned report is shard-local (its counts, checksum and
-    /// aggregates cover only the range); replaying shard cell streams
-    /// through a [`FleetFold`] in shard order reassembles the full-run
-    /// report byte-for-byte.
+    /// Runs one contiguous shard — `jobs[range]` — of an eager job list
+    /// (thin adapter over [`Fleet::run_space_shard`]).
     pub fn run_shard(&self, jobs: &[FleetJob], range: Range<usize>) -> FleetReport {
-        self.run_shard_with_observer(jobs, range, |_| {})
+        self.run_space_shard(jobs, range)
     }
 
-    /// [`Fleet::run_shard`] with the streaming cell tap (the shard-worker
-    /// seam: `replica-fleetd` records the observed cells into its shard
-    /// report).
+    /// [`Fleet::run_shard`] with the streaming cell tap (thin adapter
+    /// over [`Fleet::run_space_shard_with_observer`]).
     pub fn run_shard_with_observer(
         &self,
         jobs: &[FleetJob],
         range: Range<usize>,
-        mut observe: impl FnMut(&FleetCell),
+        observe: impl FnMut(&FleetCell),
     ) -> FleetReport {
-        let reference = self.config.resolved_reference();
-        self.run_range::<MetricAccumulator>(jobs, range, &mut observe)
-            .finish(reference.as_deref())
+        self.run_space_shard_with_observer(jobs, range, observe)
     }
 
-    /// [`Fleet::run_shard_with_observer`] over **recording** accumulators:
-    /// additionally snapshots every group's mergeable [`GroupState`]
-    /// (tapes included), which is what a shard worker serializes for the
-    /// coordinator's state-merge cross-check. In-process runs should
-    /// prefer the non-recording entry points — recording costs `O(cells)`
-    /// memory.
+    /// [`Fleet::run_shard_with_observer`] over recording accumulators
+    /// (thin adapter over [`Fleet::run_space_shard_recorded`]).
     pub fn run_shard_recorded(
         &self,
         jobs: &[FleetJob],
         range: Range<usize>,
+        observe: impl FnMut(&FleetCell),
+    ) -> ShardRun {
+        self.run_space_shard_recorded(jobs, range, observe)
+    }
+
+    /// Evaluates every job of `space` against every configured solver —
+    /// the primary, lazy entry point. Jobs are constructed one streaming
+    /// batch at a time and dropped with their batch: peak memory is
+    /// `O(batch_jobs)`, independent of the campaign size.
+    pub fn run_space<S: JobSpace + ?Sized>(&self, space: &S) -> FleetReport {
+        self.run_space_with_observer(space, |_| {})
+    }
+
+    /// [`Fleet::run_space`] with the streaming cell tap.
+    pub fn run_space_with_observer<S: JobSpace + ?Sized>(
+        &self,
+        space: &S,
+        observe: impl FnMut(&FleetCell),
+    ) -> FleetReport {
+        self.run_space_shard_with_observer(space, 0..space.len(), observe)
+    }
+
+    /// Runs one contiguous shard — jobs `range` — of the job space.
+    ///
+    /// Per-job seeds derive from the job's **global** index in `space`,
+    /// so a shard evaluates exactly the cells a full [`Fleet::run_space`]
+    /// would for those jobs, regardless of how the space is split — and
+    /// it constructs only that range's jobs (`O(range)` generation; the
+    /// `O(shard)` regression tests pin this through a
+    /// [`CountingSpace`](crate::jobspace::CountingSpace)). The returned
+    /// report is shard-local (its counts, checksum and aggregates cover
+    /// only the range); replaying shard cell streams through a
+    /// [`FleetFold`] in shard order reassembles the full-run report
+    /// byte-for-byte.
+    pub fn run_space_shard<S: JobSpace + ?Sized>(
+        &self,
+        space: &S,
+        range: Range<usize>,
+    ) -> FleetReport {
+        self.run_space_shard_with_observer(space, range, |_| {})
+    }
+
+    /// [`Fleet::run_space_shard`] with the streaming cell tap (the
+    /// shard-worker seam: `replica-fleetd` records the observed cells
+    /// into its shard report).
+    pub fn run_space_shard_with_observer<S: JobSpace + ?Sized>(
+        &self,
+        space: &S,
+        range: Range<usize>,
+        mut observe: impl FnMut(&FleetCell),
+    ) -> FleetReport {
+        let reference = self.config.resolved_reference();
+        self.run_range::<MetricAccumulator, S>(space, range, &mut observe)
+            .finish(reference.as_deref())
+    }
+
+    /// [`Fleet::run_space_shard_with_observer`] over **recording**
+    /// accumulators: additionally snapshots every group's mergeable
+    /// [`GroupState`] (tapes included), which is what a shard worker
+    /// serializes for the coordinator's state-merge cross-check.
+    /// In-process runs should prefer the non-recording entry points —
+    /// recording costs `O(cells)` memory.
+    pub fn run_space_shard_recorded<S: JobSpace + ?Sized>(
+        &self,
+        space: &S,
+        range: Range<usize>,
         mut observe: impl FnMut(&FleetCell),
     ) -> ShardRun {
         let reference = self.config.resolved_reference();
-        let agg = self.run_range::<RecordedMetric>(jobs, range, &mut observe);
+        let agg = self.run_range::<RecordedMetric, S>(space, range, &mut observe);
         let groups = agg.group_states();
         ShardRun {
             report: agg.finish(reference.as_deref()),
@@ -762,18 +818,21 @@ impl<'r> Fleet<'r> {
         }
     }
 
-    /// The shared run body: solve `jobs[range]` batch by batch, fold
-    /// sequentially in job order into `M`-backed group accumulators.
-    fn run_range<M: MetricSink>(
+    /// The shared run body: generate and solve `space[range]` batch by
+    /// batch, fold sequentially in job order into `M`-backed group
+    /// accumulators. Only indices inside `range` are ever handed to
+    /// [`JobSpace::job`], and each batch's jobs are dropped before the
+    /// next is generated.
+    fn run_range<M: MetricSink, S: JobSpace + ?Sized>(
         &self,
-        jobs: &[FleetJob],
+        space: &S,
         range: Range<usize>,
         observe: &mut dyn FnMut(&FleetCell),
     ) -> Aggregation<M> {
         assert!(
-            range.start <= range.end && range.end <= jobs.len(),
-            "shard range {range:?} outside the job list (len {})",
-            jobs.len()
+            range.start <= range.end && range.end <= space.len(),
+            "shard range {range:?} outside the job space (len {})",
+            space.len()
         );
         let solvers: Vec<&dyn Solver> = self
             .config
@@ -793,20 +852,27 @@ impl<'r> Fleet<'r> {
         let body = || {
             for start in (range.start..range.end).step_by(batch) {
                 let end = (start + batch).min(range.end);
-                // Parallel production at (job, solver) grain — a slow
-                // solver never serializes behind its row-mates — bounded
-                // by the batch size...
-                let tasks: Vec<(usize, usize)> = (start..end)
+                // Lazy generation, batch-bounded: construct only this
+                // batch's jobs (in parallel — job(i) is a pure function
+                // of the global index, so generation order is free)...
+                let batch_jobs: Vec<FleetJob> =
+                    (start..end).into_par_iter().map(|i| space.job(i)).collect();
+                // ...then parallel solving at (job, solver) grain — a
+                // slow solver never serializes behind its row-mates —
+                // still bounded by the batch size...
+                let tasks: Vec<(usize, usize)> = (0..batch_jobs.len())
                     .flat_map(|j| (0..n_solvers).map(move |s| (j, s)))
                     .collect();
                 let cells: Vec<(CellResult, f64)> = tasks
                     .into_par_iter()
-                    .map(|(j, s)| self.run_cell(&jobs[j], j, solvers[s]))
+                    .map(|(j, s)| self.run_cell(&batch_jobs[j], start + j, solvers[s]))
                     .collect();
                 // ...then regrouped into job-major rows and folded
-                // sequentially in job order (determinism).
+                // sequentially in job order (determinism). The batch's
+                // jobs drop here: peak memory is one batch, not the
+                // campaign.
                 let mut cells = cells.into_iter();
-                for job in &jobs[start..end] {
+                for job in &batch_jobs {
                     let row: Vec<(CellResult, f64)> = cells.by_ref().take(n_solvers).collect();
                     agg.fold_row(
                         &job.scenario,

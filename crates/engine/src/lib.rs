@@ -26,10 +26,14 @@
 //!    per-`(scenario, solver)` **streaming accumulators** ([`stream`]) —
 //!    cost/power/gap distributions with P² percentile sketches,
 //!    optimality gaps and speedups against the exact DP — without ever
-//!    materializing the cell matrix. Shard-scoped entry points
-//!    ([`Fleet::run_shard_recorded`], [`FleetFold`], [`GroupState`],
-//!    [`RecordedMetric`]) let `replica-fleetd` split a fleet across
-//!    processes and merge the pieces back byte-identically.
+//!    materializing the cell matrix. Jobs come from an **indexed lazy
+//!    [`JobSpace`]** ([`jobspace`]): `index → FleetJob` as a pure
+//!    function of the global job index, so running any contiguous range
+//!    constructs only that range's jobs. Shard-scoped entry points
+//!    ([`Fleet::run_space_shard_recorded`], [`FleetFold`],
+//!    [`GroupState`], [`RecordedMetric`]) let `replica-fleetd` split a
+//!    fleet across processes — each worker `O(shard)` in generation and
+//!    memory — and merge the pieces back byte-identically.
 //!
 //! **[`scenarios`]** supplies the fleets: named, reproducible instance
 //! families crossing five topology shapes (fat, high, binary,
@@ -61,7 +65,9 @@
 //!     Some(exact.power),
 //! );
 //!
-//! // A seeded fleet: scenarios × solvers in parallel, aggregated.
+//! // A seeded fleet: scenarios × solvers in parallel, aggregated —
+//! // jobs generated lazily from the indexed job space, one streaming
+//! // batch at a time.
 //! let fleet = Fleet::new(
 //!     &registry,
 //!     FleetConfig {
@@ -69,8 +75,9 @@
 //!         ..Default::default()
 //!     },
 //! );
-//! let jobs = Fleet::jobs_from_scenarios(&[scenario], 42, 4);
-//! let report = fleet.run(&jobs);
+//! let scenarios = [scenario];
+//! let space = ScenarioSpace::new(&scenarios, 42, 4);
+//! let report = fleet.run_space(&space);
 //! assert_eq!(report.summaries.len(), 2);
 //! println!("{}", report.table());
 //! ```
@@ -78,6 +85,7 @@
 #![warn(missing_docs)]
 
 pub mod fleet;
+pub mod jobspace;
 pub mod registry;
 pub mod scenarios;
 pub mod seeding;
@@ -89,6 +97,7 @@ pub use fleet::{
     CellOutcome, CellResult, Fleet, FleetCell, FleetConfig, FleetFold, FleetJob, FleetReport,
     FleetSummary, GroupState, ShardRun,
 };
+pub use jobspace::{CountingSpace, JobSpace, ScenarioSpace};
 pub use registry::Registry;
 pub use scenarios::{
     churn_families, extended_families, standard_families, Demand, Scenario, Topology,
@@ -100,6 +109,7 @@ pub use sweep::{BudgetSweepSolver, Frontier, FrontierPoint, SweepOutcome};
 /// One-stop imports for engine users.
 pub mod prelude {
     pub use crate::fleet::{Fleet, FleetConfig, FleetFold, FleetJob, FleetReport};
+    pub use crate::jobspace::{CountingSpace, JobSpace, ScenarioSpace};
     pub use crate::registry::Registry;
     pub use crate::scenarios::{
         churn_families, extended_families, standard_families, Demand, Scenario, Topology,

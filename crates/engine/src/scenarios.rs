@@ -3,9 +3,11 @@
 //!
 //! A [`Scenario`] is a reproducible instance distribution: topology shape,
 //! demand pattern, size and the paper's Experiment-3 mode/cost/power
-//! parameters. `scenario.instances(seed, count)` yields a fleet of
-//! instances that is byte-identical for a fixed seed, which is what the
-//! [`Fleet`](crate::fleet::Fleet) runner consumes.
+//! parameters. `scenario.instance(seed, index)` is a pure function of its
+//! arguments — byte-identical for a fixed seed — which is what lets a
+//! [`ScenarioSpace`](crate::jobspace::ScenarioSpace) hand the
+//! [`Fleet`](crate::fleet::Fleet) runner jobs lazily, by global index,
+//! without ever materializing the campaign.
 //!
 //! ## Topology families
 //!

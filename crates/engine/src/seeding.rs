@@ -6,6 +6,15 @@
 //! `mix(seed, i)`. The mixing is a SplitMix64 finalizer, so consecutive
 //! indices produce decorrelated streams and results are independent of
 //! thread scheduling — the property the determinism suite pins down.
+//!
+//! The index handed to [`mix`] is always a **global, stable** one — the
+//! job's position in the [`JobSpace`](crate::jobspace::JobSpace) for
+//! solver seeds, the within-scenario instance index (plus the
+//! [`label_stream`]-hashed scenario name) for instance generation —
+//! never an enumeration order. That is what lets a lazy job space, an
+//! eager job list and any contiguous shard split of either produce
+//! bit-identical cells: who generates or solves a job, and when, cannot
+//! influence its seed.
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;

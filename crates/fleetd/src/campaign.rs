@@ -6,10 +6,13 @@
 //! built-in families change), the per-scenario instance count, the
 //! solver list and the seed. Workers and the coordinator never exchange
 //! instances — only this description plus shard ranges — because
-//! instance generation is deterministic in `(scenario, seed, index)`.
+//! instance generation is deterministic in `(scenario, seed, index)`:
+//! [`Campaign::space`] is the lazy, indexed [`ScenarioSpace`] over that
+//! description, and a worker queries it only for its own shard's
+//! indices.
 
 use replica_engine::scenarios::{churn_families, extended_families, standard_families};
-use replica_engine::{Fleet, FleetConfig, FleetJob, Registry, Scenario, SolveOptions};
+use replica_engine::{FleetConfig, FleetJob, Registry, Scenario, ScenarioSpace, SolveOptions};
 use serde::{Deserialize, Serialize};
 
 /// A self-contained, reproducible fleet campaign.
@@ -74,9 +77,17 @@ impl Campaign {
         self.scenarios.len() * self.instances_per_scenario
     }
 
-    /// Rebuilds the full deterministic job list, in job order.
+    /// The campaign's indexed lazy job space: `index → FleetJob` as a
+    /// pure function of the global job index. This is what workers run
+    /// their shard ranges against — generating only their own jobs.
+    pub fn space(&self) -> ScenarioSpace<'_> {
+        ScenarioSpace::new(&self.scenarios, self.seed, self.instances_per_scenario)
+    }
+
+    /// Materializes the full deterministic job list, in job order —
+    /// `O(campaign)` time and memory. Prefer [`Campaign::space`].
     pub fn jobs(&self) -> Vec<FleetJob> {
-        Fleet::jobs_from_scenarios(&self.scenarios, self.seed, self.instances_per_scenario)
+        self.space().materialize()
     }
 
     /// The fleet configuration every worker runs with.

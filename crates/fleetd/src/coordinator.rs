@@ -134,13 +134,13 @@ fn spawn_workers(
     result
 }
 
-/// Runs the same campaign single-process ([`Fleet::run`]) — the baseline
-/// of the determinism proof.
+/// Runs the same campaign single-process ([`Fleet::run_space`] over the
+/// campaign's lazy job space) — the baseline of the determinism proof.
 pub fn run_single_process(plan: &ShardPlan) -> Result<FleetReport, String> {
     let registry = Registry::with_all();
     plan.campaign.validate(&registry)?;
     let fleet = Fleet::new(&registry, plan.campaign.fleet_config());
-    Ok(fleet.run(&plan.campaign.jobs()))
+    Ok(fleet.run_space(&plan.campaign.space()))
 }
 
 /// Proves a merged report equivalent to a fresh single-process run of

@@ -6,10 +6,12 @@
 //!
 //! 1. **[`plan`]** — split the campaign's deterministic job space into
 //!    contiguous shard manifests, in job order ([`ShardPlan`]).
-//! 2. **[`worker`]** — one process per shard: rebuild the job list from
-//!    the plan (instances are pure functions of `(scenario, seed,
-//!    index)`), run the range through the in-process engine with
-//!    *global* job seeding, serialize a [`ShardReport`] — the raw cell
+//! 2. **[`worker`]** — one process per shard, `O(shard)` in time and
+//!    memory: rebuild the campaign's lazy **job space** from the plan
+//!    (instances are pure functions of `(scenario, seed, index)`), run
+//!    the shard's range against it through the in-process engine with
+//!    *global* job seeding — only the shard's own jobs are ever
+//!    constructed — and serialize a [`ShardReport`]: the raw cell
 //!    stream plus mergeable per-group accumulator state.
 //! 3. **[`merge`]** — fold the shard cell streams, in shard order,
 //!    through the engine's [`FleetFold`](replica_engine::FleetFold):

@@ -190,6 +190,8 @@ mod tests {
     fn single_process_digest(plan: &ShardPlan) -> String {
         let registry = Registry::with_all();
         let fleet = Fleet::new(&registry, plan.campaign.fleet_config());
+        // Deliberately the *eager* path: the merged lazy-worker reports
+        // must match a run over the materialized job list bit for bit.
         fleet.run(&plan.campaign.jobs()).digest()
     }
 

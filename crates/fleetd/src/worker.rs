@@ -1,24 +1,42 @@
-//! The shard worker: one process, one contiguous job range.
+//! The shard worker: one process, one contiguous job range — `O(shard)`
+//! in both time and memory.
 //!
-//! A worker rebuilds the campaign's deterministic job list from the plan
-//! (instances are functions of `(scenario, seed, index)` — nothing is
-//! shipped), runs its shard through the engine's in-process fleet with
-//! **global** job indices (so per-instance solver seeds match the
-//! unsharded run exactly), and serializes a [`ShardReport`]: the raw
-//! cell stream plus mergeable group state.
+//! A worker rebuilds the campaign's deterministic **job space** from the
+//! plan (instances are pure functions of `(scenario, seed, index)` —
+//! nothing is shipped), runs its shard range against it through the
+//! engine's in-process fleet with **global** job indices (so
+//! per-instance solver seeds match the unsharded run exactly), and
+//! serializes a [`ShardReport`]: the raw cell stream plus mergeable
+//! group state.
 //!
-//! Note the asymmetry: *solving* is `O(shard)`, but job *generation* is
-//! `O(campaign)` because the job list is materialized up front. Instance
-//! generation is orders of magnitude cheaper than solving, so this is
-//! the right trade for now; a lazy job stream is the obvious next step
-//! if campaigns outgrow worker memory.
+//! Job generation is lazy: the engine queries
+//! [`Campaign::space`](crate::campaign::Campaign::space) only for the
+//! indices in `manifest.start..manifest.end`, one streaming batch at a
+//! time — a worker solving shard `k` of `n` constructs exactly
+//! `len(shard k)` jobs, never the whole campaign (the counter-backed
+//! regression suite in `tests/lazy_worker.rs` pins this through
+//! [`run_shard_on`] and a
+//! [`CountingSpace`](replica_engine::CountingSpace)).
 
 use crate::plan::ShardPlan;
 use crate::shard::{CellRecord, ShardReport};
-use replica_engine::{Fleet, Registry};
+use replica_engine::{Fleet, JobSpace, Registry};
 
-/// Runs shard `shard` of `plan` in-process and returns its report.
+/// Runs shard `shard` of `plan` in-process over the campaign's own lazy
+/// job space and returns its report.
 pub fn run_shard(plan: &ShardPlan, shard: usize) -> Result<ShardReport, String> {
+    run_shard_on(plan, shard, &plan.campaign.space())
+}
+
+/// [`run_shard`] over an explicit job space — the seam the `O(shard)`
+/// regression tests instrument with a counting wrapper. `space` must
+/// describe the same job universe as the plan's campaign (same length;
+/// same `index → job` mapping for the shard's digest to validate).
+pub fn run_shard_on<S: JobSpace + ?Sized>(
+    plan: &ShardPlan,
+    shard: usize,
+    space: &S,
+) -> Result<ShardReport, String> {
     let manifest = *plan.shards.get(shard).ok_or_else(|| {
         format!(
             "shard {shard} out of range (plan has {})",
@@ -28,13 +46,19 @@ pub fn run_shard(plan: &ShardPlan, shard: usize) -> Result<ShardReport, String> 
     if plan.campaign.fingerprint() != plan.fingerprint {
         return Err("plan fingerprint does not match its campaign (corrupted plan?)".into());
     }
+    if space.len() != plan.campaign.job_count() {
+        return Err(format!(
+            "job space has {} jobs but the campaign describes {}",
+            space.len(),
+            plan.campaign.job_count()
+        ));
+    }
     let registry = Registry::with_all();
     plan.campaign.validate(&registry)?;
 
-    let jobs = plan.campaign.jobs();
     let fleet = Fleet::new(&registry, plan.campaign.fleet_config());
     let mut cells = Vec::with_capacity(manifest.len() * plan.campaign.solvers.len());
-    let run = fleet.run_shard_recorded(&jobs, manifest.start..manifest.end, |cell| {
+    let run = fleet.run_space_shard_recorded(space, manifest.start..manifest.end, |cell| {
         cells.push(CellRecord::from_cell(cell));
     });
 

@@ -2,9 +2,12 @@
 //!
 //! Demonstrates the `replica-fleetd` coordinator API — splitting a
 //! campaign's job space into contiguous shards, running every shard
-//! through the engine, merging the shard reports in shard order, and
-//! proving the merged aggregates byte-identical to a single-process
-//! `Fleet::run` (digest, cell count and FNV cell checksum).
+//! through the engine (each worker generates **only its own shard's
+//! jobs** from the campaign's lazy indexed job space — `O(shard)`
+//! startup in time and memory), merging the shard reports in shard
+//! order, and proving the merged aggregates byte-identical to a
+//! single-process `Fleet::run` (digest, cell count and FNV cell
+//! checksum).
 //!
 //! ```text
 //! cargo run --release --example fleet_shards

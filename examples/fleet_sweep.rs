@@ -25,11 +25,13 @@ fn main() {
 
     let registry = Registry::with_all();
     let scenarios = extended_families(nodes);
-    let jobs = Fleet::jobs_from_scenarios(&scenarios, seed, per_scenario);
+    // The indexed lazy job space: instances are generated on demand, one
+    // streaming batch at a time — the campaign is never materialized.
+    let space = ScenarioSpace::new(&scenarios, seed, per_scenario);
     println!(
         "fleet: {} scenarios × {per_scenario} instances × 4 solvers = {} solves\n",
         scenarios.len(),
-        scenarios.len() * per_scenario * 4
+        space.len() * 4
     );
 
     let config = FleetConfig {
@@ -44,7 +46,7 @@ fn main() {
         ..Default::default()
     };
     let fleet = Fleet::new(&registry, config);
-    let report = fleet.run(&jobs);
+    let report = fleet.run_space(&space);
     println!("{}", report.table());
 
     // Headline: how far from optimal are the polynomial-time solvers on

@@ -45,7 +45,9 @@
 //!     Scenario::new(Topology::Fat, Demand::Uniform, 20),
 //!     Scenario::new(Topology::Star, Demand::FlashCrowd, 20),
 //! ];
-//! let jobs = Fleet::jobs_from_scenarios(&scenarios, 42, 3);
+//! // Jobs come from the indexed lazy job space: generated on demand,
+//! // never materialized campaign-wide.
+//! let space = ScenarioSpace::new(&scenarios, 42, 3);
 //! let fleet = Fleet::new(
 //!     &registry,
 //!     FleetConfig {
@@ -53,7 +55,7 @@
 //!         ..Default::default()
 //!     },
 //! );
-//! let report = fleet.run(&jobs);
+//! let report = fleet.run_space(&space);
 //! assert_eq!(report.summaries.len(), scenarios.len() * 2);
 //! ```
 //!
