@@ -10,7 +10,8 @@
 //! binary from the same workload.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use replica_engine::{standard_families, Fleet, FleetConfig, JobSpace, Registry, ScenarioSpace};
+use replica_bench::standard_campaign;
+use replica_engine::{Fleet, JobSpace, Registry};
 use std::hint::black_box;
 
 /// 20 standard scenarios × 8 instances = 160 jobs, split 16 ways.
@@ -20,8 +21,11 @@ const SHARDS: usize = 16;
 const SEED: u64 = 0xBE7C;
 
 fn bench_generation(c: &mut Criterion) {
-    let scenarios = standard_families(NODES);
-    let space = ScenarioSpace::new(&scenarios, SEED, PER_SCENARIO);
+    // The campaign comes from the declarative spec layer — the lazy
+    // space and the eager list below are the two faces of one spec.
+    let campaign = standard_campaign(SEED, NODES, PER_SCENARIO, ["greedy_power"]);
+    let scenarios = campaign.scenarios.clone();
+    let space = campaign.space();
     let shard_len = space.len() / SHARDS;
 
     let mut group = c.benchmark_group("jobspace_generation");
@@ -46,17 +50,12 @@ fn bench_generation(c: &mut Criterion) {
 }
 
 fn bench_worker_startup(c: &mut Criterion) {
-    let scenarios = standard_families(NODES);
+    let campaign = standard_campaign(SEED, NODES, PER_SCENARIO, ["greedy_power"]);
+    let scenarios = campaign.scenarios.clone();
     let registry = Registry::with_all();
-    let fleet = Fleet::new(
-        &registry,
-        FleetConfig {
-            solvers: vec!["greedy_power".into()],
-            seed: SEED,
-            ..Default::default()
-        },
-    );
-    let space = ScenarioSpace::new(&scenarios, SEED, PER_SCENARIO);
+    let fleet = Fleet::try_new(&registry, campaign.fleet_config())
+        .expect("validated campaigns configure valid fleets");
+    let space = campaign.space();
     let range = 0..space.len() / SHARDS;
 
     let mut group = c.benchmark_group("shard_worker");

@@ -17,7 +17,8 @@
 //! [-- OUT.json]` (default `BENCH_jobspace.json` in the working
 //! directory — the repository root under `cargo run`).
 
-use replica_engine::{standard_families, Fleet, FleetConfig, JobSpace, Registry, ScenarioSpace};
+use replica_bench::standard_campaign;
+use replica_engine::{Fleet, JobSpace, Registry};
 use std::hint::black_box;
 use std::time::Instant;
 
@@ -46,8 +47,11 @@ fn main() {
         .nth(1)
         .unwrap_or_else(|| "BENCH_jobspace.json".into());
 
-    let scenarios = standard_families(NODES);
-    let space = ScenarioSpace::new(&scenarios, SEED, PER_SCENARIO);
+    // Built through the declarative spec layer, like every other
+    // campaign in the workspace.
+    let campaign = standard_campaign(SEED, NODES, PER_SCENARIO, ["greedy_power"]);
+    let scenarios = campaign.scenarios.clone();
+    let space = campaign.space();
     let jobs = space.len();
     let shard_len = jobs / SHARDS;
 
@@ -59,14 +63,8 @@ fn main() {
     });
 
     let registry = Registry::with_all();
-    let fleet = Fleet::new(
-        &registry,
-        FleetConfig {
-            solvers: vec!["greedy_power".into()],
-            seed: SEED,
-            ..Default::default()
-        },
-    );
+    let fleet = Fleet::try_new(&registry, campaign.fleet_config())
+        .expect("validated campaigns configure valid fleets");
     let range = 0..shard_len;
     let worker_eager = median_ms(|| {
         let jobs = Fleet::jobs_from_scenarios(&scenarios, SEED, PER_SCENARIO);

@@ -50,13 +50,32 @@ pub fn min_cost_instance(seed: u64, nodes: usize, pre_count: usize) -> Instance 
 /// A small standard fleet (every engine scenario family at `nodes`
 /// internal nodes, `per_scenario` instances each) for fleet-level benches
 /// and smoke runs — eagerly materialized; benches exercising the lazy
-/// path build a [`replica_engine::ScenarioSpace`] over
-/// [`replica_engine::standard_families`] instead.
+/// path go through [`standard_campaign`] instead.
 pub fn standard_fleet(
     seed: u64,
     nodes: usize,
     per_scenario: usize,
 ) -> Vec<replica_engine::FleetJob> {
-    let scenarios = replica_engine::standard_families(nodes);
-    replica_engine::Fleet::jobs_from_scenarios(&scenarios, seed, per_scenario)
+    standard_campaign(seed, nodes, per_scenario, ["greedy_power"]).jobs()
+}
+
+/// The same standard fleet as a validated campaign, built through the
+/// engine's declarative spec layer ([`replica_engine::CampaignSpec`]) —
+/// what is benched is exactly what spec-driven fleet runs execute:
+/// `campaign.space()` is the lazy job space, `campaign.fleet_config()`
+/// the runner configuration.
+pub fn standard_campaign<S: Into<String>>(
+    seed: u64,
+    nodes: usize,
+    per_scenario: usize,
+    solvers: impl IntoIterator<Item = S>,
+) -> replica_engine::Campaign {
+    replica_engine::CampaignSpec::builder()
+        .scenario_set(replica_engine::ScenarioSet::Standard, nodes)
+        .instances_per_scenario(per_scenario)
+        .solvers(solvers)
+        .seed(seed)
+        .build()
+        .validate(&replica_engine::Registry::with_all())
+        .expect("the standard bench campaign is valid")
 }

@@ -44,6 +44,7 @@ use crate::registry::Registry;
 use crate::scenarios::Scenario;
 use crate::seeding;
 use crate::solver::{SolveOptions, Solver};
+use crate::spec::SpecError;
 use crate::stream::{MetricAccumulator, MetricSink, RecordedMetric, Stats};
 use rayon::prelude::*;
 use replica_model::Instance;
@@ -89,6 +90,28 @@ pub struct FleetConfig {
 }
 
 impl FleetConfig {
+    /// Validates the configuration against `registry` with the typed
+    /// [`SpecError`] of the spec/config path: every solver name must be
+    /// a registry key (unknown names come with a did-you-mean
+    /// suggestion), the lineup must be duplicate-free, an explicit
+    /// reference must be part of the lineup, `batch_jobs` and `threads`
+    /// must be positive, and the cost bound must be a valid budget.
+    pub fn validate(&self, registry: &Registry) -> Result<(), SpecError> {
+        crate::spec::validate_lineup(&self.solvers, self.reference.as_deref(), registry)?;
+        if self.batch_jobs == 0 {
+            return Err(SpecError::ZeroBatchJobs);
+        }
+        if self.threads == Some(0) {
+            return Err(SpecError::ZeroThreads);
+        }
+        if self.options.cost_bound.is_nan() || self.options.cost_bound < 0.0 {
+            return Err(SpecError::InvalidCostBound {
+                value: self.options.cost_bound,
+            });
+        }
+        Ok(())
+    }
+
     /// The reference solver this configuration resolves to: the explicit
     /// [`FleetConfig::reference`] when set, else the fast pruned DP over
     /// the full-state one, whichever appears among
@@ -673,23 +696,24 @@ impl<'r> Fleet<'r> {
     ///
     /// # Panics
     ///
-    /// On configuration errors: a solver name not present in `registry`,
-    /// or `batch_jobs == 0` (a zero-job streaming batch cannot make
+    /// On configuration errors ([`FleetConfig::validate`]): an unknown
+    /// or duplicated solver name, a reference outside the lineup,
+    /// `batch_jobs == 0` (a zero-job streaming batch cannot make
     /// progress; the typo used to be silently clamped to 1, now it is
-    /// rejected up front).
+    /// rejected up front), `threads == Some(0)`, or an invalid cost
+    /// bound. [`Fleet::try_new`] is the non-panicking form.
     pub fn new(registry: &'r Registry, config: FleetConfig) -> Self {
-        for name in &config.solvers {
-            assert!(
-                registry.get(name).is_some(),
-                "fleet configured with unknown solver {name:?}"
-            );
-        }
-        assert!(
-            config.batch_jobs > 0,
-            "fleet configured with batch_jobs = 0; the streaming batch \
-             size must be at least 1"
-        );
-        Fleet { registry, config }
+        Self::try_new(registry, config)
+            .unwrap_or_else(|e| panic!("fleet configured with an invalid FleetConfig: {e}"))
+    }
+
+    /// Builds a runner over `registry`, rejecting configuration errors
+    /// with the typed [`SpecError`] instead of panicking — the entry
+    /// point the spec path ([`crate::spec::Campaign::fleet_config`])
+    /// pairs with.
+    pub fn try_new(registry: &'r Registry, config: FleetConfig) -> Result<Self, SpecError> {
+        config.validate(registry)?;
+        Ok(Fleet { registry, config })
     }
 
     /// Labels `count` instances of every scenario into an **eager** job

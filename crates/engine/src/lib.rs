@@ -34,6 +34,18 @@
 //!    [`GroupState`], [`RecordedMetric`]) let `replica-fleetd` split a
 //!    fleet across processes — each worker `O(shard)` in generation and
 //!    memory — and merge the pieces back byte-identically.
+//! 5. **[`spec`]** — the declarative campaign API: [`CampaignSpec`], the
+//!    single serde-serializable, *validated* description of any run
+//!    (named scenario sets or inline scenario lists, solver lineup,
+//!    reference, seed, batching, cost bound, budget grid, output
+//!    format), with a fluent builder, JSON load/save, and the typed
+//!    [`SpecError`] whose messages carry did-you-mean suggestions.
+//!    Validation at load time resolves a spec into a [`Campaign`] — the
+//!    self-contained form `fleetd` plans embed and the wire seam a
+//!    multi-host dispatcher will ship. Committed examples:
+//!    `examples/campaigns/` at the repository root. **[`output`]**
+//!    renders any [`fleet::FleetReport`] in the spec-addressable
+//!    formats (table / CSV / JSON, each with a deterministic variant).
 //!
 //! **[`scenarios`]** supplies the fleets: named, reproducible instance
 //! families crossing five topology shapes (fat, high, binary,
@@ -65,19 +77,19 @@
 //!     Some(exact.power),
 //! );
 //!
-//! // A seeded fleet: scenarios × solvers in parallel, aggregated —
-//! // jobs generated lazily from the indexed job space, one streaming
-//! // batch at a time.
-//! let fleet = Fleet::new(
-//!     &registry,
-//!     FleetConfig {
-//!         solvers: vec!["dp_power".into(), "greedy_power".into()],
-//!         ..Default::default()
-//!     },
-//! );
-//! let scenarios = [scenario];
-//! let space = ScenarioSpace::new(&scenarios, 42, 4);
-//! let report = fleet.run_space(&space);
+//! // A seeded fleet, described declaratively: the spec validates
+//! // against the registry before any job runs, then the runner streams
+//! // jobs lazily from the campaign's indexed job space.
+//! let campaign = CampaignSpec::builder()
+//!     .scenarios([scenario])
+//!     .instances_per_scenario(4)
+//!     .solvers(["dp_power", "greedy_power"])
+//!     .seed(42)
+//!     .build()
+//!     .validate(&registry)
+//!     .unwrap();
+//! let fleet = Fleet::try_new(&registry, campaign.fleet_config()).unwrap();
+//! let report = fleet.run_space(&campaign.space());
 //! assert_eq!(report.summaries.len(), 2);
 //! println!("{}", report.table());
 //! ```
@@ -86,10 +98,12 @@
 
 pub mod fleet;
 pub mod jobspace;
+pub mod output;
 pub mod registry;
 pub mod scenarios;
 pub mod seeding;
 pub mod solver;
+pub mod spec;
 pub mod stream;
 pub mod sweep;
 
@@ -98,11 +112,15 @@ pub use fleet::{
     FleetSummary, GroupState, ShardRun,
 };
 pub use jobspace::{CountingSpace, JobSpace, ScenarioSpace};
+pub use output::{render, OutputFormat};
 pub use registry::Registry;
 pub use scenarios::{
     churn_families, extended_families, standard_families, Demand, Scenario, Topology,
 };
 pub use solver::{Capabilities, EngineError, Objective, SolveOptions, SolveOutcome, Solver};
+pub use spec::{
+    Campaign, CampaignSpec, CampaignSpecBuilder, ScenarioSet, ScenarioSetRef, SpecError,
+};
 pub use stream::{MetricAccumulator, RecordedMetric, Stats};
 pub use sweep::{BudgetSweepSolver, Frontier, FrontierPoint, SweepOutcome};
 
@@ -110,12 +128,16 @@ pub use sweep::{BudgetSweepSolver, Frontier, FrontierPoint, SweepOutcome};
 pub mod prelude {
     pub use crate::fleet::{Fleet, FleetConfig, FleetFold, FleetJob, FleetReport};
     pub use crate::jobspace::{CountingSpace, JobSpace, ScenarioSpace};
+    pub use crate::output::{render, OutputFormat};
     pub use crate::registry::Registry;
     pub use crate::scenarios::{
         churn_families, extended_families, standard_families, Demand, Scenario, Topology,
     };
     pub use crate::solver::{
         Capabilities, EngineError, Objective, SolveOptions, SolveOutcome, Solver,
+    };
+    pub use crate::spec::{
+        Campaign, CampaignSpec, CampaignSpecBuilder, ScenarioSet, ScenarioSetRef, SpecError,
     };
     pub use crate::sweep::{BudgetSweepSolver, Frontier, FrontierPoint, SweepOutcome};
 }

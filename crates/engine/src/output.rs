@@ -1,0 +1,271 @@
+//! Output renderings of a [`FleetReport`]: ASCII tables, CSV and JSON,
+//! each with a deterministic, timing-free variant suitable for
+//! byte-level diffing between runs (and, through `replica-fleetd`,
+//! between sharded and single-process executions).
+//!
+//! [`OutputFormat`] is also a field of the declarative campaign spec
+//! ([`crate::spec::CampaignSpec`]): a spec names its preferred rendering
+//! with the same labels the CLIs accept (`table`, `table-det`, `csv`,
+//! `json`, `json-det`), and serializes as that label.
+
+use crate::fleet::{FleetReport, FleetSummary};
+use crate::spec::{did_you_mean, SpecError};
+use crate::stream::Stats;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::fmt::Write as _;
+
+/// A rendering of a fleet report, addressable by CLI/spec label.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(try_from = "String", into = "String")]
+pub enum OutputFormat {
+    /// Aligned ASCII table, timing columns included (label `table`).
+    #[default]
+    Table,
+    /// Aligned ASCII table, deterministic columns only (`table-det`).
+    TableDeterministic,
+    /// CSV, one row per `(scenario, solver)` group, P² percentile
+    /// columns included; the timing columns come last (`csv`).
+    Csv,
+    /// Compact JSON document of the full report (`json`).
+    Json,
+    /// Compact JSON document without the timing fields — byte-diffable
+    /// across runs and shardings (`json-det`).
+    JsonDeterministic,
+}
+
+impl OutputFormat {
+    /// Every format, in documentation order.
+    pub const ALL: [OutputFormat; 5] = [
+        OutputFormat::Table,
+        OutputFormat::TableDeterministic,
+        OutputFormat::Csv,
+        OutputFormat::Json,
+        OutputFormat::JsonDeterministic,
+    ];
+
+    /// The CLI/spec label of this format.
+    pub fn label(self) -> &'static str {
+        match self {
+            OutputFormat::Table => "table",
+            OutputFormat::TableDeterministic => "table-det",
+            OutputFormat::Csv => "csv",
+            OutputFormat::Json => "json",
+            OutputFormat::JsonDeterministic => "json-det",
+        }
+    }
+
+    /// Parses a CLI/spec format label, with a nearest-name suggestion on
+    /// a miss.
+    pub fn parse(name: &str) -> Result<OutputFormat, SpecError> {
+        OutputFormat::ALL
+            .into_iter()
+            .find(|f| f.label() == name)
+            .ok_or_else(|| SpecError::UnknownFormat {
+                got: name.to_string(),
+                suggestion: did_you_mean(name, OutputFormat::ALL.iter().map(|f| f.label()))
+                    .map(str::to_string),
+            })
+    }
+}
+
+impl fmt::Display for OutputFormat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+impl From<OutputFormat> for String {
+    fn from(format: OutputFormat) -> String {
+        format.label().to_string()
+    }
+}
+
+impl TryFrom<String> for OutputFormat {
+    type Error = SpecError;
+
+    fn try_from(name: String) -> Result<OutputFormat, SpecError> {
+        OutputFormat::parse(&name)
+    }
+}
+
+/// Renders `report` in the requested format.
+pub fn render(report: &FleetReport, format: OutputFormat) -> String {
+    match format {
+        OutputFormat::Table => report.table(),
+        OutputFormat::TableDeterministic => report.table_deterministic(),
+        OutputFormat::Csv => csv(report),
+        OutputFormat::Json => json(report, true),
+        OutputFormat::JsonDeterministic => json(report, false),
+    }
+}
+
+/// CSV rendering: every deterministic aggregate — including the P²
+/// p50/p90 percentile columns for power, cost and gap — then the
+/// non-deterministic timing columns last.
+pub fn csv(report: &FleetReport) -> String {
+    let mut out = String::new();
+    out.push_str(
+        "scenario,solver,solved,failed,unsupported,\
+         power_mean,power_p50,power_p90,power_min,power_max,\
+         cost_mean,cost_p50,cost_p90,\
+         servers_mean,gap_mean,gap_p50,gap_p90,\
+         ms_per_solve,speedup_vs_ref\n",
+    );
+    for s in &report.summaries {
+        let opt = |v: Option<f64>| v.map_or(String::new(), |x| format!("{x:.6}"));
+        let _ = writeln!(
+            out,
+            "{},{},{},{},{},{:.6},{:.6},{:.6},{:.6},{:.6},{:.6},{:.6},{:.6},{:.4},{},{},{},{:.4},{}",
+            s.scenario,
+            s.solver,
+            s.solved,
+            s.failed,
+            s.unsupported,
+            s.power.mean,
+            s.power.p50,
+            s.power.p90,
+            s.power.min,
+            s.power.max,
+            s.cost.mean,
+            s.cost.p50,
+            s.cost.p90,
+            s.mean_servers,
+            opt(s.power_gap_vs_ref),
+            opt(s.gap_vs_ref.map(|g| g.p50)),
+            opt(s.gap_vs_ref.map(|g| g.p90)),
+            s.mean_wall_seconds * 1e3,
+            opt(s.speedup_vs_ref),
+        );
+    }
+    out
+}
+
+/// Serializable mirror of one summary row.
+#[derive(Serialize)]
+struct SummaryDoc {
+    scenario: String,
+    solver: String,
+    solved: usize,
+    failed: usize,
+    unsupported: usize,
+    cost: Stats,
+    power: Stats,
+    mean_servers: f64,
+    power_gap_vs_ref: Option<f64>,
+    gap_vs_ref: Option<Stats>,
+    mean_wall_seconds: Option<f64>,
+    speedup_vs_ref: Option<f64>,
+    speedup_dist: Option<Stats>,
+}
+
+/// Serializable mirror of a report.
+#[derive(Serialize)]
+struct ReportDoc {
+    cell_count: usize,
+    cell_checksum: String,
+    summaries: Vec<SummaryDoc>,
+}
+
+/// Compact JSON; `timing = false` drops every wall-clock-derived field,
+/// making the document a pure function of the fleet seed.
+pub fn json(report: &FleetReport, timing: bool) -> String {
+    let doc = ReportDoc {
+        cell_count: report.cell_count,
+        cell_checksum: format!("{:016x}", report.cell_checksum),
+        summaries: report.summaries.iter().map(|s| doc_of(s, timing)).collect(),
+    };
+    serde_json::to_string(&doc).expect("report serialization cannot fail")
+}
+
+fn doc_of(s: &FleetSummary, timing: bool) -> SummaryDoc {
+    SummaryDoc {
+        scenario: s.scenario.clone(),
+        solver: s.solver.to_string(),
+        solved: s.solved,
+        failed: s.failed,
+        unsupported: s.unsupported,
+        cost: s.cost,
+        power: s.power,
+        mean_servers: s.mean_servers,
+        power_gap_vs_ref: s.power_gap_vs_ref,
+        gap_vs_ref: s.gap_vs_ref,
+        mean_wall_seconds: timing.then_some(s.mean_wall_seconds),
+        speedup_vs_ref: if timing { s.speedup_vs_ref } else { None },
+        speedup_dist: if timing { s.speedup_dist } else { None },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fleet::{Fleet, FleetConfig};
+    use crate::registry::Registry;
+    use crate::scenarios::{Demand, Scenario, Topology};
+
+    fn report() -> FleetReport {
+        let registry = Registry::with_all();
+        let scenarios = vec![
+            Scenario::new(Topology::High, Demand::Uniform, 12),
+            Scenario::new(Topology::Star, Demand::Skewed, 12),
+        ];
+        let config = FleetConfig {
+            solvers: vec!["dp_power".into(), "greedy_power".into()],
+            ..Default::default()
+        };
+        let jobs = Fleet::jobs_from_scenarios(&scenarios, 2, 2);
+        Fleet::new(&registry, config).run(&jobs)
+    }
+
+    #[test]
+    fn formats_parse_and_render() {
+        let report = report();
+        for (name, needle) in [
+            ("table", "ms/solve"),
+            ("table-det", "gap_vs_ref"),
+            ("csv", "power_p50"),
+            ("json", "cell_checksum"),
+            ("json-det", "cell_checksum"),
+        ] {
+            let format = OutputFormat::parse(name).unwrap();
+            assert_eq!(format.label(), name, "label round-trips");
+            let text = render(&report, format);
+            assert!(text.contains(needle), "{name} must contain {needle}");
+        }
+        match OutputFormat::parse("tabel") {
+            Err(SpecError::UnknownFormat { got, suggestion }) => {
+                assert_eq!(got, "tabel");
+                assert_eq!(suggestion.as_deref(), Some("table"));
+            }
+            other => panic!("expected UnknownFormat, got {other:?}"),
+        }
+        assert!(OutputFormat::parse("yaml").is_err());
+    }
+
+    #[test]
+    fn format_serde_uses_cli_labels() {
+        let json = serde_json::to_string(&OutputFormat::JsonDeterministic).unwrap();
+        assert_eq!(json, "\"json-det\"");
+        let back: OutputFormat = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, OutputFormat::JsonDeterministic);
+        assert!(serde_json::from_str::<OutputFormat>("\"nope\"").is_err());
+    }
+
+    #[test]
+    fn deterministic_json_has_no_timing() {
+        let report = report();
+        let det = render(&report, OutputFormat::JsonDeterministic);
+        assert!(!det.contains("mean_wall_seconds\":0."), "no wall values");
+        assert!(det.contains("\"mean_wall_seconds\":null"));
+        let full = render(&report, OutputFormat::Json);
+        assert!(full.contains("\"mean_wall_seconds\":"));
+    }
+
+    #[test]
+    fn csv_has_one_row_per_group_plus_header() {
+        let report = report();
+        let csv = render(&report, OutputFormat::Csv);
+        assert_eq!(csv.lines().count(), 1 + report.summaries.len());
+        assert!(csv.starts_with("scenario,solver"));
+    }
+}

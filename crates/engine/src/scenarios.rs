@@ -267,7 +267,7 @@ impl Demand {
 }
 
 /// A named, reproducible instance family.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct Scenario {
     /// `"<topology>/<demand>/<nodes>n"`.
     pub name: String,

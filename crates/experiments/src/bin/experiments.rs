@@ -13,7 +13,7 @@
 
 use replica_experiments::cli::Args;
 use replica_experiments::{
-    exp1, exp2, exp3, heuristics_quality, report, scalability, strategies_study,
+    exp1, exp2, exp3, fleet_cmd, heuristics_quality, report, scalability, strategies_study,
 };
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -34,7 +34,8 @@ commands:
   scale   §5 runtime claims — DP wall-clock vs tree size
   heur    §6 heuristics quality vs the exact DP (not a paper figure)
   strat   §6 update-strategy trade-off matrix (not a paper figure)
-  all     everything above (use --quick for a smoke run)
+  fleet   spec-driven scenario-fleet campaign through the engine
+  all     everything above except fleet (use --quick for a smoke run)
 
 flags:
   --high             high trees (2-4 children) instead of fat (6-9)
@@ -45,7 +46,18 @@ flags:
   --seed N           override the experiment seed
   --quick            scaled-down run (all commands)
   --paper            paper-scale targets (scale command; minutes!)
-  --out DIR          output directory for CSVs (default: results)";
+  --out DIR          output directory for CSVs (default: results)
+
+fleet flags (a campaign spec, validated before any job runs):
+  --spec FILE        load a CampaignSpec JSON (see examples/campaigns/)
+  --scenarios SET    standard | churn | extended   [default: standard]
+  --count K          instances per scenario        [default: 2]
+  --solvers a,b,c    registry solver names         [default: dp_power,greedy_power,heur_power_greedy]
+  --reference NAME   gap/speedup baseline
+  --batch-jobs N     streaming batch size          [default: 64]
+  --cost-bound X     cost budget per solve
+  --budgets a,b,c    budget grid: adds an amortized frontier sweep
+  --format F         table | table-det | csv | json | json-det";
 
 fn main() -> ExitCode {
     let raw: Vec<String> = std::env::args().skip(1).collect();
@@ -61,6 +73,7 @@ fn main() -> ExitCode {
         "scale" => run_scale(&args),
         "heur" => run_heur(&args),
         "strat" => run_strat(&args),
+        "fleet" => run_fleet(&args),
         "all" => {
             run_exp1(&args);
             run_exp2(&args);
@@ -263,6 +276,46 @@ fn run_strat(args: &Args) {
     println!("{}", table.to_ascii());
     write(&table, args, "strategies.csv");
     eprintln!("[strat] done in {:.1?}", start.elapsed());
+}
+
+/// Exit for an invalid campaign description: like `fleetd`, spec errors
+/// are exit code 1 with the actionable message alone (the invocation
+/// itself was fine, so no usage dump) — `die`/exit 2 stays reserved for
+/// CLI misuse.
+fn die_spec(e: &replica_engine::SpecError) -> ! {
+    eprintln!("error: {e}");
+    std::process::exit(1)
+}
+
+fn run_fleet(args: &Args) {
+    let registry = replica_engine::Registry::with_all();
+    // Load/build + validate: a bad spec dies here, before any job runs,
+    // with the spec layer's actionable message (did-you-mean included).
+    let campaign = fleet_cmd::spec_from_args(args)
+        .and_then(|spec| spec.validate(&registry))
+        .unwrap_or_else(|e| die_spec(&e));
+    eprintln!(
+        "[fleet] {} scenarios × {} instances × {} solvers = {} cells …",
+        campaign.scenarios.len(),
+        campaign.instances_per_scenario,
+        campaign.solvers.len(),
+        campaign.job_count() * campaign.solvers.len(),
+    );
+    let start = std::time::Instant::now();
+    let fleet_report = fleet_cmd::run(&campaign, &registry).unwrap_or_else(|e| die_spec(&e));
+    println!("{}", replica_engine::render(&fleet_report, campaign.output));
+    let csv_path = PathBuf::from(args.get("out").unwrap_or("results")).join("fleet.csv");
+    match std::fs::create_dir_all(csv_path.parent().expect("joined path has a parent"))
+        .and_then(|()| std::fs::write(&csv_path, replica_engine::output::csv(&fleet_report)))
+    {
+        Ok(()) => eprintln!("wrote {}", csv_path.display()),
+        Err(e) => eprintln!("warning: could not write {}: {e}", csv_path.display()),
+    }
+    if let Some(table) = fleet_cmd::budget_table(&campaign, &registry) {
+        println!("{}", table.to_ascii());
+        write(&table, args, "fleet_budget_sweep.csv");
+    }
+    eprintln!("[fleet] done in {:.1?}", start.elapsed());
 }
 
 fn run_scale(args: &Args) {

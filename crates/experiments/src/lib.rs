@@ -20,6 +20,12 @@
 //! `experiments` binary drives everything and writes CSV + ASCII tables;
 //! `EXPERIMENTS.md` records paper-vs-measured.
 //!
+//! Beyond the paper's figures, [`fleet_cmd`] runs arbitrary
+//! scenario-fleet campaigns described by the engine's declarative
+//! [`CampaignSpec`](replica_engine::CampaignSpec) — the same validated
+//! spec files `fleetd` shards across processes (committed examples
+//! under `examples/campaigns/`).
+//!
 //! Where this crate sits in the workspace: `docs/ARCHITECTURE.md` at the
 //! repository root.
 
@@ -28,6 +34,7 @@ pub mod common;
 pub mod exp1;
 pub mod exp2;
 pub mod exp3;
+pub mod fleet_cmd;
 pub mod heuristics_quality;
 pub mod report;
 pub mod scalability;

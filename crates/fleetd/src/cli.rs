@@ -1,25 +1,39 @@
-//! The `fleetd` command-line interface: `plan`, `work`, `merge`, `run`.
+//! The `fleetd` command-line interface: `spec`, `plan`, `work`,
+//! `merge`, `run`.
 //!
-//! The four subcommands are the sharding protocol made visible:
+//! The subcommands are the sharding protocol made visible:
 //!
 //! ```text
-//! fleetd plan  … --out plan.json          # split the job space
+//! fleetd spec  … --out spec.json          # emit the campaign spec JSON
+//! fleetd plan  … --shards N --out plan.json          # split the job space
 //! fleetd work  --plan plan.json --shard K --out shard-K.json   # × N processes
 //! fleetd merge --plan plan.json shard-*.json                   # deterministic merge
 //! fleetd run   … --shards N               # all of the above + determinism proof
 //! ```
 //!
+//! Campaigns are described by the engine's declarative
+//! [`CampaignSpec`]: `--spec file.json` loads one, and the legacy
+//! campaign flags *build one internally and round-trip it through the
+//! serializer* — the flag path and the file path are the same wire
+//! format by construction (`fleetd spec` prints the JSON the flags
+//! build). Either way the spec is validated against the solver registry
+//! and the scenario families before any job runs; a bad spec fails with
+//! an actionable [`SpecError`] (unknown
+//! names come with a did-you-mean suggestion) and a non-zero exit code.
+//!
 //! `run` spawns the workers itself (re-invoking this binary), merges,
 //! and — unless `--no-verify` — re-runs the campaign single-process and
 //! proves the merged report byte-identical.
 
-use crate::campaign::Campaign;
 use crate::coordinator::{prove_against_single_process, read_json, run_plan, write_json, Workers};
+use crate::error::FleetdError;
 use crate::merge::merge_reports;
-use crate::output::{render, Format};
 use crate::plan::ShardPlan;
 use crate::shard::ShardReport;
 use crate::worker;
+use replica_engine::output::{render, OutputFormat};
+use replica_engine::spec::{Campaign, CampaignSpec, SpecError, CAMPAIGN_FLAG_NAMES};
+use replica_engine::Registry;
 use std::collections::HashMap;
 use std::path::PathBuf;
 
@@ -27,6 +41,7 @@ const USAGE: &str = "\
 fleetd — sharded multi-process fleet campaigns with deterministic merge
 
 USAGE:
+    fleetd spec  [CAMPAIGN FLAGS] [--format F] [--out spec.json]
     fleetd plan  [CAMPAIGN FLAGS] --shards N --out plan.json
     fleetd work  --plan plan.json --shard K --out shard-K.json
     fleetd merge --plan plan.json [--format F] [--out FILE] shard-0.json shard-1.json …
@@ -34,7 +49,8 @@ USAGE:
                  [--in-process] [--no-verify] [--work-dir DIR]
     fleetd help
 
-CAMPAIGN FLAGS (plan, run):
+CAMPAIGN FLAGS (spec, plan, run):
+    --spec FILE         load a campaign spec (JSON); excludes the flags below
     --scenarios SET     standard | churn | extended      [default: standard]
     --nodes N           internal nodes per tree          [default: 16]
     --count K           instances per scenario           [default: 2]
@@ -42,43 +58,39 @@ CAMPAIGN FLAGS (plan, run):
     --reference NAME    gap/speedup baseline             [default: engine preference]
     --seed N            fleet seed                       [default: 991987]
     --batch-jobs N      worker streaming batch size      [default: 64]
+    --threads N         worker thread override           [default: machine]
     --cost-bound X      cost budget per solve            [default: unconstrained]
+    --budgets a,b,c     budget grid stored in the spec (consumed by
+                        `experiments fleet`)
 
 OUTPUT:
-    --format F          table | table-det | csv | json | json-det   [default: table]
+    --format F          table | table-det | csv | json | json-det
+                        [default: the spec's `output` field, else table]
     --out FILE          write the rendering to FILE instead of stdout
 
-`run` prints the determinism proof (merged vs single-process digest,
-cell count, FNV cell checksum) to stderr; `--no-verify` skips the
-comparison run.
+Legacy flags build a spec internally and round-trip it through the
+serializer; `fleetd spec` prints that JSON. `run` prints the
+determinism proof (merged vs single-process digest, cell count, FNV
+cell checksum) to stderr; `--no-verify` skips the comparison run.
 ";
 
 /// Boolean switches (flags without a value).
 const SWITCHES: &[&str] = &["--in-process", "--no-verify", "--help"];
 
-/// The shared campaign flags of `plan` and `run`.
-const CAMPAIGN_FLAGS: &[&str] = &[
-    "scenarios",
-    "nodes",
-    "count",
-    "solvers",
-    "reference",
-    "seed",
-    "batch-jobs",
-    "cost-bound",
-];
-
 /// Valued flags accepted per subcommand (a misspelled flag must be an
 /// error, not a silently ignored entry that runs the wrong campaign).
+/// The campaign flags themselves are the engine's shared CLI grammar
+/// ([`CAMPAIGN_FLAG_NAMES`]).
 fn allowed_flags(command: &str) -> Option<Vec<&'static str>> {
     let mut allowed: Vec<&'static str> = match command {
+        "spec" => vec!["format", "out"],
         "plan" => vec!["shards", "out"],
         "work" => return Some(vec!["plan", "shard", "out"]),
         "merge" => return Some(vec!["plan", "format", "out"]),
         "run" => vec!["shards", "format", "out", "work-dir"],
         _ => return None,
     };
-    allowed.extend_from_slice(CAMPAIGN_FLAGS);
+    allowed.extend_from_slice(CAMPAIGN_FLAG_NAMES);
     Some(allowed)
 }
 
@@ -92,7 +104,7 @@ struct Args {
 }
 
 impl Args {
-    fn parse(args: &[String], allowed: Option<&[&str]>) -> Result<Args, String> {
+    fn parse(args: &[String], allowed: Option<&[&str]>) -> Result<Args, FleetdError> {
         let mut flags = HashMap::new();
         let mut switches = Vec::new();
         let mut positional = Vec::new();
@@ -103,14 +115,14 @@ impl Args {
             } else if let Some(name) = arg.strip_prefix("--") {
                 if let Some(allowed) = allowed {
                     if !allowed.contains(&name) {
-                        return Err(format!(
+                        return Err(FleetdError::Usage(format!(
                             "unknown flag --{name} (run `fleetd help` for the accepted flags)"
-                        ));
+                        )));
                     }
                 }
                 let value = iter
                     .next()
-                    .ok_or_else(|| format!("flag --{name} needs a value"))?;
+                    .ok_or_else(|| FleetdError::Usage(format!("flag --{name} needs a value")))?;
                 flags.insert(name.to_string(), value.clone());
             } else {
                 positional.push(arg.clone());
@@ -127,12 +139,12 @@ impl Args {
         self.flags.get(name).map(String::as_str)
     }
 
-    fn parsed<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
+    fn parsed<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, FleetdError> {
         match self.get(name) {
             None => Ok(default),
             Some(text) => text
                 .parse()
-                .map_err(|_| format!("--{name}: cannot parse {text:?}")),
+                .map_err(|_| FleetdError::Usage(format!("--{name}: cannot parse {text:?}"))),
         }
     }
 
@@ -141,39 +153,43 @@ impl Args {
     }
 }
 
-/// Builds a campaign from the shared campaign flags.
-fn campaign_from(args: &Args) -> Result<Campaign, String> {
-    let set = args.get("scenarios").unwrap_or("standard");
-    let nodes = args.parsed("nodes", 16usize)?;
-    let count = args.parsed("count", 2usize)?;
-    let seed = args.parsed("seed", 991987u64)?;
-    let mut campaign = Campaign::from_set(set, nodes, count, seed)?;
-    if let Some(solvers) = args.get("solvers") {
-        campaign.solvers = solvers.split(',').map(str::to_string).collect();
+/// The campaign spec this invocation describes: `--spec file.json`, or
+/// the legacy flags — the engine's shared CLI grammar
+/// ([`CampaignSpec::from_cli`]) — round-tripped through the serializer
+/// (so the flag path exercises the exact wire format a spec file uses).
+fn spec_from(args: &Args) -> Result<CampaignSpec, FleetdError> {
+    let spec = match CampaignSpec::from_cli(&|name| args.get(name)) {
+        // Mixing --spec with campaign flags is CLI misuse (exit 2),
+        // not a bad campaign description.
+        Err(conflict @ SpecError::SpecFlagConflict { .. }) => {
+            return Err(FleetdError::Usage(conflict.to_string()))
+        }
+        other => other.map_err(FleetdError::Spec)?,
+    };
+    if args.get("spec").is_some() {
+        return Ok(spec);
     }
-    if let Some(reference) = args.get("reference") {
-        campaign.reference = Some(reference.to_string());
+    CampaignSpec::from_json(&spec.to_json()).map_err(FleetdError::Spec)
+}
+
+/// Loads/builds and validates the campaign of this invocation.
+fn campaign_from(args: &Args, registry: &Registry) -> Result<Campaign, FleetdError> {
+    Ok(spec_from(args)?.validate(registry)?)
+}
+
+/// Resolves the output format: `--format` when given, the campaign
+/// spec's `output` preference otherwise.
+fn format_of(args: &Args, campaign: &Campaign) -> Result<OutputFormat, FleetdError> {
+    match args.get("format") {
+        Some(name) => OutputFormat::parse(name).map_err(FleetdError::Spec),
+        None => Ok(campaign.output),
     }
-    campaign.batch_jobs = args.parsed("batch-jobs", campaign.batch_jobs)?;
-    if args.get("cost-bound").is_some() {
-        campaign.cost_bound = Some(args.parsed("cost-bound", f64::INFINITY)?);
-    }
-    Ok(campaign)
 }
 
 /// Writes `text` to `--out` when given, else to stdout.
-fn emit(args: &Args, text: &str) -> Result<(), String> {
+fn emit(args: &Args, text: &str) -> Result<(), FleetdError> {
     match args.get("out") {
-        Some(path) => {
-            let path = PathBuf::from(path);
-            if let Some(parent) = path.parent() {
-                if !parent.as_os_str().is_empty() {
-                    std::fs::create_dir_all(parent)
-                        .map_err(|e| format!("cannot create {}: {e}", parent.display()))?;
-                }
-            }
-            std::fs::write(&path, text).map_err(|e| format!("cannot write {}: {e}", path.display()))
-        }
+        Some(path) => crate::coordinator::write_text(&PathBuf::from(path), text),
         None => {
             print!("{text}");
             Ok(())
@@ -181,13 +197,35 @@ fn emit(args: &Args, text: &str) -> Result<(), String> {
     }
 }
 
-fn cmd_plan(args: &Args) -> Result<(), String> {
-    let campaign = campaign_from(args)?;
+fn cmd_spec(args: &Args) -> Result<(), FleetdError> {
+    let mut spec = spec_from(args)?;
+    // --format lands in the emitted spec's `output` field, so a
+    // flags-built spec file can carry its preferred rendering (like the
+    // committed examples do).
+    if let Some(name) = args.get("format") {
+        spec.output = Some(OutputFormat::parse(name).map_err(FleetdError::Spec)?);
+    }
+    // Validation is the whole point of the spec layer: a spec this
+    // command emits is guaranteed to load and run.
+    let campaign = spec.validate(&Registry::with_all())?;
+    eprintln!(
+        "spec: {} scenarios × {} instances × {} solvers = {} cells, fingerprint {:016x}",
+        campaign.scenarios.len(),
+        campaign.instances_per_scenario,
+        campaign.solvers.len(),
+        campaign.job_count() * campaign.solvers.len(),
+        campaign.fingerprint(),
+    );
+    emit(args, &format!("{}\n", spec.to_json()))
+}
+
+fn cmd_plan(args: &Args) -> Result<(), FleetdError> {
+    let campaign = campaign_from(args, &Registry::with_all())?;
     let shards = args.parsed("shards", 2usize)?;
     let plan = ShardPlan::new(campaign, shards)?;
     let out = args
         .get("out")
-        .ok_or("plan needs --out <plan.json>")?
+        .ok_or_else(|| FleetdError::Usage("plan needs --out <plan.json>".into()))?
         .to_string();
     write_json(&PathBuf::from(&out), &plan)?;
     eprintln!(
@@ -204,16 +242,20 @@ fn cmd_plan(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_work(args: &Args) -> Result<(), String> {
-    let plan_path = args.get("plan").ok_or("work needs --plan <plan.json>")?;
+fn cmd_work(args: &Args) -> Result<(), FleetdError> {
+    let plan_path = args
+        .get("plan")
+        .ok_or_else(|| FleetdError::Usage("work needs --plan <plan.json>".into()))?;
     let plan: ShardPlan = read_json(&PathBuf::from(plan_path))?;
     let shard: usize = match args.get("shard") {
         Some(text) => text
             .parse()
-            .map_err(|_| format!("--shard: cannot parse {text:?}"))?,
-        None => return Err("work needs --shard <index>".into()),
+            .map_err(|_| FleetdError::Usage(format!("--shard: cannot parse {text:?}")))?,
+        None => return Err(FleetdError::Usage("work needs --shard <index>".into())),
     };
-    let out = args.get("out").ok_or("work needs --out <shard.json>")?;
+    let out = args
+        .get("out")
+        .ok_or_else(|| FleetdError::Usage("work needs --out <shard.json>".into()))?;
     let report = worker::run_shard(&plan, shard)?;
     write_json(&PathBuf::from(out), &report)?;
     eprintln!(
@@ -228,11 +270,15 @@ fn cmd_work(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_merge(args: &Args) -> Result<(), String> {
-    let plan_path = args.get("plan").ok_or("merge needs --plan <plan.json>")?;
+fn cmd_merge(args: &Args) -> Result<(), FleetdError> {
+    let plan_path = args
+        .get("plan")
+        .ok_or_else(|| FleetdError::Usage("merge needs --plan <plan.json>".into()))?;
     let plan: ShardPlan = read_json(&PathBuf::from(plan_path))?;
     if args.positional.is_empty() {
-        return Err("merge needs the shard report files as arguments".into());
+        return Err(FleetdError::Usage(
+            "merge needs the shard report files as arguments".into(),
+        ));
     }
     let reports: Vec<ShardReport> = args
         .positional
@@ -246,12 +292,13 @@ fn cmd_merge(args: &Args) -> Result<(), String> {
         merged.cell_count,
         merged.cell_checksum
     );
-    let format = Format::parse(args.get("format").unwrap_or("table"))?;
+    let format = format_of(args, &plan.campaign)?;
     emit(args, &render(&merged, format))
 }
 
-fn cmd_run(args: &Args) -> Result<(), String> {
-    let campaign = campaign_from(args)?;
+fn cmd_run(args: &Args) -> Result<(), FleetdError> {
+    let campaign = campaign_from(args, &Registry::with_all())?;
+    let format = format_of(args, &campaign)?;
     let shards = args.parsed("shards", 2usize)?;
     let plan = ShardPlan::new(campaign, shards)?;
     let workers = if args.has("--in-process") {
@@ -274,7 +321,6 @@ fn cmd_run(args: &Args) -> Result<(), String> {
     if !args.has("--no-verify") {
         eprintln!("{}", prove_against_single_process(&plan, &merged)?);
     }
-    let format = Format::parse(args.get("format").unwrap_or("table"))?;
     emit(args, &render(&merged, format))
 }
 
@@ -288,7 +334,7 @@ pub fn main(args: Vec<String>) -> i32 {
         Ok(parsed) => parsed,
         Err(e) => {
             eprintln!("fleetd: {e}");
-            return 2;
+            return e.exit_code();
         }
     };
     if parsed.has("--help") {
@@ -296,6 +342,7 @@ pub fn main(args: Vec<String>) -> i32 {
         return 0;
     }
     let result = match command.as_str() {
+        "spec" => cmd_spec(&parsed),
         "plan" => cmd_plan(&parsed),
         "work" => cmd_work(&parsed),
         "merge" => cmd_merge(&parsed),
@@ -314,7 +361,7 @@ pub fn main(args: Vec<String>) -> i32 {
         Ok(()) => 0,
         Err(e) => {
             eprintln!("fleetd: {e}");
-            1
+            e.exit_code()
         }
     }
 }
@@ -354,7 +401,8 @@ mod tests {
             allowed_flags("run").as_deref(),
         )
         .unwrap_err();
-        assert!(err.contains("unknown flag --shard"), "{err}");
+        assert!(err.to_string().contains("unknown flag --shard"), "{err}");
+        assert_eq!(err.exit_code(), 2);
         assert!(Args::parse(
             &["--scenario".into(), "churn".into()],
             allowed_flags("plan").as_deref(),
@@ -375,7 +423,7 @@ mod tests {
     }
 
     #[test]
-    fn campaign_flags_apply() {
+    fn campaign_flags_apply_through_the_spec_round_trip() {
         let args = Args::parse(
             &[
                 "--scenarios".into(),
@@ -388,16 +436,78 @@ mod tests {
                 "dp_power,greedy_power".into(),
                 "--seed".into(),
                 "7".into(),
+                "--threads".into(),
+                "2".into(),
             ],
             allowed_flags("run").as_deref(),
         )
         .unwrap();
-        let campaign = campaign_from(&args).unwrap();
+        let campaign = campaign_from(&args, &Registry::with_all()).unwrap();
         assert_eq!(campaign.scenarios.len(), 15);
         assert_eq!(campaign.instances_per_scenario, 3);
         assert_eq!(campaign.solvers, vec!["dp_power", "greedy_power"]);
         assert_eq!(campaign.seed, 7);
+        assert_eq!(campaign.threads, Some(2));
         assert!(campaign.cost_bound.is_none());
+    }
+
+    #[test]
+    fn solver_typo_fails_validation_with_a_suggestion() {
+        let args = Args::parse(
+            &["--solvers".into(), "dp_pwoer".into()],
+            allowed_flags("run").as_deref(),
+        )
+        .unwrap();
+        let err = campaign_from(&args, &Registry::with_all()).unwrap_err();
+        let message = err.to_string();
+        assert!(message.contains("did you mean `dp_power`?"), "{message}");
+        assert_eq!(err.exit_code(), 1);
+        // End to end: the run exits 1 before any job starts.
+        assert_eq!(
+            main(vec![
+                "run".into(),
+                "--solvers".into(),
+                "dp_pwoer".into(),
+                "--in-process".into(),
+            ]),
+            1
+        );
+    }
+
+    #[test]
+    fn spec_flag_excludes_campaign_flags() {
+        let args = Args::parse(
+            &[
+                "--spec".into(),
+                "c.json".into(),
+                "--seed".into(),
+                "7".into(),
+            ],
+            allowed_flags("run").as_deref(),
+        )
+        .unwrap();
+        let err = campaign_from(&args, &Registry::with_all()).unwrap_err();
+        assert_eq!(
+            err.exit_code(),
+            2,
+            "mixing --spec and flags is a usage error"
+        );
+        assert!(err.to_string().contains("--spec"), "{err}");
+    }
+
+    #[test]
+    fn missing_spec_file_is_an_io_error() {
+        let args = Args::parse(
+            &["--spec".into(), "/nonexistent/campaign.json".into()],
+            allowed_flags("run").as_deref(),
+        )
+        .unwrap();
+        let err = campaign_from(&args, &Registry::with_all()).unwrap_err();
+        assert_eq!(err.exit_code(), 1);
+        assert!(matches!(
+            err,
+            FleetdError::Spec(replica_engine::SpecError::Io { .. })
+        ));
     }
 
     #[test]

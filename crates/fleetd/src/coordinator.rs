@@ -12,6 +12,7 @@
 //! (shard loop in the current process): the mode for examples, tests
 //! and environments where spawning is unavailable.
 
+use crate::error::FleetdError;
 use crate::merge::merge_reports;
 use crate::plan::ShardPlan;
 use crate::shard::ShardReport;
@@ -43,17 +44,18 @@ impl Workers {
     /// The multi-process mode driving this very binary (the common
     /// case for the `fleetd` CLI). Reports travel through `work_dir`
     /// when given, a removed-after-merge temp directory otherwise.
-    pub fn current_exe(work_dir: Option<PathBuf>) -> Result<Workers, String> {
+    pub fn current_exe(work_dir: Option<PathBuf>) -> Result<Workers, FleetdError> {
         Ok(Workers::Processes {
-            exe: std::env::current_exe()
-                .map_err(|e| format!("cannot resolve the current executable: {e}"))?,
+            exe: std::env::current_exe().map_err(|e| {
+                FleetdError::Protocol(format!("cannot resolve the current executable: {e}"))
+            })?,
             work_dir,
         })
     }
 }
 
 /// Runs a planned campaign shard by shard and merges the results.
-pub fn run_plan(plan: &ShardPlan, workers: &Workers) -> Result<FleetReport, String> {
+pub fn run_plan(plan: &ShardPlan, workers: &Workers) -> Result<FleetReport, FleetdError> {
     let reports = match workers {
         Workers::InProcess => (0..plan.shards.len())
             .map(|k| crate::worker::run_shard(plan, k))
@@ -68,7 +70,7 @@ fn spawn_workers(
     plan: &ShardPlan,
     exe: &Path,
     work_dir: Option<&Path>,
-) -> Result<Vec<ShardReport>, String> {
+) -> Result<Vec<ShardReport>, FleetdError> {
     let (dir, ephemeral) = match work_dir {
         Some(dir) => (dir.to_path_buf(), false),
         None => {
@@ -80,8 +82,11 @@ fn spawn_workers(
             (dir, true)
         }
     };
-    fs::create_dir_all(&dir).map_err(|e| format!("cannot create {}: {e}", dir.display()))?;
-    let run = || -> Result<Vec<ShardReport>, String> {
+    fs::create_dir_all(&dir).map_err(|e| FleetdError::Io {
+        path: dir.display().to_string(),
+        message: format!("cannot create work directory: {e}"),
+    })?;
+    let run = || -> Result<Vec<ShardReport>, FleetdError> {
         let plan_path = dir.join("plan.json");
         write_json(&plan_path, plan)?;
 
@@ -102,29 +107,34 @@ fn spawn_workers(
                 .stdout(Stdio::null())
                 // stderr inherited: worker failures surface directly.
                 .spawn()
-                .map_err(|e| format!("cannot spawn worker for shard {}: {e}", manifest.shard))?;
+                .map_err(|e| {
+                    FleetdError::Protocol(format!(
+                        "cannot spawn worker for shard {}: {e}",
+                        manifest.shard
+                    ))
+                })?;
             children.push((manifest.shard, out, child));
         }
 
         let mut reports = Vec::with_capacity(children.len());
         let mut failures = Vec::new();
         for (shard, out, mut child) in children {
-            let status = child
-                .wait()
-                .map_err(|e| format!("waiting for shard {shard} worker: {e}"))?;
+            let status = child.wait().map_err(|e| {
+                FleetdError::Protocol(format!("waiting for shard {shard} worker: {e}"))
+            })?;
             if !status.success() {
                 failures.push(format!("shard {shard} worker exited with {status}"));
                 continue;
             }
             match read_json::<ShardReport>(&out) {
                 Ok(report) => reports.push(report),
-                Err(e) => failures.push(e),
+                Err(e) => failures.push(e.to_string()),
             }
         }
         if failures.is_empty() {
             Ok(reports)
         } else {
-            Err(failures.join("; "))
+            Err(FleetdError::Protocol(failures.join("; ")))
         }
     };
     let result = run();
@@ -136,10 +146,10 @@ fn spawn_workers(
 
 /// Runs the same campaign single-process ([`Fleet::run_space`] over the
 /// campaign's lazy job space) — the baseline of the determinism proof.
-pub fn run_single_process(plan: &ShardPlan) -> Result<FleetReport, String> {
+pub fn run_single_process(plan: &ShardPlan) -> Result<FleetReport, FleetdError> {
     let registry = Registry::with_all();
     plan.campaign.validate(&registry)?;
-    let fleet = Fleet::new(&registry, plan.campaign.fleet_config());
+    let fleet = Fleet::try_new(&registry, plan.campaign.fleet_config())?;
     Ok(fleet.run_space(&plan.campaign.space()))
 }
 
@@ -150,18 +160,20 @@ pub fn run_single_process(plan: &ShardPlan) -> Result<FleetReport, String> {
 pub fn prove_against_single_process(
     plan: &ShardPlan,
     merged: &FleetReport,
-) -> Result<String, String> {
+) -> Result<String, FleetdError> {
     let single = run_single_process(plan)?;
     if merged.digest() != single.digest() {
-        return Err(format!(
+        return Err(FleetdError::Protocol(format!(
             "determinism violation: merged digest differs from the single-process run\n\
              merged:\n{}\nsingle:\n{}",
             merged.digest(),
             single.digest()
-        ));
+        )));
     }
     if merged.table_deterministic() != single.table_deterministic() {
-        return Err("determinism violation: deterministic tables differ".into());
+        return Err(FleetdError::Protocol(
+            "determinism violation: deterministic tables differ".into(),
+        ));
     }
     Ok(format!(
         "determinism proof: merged == single-process ({} cells, checksum {:016x})",
@@ -169,30 +181,49 @@ pub fn prove_against_single_process(
     ))
 }
 
-/// Serializes `value` as JSON to `path`.
-pub fn write_json<T: serde::Serialize>(path: &Path, value: &T) -> Result<(), String> {
-    let json = serde_json::to_string(value).map_err(|e| format!("serializing: {e}"))?;
+/// Writes `text` to `path`, creating parent directories — the one copy
+/// of the create-dirs-then-write idiom in this crate (plan/shard/report
+/// files and CLI `--out` renderings all go through it).
+pub fn write_text(path: &Path, text: &str) -> Result<(), FleetdError> {
+    let io = |message: String| FleetdError::Io {
+        path: path.display().to_string(),
+        message,
+    };
     if let Some(parent) = path.parent() {
         if !parent.as_os_str().is_empty() {
-            fs::create_dir_all(parent)
-                .map_err(|e| format!("cannot create {}: {e}", parent.display()))?;
+            fs::create_dir_all(parent).map_err(|e| FleetdError::Io {
+                path: parent.display().to_string(),
+                message: format!("cannot create directory: {e}"),
+            })?;
         }
     }
-    fs::write(path, json).map_err(|e| format!("cannot write {}: {e}", path.display()))
+    fs::write(path, text).map_err(|e| io(format!("cannot write: {e}")))
+}
+
+/// Serializes `value` as JSON to `path`.
+pub fn write_json<T: serde::Serialize>(path: &Path, value: &T) -> Result<(), FleetdError> {
+    let json = serde_json::to_string(value).map_err(|e| FleetdError::Io {
+        path: path.display().to_string(),
+        message: format!("serializing: {e}"),
+    })?;
+    write_text(path, &json)
 }
 
 /// Parses a JSON file into `T`.
-pub fn read_json<T: for<'de> serde::Deserialize<'de>>(path: &Path) -> Result<T, String> {
-    let text =
-        fs::read_to_string(path).map_err(|e| format!("cannot read {}: {e}", path.display()))?;
-    serde_json::from_str(&text).map_err(|e| format!("parsing {}: {e}", path.display()))
+pub fn read_json<T: for<'de> serde::Deserialize<'de>>(path: &Path) -> Result<T, FleetdError> {
+    let io = |message: String| FleetdError::Io {
+        path: path.display().to_string(),
+        message,
+    };
+    let text = fs::read_to_string(path).map_err(|e| io(format!("cannot read: {e}")))?;
+    serde_json::from_str(&text).map_err(|e| io(format!("cannot parse: {e}")))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::campaign::Campaign;
     use crate::plan::ShardPlan;
+    use replica_engine::Campaign;
 
     fn tiny_plan(shards: usize) -> ShardPlan {
         let mut campaign = Campaign::from_set("standard", 12, 1, 11).unwrap();

@@ -1,0 +1,93 @@
+//! The typed error of the `fleetd` crate.
+//!
+//! Campaign/spec problems arrive as the engine's [`SpecError`]
+//! (wrapped, never stringified — the did-you-mean suggestions survive
+//! to the CLI); everything else
+//! the daemon can hit is classified by how the caller should react:
+//! usage errors exit with code 2 before anything runs, I/O and protocol
+//! errors exit with code 1.
+
+use replica_engine::SpecError;
+use std::fmt;
+
+/// Why a `fleetd` operation failed.
+#[derive(Clone, Debug)]
+pub enum FleetdError {
+    /// The campaign description is invalid (the spec/config path).
+    Spec(SpecError),
+    /// The command line is malformed (unknown flag, missing value,
+    /// contradictory flags, bad shard count).
+    Usage(String),
+    /// A plan/shard/output file could not be read, written or parsed.
+    Io {
+        /// The path involved.
+        path: String,
+        /// The underlying error rendering.
+        message: String,
+    },
+    /// The plan/work/merge protocol was violated: mismatched
+    /// fingerprints or ranges, corrupted shard reports, diverging merge
+    /// routes, failed worker processes.
+    Protocol(String),
+}
+
+impl fmt::Display for FleetdError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FleetdError::Spec(e) => write!(f, "invalid campaign: {e}"),
+            FleetdError::Usage(message) => f.write_str(message),
+            FleetdError::Io { path, message } => write!(f, "{path}: {message}"),
+            FleetdError::Protocol(message) => f.write_str(message),
+        }
+    }
+}
+
+impl std::error::Error for FleetdError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FleetdError::Spec(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SpecError> for FleetdError {
+    fn from(e: SpecError) -> Self {
+        FleetdError::Spec(e)
+    }
+}
+
+impl FleetdError {
+    /// The process exit code this error maps to: 2 for usage errors
+    /// (nothing ran), 1 for everything else.
+    pub fn exit_code(&self) -> i32 {
+        match self {
+            FleetdError::Usage(_) => 2,
+            _ => 1,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_errors_keep_their_suggestions() {
+        let err = FleetdError::from(SpecError::UnknownSolver {
+            name: "dp_pwoer".into(),
+            suggestion: Some("dp_power".into()),
+        });
+        let message = err.to_string();
+        assert!(message.contains("invalid campaign"), "{message}");
+        assert!(message.contains("did you mean `dp_power`?"), "{message}");
+        assert_eq!(err.exit_code(), 1);
+        assert!(std::error::Error::source(&err).is_some());
+    }
+
+    #[test]
+    fn usage_errors_exit_2() {
+        assert_eq!(FleetdError::Usage("bad flag".into()).exit_code(), 2);
+        assert_eq!(FleetdError::Protocol("corrupt".into()).exit_code(), 1);
+    }
+}

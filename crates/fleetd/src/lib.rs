@@ -2,7 +2,16 @@
 //!
 //! The engine's [`Fleet`](replica_engine::Fleet) parallelizes a
 //! campaign *within* one process; this crate shards it *across*
-//! processes — and merges the pieces back **byte-identically**:
+//! processes — and merges the pieces back **byte-identically**.
+//!
+//! Campaign descriptions are the engine's declarative spec layer
+//! ([`replica_engine::spec`]): a [`CampaignSpec`] — loaded from a
+//! `--spec file.json` or built internally from the legacy CLI flags —
+//! is validated against the solver [`Registry`](replica_engine::Registry)
+//! and the scenario families *before any job runs*, and resolves into
+//! the self-contained [`Campaign`] that shard plans embed. Committed
+//! example specs live under `examples/campaigns/` at the repository
+//! root. The protocol:
 //!
 //! 1. **[`plan`]** — split the campaign's deterministic job space into
 //!    contiguous shard manifests, in job order ([`ShardPlan`]).
@@ -26,20 +35,30 @@
 //!    and merge, optionally prove equivalence against a fresh
 //!    single-process run.
 //!
-//! The `fleetd` binary ([`cli`]) exposes the protocol as `plan` /
-//! `work` / `merge` / `run` subcommands with table, CSV and JSON output
-//! ([`output`]). The shard determinism suite pins the contract:
-//! any shard count merges to the identical report.
+//! The `fleetd` binary ([`cli`]) exposes the protocol as `spec` /
+//! `plan` / `work` / `merge` / `run` subcommands with table, CSV and
+//! JSON output (the engine's [`render`](replica_engine::render); the
+//! spec's `output` field is the default rendering). Every failure is a
+//! typed [`FleetdError`] — campaign problems surface the engine's
+//! [`SpecError`] with its did-you-mean suggestions intact. The shard
+//! determinism suite pins the contract: any shard count merges to the
+//! identical report.
 //!
 //! ## Quickstart (in-process workers)
 //!
 //! ```
-//! use replica_fleetd::{Campaign, ShardPlan};
+//! use replica_engine::{CampaignSpec, Registry, ScenarioSet};
+//! use replica_fleetd::ShardPlan;
 //! use replica_fleetd::coordinator::{run_plan, run_single_process, Workers};
 //!
-//! let mut campaign = Campaign::from_set("standard", 12, 1, 42).unwrap();
-//! campaign.scenarios.truncate(2);
-//! campaign.solvers = vec!["dp_power".into(), "greedy_power".into()];
+//! let campaign = CampaignSpec::builder()
+//!     .scenario_set(ScenarioSet::Standard, 12)
+//!     .instances_per_scenario(1)
+//!     .solvers(["dp_power", "greedy_power"])
+//!     .seed(42)
+//!     .build()
+//!     .validate(&Registry::with_all())
+//!     .unwrap();
 //! let plan = ShardPlan::new(campaign, 3).unwrap();
 //!
 //! let merged = run_plan(&plan, &Workers::InProcess).unwrap();
@@ -49,18 +68,22 @@
 
 #![warn(missing_docs)]
 
-pub mod campaign;
 pub mod cli;
 pub mod coordinator;
+pub mod error;
 pub mod merge;
-pub mod output;
 pub mod plan;
 pub mod shard;
 pub mod worker;
 
-pub use campaign::Campaign;
-pub use coordinator::Workers;
+pub use error::FleetdError;
 pub use merge::{merge_reports, run_sharded_in_process};
-pub use output::Format;
 pub use plan::{plan_shards, ShardManifest, ShardPlan};
 pub use shard::{CellRecord, CellStatus, ShardReport};
+
+// The campaign description and rendering layers live in the engine's
+// spec/output modules; re-exported here under their historical names so
+// `replica_fleetd::Campaign` keeps working.
+pub use coordinator::Workers;
+pub use replica_engine::output::OutputFormat as Format;
+pub use replica_engine::spec::{Campaign, CampaignSpec, ScenarioSet, SpecError};

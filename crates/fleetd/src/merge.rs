@@ -14,9 +14,10 @@
 //! mismatched report and fails the merge — the determinism proof is not
 //! assumed, it is checked on every merge.
 
+use crate::error::FleetdError;
 use crate::plan::ShardPlan;
 use crate::shard::ShardReport;
-use replica_engine::{FleetFold, FleetReport, GroupState, Registry};
+use replica_engine::{FleetFold, FleetReport, GroupState, Registry, SpecError};
 
 /// Merges shard reports (any order; they are sorted by shard index)
 /// into the campaign's full [`FleetReport`].
@@ -26,15 +27,18 @@ use replica_engine::{FleetFold, FleetReport, GroupState, Registry};
 /// (recomputed from the cells). Validates globally: every planned shard
 /// present exactly once, and the state-merge route agreeing with the
 /// cell-replay route.
-pub fn merge_reports(plan: &ShardPlan, reports: &[ShardReport]) -> Result<FleetReport, String> {
+pub fn merge_reports(
+    plan: &ShardPlan,
+    reports: &[ShardReport],
+) -> Result<FleetReport, FleetdError> {
     let mut ordered: Vec<&ShardReport> = reports.iter().collect();
     ordered.sort_by_key(|r| r.shard);
     if ordered.len() != plan.shards.len() {
-        return Err(format!(
+        return Err(FleetdError::Protocol(format!(
             "expected {} shard reports, got {}",
             plan.shards.len(),
             ordered.len()
-        ));
+        )));
     }
 
     let registry = Registry::with_all();
@@ -46,10 +50,12 @@ pub fn merge_reports(plan: &ShardPlan, reports: &[ShardReport]) -> Result<FleetR
         .solvers
         .iter()
         .map(|name| {
-            registry
-                .get(name)
-                .map(|s| s.name())
-                .ok_or_else(|| format!("unknown solver {name:?}"))
+            registry.get(name).map(|s| s.name()).ok_or_else(|| {
+                FleetdError::Spec(SpecError::UnknownSolver {
+                    name: name.clone(),
+                    suggestion: None,
+                })
+            })
         })
         .collect::<Result<_, _>>()?;
     let reference = plan.campaign.fleet_config().resolved_reference();
@@ -60,27 +66,27 @@ pub fn merge_reports(plan: &ShardPlan, reports: &[ShardReport]) -> Result<FleetR
     for (manifest, report) in plan.shards.iter().zip(&ordered) {
         let context = format!("shard {}", report.shard);
         if report.fingerprint != plan.fingerprint {
-            return Err(format!(
+            return Err(FleetdError::Protocol(format!(
                 "{context}: campaign fingerprint {:016x} does not match the plan's {:016x}",
                 report.fingerprint, plan.fingerprint
-            ));
+            )));
         }
         if (report.shard, report.start, report.end)
             != (manifest.shard, manifest.start, manifest.end)
         {
-            return Err(format!(
+            return Err(FleetdError::Protocol(format!(
                 "{context}: range {}..{} does not match the planned {}..{} (duplicate or \
                  missing shard?)",
                 report.start, report.end, manifest.start, manifest.end
-            ));
+            )));
         }
         let expected_cells = manifest.len() * solvers.len();
         if report.cells.len() != expected_cells || report.cell_count != expected_cells {
-            return Err(format!(
+            return Err(FleetdError::Protocol(format!(
                 "{context}: {} recorded cells / {} counted, expected {expected_cells}",
                 report.cells.len(),
                 report.cell_count
-            ));
+            )));
         }
 
         // Canonical route: replay this shard's cells — through a
@@ -92,12 +98,12 @@ pub fn merge_reports(plan: &ShardPlan, reports: &[ShardReport]) -> Result<FleetR
             fold.fold_row(scenario, instance, row);
         }
         if local.checksum() != report.checksum {
-            return Err(format!(
+            return Err(FleetdError::Protocol(format!(
                 "{context}: replayed checksum {:016x} != worker checksum {:016x} \
                  (corrupted report)",
                 local.checksum(),
                 report.checksum
-            ));
+            )));
         }
 
         // State route: merge the worker's group accumulators in shard
@@ -107,7 +113,9 @@ pub fn merge_reports(plan: &ShardPlan, reports: &[ShardReport]) -> Result<FleetR
                 .iter_mut()
                 .find(|g| g.scenario == group.scenario && g.solver == group.solver)
             {
-                Some(existing) => existing.merge_in_order(group)?,
+                Some(existing) => existing
+                    .merge_in_order(group)
+                    .map_err(FleetdError::Protocol)?,
                 None => merged_groups.push(group.clone()),
             }
         }
@@ -118,14 +126,14 @@ pub fn merge_reports(plan: &ShardPlan, reports: &[ShardReport]) -> Result<FleetR
     // The two routes must agree exactly (wall means within float
     // tolerance; see GroupState::agrees_with).
     if merged_groups.len() != report.summaries.len() {
-        return Err(format!(
+        return Err(FleetdError::Protocol(format!(
             "state merge produced {} groups, cell replay {}",
             merged_groups.len(),
             report.summaries.len()
-        ));
+        )));
     }
     for (state, summary) in merged_groups.iter().zip(&report.summaries) {
-        state.agrees_with(summary)?;
+        state.agrees_with(summary).map_err(FleetdError::Protocol)?;
     }
     Ok(report)
 }
@@ -136,7 +144,7 @@ pub fn merge_reports(plan: &ShardPlan, reports: &[ShardReport]) -> Result<FleetR
 fn rows_of<'a>(
     report: &'a ShardReport,
     solvers: &[&'static str],
-) -> Result<Vec<(&'a str, usize, Vec<(replica_engine::CellResult, f64)>)>, String> {
+) -> Result<Vec<(&'a str, usize, Vec<(replica_engine::CellResult, f64)>)>, FleetdError> {
     let n = solvers.len();
     let mut rows = Vec::with_capacity(report.cells.len() / n);
     for chunk in report.cells.chunks(n) {
@@ -144,16 +152,16 @@ fn rows_of<'a>(
         let mut row = Vec::with_capacity(n);
         for (cell, expected_solver) in chunk.iter().zip(solvers) {
             if cell.scenario != first.scenario || cell.instance != first.instance {
-                return Err(format!(
+                return Err(FleetdError::Protocol(format!(
                     "shard {}: cell row for {}#{} mixes in {}#{} (stream not row-major)",
                     report.shard, first.scenario, first.instance, cell.scenario, cell.instance
-                ));
+                )));
             }
             if cell.solver != *expected_solver {
-                return Err(format!(
+                return Err(FleetdError::Protocol(format!(
                     "shard {}: cell solver {:?} out of order (expected {:?})",
                     report.shard, cell.solver, expected_solver
-                ));
+                )));
             }
             row.push((cell.result(), cell.wall));
         }
@@ -165,7 +173,7 @@ fn rows_of<'a>(
 /// Convenience for the common whole-pipeline case: plan, run every shard
 /// in-process, merge. (The multi-process variant lives in
 /// [`crate::coordinator`].)
-pub fn run_sharded_in_process(plan: &ShardPlan) -> Result<FleetReport, String> {
+pub fn run_sharded_in_process(plan: &ShardPlan) -> Result<FleetReport, FleetdError> {
     let reports: Vec<ShardReport> = (0..plan.shards.len())
         .map(|k| crate::worker::run_shard(plan, k))
         .collect::<Result<_, _>>()?;
@@ -175,9 +183,8 @@ pub fn run_sharded_in_process(plan: &ShardPlan) -> Result<FleetReport, String> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::campaign::Campaign;
     use crate::worker::run_shard;
-    use replica_engine::{Fleet, Registry};
+    use replica_engine::{Campaign, Fleet, Registry};
 
     fn tiny_plan(shards: usize) -> ShardPlan {
         let mut campaign = Campaign::from_set("standard", 12, 1, 9).unwrap();

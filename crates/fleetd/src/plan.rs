@@ -9,7 +9,8 @@
 //! (`±1` job) keeps workers balanced; shard counts larger than the job
 //! count simply produce empty tail shards, which merge as no-ops.
 
-use crate::campaign::Campaign;
+use crate::error::FleetdError;
+use replica_engine::Campaign;
 use serde::{Deserialize, Serialize};
 
 /// One shard's slice of the job space: jobs `start..end` in job order.
@@ -50,9 +51,9 @@ pub struct ShardPlan {
 
 impl ShardPlan {
     /// Plans `shard_count` contiguous shards over `campaign`'s job space.
-    pub fn new(campaign: Campaign, shard_count: usize) -> Result<ShardPlan, String> {
+    pub fn new(campaign: Campaign, shard_count: usize) -> Result<ShardPlan, FleetdError> {
         if shard_count == 0 {
-            return Err("shard count must be at least 1".into());
+            return Err(FleetdError::Usage("shard count must be at least 1".into()));
         }
         let fingerprint = campaign.fingerprint();
         let shards = plan_shards(campaign.job_count(), shard_count);

@@ -10,7 +10,7 @@
 //! group state.
 //!
 //! Job generation is lazy: the engine queries
-//! [`Campaign::space`](crate::campaign::Campaign::space) only for the
+//! [`Campaign::space`](replica_engine::Campaign::space) only for the
 //! indices in `manifest.start..manifest.end`, one streaming batch at a
 //! time — a worker solving shard `k` of `n` constructs exactly
 //! `len(shard k)` jobs, never the whole campaign (the counter-backed
@@ -18,13 +18,14 @@
 //! [`run_shard_on`] and a
 //! [`CountingSpace`](replica_engine::CountingSpace)).
 
+use crate::error::FleetdError;
 use crate::plan::ShardPlan;
 use crate::shard::{CellRecord, ShardReport};
 use replica_engine::{Fleet, JobSpace, Registry};
 
 /// Runs shard `shard` of `plan` in-process over the campaign's own lazy
 /// job space and returns its report.
-pub fn run_shard(plan: &ShardPlan, shard: usize) -> Result<ShardReport, String> {
+pub fn run_shard(plan: &ShardPlan, shard: usize) -> Result<ShardReport, FleetdError> {
     run_shard_on(plan, shard, &plan.campaign.space())
 }
 
@@ -36,27 +37,29 @@ pub fn run_shard_on<S: JobSpace + ?Sized>(
     plan: &ShardPlan,
     shard: usize,
     space: &S,
-) -> Result<ShardReport, String> {
+) -> Result<ShardReport, FleetdError> {
     let manifest = *plan.shards.get(shard).ok_or_else(|| {
-        format!(
+        FleetdError::Protocol(format!(
             "shard {shard} out of range (plan has {})",
             plan.shards.len()
-        )
+        ))
     })?;
     if plan.campaign.fingerprint() != plan.fingerprint {
-        return Err("plan fingerprint does not match its campaign (corrupted plan?)".into());
+        return Err(FleetdError::Protocol(
+            "plan fingerprint does not match its campaign (corrupted plan?)".into(),
+        ));
     }
     if space.len() != plan.campaign.job_count() {
-        return Err(format!(
+        return Err(FleetdError::Protocol(format!(
             "job space has {} jobs but the campaign describes {}",
             space.len(),
             plan.campaign.job_count()
-        ));
+        )));
     }
     let registry = Registry::with_all();
     plan.campaign.validate(&registry)?;
 
-    let fleet = Fleet::new(&registry, plan.campaign.fleet_config());
+    let fleet = Fleet::try_new(&registry, plan.campaign.fleet_config())?;
     let mut cells = Vec::with_capacity(manifest.len() * plan.campaign.solvers.len());
     let run = fleet.run_space_shard_recorded(space, manifest.start..manifest.end, |cell| {
         cells.push(CellRecord::from_cell(cell));
@@ -78,7 +81,7 @@ pub fn run_shard_on<S: JobSpace + ?Sized>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::campaign::Campaign;
+    use replica_engine::Campaign;
 
     fn tiny_plan(shards: usize) -> ShardPlan {
         let mut campaign = Campaign::from_set("standard", 12, 1, 3).unwrap();

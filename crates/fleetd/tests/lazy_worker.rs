@@ -83,7 +83,7 @@ fn run_shard_on_rejects_a_space_of_the_wrong_size() {
     let wrong = other.space();
     assert!(wrong.len() != plan.campaign.job_count());
     let err = run_shard_on(&plan, 0, &wrong).unwrap_err();
-    assert!(err.contains("job space has"), "{err}");
+    assert!(err.to_string().contains("job space has"), "{err}");
 }
 
 #[test]

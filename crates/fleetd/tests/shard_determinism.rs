@@ -72,8 +72,8 @@ fn canonical_shard_counts_merge_byte_identically() {
         assert_eq!(merged.cell_checksum, baseline.cell_checksum);
         assert_eq!(merged.table_deterministic(), baseline.table_deterministic());
         assert_eq!(
-            replica_fleetd::output::json(&merged, false),
-            replica_fleetd::output::json(&baseline, false),
+            replica_engine::output::json(&merged, false),
+            replica_engine::output::json(&baseline, false),
             "deterministic JSON must be byte-identical"
         );
     }

@@ -23,18 +23,22 @@
 //!
 //! (`examples/fleet_sweep.rs` remains the single-process fleet demo.)
 
+use power_replica::engine::{CampaignSpec, Registry, ScenarioSet};
 use power_replica::fleetd::coordinator::{prove_against_single_process, run_plan, Workers};
-use power_replica::fleetd::{Campaign, ShardPlan};
+use power_replica::fleetd::ShardPlan;
 
 fn main() {
     let shards = 4;
-    let mut campaign =
-        Campaign::from_set("extended", 24, 3, 0x5EED).expect("extended is a built-in set");
-    campaign.solvers = vec![
-        "dp_power".into(),
-        "greedy_power".into(),
-        "heur_power_greedy".into(),
-    ];
+    // One declarative spec describes the whole campaign; validation
+    // against the registry happens here, before any job runs.
+    let campaign = CampaignSpec::builder()
+        .scenario_set(ScenarioSet::Extended, 24)
+        .instances_per_scenario(3)
+        .solvers(["dp_power", "greedy_power", "heur_power_greedy"])
+        .seed(0x5EED)
+        .build()
+        .validate(&Registry::with_all())
+        .expect("the spec is valid");
 
     let plan = ShardPlan::new(campaign, shards).expect("shard count is positive");
     println!(

@@ -19,34 +19,36 @@
 use power_replica::engine::prelude::*;
 
 fn main() {
-    let nodes = 40;
-    let per_scenario = 5;
-    let seed = 0x5EED;
-
     let registry = Registry::with_all();
-    let scenarios = extended_families(nodes);
-    // The indexed lazy job space: instances are generated on demand, one
-    // streaming batch at a time — the campaign is never materialized.
-    let space = ScenarioSpace::new(&scenarios, seed, per_scenario);
+    // One declarative spec describes the campaign; validation resolves
+    // it (and would catch a typo'd solver name with a did-you-mean
+    // suggestion) before any job runs.
+    let campaign = CampaignSpec::builder()
+        .scenario_set(ScenarioSet::Extended, 40)
+        .instances_per_scenario(5)
+        .solvers([
+            "dp_power",
+            "dp_power_full",
+            "greedy_power",
+            "heur_power_greedy",
+        ])
+        .reference("dp_power")
+        .seed(0x5EED)
+        .build()
+        .validate(&registry)
+        .expect("the spec is valid");
     println!(
-        "fleet: {} scenarios × {per_scenario} instances × 4 solvers = {} solves\n",
-        scenarios.len(),
-        space.len() * 4
+        "fleet: {} scenarios × {} instances × {} solvers = {} solves\n",
+        campaign.scenarios.len(),
+        campaign.instances_per_scenario,
+        campaign.solvers.len(),
+        campaign.job_count() * campaign.solvers.len(),
     );
 
-    let config = FleetConfig {
-        solvers: vec![
-            "dp_power".into(),
-            "dp_power_full".into(),
-            "greedy_power".into(),
-            "heur_power_greedy".into(),
-        ],
-        reference: Some("dp_power".into()),
-        seed,
-        ..Default::default()
-    };
-    let fleet = Fleet::new(&registry, config);
-    let report = fleet.run_space(&space);
+    // The indexed lazy job space: instances are generated on demand, one
+    // streaming batch at a time — the campaign is never materialized.
+    let fleet = Fleet::try_new(&registry, campaign.fleet_config()).expect("validated config");
+    let report = fleet.run_space(&campaign.space());
     println!("{}", report.table());
 
     // Headline: how far from optimal are the polynomial-time solvers on

@@ -21,12 +21,16 @@
 //!   budget-sweep API ([`Registry::sweep`](replica_engine::Registry::sweep)
 //!   — one run answers every cost budget), a rayon-parallel
 //!   [`Fleet`](replica_engine::Fleet) runner with deterministic seeding
-//!   and streaming per-group aggregation, and named scenario families
+//!   and streaming per-group aggregation, named scenario families
 //!   (five topology shapes × seven demand patterns, sim-backed churn
-//!   included) for reproducible sweeps;
+//!   included) for reproducible sweeps, and the declarative campaign
+//!   layer ([`CampaignSpec`](replica_engine::CampaignSpec)): one
+//!   serializable, registry-validated spec describing any run, with
+//!   typed [`SpecError`](replica_engine::SpecError)s and committed
+//!   examples under `examples/campaigns/`;
 //! * [`fleetd`] — multi-process sharded fleet orchestration: plan /
 //!   work / merge with a byte-identical deterministic merge (the
-//!   `fleetd` CLI drives it);
+//!   `fleetd` CLI drives it, `--spec file.json` included);
 //! * [`sim`] — dynamic replica management (request evolution, update
 //!   strategies);
 //! * [`experiments`] — the evaluation harness regenerating Figures 4–11,
@@ -99,8 +103,9 @@ pub mod prelude {
         greedy_power, heuristics, np_gadget, solve_min_cost, solve_min_count,
     };
     pub use replica_engine::{
-        churn_families, extended_families, standard_families, Demand, Fleet, FleetConfig, Frontier,
-        Registry, Scenario, SolveOptions, Topology,
+        churn_families, extended_families, standard_families, Campaign, CampaignSpec, Demand,
+        Fleet, FleetConfig, Frontier, OutputFormat, Registry, Scenario, ScenarioSet, SolveOptions,
+        SpecError, Topology,
     };
     pub use replica_model::prelude::*;
     pub use replica_sim::{
