@@ -1,0 +1,97 @@
+//! Emits `BENCH_obs.json` — the committed overhead artifact for the
+//! `replica-obs` telemetry layer.
+//!
+//! Measures, over the same workload as `benches/obs.rs` (20 standard
+//! scenarios × 4 instances across the default
+//! solver lineup), the full fleet run:
+//!
+//! * `untraced_ms` — [`Fleet::run_space`], no obs handle anywhere;
+//! * `noop_ms` — `run_space_traced` with [`Obs::noop()`] (the pinned
+//!   claim: indistinguishable from untraced);
+//! * `jsonl_ms` — `run_space_traced` tracing every span, progress
+//!   event, counter and histogram to a JSONL file at `Solve`
+//!   verbosity (the pinned claim: < 5% over untraced).
+//!
+//! Each number is the **minimum** of 15 timed repetitions after one
+//! warm-up, with the three variants interleaved round-robin — the
+//! minimum is the standard robust statistic for an overhead comparison
+//! (it measures the code, medians measure the machine's background
+//! load too), and interleaving decorrelates slow drift.
+//! Usage: `cargo run --release -p replica-bench --bin obs_overhead
+//! [-- OUT.json]` (default `BENCH_obs.json` in the working directory —
+//! the repository root under `cargo run`).
+
+use replica_bench::standard_campaign;
+use replica_engine::obs::{JsonlSink, Obs, Verbosity};
+use replica_engine::{Fleet, Registry};
+use std::hint::black_box;
+use std::sync::Arc;
+use std::time::Instant;
+
+const NODES: usize = 64;
+const PER_SCENARIO: usize = 4;
+const SEED: u64 = 0xB0B5;
+const REPS: usize = 15;
+
+/// Wall-clock milliseconds of one run of `f`.
+fn time_ms<R>(f: impl FnOnce() -> R) -> f64 {
+    let start = Instant::now();
+    black_box(f());
+    start.elapsed().as_secs_f64() * 1e3
+}
+
+fn main() {
+    let out = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_obs.json".into());
+
+    let campaign = standard_campaign(
+        SEED,
+        NODES,
+        PER_SCENARIO,
+        ["dp_power", "greedy_power", "heur_power_greedy"],
+    );
+    let registry = Registry::with_all();
+    let fleet = Fleet::try_new(&registry, campaign.fleet_config())
+        .expect("validated campaigns configure valid fleets");
+    let space = campaign.space();
+    let jobs = replica_engine::JobSpace::len(&space);
+
+    let noop_obs = Obs::noop();
+    let trace_path =
+        std::env::temp_dir().join(format!("obs-overhead-{}.jsonl", std::process::id()));
+    let jsonl_obs = Obs::new(
+        Arc::new(JsonlSink::create(&trace_path).expect("temp trace file")),
+        Verbosity::Solve,
+    );
+
+    // Warm-up, then interleave the variants round-robin and take each
+    // one's minimum.
+    black_box(fleet.run_space(&space));
+    black_box(fleet.run_space_traced(&space, &jsonl_obs));
+    let (mut untraced, mut noop, mut jsonl) = (f64::INFINITY, f64::INFINITY, f64::INFINITY);
+    for _ in 0..REPS {
+        untraced = untraced.min(time_ms(|| fleet.run_space(&space)));
+        noop = noop.min(time_ms(|| fleet.run_space_traced(&space, &noop_obs)));
+        jsonl = jsonl.min(time_ms(|| fleet.run_space_traced(&space, &jsonl_obs)));
+    }
+    drop(jsonl_obs);
+    let _ = std::fs::remove_file(&trace_path);
+
+    let pct = |traced: f64| (traced / untraced - 1.0) * 100.0;
+    let json = format!(
+        "{{\n  \"bench\": \"obs\",\n  \"campaign\": {{ \"scenarios\": {}, \"per_scenario\": {}, \"nodes\": {}, \"jobs\": {} }},\n  \"solvers\": \"dp_power,greedy_power,heur_power_greedy\",\n  \"untraced_ms\": {:.3},\n  \"noop_ms\": {:.3},\n  \"noop_overhead_pct\": {:.2},\n  \"jsonl_ms\": {:.3},\n  \"jsonl_overhead_pct\": {:.2}\n}}\n",
+        campaign.scenarios.len(),
+        PER_SCENARIO,
+        NODES,
+        jobs,
+        untraced,
+        noop,
+        pct(noop),
+        jsonl,
+        pct(jsonl),
+    );
+    std::fs::write(&out, &json).expect("cannot write the overhead artifact");
+    eprint!("{json}");
+    eprintln!("→ {out}");
+}

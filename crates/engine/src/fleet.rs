@@ -48,11 +48,13 @@ use crate::spec::SpecError;
 use crate::stream::{MetricAccumulator, MetricSink, RecordedMetric, Stats};
 use rayon::prelude::*;
 use replica_model::Instance;
+use replica_obs::{Obs, Span};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::fmt;
 use std::fmt::Write as _;
 use std::ops::Range;
+use std::time::Instant;
 
 /// One labelled instance of a fleet.
 #[derive(Clone)]
@@ -247,6 +249,9 @@ pub struct FleetSummary {
     pub gap_vs_ref: Option<Stats>,
     /// Mean wall-clock seconds per solve (non-deterministic).
     pub mean_wall_seconds: f64,
+    /// Full distribution of per-solve wall-clock seconds
+    /// (non-deterministic; the telemetry layer's per-group histogram).
+    pub wall: Stats,
     /// Reference mean wall over this solver's mean wall
     /// (non-deterministic; > 1 means faster than the reference).
     pub speedup_vs_ref: Option<f64>,
@@ -283,6 +288,7 @@ struct GroupAcc<M> {
     servers_sum: f64,
     gap: M,
     wall_sum: f64,
+    wall: M,
     speedup: M,
 }
 
@@ -299,6 +305,7 @@ impl<M: MetricSink> GroupAcc<M> {
             servers_sum: 0.0,
             gap: M::default(),
             wall_sum: 0.0,
+            wall: M::default(),
             speedup: M::default(),
         }
     }
@@ -315,6 +322,20 @@ struct Aggregation<M> {
     has_reference: bool,
     cell_count: usize,
     checksum: FnvHasher,
+}
+
+/// Scales the value-typed fields of a distribution snapshot by
+/// `factor` (count unchanged) — seconds→milliseconds for telemetry
+/// histograms.
+fn scale_stats(stats: Stats, factor: f64) -> Stats {
+    Stats {
+        count: stats.count,
+        mean: stats.mean * factor,
+        min: stats.min * factor,
+        max: stats.max * factor,
+        p50: stats.p50 * factor,
+        p90: stats.p90 * factor,
+    }
 }
 
 /// Incremental FNV-1a over anything `write!`-able (the cell checksum
@@ -396,6 +417,7 @@ impl<M: MetricSink> Aggregation<M> {
                     group.power.push(outcome.power);
                     group.servers_sum += outcome.servers as f64;
                     group.wall_sum += cell.wall_seconds;
+                    group.wall.push(cell.wall_seconds);
                     if let Some((ref_power, ref_wall)) = reference {
                         if ref_power > 0.0 {
                             group.gap.push(outcome.power / ref_power);
@@ -447,6 +469,7 @@ impl<M: MetricSink> Aggregation<M> {
                     power_gap_vs_ref: (has_reference && g.gap.count() > 0).then(|| g.gap.mean()),
                     gap_vs_ref: (has_reference && g.gap.count() > 0).then(|| g.gap.stats()),
                     mean_wall_seconds: mean_wall,
+                    wall: g.wall.stats(),
                     speedup_vs_ref: ref_wall
                         .get(g.scenario.as_str())
                         .filter(|_| mean_wall > 0.0)
@@ -480,6 +503,7 @@ impl Aggregation<RecordedMetric> {
                 cost: g.cost.clone(),
                 power: g.power.clone(),
                 gap: g.gap.clone(),
+                wall: g.wall.clone(),
                 speedup: g.speedup.clone(),
             })
             .collect()
@@ -523,6 +547,9 @@ pub struct GroupState {
     pub power: RecordedMetric,
     /// Power-ratio-to-reference distribution (mergeable).
     pub gap: RecordedMetric,
+    /// Per-solve wall-clock distribution (mergeable; the measurements
+    /// are non-deterministic but the merge replays them exactly).
+    pub wall: RecordedMetric,
     /// Wall-ratio-to-reference distribution (mergeable).
     pub speedup: RecordedMetric,
 }
@@ -545,6 +572,7 @@ impl GroupState {
         self.cost.merge_in_order(&other.cost);
         self.power.merge_in_order(&other.power);
         self.gap.merge_in_order(&other.gap);
+        self.wall.merge_in_order(&other.wall);
         self.speedup.merge_in_order(&other.speedup);
         Ok(())
     }
@@ -597,6 +625,11 @@ impl GroupState {
             "speedup distribution",
             (self.speedup.count() > 0).then(|| self.speedup.stats()) == summary.speedup_dist,
         )?;
+        // Same story as the speedup distribution: both routes fold the
+        // identical recorded wall values in the identical order, so the
+        // distribution matches bit for bit even though the values
+        // themselves are measurements.
+        check("wall distribution", self.wall.stats() == summary.wall)?;
         let mean_wall = if self.solved == 0 {
             0.0
         } else {
@@ -787,6 +820,17 @@ impl<'r> Fleet<'r> {
         self.run_space_shard_with_observer(space, 0..space.len(), observe)
     }
 
+    /// [`Fleet::run_space`] with telemetry: spans, per-batch progress,
+    /// per-group wall histograms and outcome counters flow through
+    /// `obs`. Telemetry is strictly out-of-band — the returned report
+    /// (checksum included) is byte-identical to an untraced run; the
+    /// trace-invariance proptest pins this.
+    pub fn run_space_traced<S: JobSpace + ?Sized>(&self, space: &S, obs: &Obs) -> FleetReport {
+        let reference = self.config.resolved_reference();
+        self.run_range::<MetricAccumulator, S>(space, 0..space.len(), &mut |_| {}, obs)
+            .finish(reference.as_deref())
+    }
+
     /// Runs one contiguous shard — jobs `range` — of the job space.
     ///
     /// Per-job seeds derive from the job's **global** index in `space`,
@@ -817,7 +861,7 @@ impl<'r> Fleet<'r> {
         mut observe: impl FnMut(&FleetCell),
     ) -> FleetReport {
         let reference = self.config.resolved_reference();
-        self.run_range::<MetricAccumulator, S>(space, range, &mut observe)
+        self.run_range::<MetricAccumulator, S>(space, range, &mut observe, &Obs::noop())
             .finish(reference.as_deref())
     }
 
@@ -831,10 +875,22 @@ impl<'r> Fleet<'r> {
         &self,
         space: &S,
         range: Range<usize>,
+        observe: impl FnMut(&FleetCell),
+    ) -> ShardRun {
+        self.run_space_shard_recorded_traced(space, range, observe, &Obs::noop())
+    }
+
+    /// [`Fleet::run_space_shard_recorded`] with telemetry — the traced
+    /// shard-worker seam (`fleetd work --trace`, heartbeat progress).
+    pub fn run_space_shard_recorded_traced<S: JobSpace + ?Sized>(
+        &self,
+        space: &S,
+        range: Range<usize>,
         mut observe: impl FnMut(&FleetCell),
+        obs: &Obs,
     ) -> ShardRun {
         let reference = self.config.resolved_reference();
-        let agg = self.run_range::<RecordedMetric, S>(space, range, &mut observe);
+        let agg = self.run_range::<RecordedMetric, S>(space, range, &mut observe, obs);
         let groups = agg.group_states();
         ShardRun {
             report: agg.finish(reference.as_deref()),
@@ -847,11 +903,20 @@ impl<'r> Fleet<'r> {
     /// accumulators. Only indices inside `range` are ever handed to
     /// [`JobSpace::job`], and each batch's jobs are dropped before the
     /// next is generated.
+    ///
+    /// Telemetry (out-of-band by contract — it reads results, never
+    /// writes them): a root `campaign` span over the whole range, one
+    /// `batch` child span per streaming batch with a progress event
+    /// (jobs done, jobs/sec, ETA) after its sequential fold, per-solve
+    /// `solve` spans when `obs` is at [`replica_obs::Verbosity::Solve`],
+    /// and — at the end — one wall-clock histogram per `(scenario,
+    /// solver)` group plus the outcome counters.
     fn run_range<M: MetricSink, S: JobSpace + ?Sized>(
         &self,
         space: &S,
         range: Range<usize>,
         observe: &mut dyn FnMut(&FleetCell),
+        obs: &Obs,
     ) -> Aggregation<M> {
         assert!(
             range.start <= range.end && range.end <= space.len(),
@@ -872,10 +937,23 @@ impl<'r> Fleet<'r> {
 
         let batch = self.config.batch_jobs;
         let n_solvers = solvers.len();
-        let mut agg = Aggregation::new(reference.is_some());
+        let total = range.end - range.start;
+        let mut agg: Aggregation<M> = Aggregation::new(reference.is_some());
         let body = || {
+            let run_span = obs.span("campaign", format!("jobs {}..{}", range.start, range.end));
+            let run_start = Instant::now();
+            let disabled = Span::disabled();
+            let mut done = 0usize;
             for start in (range.start..range.end).step_by(batch) {
                 let end = (start + batch).min(range.end);
+                let batch_span = run_span.child("batch", format!("jobs {start}..{end}"));
+                // Per-solve spans only at full verbosity; a disabled
+                // parent makes them free.
+                let solve_parent: &Span = if obs.solve_detail() {
+                    &batch_span
+                } else {
+                    &disabled
+                };
                 // Lazy generation, batch-bounded: construct only this
                 // batch's jobs (in parallel — job(i) is a pure function
                 // of the global index, so generation order is free)...
@@ -889,7 +967,9 @@ impl<'r> Fleet<'r> {
                     .collect();
                 let cells: Vec<(CellResult, f64)> = tasks
                     .into_par_iter()
-                    .map(|(j, s)| self.run_cell(&batch_jobs[j], start + j, solvers[s]))
+                    .map(|(j, s)| {
+                        self.run_cell(&batch_jobs[j], start + j, solvers[s], solve_parent)
+                    })
                     .collect();
                 // ...then regrouped into job-major rows and folded
                 // sequentially in job order (determinism). The batch's
@@ -907,7 +987,30 @@ impl<'r> Fleet<'r> {
                         observe,
                     );
                 }
+                drop(batch_span);
+                done += end - start;
+                obs.progress(done, total, run_start.elapsed().as_secs_f64());
             }
+            if obs.enabled() {
+                let (mut solved, mut failed, mut unsupported) = (0u64, 0u64, 0u64);
+                for g in &agg.groups {
+                    solved += g.solved as u64;
+                    failed += g.failed as u64;
+                    unsupported += g.unsupported as u64;
+                    obs.histogram(
+                        format!("{}/{}", g.scenario, g.solver),
+                        "ms",
+                        scale_stats(g.wall.stats(), 1e3),
+                    );
+                }
+                obs.counter_add("cells", agg.cell_count as u64);
+                obs.counter_add("cells_solved", solved);
+                obs.counter_add("cells_failed", failed);
+                obs.counter_add("cells_unsupported", unsupported);
+                obs.flush_counters();
+            }
+            drop(run_span);
+            obs.flush();
             agg
         };
         match self.config.threads {
@@ -920,8 +1023,17 @@ impl<'r> Fleet<'r> {
         }
     }
 
-    /// Solves one `(job, solver)` cell.
-    fn run_cell(&self, job: &FleetJob, job_index: usize, solver: &dyn Solver) -> (CellResult, f64) {
+    /// Solves one `(job, solver)` cell. `parent` is the enclosing batch
+    /// span (disabled below solve-level verbosity): each cell gets a
+    /// `solve` child span, and phase-aware solvers hang their DP phase
+    /// sub-spans off it ([`Solver::solve_traced`]).
+    fn run_cell(
+        &self,
+        job: &FleetJob,
+        job_index: usize,
+        solver: &dyn Solver,
+        parent: &Span,
+    ) -> (CellResult, f64) {
         let mut options = self.config.options;
         // Per-instance seed: reproducible, decorrelated, independent of
         // which solvers run alongside.
@@ -929,7 +1041,15 @@ impl<'r> Fleet<'r> {
         if !solver.supports(&job.instance) {
             return (CellResult::Unsupported, 0.0);
         }
-        match solver.solve(&job.instance, &options) {
+        let span = if parent.enabled() {
+            parent.child(
+                "solve",
+                format!("{}#{} {}", job.scenario, job.index, solver.name()),
+            )
+        } else {
+            Span::disabled()
+        };
+        match solver.solve_traced(&job.instance, &options, &span) {
             Ok(outcome) => (
                 CellResult::Solved(CellOutcome {
                     cost: outcome.cost,
@@ -997,11 +1117,13 @@ impl FleetReport {
             "servers".into(),
             "gap_vs_ref".into(),
             "ms/solve".into(),
+            "ms_p90".into(),
             "speedup".into(),
         ]];
         for s in &self.summaries {
             let mut row = Self::deterministic_cells(s);
-            row.push(format!("{:.3}", s.mean_wall_seconds * 1e3));
+            row.push(format!("{:.3}", s.wall.mean * 1e3));
+            row.push(format!("{:.3}", s.wall.p90 * 1e3));
             row.push(s.speedup_vs_ref.map_or("-".into(), |x| format!("{x:.1}x")));
             rows.push(row);
         }

@@ -124,6 +124,11 @@ pub use spec::{
 pub use stream::{MetricAccumulator, RecordedMetric, Stats};
 pub use sweep::{BudgetSweepSolver, Frontier, FrontierPoint, SweepOutcome};
 
+/// The out-of-band telemetry layer (re-export of `replica-obs`): the
+/// [`Obs`](replica_obs::Obs) handle the traced fleet entry points
+/// consume, its [`Sink`](replica_obs::Sink)s, spans and events.
+pub use replica_obs as obs;
+
 /// One-stop imports for engine users.
 pub mod prelude {
     pub use crate::fleet::{Fleet, FleetConfig, FleetFold, FleetJob, FleetReport};
@@ -140,4 +145,5 @@ pub mod prelude {
         Campaign, CampaignSpec, CampaignSpecBuilder, ScenarioSet, ScenarioSetRef, SpecError,
     };
     pub use crate::sweep::{BudgetSweepSolver, Frontier, FrontierPoint, SweepOutcome};
+    pub use replica_obs::{Obs, Verbosity};
 }

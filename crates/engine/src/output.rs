@@ -110,13 +110,13 @@ pub fn csv(report: &FleetReport) -> String {
          power_mean,power_p50,power_p90,power_min,power_max,\
          cost_mean,cost_p50,cost_p90,\
          servers_mean,gap_mean,gap_p50,gap_p90,\
-         ms_per_solve,speedup_vs_ref\n",
+         ms_per_solve,ms_p90,speedup_vs_ref\n",
     );
     for s in &report.summaries {
         let opt = |v: Option<f64>| v.map_or(String::new(), |x| format!("{x:.6}"));
         let _ = writeln!(
             out,
-            "{},{},{},{},{},{:.6},{:.6},{:.6},{:.6},{:.6},{:.6},{:.6},{:.6},{:.4},{},{},{},{:.4},{}",
+            "{},{},{},{},{},{:.6},{:.6},{:.6},{:.6},{:.6},{:.6},{:.6},{:.6},{:.4},{},{},{},{:.4},{:.4},{}",
             s.scenario,
             s.solver,
             s.solved,
@@ -135,6 +135,7 @@ pub fn csv(report: &FleetReport) -> String {
             opt(s.gap_vs_ref.map(|g| g.p50)),
             opt(s.gap_vs_ref.map(|g| g.p90)),
             s.mean_wall_seconds * 1e3,
+            s.wall.p90 * 1e3,
             opt(s.speedup_vs_ref),
         );
     }
@@ -155,6 +156,7 @@ struct SummaryDoc {
     power_gap_vs_ref: Option<f64>,
     gap_vs_ref: Option<Stats>,
     mean_wall_seconds: Option<f64>,
+    wall: Option<Stats>,
     speedup_vs_ref: Option<f64>,
     speedup_dist: Option<Stats>,
 }
@@ -191,6 +193,7 @@ fn doc_of(s: &FleetSummary, timing: bool) -> SummaryDoc {
         power_gap_vs_ref: s.power_gap_vs_ref,
         gap_vs_ref: s.gap_vs_ref,
         mean_wall_seconds: timing.then_some(s.mean_wall_seconds),
+        wall: timing.then_some(s.wall),
         speedup_vs_ref: if timing { s.speedup_vs_ref } else { None },
         speedup_dist: if timing { s.speedup_dist } else { None },
     }

@@ -42,6 +42,7 @@ use replica_core::{
     GreedyScratch,
 };
 use replica_model::{Instance, ModePolicy, ModelError};
+use replica_obs::Span;
 use std::cell::RefCell;
 
 thread_local! {
@@ -334,8 +335,24 @@ impl Solver for FullPowerDpSolver {
         instance: &Instance,
         options: &SolveOptions,
     ) -> Result<SolveOutcome, EngineError> {
+        self.solve_traced(instance, options, &Span::disabled())
+    }
+
+    // The one implementation serves both entry points: `solve` passes a
+    // disabled span, so the phases always run identically and tracing
+    // stays out-of-band by construction.
+    fn solve_traced(
+        &self,
+        instance: &Instance,
+        options: &SolveOptions,
+        span: &Span,
+    ) -> Result<SolveOutcome, EngineError> {
         let (result, wall) = timed(|| -> Result<_, ModelError> {
-            let dp = dp_power::PowerDp::run(instance)?;
+            let dp = {
+                let _phase = span.child("phase", "dp_table");
+                dp_power::PowerDp::run(instance)?
+            };
+            let _phase = span.child("phase", "reconstruct");
             let best = dp.best_within(options.cost_bound).ok_or_else(|| {
                 ModelError::Infeasible(format!(
                     "no placement fits the cost bound {}",
@@ -395,8 +412,22 @@ impl Solver for PrunedPowerDpSolver {
         instance: &Instance,
         options: &SolveOptions,
     ) -> Result<SolveOutcome, EngineError> {
+        self.solve_traced(instance, options, &Span::disabled())
+    }
+
+    // One implementation for both entry points; see `FullPowerDpSolver`.
+    fn solve_traced(
+        &self,
+        instance: &Instance,
+        options: &SolveOptions,
+        span: &Span,
+    ) -> Result<SolveOutcome, EngineError> {
         let (result, wall) = timed(|| -> Result<_, ModelError> {
-            let dp = dp_power_pruned::PrunedPowerDp::run(instance)?;
+            let dp = {
+                let _phase = span.child("phase", "dp_table");
+                dp_power_pruned::PrunedPowerDp::run(instance)?
+            };
+            let _phase = span.child("phase", "reconstruct");
             let best = dp.best_within(options.cost_bound).copied().ok_or_else(|| {
                 ModelError::Infeasible(format!(
                     "no placement fits the cost bound {}",

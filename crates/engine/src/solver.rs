@@ -143,6 +143,24 @@ pub trait Solver: Send + Sync {
         options: &SolveOptions,
     ) -> Result<SolveOutcome, EngineError>;
 
+    /// [`Solver::solve`] under an open telemetry span.
+    ///
+    /// Phase-aware solvers (the DP wrappers) override this to hang
+    /// `phase` sub-spans — DP table build, reconstruction — off `span`;
+    /// the default ignores the span entirely. Overrides must be
+    /// *observationally identical* to [`Solver::solve`]: tracing is
+    /// strictly out-of-band, so the returned outcome may not depend on
+    /// the span in any way (the trace-invariance proptest pins this
+    /// through the fleet).
+    fn solve_traced(
+        &self,
+        instance: &Instance,
+        options: &SolveOptions,
+        _span: &replica_obs::Span,
+    ) -> Result<SolveOutcome, EngineError> {
+        self.solve(instance, options)
+    }
+
     /// Whether `instance` is within this solver's capabilities.
     fn supports(&self, instance: &Instance) -> bool {
         let caps = self.capabilities();

@@ -6,6 +6,13 @@
 //! accumulator tracks count, running sum (→ mean), min, max and a P²
 //! quantile sketch for the median and the 90th percentile.
 //!
+//! The accumulator itself ([`MetricAccumulator`], with [`Stats`] and
+//! [`P2Quantile`]) lives in `replica-obs` — deterministic aggregation
+//! and telemetry histograms share one implementation — and is
+//! re-exported here unchanged. This module owns what is specific to the
+//! deterministic merge story: [`RecordedMetric`] and the fold-facing
+//! `MetricSink` abstraction.
+//!
 //! **Determinism.** All state transitions are pure functions of the value
 //! sequence, and the fleet always folds in job order (rayon only
 //! parallelizes the *production* of outcomes, see
@@ -21,237 +28,9 @@
 //! tape — making a left-fold over contiguous shards *literally* the
 //! sequential computation, bit for bit.
 
+pub use replica_obs::{MetricAccumulator, P2Quantile, Stats};
+
 use serde::{Deserialize, Serialize};
-
-/// Distribution statistics of one metric over a cell group.
-///
-/// Produced incrementally by [`MetricAccumulator`]; `p50`/`p90` are P²
-/// estimates there (exact while `count < 5`). [`Stats::of`] computes the
-/// exact batch equivalent for small slices (tests, one-shot reports).
-#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
-pub struct Stats {
-    /// Number of observations.
-    pub count: usize,
-    /// Arithmetic mean.
-    pub mean: f64,
-    /// Minimum.
-    pub min: f64,
-    /// Maximum.
-    pub max: f64,
-    /// Median (P² estimate when streaming).
-    pub p50: f64,
-    /// 90th percentile (P² estimate when streaming).
-    pub p90: f64,
-}
-
-impl Stats {
-    /// Exact batch statistics of a slice (percentiles by
-    /// nearest-rank on the sorted values). Zeroes when empty.
-    pub fn of(values: &[f64]) -> Stats {
-        if values.is_empty() {
-            return Stats::default();
-        }
-        let mut sorted = values.to_vec();
-        sorted.sort_by(f64::total_cmp);
-        let rank = |q: f64| sorted[((sorted.len() - 1) as f64 * q).round() as usize];
-        Stats {
-            count: values.len(),
-            mean: values.iter().sum::<f64>() / values.len() as f64,
-            min: sorted[0],
-            max: sorted[sorted.len() - 1],
-            p50: rank(0.5),
-            p90: rank(0.9),
-        }
-    }
-}
-
-/// The P² (Jain–Chlamtac 1985) single-quantile estimator: five markers,
-/// O(1) state, no stored samples. Exact until the fifth observation,
-/// a parabolic-interpolation estimate afterwards.
-#[derive(Clone, Debug)]
-pub struct P2Quantile {
-    quantile: f64,
-    /// Marker heights (first 5 observations verbatim until initialized).
-    heights: [f64; 5],
-    /// Marker positions (1-based, as in the paper).
-    positions: [f64; 5],
-    /// Desired marker positions.
-    desired: [f64; 5],
-    /// Desired-position increments per observation.
-    increments: [f64; 5],
-    count: usize,
-}
-
-impl P2Quantile {
-    /// An estimator for the given quantile in `(0, 1)`.
-    pub fn new(quantile: f64) -> Self {
-        assert!((0.0..=1.0).contains(&quantile), "quantile out of range");
-        P2Quantile {
-            quantile,
-            heights: [0.0; 5],
-            positions: [1.0, 2.0, 3.0, 4.0, 5.0],
-            desired: [
-                1.0,
-                1.0 + 2.0 * quantile,
-                1.0 + 4.0 * quantile,
-                3.0 + 2.0 * quantile,
-                5.0,
-            ],
-            increments: [0.0, quantile / 2.0, quantile, (1.0 + quantile) / 2.0, 1.0],
-            count: 0,
-        }
-    }
-
-    /// Observations seen so far.
-    pub fn count(&self) -> usize {
-        self.count
-    }
-
-    /// Folds one observation in.
-    pub fn push(&mut self, value: f64) {
-        if self.count < 5 {
-            self.heights[self.count] = value;
-            self.count += 1;
-            if self.count == 5 {
-                self.heights.sort_by(f64::total_cmp);
-            }
-            return;
-        }
-        self.count += 1;
-
-        // Locate the cell and bump the marker positions above it.
-        let k = if value < self.heights[0] {
-            self.heights[0] = value;
-            0
-        } else if value >= self.heights[4] {
-            self.heights[4] = value;
-            3
-        } else {
-            // heights[k] <= value < heights[k + 1]
-            (0..4)
-                .find(|&i| value < self.heights[i + 1])
-                .expect("value is within [heights[0], heights[4])")
-        };
-        for i in (k + 1)..5 {
-            self.positions[i] += 1.0;
-        }
-        for i in 0..5 {
-            self.desired[i] += self.increments[i];
-        }
-
-        // Adjust the three interior markers toward their desired positions.
-        for i in 1..4 {
-            let delta = self.desired[i] - self.positions[i];
-            let step_up = self.positions[i + 1] - self.positions[i] > 1.0;
-            let step_down = self.positions[i - 1] - self.positions[i] < -1.0;
-            if (delta >= 1.0 && step_up) || (delta <= -1.0 && step_down) {
-                let d = if delta >= 1.0 { 1.0 } else { -1.0 };
-                let candidate = self.parabolic(i, d);
-                self.heights[i] =
-                    if self.heights[i - 1] < candidate && candidate < self.heights[i + 1] {
-                        candidate
-                    } else {
-                        self.linear(i, d)
-                    };
-                self.positions[i] += d;
-            }
-        }
-    }
-
-    fn parabolic(&self, i: usize, d: f64) -> f64 {
-        let (q, n) = (&self.heights, &self.positions);
-        q[i] + d / (n[i + 1] - n[i - 1])
-            * ((n[i] - n[i - 1] + d) * (q[i + 1] - q[i]) / (n[i + 1] - n[i])
-                + (n[i + 1] - n[i] - d) * (q[i] - q[i - 1]) / (n[i] - n[i - 1]))
-    }
-
-    fn linear(&self, i: usize, d: f64) -> f64 {
-        let (q, n) = (&self.heights, &self.positions);
-        let j = if d > 0.0 { i + 1 } else { i - 1 };
-        q[i] + d * (q[j] - q[i]) / (n[j] - n[i])
-    }
-
-    /// The current estimate (exact for fewer than five observations;
-    /// `0.0` with none).
-    pub fn estimate(&self) -> f64 {
-        match self.count {
-            0 => 0.0,
-            n @ 1..=4 => {
-                let mut sorted = self.heights[..n].to_vec();
-                sorted.sort_by(f64::total_cmp);
-                sorted[((n - 1) as f64 * self.quantile).round() as usize]
-            }
-            _ => self.heights[2],
-        }
-    }
-}
-
-/// Streaming accumulator for one metric of one cell group: count, sum,
-/// min, max plus P² sketches for p50 and p90.
-#[derive(Clone, Debug)]
-pub struct MetricAccumulator {
-    count: usize,
-    sum: f64,
-    min: f64,
-    max: f64,
-    p50: P2Quantile,
-    p90: P2Quantile,
-}
-
-impl Default for MetricAccumulator {
-    fn default() -> Self {
-        MetricAccumulator {
-            count: 0,
-            sum: 0.0,
-            min: f64::INFINITY,
-            max: f64::NEG_INFINITY,
-            p50: P2Quantile::new(0.5),
-            p90: P2Quantile::new(0.9),
-        }
-    }
-}
-
-impl MetricAccumulator {
-    /// Folds one observation in.
-    pub fn push(&mut self, value: f64) {
-        self.count += 1;
-        self.sum += value;
-        self.min = self.min.min(value);
-        self.max = self.max.max(value);
-        self.p50.push(value);
-        self.p90.push(value);
-    }
-
-    /// Observations folded so far.
-    pub fn count(&self) -> usize {
-        self.count
-    }
-
-    /// Running mean (`0.0` with no observations).
-    pub fn mean(&self) -> f64 {
-        if self.count == 0 {
-            0.0
-        } else {
-            self.sum / self.count as f64
-        }
-    }
-
-    /// Snapshot of the accumulated distribution (all-zero when empty,
-    /// mirroring [`Stats::of`] on an empty slice).
-    pub fn stats(&self) -> Stats {
-        if self.count == 0 {
-            return Stats::default();
-        }
-        Stats {
-            count: self.count,
-            mean: self.mean(),
-            min: self.min,
-            max: self.max,
-            p50: self.p50.estimate(),
-            p90: self.p90.estimate(),
-        }
-    }
-}
 
 /// A mergeable [`MetricAccumulator`]: the same moments and sketches plus
 /// the ordered observation tape, which is what makes *exact* merging
@@ -326,18 +105,18 @@ impl RecordedMetric {
     /// panics).
     pub fn merge_in_order(&mut self, other: &RecordedMetric) {
         // The exact pairwise moment combination, computed up front…
-        let count = self.acc.count + other.acc.count;
-        let min = self.acc.min.min(other.acc.min);
-        let max = self.acc.max.max(other.acc.max);
+        let count = self.acc.count() + other.acc.count();
+        let min = self.acc.min().min(other.acc.min());
+        let max = self.acc.max().max(other.acc.max());
         // …then the order-preserving replay of the right-hand tape, which
         // count/min/max must agree with.
         for &value in &other.tape {
             self.acc.push(value);
         }
         self.tape.extend_from_slice(&other.tape);
-        assert_eq!(self.acc.count, count, "replayed count diverged");
+        assert_eq!(self.acc.count(), count, "replayed count diverged");
         assert!(
-            self.acc.min.total_cmp(&min).is_eq() && self.acc.max.total_cmp(&max).is_eq(),
+            self.acc.min().total_cmp(&min).is_eq() && self.acc.max().total_cmp(&max).is_eq(),
             "replayed min/max diverged from the pairwise combination"
         );
     }
@@ -420,78 +199,6 @@ mod tests {
     use super::*;
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
-
-    #[test]
-    fn small_counts_are_exact() {
-        let mut acc = MetricAccumulator::default();
-        for v in [3.0, 1.0, 2.0] {
-            acc.push(v);
-        }
-        let s = acc.stats();
-        assert_eq!(s.count, 3);
-        assert!((s.mean - 2.0).abs() < 1e-12);
-        assert_eq!(s.min, 1.0);
-        assert_eq!(s.max, 3.0);
-        assert_eq!(s.p50, 2.0, "exact median below five observations");
-    }
-
-    #[test]
-    fn empty_accumulator_matches_empty_slice() {
-        assert_eq!(MetricAccumulator::default().stats(), Stats::of(&[]));
-    }
-
-    #[test]
-    fn sketch_tracks_true_quantiles_on_uniform_noise() {
-        let mut rng = StdRng::seed_from_u64(99);
-        let values: Vec<f64> = (0..5_000).map(|_| rng.random::<f64>() * 100.0).collect();
-        let mut acc = MetricAccumulator::default();
-        for &v in &values {
-            acc.push(v);
-        }
-        let streamed = acc.stats();
-        let exact = Stats::of(&values);
-        assert_eq!(streamed.count, exact.count);
-        assert!((streamed.mean - exact.mean).abs() < 1e-9);
-        assert_eq!(streamed.min, exact.min);
-        assert_eq!(streamed.max, exact.max);
-        // P² on 5k uniform samples lands within a couple percent.
-        assert!(
-            (streamed.p50 - exact.p50).abs() < 3.0,
-            "p50 {} vs {}",
-            streamed.p50,
-            exact.p50
-        );
-        assert!(
-            (streamed.p90 - exact.p90).abs() < 3.0,
-            "p90 {} vs {}",
-            streamed.p90,
-            exact.p90
-        );
-    }
-
-    #[test]
-    fn folding_is_deterministic_for_a_fixed_order() {
-        let values: Vec<f64> = (0..1_000).map(|i| ((i * 37) % 101) as f64).collect();
-        let run = || {
-            let mut acc = MetricAccumulator::default();
-            for &v in &values {
-                acc.push(v);
-            }
-            acc.stats()
-        };
-        assert_eq!(run(), run());
-    }
-
-    #[test]
-    fn constant_stream_collapses_everywhere() {
-        let mut acc = MetricAccumulator::default();
-        for _ in 0..100 {
-            acc.push(7.5);
-        }
-        let s = acc.stats();
-        assert_eq!((s.min, s.max, s.p50, s.p90), (7.5, 7.5, 7.5, 7.5));
-        assert!((s.mean - 7.5).abs() < 1e-12);
-    }
 
     /// The full internal state (sum, min/max, both sketches' markers),
     /// via the derived Debug — the strictest bit-identity proxy we have.

@@ -57,7 +57,10 @@ fleet flags (a campaign spec, validated before any job runs):
   --batch-jobs N     streaming batch size          [default: 64]
   --cost-bound X     cost budget per solve
   --budgets a,b,c    budget grid: adds an amortized frontier sweep
-  --format F         table | table-det | csv | json | json-det";
+  --format F         table | table-det | csv | json | json-det
+  --trace FILE       write a JSONL telemetry trace of the run (spans,
+                     progress, timing histograms); strictly out-of-band —
+                     the report is byte-identical with or without it";
 
 fn main() -> ExitCode {
     let raw: Vec<String> = std::env::args().skip(1).collect();
@@ -302,7 +305,20 @@ fn run_fleet(args: &Args) {
         campaign.job_count() * campaign.solvers.len(),
     );
     let start = std::time::Instant::now();
-    let fleet_report = fleet_cmd::run(&campaign, &registry).unwrap_or_else(|e| die_spec(&e));
+    // --trace is a CLI-level concern, deliberately not a spec field:
+    // telemetry must never alter the campaign fingerprint.
+    let obs = match args.get("trace") {
+        Some(path) => {
+            let path = PathBuf::from(path);
+            replica_engine::obs::Obs::jsonl(&path, replica_engine::obs::Verbosity::Solve)
+                .unwrap_or_else(|e| {
+                    die(&format!("cannot create trace file {}: {e}", path.display()))
+                })
+        }
+        None => replica_engine::obs::Obs::noop(),
+    };
+    let fleet_report =
+        fleet_cmd::run_traced(&campaign, &registry, &obs).unwrap_or_else(|e| die_spec(&e));
     println!("{}", replica_engine::render(&fleet_report, campaign.output));
     let csv_path = PathBuf::from(args.get("out").unwrap_or("results")).join("fleet.csv");
     match std::fs::create_dir_all(csv_path.parent().expect("joined path has a parent"))

@@ -38,8 +38,20 @@ pub fn spec_from_args(args: &Args) -> Result<CampaignSpec, SpecError> {
 
 /// Runs the validated campaign single-process through the engine.
 pub fn run(campaign: &Campaign, registry: &Registry) -> Result<FleetReport, SpecError> {
+    run_traced(campaign, registry, &replica_engine::obs::Obs::noop())
+}
+
+/// [`run`] with telemetry: batch spans, per-batch progress and
+/// per-`(scenario, solver)` timing histograms stream into `obs` (the
+/// `--trace` flag routes a JSONL handle here). Out-of-band: the
+/// returned report is byte-identical to an untraced [`run`].
+pub fn run_traced(
+    campaign: &Campaign,
+    registry: &Registry,
+    obs: &replica_engine::obs::Obs,
+) -> Result<FleetReport, SpecError> {
     let fleet = Fleet::try_new(registry, campaign.fleet_config())?;
-    Ok(fleet.run_space(&campaign.space()))
+    Ok(fleet.run_space_traced(&campaign.space(), obs))
 }
 
 /// The campaign's budget-grid frontier sweep, when the spec carries

@@ -1,5 +1,5 @@
 //! The `fleetd` command-line interface: `spec`, `plan`, `work`,
-//! `merge`, `run`.
+//! `merge`, `run`, `status`.
 //!
 //! The subcommands are the sharding protocol made visible:
 //!
@@ -25,17 +25,22 @@
 //! and — unless `--no-verify` — re-runs the campaign single-process and
 //! proves the merged report byte-identical.
 
-use crate::coordinator::{prove_against_single_process, read_json, run_plan, write_json, Workers};
+use crate::coordinator::{
+    prove_against_single_process, read_json, run_plan_with, write_json, RunOptions, Workers,
+};
 use crate::error::FleetdError;
+use crate::heartbeat::{self, HeartbeatSink, WorkerState};
 use crate::merge::merge_reports;
 use crate::plan::ShardPlan;
 use crate::shard::ShardReport;
 use crate::worker;
+use replica_engine::obs::{FanoutSink, JsonlSink, Obs, Sink, Verbosity};
 use replica_engine::output::{render, OutputFormat};
 use replica_engine::spec::{Campaign, CampaignSpec, SpecError, CAMPAIGN_FLAG_NAMES};
 use replica_engine::Registry;
 use std::collections::HashMap;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 const USAGE: &str = "\
 fleetd — sharded multi-process fleet campaigns with deterministic merge
@@ -43,10 +48,11 @@ fleetd — sharded multi-process fleet campaigns with deterministic merge
 USAGE:
     fleetd spec  [CAMPAIGN FLAGS] [--format F] [--out spec.json]
     fleetd plan  [CAMPAIGN FLAGS] --shards N --out plan.json
-    fleetd work  --plan plan.json --shard K --out shard-K.json
+    fleetd work  --plan plan.json --shard K --out shard-K.json [--trace t.jsonl]
     fleetd merge --plan plan.json [--format F] [--out FILE] shard-0.json shard-1.json …
     fleetd run   [CAMPAIGN FLAGS] --shards N [--format F] [--out FILE]
-                 [--in-process] [--no-verify] [--work-dir DIR]
+                 [--in-process] [--no-verify] [--work-dir DIR] [--trace t.jsonl]
+    fleetd status DIR [--stale-ms N]
     fleetd help
 
 CAMPAIGN FLAGS (spec, plan, run):
@@ -68,10 +74,21 @@ OUTPUT:
                         [default: the spec's `output` field, else table]
     --out FILE          write the rendering to FILE instead of stdout
 
-Legacy flags build a spec internally and round-trip it through the
-serializer; `fleetd spec` prints that JSON. `run` prints the
-determinism proof (merged vs single-process digest, cell count, FNV
-cell checksum) to stderr; `--no-verify` skips the comparison run.
+TELEMETRY (work, run, status):
+    --trace FILE        write a JSONL event trace (spans, progress,
+                        counters, histograms) — strictly out-of-band:
+                        deterministic outputs are byte-identical with
+                        or without it
+    --stale-ms N        `status`: a Running heartbeat older than N ms
+                        counts as stale                  [default: 10000]
+
+Workers write `shard-K.hb.json` heartbeats next to their reports;
+`fleetd status DIR` renders them (DIR is the run's --work-dir), and
+`run` folds them into a live stderr ticker. Legacy flags build a spec
+internally and round-trip it through the serializer; `fleetd spec`
+prints that JSON. `run` prints the determinism proof (merged vs
+single-process digest, cell count, FNV cell checksum) to stderr;
+`--no-verify` skips the comparison run.
 ";
 
 /// Boolean switches (flags without a value).
@@ -85,9 +102,10 @@ fn allowed_flags(command: &str) -> Option<Vec<&'static str>> {
     let mut allowed: Vec<&'static str> = match command {
         "spec" => vec!["format", "out"],
         "plan" => vec!["shards", "out"],
-        "work" => return Some(vec!["plan", "shard", "out"]),
+        "work" => return Some(vec!["plan", "shard", "out", "trace"]),
         "merge" => return Some(vec!["plan", "format", "out"]),
-        "run" => vec!["shards", "format", "out", "work-dir"],
+        "status" => return Some(vec!["stale-ms"]),
+        "run" => vec!["shards", "format", "out", "work-dir", "trace"],
         _ => return None,
     };
     allowed.extend_from_slice(CAMPAIGN_FLAG_NAMES);
@@ -256,8 +274,43 @@ fn cmd_work(args: &Args) -> Result<(), FleetdError> {
     let out = args
         .get("out")
         .ok_or_else(|| FleetdError::Usage("work needs --out <shard.json>".into()))?;
-    let report = worker::run_shard(&plan, shard)?;
-    write_json(&PathBuf::from(out), &report)?;
+
+    // Telemetry: a heartbeat file next to the report, plus an optional
+    // JSONL trace, fanned into one obs handle. Per-solve span detail is
+    // only worth emitting when someone asked for the trace.
+    let jobs_total = plan.shards.get(shard).map_or(0, |m| m.len());
+    let heartbeat_sink = Arc::new(HeartbeatSink::new(
+        heartbeat::path_for_report(Path::new(out)),
+        shard,
+        jobs_total,
+        plan.campaign.solvers.len(),
+    ));
+    let mut sinks: Vec<Arc<dyn Sink>> = vec![heartbeat_sink.clone()];
+    let verbosity = match args.get("trace") {
+        Some(trace) => {
+            let jsonl = JsonlSink::create(Path::new(trace)).map_err(|e| FleetdError::Io {
+                path: trace.to_string(),
+                message: format!("cannot create trace file: {e}"),
+            })?;
+            sinks.push(Arc::new(jsonl));
+            Verbosity::Solve
+        }
+        None => Verbosity::Progress,
+    };
+    let obs = Obs::new(Arc::new(FanoutSink::new(sinks)), verbosity);
+
+    let result = worker::run_shard_observed(&plan, shard, &obs).and_then(|report| {
+        write_json(&PathBuf::from(out), &report)?;
+        Ok(report)
+    });
+    let report = match result {
+        Ok(report) => report,
+        Err(e) => {
+            heartbeat_sink.finish(WorkerState::Failed);
+            return Err(e);
+        }
+    };
+    heartbeat_sink.finish(WorkerState::Done);
     eprintln!(
         "shard {}/{}: jobs {}..{}, {} cells, checksum {:016x} → {out}",
         report.shard,
@@ -317,11 +370,34 @@ fn cmd_run(args: &Args) -> Result<(), FleetdError> {
             "one process per shard"
         },
     );
-    let merged = run_plan(&plan, &workers)?;
+    let options = RunOptions {
+        trace: args.get("trace").map(PathBuf::from),
+        live_status: true,
+    };
+    let merged = run_plan_with(&plan, &workers, &options)?;
     if !args.has("--no-verify") {
         eprintln!("{}", prove_against_single_process(&plan, &merged)?);
     }
     emit(args, &render(&merged, format))
+}
+
+fn cmd_status(args: &Args) -> Result<(), FleetdError> {
+    let dir = args.positional.first().ok_or_else(|| {
+        FleetdError::Usage("status needs the run's work directory as an argument".into())
+    })?;
+    let stale_ms = args.parsed("stale-ms", 10_000u64)?;
+    let heartbeats = heartbeat::load_dir(Path::new(dir))?;
+    if heartbeats.is_empty() {
+        return Err(FleetdError::Protocol(format!(
+            "no heartbeat files (*{}) in {dir} — is it a fleetd work directory?",
+            heartbeat::HEARTBEAT_SUFFIX
+        )));
+    }
+    print!(
+        "{}",
+        heartbeat::render_status(&heartbeats, heartbeat::now_unix_ms(), stale_ms)
+    );
+    Ok(())
 }
 
 /// Entry point: returns the process exit code.
@@ -347,6 +423,7 @@ pub fn main(args: Vec<String>) -> i32 {
         "work" => cmd_work(&parsed),
         "merge" => cmd_merge(&parsed),
         "run" => cmd_run(&parsed),
+        "status" => cmd_status(&parsed),
         "help" | "--help" | "-h" => {
             eprint!("{USAGE}");
             return 0;

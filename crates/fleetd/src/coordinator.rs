@@ -11,15 +11,27 @@
 //! [`Workers::InProcess`] runs the same protocol without spawning
 //! (shard loop in the current process): the mode for examples, tests
 //! and environments where spawning is unavailable.
+//!
+//! While subprocess workers run, the coordinator polls their
+//! heartbeat files ([`crate::heartbeat`]) and renders a live status
+//! ticker to stderr; each worker's stderr is captured to
+//! `shard-K.stderr` so a failing shard's diagnostics land in the
+//! [`FleetdError::Protocol`] message instead of interleaving with the
+//! others. [`RunOptions::trace`] threads a `--trace` JSONL request
+//! down to every worker and concatenates the per-shard traces, in
+//! shard order, into one file.
 
 use crate::error::FleetdError;
+use crate::heartbeat;
 use crate::merge::merge_reports;
 use crate::plan::ShardPlan;
 use crate::shard::ShardReport;
+use replica_engine::obs::{Obs, Verbosity};
 use replica_engine::{Fleet, FleetReport, Registry};
 use std::fs;
 use std::path::{Path, PathBuf};
 use std::process::{Command, Stdio};
+use std::time::Duration;
 
 /// How shard workers are executed.
 #[derive(Clone, Debug)]
@@ -54,22 +66,65 @@ impl Workers {
     }
 }
 
+/// Coordinator-level telemetry options for a planned run.
+#[derive(Clone, Debug, Default)]
+pub struct RunOptions {
+    /// Write a JSONL trace of the run here. Subprocess workers each
+    /// trace to `shard-K.trace.jsonl` in the work directory; the
+    /// coordinator concatenates them, in shard order, into this file.
+    /// In-process runs trace straight to it.
+    pub trace: Option<PathBuf>,
+    /// Render a live status ticker (heartbeat summary) to stderr while
+    /// subprocess workers run.
+    pub live_status: bool,
+}
+
 /// Runs a planned campaign shard by shard and merges the results.
 pub fn run_plan(plan: &ShardPlan, workers: &Workers) -> Result<FleetReport, FleetdError> {
+    run_plan_with(plan, workers, &RunOptions::default())
+}
+
+/// [`run_plan`] with telemetry options. Tracing is strictly
+/// out-of-band: the merged report is byte-identical whatever
+/// `options` says.
+pub fn run_plan_with(
+    plan: &ShardPlan,
+    workers: &Workers,
+    options: &RunOptions,
+) -> Result<FleetReport, FleetdError> {
     let reports = match workers {
-        Workers::InProcess => (0..plan.shards.len())
-            .map(|k| crate::worker::run_shard(plan, k))
-            .collect::<Result<Vec<_>, _>>()?,
-        Workers::Processes { exe, work_dir } => spawn_workers(plan, exe, work_dir.as_deref())?,
+        Workers::InProcess => {
+            let obs = match &options.trace {
+                Some(path) => Obs::jsonl(path, Verbosity::Solve).map_err(|e| FleetdError::Io {
+                    path: path.display().to_string(),
+                    message: format!("cannot create trace file: {e}"),
+                })?,
+                None => Obs::noop(),
+            };
+            (0..plan.shards.len())
+                .map(|k| crate::worker::run_shard_observed(plan, k, &obs))
+                .collect::<Result<Vec<_>, _>>()?
+        }
+        Workers::Processes { exe, work_dir } => {
+            spawn_workers(plan, exe, work_dir.as_deref(), options)?
+        }
     };
     merge_reports(plan, &reports)
 }
+
+/// How often the coordinator polls worker exit status and heartbeats.
+const POLL_INTERVAL: Duration = Duration::from_millis(150);
+
+/// How many trailing bytes of a failed worker's stderr make it into
+/// the error message.
+const STDERR_TAIL_BYTES: usize = 2048;
 
 /// Spawns one `fleetd work` process per shard and collects the reports.
 fn spawn_workers(
     plan: &ShardPlan,
     exe: &Path,
     work_dir: Option<&Path>,
+    options: &RunOptions,
 ) -> Result<Vec<ShardReport>, FleetdError> {
     let (dir, ephemeral) = match work_dir {
         Some(dir) => (dir.to_path_buf(), false),
@@ -91,11 +146,19 @@ fn spawn_workers(
         write_json(&plan_path, plan)?;
 
         // Spawn all workers up front: shards run concurrently, each a
-        // full OS process with its own rayon pool.
+        // full OS process with its own rayon pool. Each worker's stderr
+        // goes to its own `shard-K.stderr` file so a failure's
+        // diagnostics can be attributed (and quoted) per shard.
         let mut children = Vec::new();
         for manifest in &plan.shards {
             let out = dir.join(format!("shard-{}.json", manifest.shard));
-            let child = Command::new(exe)
+            let stderr_path = dir.join(format!("shard-{}.stderr", manifest.shard));
+            let stderr_file = fs::File::create(&stderr_path).map_err(|e| FleetdError::Io {
+                path: stderr_path.display().to_string(),
+                message: format!("cannot create worker stderr file: {e}"),
+            })?;
+            let mut command = Command::new(exe);
+            command
                 .arg("work")
                 .arg("--plan")
                 .arg(&plan_path)
@@ -105,25 +168,76 @@ fn spawn_workers(
                 .arg(&out)
                 .stdin(Stdio::null())
                 .stdout(Stdio::null())
-                // stderr inherited: worker failures surface directly.
-                .spawn()
-                .map_err(|e| {
-                    FleetdError::Protocol(format!(
-                        "cannot spawn worker for shard {}: {e}",
-                        manifest.shard
-                    ))
-                })?;
-            children.push((manifest.shard, out, child));
+                .stderr(Stdio::from(stderr_file));
+            if options.trace.is_some() {
+                command
+                    .arg("--trace")
+                    .arg(dir.join(format!("shard-{}.trace.jsonl", manifest.shard)));
+            }
+            let child = command.spawn().map_err(|e| {
+                FleetdError::Protocol(format!(
+                    "cannot spawn worker for shard {}: {e}",
+                    manifest.shard
+                ))
+            })?;
+            children.push((
+                manifest.shard,
+                out,
+                stderr_path,
+                child,
+                None::<std::process::ExitStatus>,
+            ));
+        }
+
+        // Poll: reap exits as they happen, and between polls fold the
+        // workers' heartbeat files into a live status ticker (printed
+        // only when it changes — quiet runs stay quiet).
+        let mut last_line = String::new();
+        loop {
+            let mut all_exited = true;
+            for (shard, _, _, child, status) in &mut children {
+                if status.is_none() {
+                    *status = child.try_wait().map_err(|e| {
+                        FleetdError::Protocol(format!("waiting for shard {shard} worker: {e}"))
+                    })?;
+                    if status.is_none() {
+                        all_exited = false;
+                    }
+                }
+            }
+            if options.live_status {
+                if let Ok(heartbeats) = heartbeat::load_dir(&dir) {
+                    if !heartbeats.is_empty() {
+                        let line = heartbeat::summarize(
+                            &heartbeats,
+                            heartbeat::now_unix_ms(),
+                            STALE_AFTER_MS,
+                        )
+                        .line();
+                        if line != last_line {
+                            eprintln!("fleetd: {line}");
+                            last_line = line;
+                        }
+                    }
+                }
+            }
+            if all_exited {
+                break;
+            }
+            std::thread::sleep(POLL_INTERVAL);
         }
 
         let mut reports = Vec::with_capacity(children.len());
         let mut failures = Vec::new();
-        for (shard, out, mut child) in children {
-            let status = child.wait().map_err(|e| {
-                FleetdError::Protocol(format!("waiting for shard {shard} worker: {e}"))
-            })?;
+        for (shard, out, stderr_path, _, status) in children {
+            let status = status.expect("poll loop exits only once every worker has");
             if !status.success() {
-                failures.push(format!("shard {shard} worker exited with {status}"));
+                let tail = stderr_tail(&stderr_path, STDERR_TAIL_BYTES);
+                failures.push(if tail.is_empty() {
+                    format!("shard {shard} worker exited with {status}")
+                } else {
+                    format!("shard {shard} worker exited with {status}; stderr tail:\n{tail}")
+                });
                 continue;
             }
             match read_json::<ShardReport>(&out) {
@@ -131,17 +245,51 @@ fn spawn_workers(
                 Err(e) => failures.push(e.to_string()),
             }
         }
-        if failures.is_empty() {
-            Ok(reports)
-        } else {
-            Err(FleetdError::Protocol(failures.join("; ")))
+        if !failures.is_empty() {
+            return Err(FleetdError::Protocol(failures.join("; ")));
         }
+        if let Some(trace) = &options.trace {
+            concat_traces(&dir, plan.shards.len(), trace)?;
+        }
+        Ok(reports)
     };
     let result = run();
     if ephemeral {
         let _ = fs::remove_dir_all(&dir);
     }
     result
+}
+
+/// Staleness threshold for the coordinator's own ticker: generous,
+/// because the workers are local children whose exits are reaped by
+/// the same loop (`fleetd status` takes `--stale-ms` instead).
+const STALE_AFTER_MS: u64 = 10_000;
+
+/// The last `max_bytes` of `path`, trimmed — empty when the file is
+/// missing or blank (a worker that died before writing anything).
+fn stderr_tail(path: &Path, max_bytes: usize) -> String {
+    let Ok(text) = fs::read_to_string(path) else {
+        return String::new();
+    };
+    let text = text.trim();
+    match text.char_indices().nth_back(max_bytes.saturating_sub(1)) {
+        Some((cut, _)) => format!("…{}", &text[cut..]),
+        None => text.to_string(),
+    }
+}
+
+/// Concatenates the per-worker `shard-K.trace.jsonl` files, in shard
+/// order, into `out` — one chronological-within-shard trace of the
+/// whole run. Workers that wrote no trace (older binary, spawn race)
+/// are skipped silently: the trace is telemetry, not a deliverable.
+fn concat_traces(dir: &Path, shards: usize, out: &Path) -> Result<(), FleetdError> {
+    let mut combined = String::new();
+    for shard in 0..shards {
+        if let Ok(text) = fs::read_to_string(dir.join(format!("shard-{shard}.trace.jsonl"))) {
+            combined.push_str(&text);
+        }
+    }
+    write_text(out, &combined)
 }
 
 /// Runs the same campaign single-process ([`Fleet::run_space`] over the

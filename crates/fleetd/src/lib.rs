@@ -36,13 +36,22 @@
 //!    single-process run.
 //!
 //! The `fleetd` binary ([`cli`]) exposes the protocol as `spec` /
-//! `plan` / `work` / `merge` / `run` subcommands with table, CSV and
-//! JSON output (the engine's [`render`](replica_engine::render); the
-//! spec's `output` field is the default rendering). Every failure is a
+//! `plan` / `work` / `merge` / `run` / `status` subcommands with
+//! table, CSV and JSON output (the engine's
+//! [`render`](replica_engine::render); the spec's `output` field is
+//! the default rendering). Every failure is a
 //! typed [`FleetdError`] — campaign problems surface the engine's
 //! [`SpecError`] with its did-you-mean suggestions intact. The shard
 //! determinism suite pins the contract: any shard count merges to the
 //! identical report.
+//!
+//! Telemetry ([`heartbeat`], `replica-obs`) rides alongside: every
+//! worker maintains a `shard-K.hb.json` heartbeat next to its report,
+//! the coordinator folds those into a live status ticker (and
+//! `fleetd status DIR` renders them on demand), and `--trace` captures
+//! the run's span/progress/histogram event stream as JSONL. All of it
+//! is strictly out-of-band — deterministic outputs are byte-identical
+//! with telemetry on or off.
 //!
 //! ## Quickstart (in-process workers)
 //!
@@ -71,12 +80,14 @@
 pub mod cli;
 pub mod coordinator;
 pub mod error;
+pub mod heartbeat;
 pub mod merge;
 pub mod plan;
 pub mod shard;
 pub mod worker;
 
 pub use error::FleetdError;
+pub use heartbeat::{Heartbeat, ShardStatus, WorkerState};
 pub use merge::{merge_reports, run_sharded_in_process};
 pub use plan::{plan_shards, ShardManifest, ShardPlan};
 pub use shard::{CellRecord, CellStatus, ShardReport};

@@ -21,12 +21,26 @@
 use crate::error::FleetdError;
 use crate::plan::ShardPlan;
 use crate::shard::{CellRecord, ShardReport};
+use replica_engine::obs::Obs;
 use replica_engine::{Fleet, JobSpace, Registry};
 
 /// Runs shard `shard` of `plan` in-process over the campaign's own lazy
 /// job space and returns its report.
 pub fn run_shard(plan: &ShardPlan, shard: usize) -> Result<ShardReport, FleetdError> {
     run_shard_on(plan, shard, &plan.campaign.space())
+}
+
+/// [`run_shard`] with telemetry: the engine's traced shard entry point
+/// streams per-batch progress and timing events into `obs` — this is
+/// how `fleetd work` feeds its heartbeat file and `--trace` JSONL.
+/// Telemetry is strictly out-of-band: the returned report is
+/// byte-identical to [`run_shard`]'s.
+pub fn run_shard_observed(
+    plan: &ShardPlan,
+    shard: usize,
+    obs: &Obs,
+) -> Result<ShardReport, FleetdError> {
+    run_shard_on_observed(plan, shard, &plan.campaign.space(), obs)
 }
 
 /// [`run_shard`] over an explicit job space — the seam the `O(shard)`
@@ -37,6 +51,16 @@ pub fn run_shard_on<S: JobSpace + ?Sized>(
     plan: &ShardPlan,
     shard: usize,
     space: &S,
+) -> Result<ShardReport, FleetdError> {
+    run_shard_on_observed(plan, shard, space, &Obs::noop())
+}
+
+/// [`run_shard_on`] with telemetry (see [`run_shard_observed`]).
+pub fn run_shard_on_observed<S: JobSpace + ?Sized>(
+    plan: &ShardPlan,
+    shard: usize,
+    space: &S,
+    obs: &Obs,
 ) -> Result<ShardReport, FleetdError> {
     let manifest = *plan.shards.get(shard).ok_or_else(|| {
         FleetdError::Protocol(format!(
@@ -61,9 +85,14 @@ pub fn run_shard_on<S: JobSpace + ?Sized>(
 
     let fleet = Fleet::try_new(&registry, plan.campaign.fleet_config())?;
     let mut cells = Vec::with_capacity(manifest.len() * plan.campaign.solvers.len());
-    let run = fleet.run_space_shard_recorded(space, manifest.start..manifest.end, |cell| {
-        cells.push(CellRecord::from_cell(cell));
-    });
+    let run = fleet.run_space_shard_recorded_traced(
+        space,
+        manifest.start..manifest.end,
+        |cell| {
+            cells.push(CellRecord::from_cell(cell));
+        },
+        obs,
+    );
 
     Ok(ShardReport {
         fingerprint: plan.fingerprint,

@@ -1,0 +1,254 @@
+//! The telemetry event model and its JSONL wire encoding.
+//!
+//! Events are plain values; sinks decide what to do with them. The
+//! JSONL encoding is hand-written (one compact object per line) because
+//! the vendored `serde_derive` subset cannot express an internally
+//! varied event union with stable field names — and a hand-rolled
+//! writer keeps the wire format an explicit, documented contract:
+//!
+//! ```json
+//! {"kind":"span_start","id":2,"parent":1,"name":"batch","label":"jobs 0..32"}
+//! {"kind":"span_end","id":2,"name":"batch","label":"jobs 0..32","micros":1523}
+//! {"kind":"progress","done":32,"total":96,"jobs_per_sec":812.5,"eta_secs":0.078}
+//! {"kind":"counter","name":"cells_solved","value":64}
+//! {"kind":"histogram","name":"fat-uniform-16/dp_power","unit":"ms","count":8,"mean":1.2,"min":0.9,"max":2.1,"p50":1.1,"p90":2.0}
+//! ```
+//!
+//! Every line carries a `"kind"` discriminant first; the JSONL sink
+//! appends a wall-clock `"ts_ms"` timestamp last. Floats render exactly
+//! like the workspace's JSON layer (shortest round-trip, `.0` marker,
+//! non-finite as `null`).
+
+use crate::hist::Stats;
+
+/// One telemetry event.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Event {
+    /// A span opened (`parent` is `None` for roots).
+    SpanStart {
+        /// Process-unique span id (monotonic, starts at 1).
+        id: u64,
+        /// Enclosing span id, if any.
+        parent: Option<u64>,
+        /// Structural name (`campaign`, `batch`, `solve`, `phase`, …).
+        name: &'static str,
+        /// Free-form instance label (scenario, solver, job range, …).
+        label: String,
+    },
+    /// A span closed; `micros` is its measured wall-clock duration.
+    SpanEnd {
+        /// Id of the span being closed.
+        id: u64,
+        /// Structural name, repeated for grep-ability.
+        name: &'static str,
+        /// Instance label, repeated for grep-ability.
+        label: String,
+        /// Wall-clock duration in microseconds.
+        micros: u64,
+    },
+    /// Batch-granularity progress of a fleet run.
+    Progress {
+        /// Jobs completed so far.
+        done: usize,
+        /// Total jobs in the run.
+        total: usize,
+        /// Observed throughput (jobs per wall-clock second).
+        jobs_per_sec: f64,
+        /// Estimated seconds to completion at the observed throughput.
+        eta_secs: f64,
+    },
+    /// Final value of a monotonic counter.
+    Counter {
+        /// Counter name (e.g. `cells_solved`).
+        name: &'static str,
+        /// Accumulated value.
+        value: u64,
+    },
+    /// Snapshot of a wall-clock histogram.
+    Histogram {
+        /// Histogram name (e.g. `scenario/solver`).
+        name: String,
+        /// Unit of the recorded values (e.g. `ms`).
+        unit: &'static str,
+        /// Distribution snapshot (count, mean, min, max, p50, p90).
+        stats: Stats,
+    },
+}
+
+impl Event {
+    /// The `"kind"` discriminant this event serializes under.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Event::SpanStart { .. } => "span_start",
+            Event::SpanEnd { .. } => "span_end",
+            Event::Progress { .. } => "progress",
+            Event::Counter { .. } => "counter",
+            Event::Histogram { .. } => "histogram",
+        }
+    }
+
+    /// Renders the event as one compact JSON object (no trailing
+    /// newline). `ts_ms` — a Unix-epoch millisecond wall timestamp — is
+    /// appended as the final field when provided.
+    pub fn to_json_line(&self, ts_ms: Option<u64>) -> String {
+        let mut out = String::with_capacity(96);
+        out.push_str("{\"kind\":\"");
+        out.push_str(self.kind());
+        out.push('"');
+        match self {
+            Event::SpanStart {
+                id,
+                parent,
+                name,
+                label,
+            } => {
+                push_u64(&mut out, "id", *id);
+                match parent {
+                    Some(p) => push_u64(&mut out, "parent", *p),
+                    None => out.push_str(",\"parent\":null"),
+                }
+                push_str(&mut out, "name", name);
+                push_str(&mut out, "label", label);
+            }
+            Event::SpanEnd {
+                id,
+                name,
+                label,
+                micros,
+            } => {
+                push_u64(&mut out, "id", *id);
+                push_str(&mut out, "name", name);
+                push_str(&mut out, "label", label);
+                push_u64(&mut out, "micros", *micros);
+            }
+            Event::Progress {
+                done,
+                total,
+                jobs_per_sec,
+                eta_secs,
+            } => {
+                push_u64(&mut out, "done", *done as u64);
+                push_u64(&mut out, "total", *total as u64);
+                push_f64(&mut out, "jobs_per_sec", *jobs_per_sec);
+                push_f64(&mut out, "eta_secs", *eta_secs);
+            }
+            Event::Counter { name, value } => {
+                push_str(&mut out, "name", name);
+                push_u64(&mut out, "value", *value);
+            }
+            Event::Histogram { name, unit, stats } => {
+                push_str(&mut out, "name", name);
+                push_str(&mut out, "unit", unit);
+                push_u64(&mut out, "count", stats.count as u64);
+                push_f64(&mut out, "mean", stats.mean);
+                push_f64(&mut out, "min", stats.min);
+                push_f64(&mut out, "max", stats.max);
+                push_f64(&mut out, "p50", stats.p50);
+                push_f64(&mut out, "p90", stats.p90);
+            }
+        }
+        if let Some(ts) = ts_ms {
+            push_u64(&mut out, "ts_ms", ts);
+        }
+        out.push('}');
+        out
+    }
+}
+
+fn push_u64(out: &mut String, key: &str, value: u64) {
+    out.push_str(",\"");
+    out.push_str(key);
+    out.push_str("\":");
+    out.push_str(&value.to_string());
+}
+
+/// Shortest round-tripping decimal with a `.0` marker so floats
+/// re-parse as floats; non-finite values render as `null` (matching the
+/// workspace's JSON layer).
+fn push_f64(out: &mut String, key: &str, value: f64) {
+    out.push_str(",\"");
+    out.push_str(key);
+    out.push_str("\":");
+    if !value.is_finite() {
+        out.push_str("null");
+        return;
+    }
+    let s = format!("{value}");
+    out.push_str(&s);
+    if !(s.contains('.') || s.contains('e') || s.contains('E')) {
+        out.push_str(".0");
+    }
+}
+
+fn push_str(out: &mut String, key: &str, value: &str) {
+    out.push_str(",\"");
+    out.push_str(key);
+    out.push_str("\":\"");
+    for c in value.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lines_are_valid_compact_json() {
+        let start = Event::SpanStart {
+            id: 2,
+            parent: Some(1),
+            name: "solve",
+            label: "fat-uniform-16#3 dp_power".into(),
+        };
+        assert_eq!(
+            start.to_json_line(None),
+            "{\"kind\":\"span_start\",\"id\":2,\"parent\":1,\"name\":\"solve\",\
+             \"label\":\"fat-uniform-16#3 dp_power\"}"
+        );
+        let root = Event::SpanStart {
+            id: 1,
+            parent: None,
+            name: "campaign",
+            label: "jobs 0..96".into(),
+        };
+        assert!(root.to_json_line(Some(7)).contains("\"parent\":null"));
+        assert!(root.to_json_line(Some(7)).ends_with(",\"ts_ms\":7}"));
+    }
+
+    #[test]
+    fn float_rendering_matches_the_json_layer() {
+        let p = Event::Progress {
+            done: 3,
+            total: 4,
+            jobs_per_sec: 2.0,
+            eta_secs: f64::INFINITY,
+        };
+        let line = p.to_json_line(None);
+        assert_eq!(
+            line,
+            "{\"kind\":\"progress\",\"done\":3,\"total\":4,\
+             \"jobs_per_sec\":2.0,\"eta_secs\":null}"
+        );
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        let e = Event::Histogram {
+            name: "we\"ird\nname".into(),
+            unit: "ms",
+            stats: Stats::default(),
+        };
+        let line = e.to_json_line(None);
+        assert!(line.contains("we\\\"ird\\nname"), "{line}");
+    }
+}

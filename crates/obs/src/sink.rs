@@ -1,0 +1,203 @@
+//! Pluggable event sinks: where telemetry goes.
+//!
+//! A [`Sink`] receives every [`Event`] an [`crate::Obs`] handle emits.
+//! Sinks are shared across worker threads (`Send + Sync`) and must
+//! serialize their own interior state; emission order for events
+//! produced concurrently (per-solve spans under rayon) is not
+//! deterministic — which is fine, because telemetry is out-of-band by
+//! contract and never feeds back into results.
+
+use crate::event::Event;
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::Path;
+use std::sync::{Arc, Mutex};
+use std::time::{SystemTime, UNIX_EPOCH};
+
+/// Receives telemetry events.
+pub trait Sink: Send + Sync {
+    /// Consumes one event.
+    fn emit(&self, event: &Event);
+    /// Flushes any buffered output (no-op by default).
+    fn flush(&self) {}
+}
+
+/// Discards everything. The zero-cost default.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NoopSink;
+
+impl Sink for NoopSink {
+    fn emit(&self, _event: &Event) {}
+}
+
+/// Collects events in memory — the test sink.
+#[derive(Debug, Default)]
+pub struct MemorySink {
+    events: Mutex<Vec<Event>>,
+}
+
+impl MemorySink {
+    /// An empty in-memory sink.
+    pub fn new() -> Self {
+        MemorySink::default()
+    }
+
+    /// A copy of everything recorded so far.
+    pub fn snapshot(&self) -> Vec<Event> {
+        self.events.lock().expect("memory sink poisoned").clone()
+    }
+
+    /// Removes and returns everything recorded so far.
+    pub fn take(&self) -> Vec<Event> {
+        std::mem::take(&mut *self.events.lock().expect("memory sink poisoned"))
+    }
+
+    /// Number of events recorded so far.
+    pub fn len(&self) -> usize {
+        self.events.lock().expect("memory sink poisoned").len()
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl Sink for MemorySink {
+    fn emit(&self, event: &Event) {
+        self.events
+            .lock()
+            .expect("memory sink poisoned")
+            .push(event.clone());
+    }
+}
+
+/// Writes one JSON object per line to a file, buffered. Each line gets
+/// a wall-clock `ts_ms` timestamp at write time.
+#[derive(Debug)]
+pub struct JsonlSink {
+    out: Mutex<BufWriter<File>>,
+}
+
+impl JsonlSink {
+    /// Creates (truncating) the trace file at `path`.
+    pub fn create(path: &Path) -> std::io::Result<Self> {
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        Ok(JsonlSink {
+            out: Mutex::new(BufWriter::new(File::create(path)?)),
+        })
+    }
+}
+
+/// Unix-epoch milliseconds now (0 if the clock is before the epoch).
+pub(crate) fn unix_ms() -> u64 {
+    SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_millis() as u64)
+        .unwrap_or(0)
+}
+
+impl Sink for JsonlSink {
+    fn emit(&self, event: &Event) {
+        let line = event.to_json_line(Some(unix_ms()));
+        let mut out = self.out.lock().expect("jsonl sink poisoned");
+        // Telemetry must never abort the run it observes; a full disk
+        // loses trace lines, not results.
+        let _ = writeln!(out, "{line}");
+    }
+
+    fn flush(&self) {
+        let _ = self.out.lock().expect("jsonl sink poisoned").flush();
+    }
+}
+
+impl Drop for JsonlSink {
+    fn drop(&mut self) {
+        self.flush();
+    }
+}
+
+/// Duplicates every event to each inner sink (e.g. a trace file plus a
+/// heartbeat writer).
+pub struct FanoutSink {
+    sinks: Vec<Arc<dyn Sink>>,
+}
+
+impl FanoutSink {
+    /// A sink broadcasting to `sinks` in order.
+    pub fn new(sinks: Vec<Arc<dyn Sink>>) -> Self {
+        FanoutSink { sinks }
+    }
+}
+
+impl Sink for FanoutSink {
+    fn emit(&self, event: &Event) {
+        for sink in &self.sinks {
+            sink.emit(event);
+        }
+    }
+
+    fn flush(&self) {
+        for sink in &self.sinks {
+            sink.flush();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn counter(value: u64) -> Event {
+        Event::Counter {
+            name: "cells_solved",
+            value,
+        }
+    }
+
+    #[test]
+    fn memory_sink_records_in_order() {
+        let sink = MemorySink::new();
+        sink.emit(&counter(1));
+        sink.emit(&counter(2));
+        assert_eq!(sink.len(), 2);
+        assert_eq!(sink.snapshot(), vec![counter(1), counter(2)]);
+        assert_eq!(sink.take().len(), 2);
+        assert!(sink.is_empty());
+    }
+
+    #[test]
+    fn jsonl_sink_writes_one_timestamped_line_per_event() {
+        let path = std::env::temp_dir().join(format!("obs-sink-test-{}.jsonl", std::process::id()));
+        {
+            let sink = JsonlSink::create(&path).expect("create trace file");
+            sink.emit(&counter(7));
+            sink.emit(&counter(8));
+        } // drop flushes
+        let text = std::fs::read_to_string(&path).expect("read trace file");
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(
+            lines[0].starts_with("{\"kind\":\"counter\""),
+            "{}",
+            lines[0]
+        );
+        assert!(lines[0].contains("\"ts_ms\":"), "{}", lines[0]);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn fanout_broadcasts() {
+        let a = Arc::new(MemorySink::new());
+        let b = Arc::new(MemorySink::new());
+        let fan = FanoutSink::new(vec![a.clone() as Arc<dyn Sink>, b.clone() as Arc<dyn Sink>]);
+        fan.emit(&counter(3));
+        fan.flush();
+        assert_eq!(a.len(), 1);
+        assert_eq!(b.len(), 1);
+    }
+}
