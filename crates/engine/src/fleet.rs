@@ -54,7 +54,40 @@ use std::collections::HashMap;
 use std::fmt;
 use std::fmt::Write as _;
 use std::ops::Range;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::time::Instant;
+
+/// A shared cooperative cancellation flag for in-flight fleet runs.
+///
+/// Supervisors (e.g. `replica-fleetd`'s fault-tolerant scheduler) hand a
+/// clone to a running shard and [`cancel`](CancelToken::cancel) it when
+/// the work is no longer wanted — a dead sibling shard exhausted its
+/// retries, a fault injector simulates a mid-shard kill, the whole
+/// campaign is being torn down. The runner checks the token **between
+/// streaming batches** (the natural safe point: a batch's results are
+/// folded atomically or not at all), so cancellation never produces a
+/// partial fold — a cancelled run returns `None`, not a half-aggregated
+/// report that could silently corrupt a merge.
+#[derive(Clone, Debug, Default)]
+pub struct CancelToken(Arc<AtomicBool>);
+
+impl CancelToken {
+    /// A fresh, un-cancelled token.
+    pub fn new() -> CancelToken {
+        CancelToken::default()
+    }
+
+    /// Requests cancellation. Idempotent; visible to every clone.
+    pub fn cancel(&self) {
+        self.0.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether cancellation has been requested.
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(Ordering::SeqCst)
+    }
+}
 
 /// One labelled instance of a fleet.
 #[derive(Clone)]
@@ -827,7 +860,8 @@ impl<'r> Fleet<'r> {
     /// trace-invariance proptest pins this.
     pub fn run_space_traced<S: JobSpace + ?Sized>(&self, space: &S, obs: &Obs) -> FleetReport {
         let reference = self.config.resolved_reference();
-        self.run_range::<MetricAccumulator, S>(space, 0..space.len(), &mut |_| {}, obs)
+        self.run_range::<MetricAccumulator, S>(space, 0..space.len(), &mut |_| {}, obs, None)
+            .expect("no cancel token given")
             .finish(reference.as_deref())
     }
 
@@ -861,7 +895,8 @@ impl<'r> Fleet<'r> {
         mut observe: impl FnMut(&FleetCell),
     ) -> FleetReport {
         let reference = self.config.resolved_reference();
-        self.run_range::<MetricAccumulator, S>(space, range, &mut observe, &Obs::noop())
+        self.run_range::<MetricAccumulator, S>(space, range, &mut observe, &Obs::noop(), None)
+            .expect("no cancel token given")
             .finish(reference.as_deref())
     }
 
@@ -886,16 +921,36 @@ impl<'r> Fleet<'r> {
         &self,
         space: &S,
         range: Range<usize>,
-        mut observe: impl FnMut(&FleetCell),
+        observe: impl FnMut(&FleetCell),
         obs: &Obs,
     ) -> ShardRun {
+        self.run_space_shard_recorded_cancellable(space, range, observe, obs, None)
+            .expect("no cancel token given")
+    }
+
+    /// [`Fleet::run_space_shard_recorded_traced`] with a cooperative
+    /// [`CancelToken`] — the supervised-worker seam. The token is
+    /// checked **between streaming batches** (a batch folds atomically
+    /// or not at all): a cancelled run returns `None` and discards every
+    /// partial aggregate, so a supervisor that kills a shard mid-run can
+    /// never end up merging a half-folded report. `None` for `cancel`
+    /// (or a token that is never cancelled) makes this identical to the
+    /// uncancellable entry point.
+    pub fn run_space_shard_recorded_cancellable<S: JobSpace + ?Sized>(
+        &self,
+        space: &S,
+        range: Range<usize>,
+        mut observe: impl FnMut(&FleetCell),
+        obs: &Obs,
+        cancel: Option<&CancelToken>,
+    ) -> Option<ShardRun> {
         let reference = self.config.resolved_reference();
-        let agg = self.run_range::<RecordedMetric, S>(space, range, &mut observe, obs);
+        let agg = self.run_range::<RecordedMetric, S>(space, range, &mut observe, obs, cancel)?;
         let groups = agg.group_states();
-        ShardRun {
+        Some(ShardRun {
             report: agg.finish(reference.as_deref()),
             groups,
-        }
+        })
     }
 
     /// The shared run body: generate and solve `space[range]` batch by
@@ -911,13 +966,18 @@ impl<'r> Fleet<'r> {
     /// `solve` spans when `obs` is at [`replica_obs::Verbosity::Solve`],
     /// and — at the end — one wall-clock histogram per `(scenario,
     /// solver)` group plus the outcome counters.
+    ///
+    /// Cancellation: when `cancel` is given, the token is polled before
+    /// each batch; a cancelled run stops generating work and returns
+    /// `None` — no partial aggregation ever escapes.
     fn run_range<M: MetricSink, S: JobSpace + ?Sized>(
         &self,
         space: &S,
         range: Range<usize>,
         observe: &mut dyn FnMut(&FleetCell),
         obs: &Obs,
-    ) -> Aggregation<M> {
+        cancel: Option<&CancelToken>,
+    ) -> Option<Aggregation<M>> {
         assert!(
             range.start <= range.end && range.end <= space.len(),
             "shard range {range:?} outside the job space (len {})",
@@ -945,6 +1005,11 @@ impl<'r> Fleet<'r> {
             let disabled = Span::disabled();
             let mut done = 0usize;
             for start in (range.start..range.end).step_by(batch) {
+                if cancel.is_some_and(CancelToken::is_cancelled) {
+                    drop(run_span);
+                    obs.flush();
+                    return None;
+                }
                 let end = (start + batch).min(range.end);
                 let batch_span = run_span.child("batch", format!("jobs {start}..{end}"));
                 // Per-solve spans only at full verbosity; a disabled
@@ -1011,7 +1076,7 @@ impl<'r> Fleet<'r> {
             }
             drop(run_span);
             obs.flush();
-            agg
+            Some(agg)
         };
         match self.config.threads {
             None => body(),
@@ -1436,6 +1501,65 @@ mod tests {
                 state.agrees_with(summary).unwrap();
             }
         }
+    }
+
+    #[test]
+    fn cancellation_between_batches_discards_everything_or_nothing() {
+        let registry = Registry::with_all();
+        let fleet = Fleet::new(&registry, shard_config());
+        let jobs = tiny_jobs();
+
+        // A never-cancelled token changes nothing: byte-identical to the
+        // uncancellable entry point.
+        let token = CancelToken::new();
+        let run = fleet
+            .run_space_shard_recorded_cancellable(
+                &jobs[..],
+                0..jobs.len(),
+                |_| {},
+                &replica_obs::Obs::noop(),
+                Some(&token),
+            )
+            .expect("uncancelled run completes");
+        let baseline = fleet.run_shard_recorded(&jobs, 0..jobs.len(), |_| {});
+        assert_eq!(run.report.digest(), baseline.report.digest());
+
+        // Cancelling from the cell observer (batch_jobs = 2, so the
+        // token trips mid-run) aborts at the next batch boundary and
+        // yields None — observed cells are discarded, never folded into
+        // a partial report.
+        let mid = CancelToken::new();
+        let mid_clone = mid.clone();
+        let mut seen = 0usize;
+        let cancelled = fleet.run_space_shard_recorded_cancellable(
+            &jobs[..],
+            0..jobs.len(),
+            |_| {
+                seen += 1;
+                if seen >= 3 {
+                    mid_clone.cancel();
+                }
+            },
+            &replica_obs::Obs::noop(),
+            Some(&mid),
+        );
+        assert!(cancelled.is_none(), "mid-run cancellation must yield None");
+        assert!(seen >= 3 && seen < jobs.len() * 3, "stopped early: {seen}");
+        assert!(mid.is_cancelled());
+
+        // A token cancelled up front runs nothing at all.
+        let pre = CancelToken::new();
+        pre.cancel();
+        let mut observed = 0usize;
+        let none = fleet.run_space_shard_recorded_cancellable(
+            &jobs[..],
+            0..jobs.len(),
+            |_| observed += 1,
+            &replica_obs::Obs::noop(),
+            Some(&pre),
+        );
+        assert!(none.is_none());
+        assert_eq!(observed, 0, "pre-cancelled run must not solve a cell");
     }
 
     #[test]

@@ -108,8 +108,8 @@ pub mod stream;
 pub mod sweep;
 
 pub use fleet::{
-    CellOutcome, CellResult, Fleet, FleetCell, FleetConfig, FleetFold, FleetJob, FleetReport,
-    FleetSummary, GroupState, ShardRun,
+    CancelToken, CellOutcome, CellResult, Fleet, FleetCell, FleetConfig, FleetFold, FleetJob,
+    FleetReport, FleetSummary, GroupState, ShardRun,
 };
 pub use jobspace::{CountingSpace, JobSpace, ScenarioSpace};
 pub use output::{render, OutputFormat};

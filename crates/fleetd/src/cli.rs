@@ -29,12 +29,14 @@ use crate::coordinator::{
     prove_against_single_process, read_json, run_plan_with, write_json, RunOptions, Workers,
 };
 use crate::error::FleetdError;
+use crate::fault::{FaultKind, FaultPlan};
 use crate::heartbeat::{self, HeartbeatSink, WorkerState};
 use crate::merge::merge_reports;
 use crate::plan::ShardPlan;
+use crate::sched::SchedConfig;
 use crate::shard::ShardReport;
 use crate::worker;
-use replica_engine::obs::{FanoutSink, JsonlSink, Obs, Sink, Verbosity};
+use replica_engine::obs::{Event, FanoutSink, JsonlSink, Obs, Sink, Verbosity};
 use replica_engine::output::{render, OutputFormat};
 use replica_engine::spec::{Campaign, CampaignSpec, SpecError, CAMPAIGN_FLAG_NAMES};
 use replica_engine::Registry;
@@ -48,10 +50,13 @@ fleetd — sharded multi-process fleet campaigns with deterministic merge
 USAGE:
     fleetd spec  [CAMPAIGN FLAGS] [--format F] [--out spec.json]
     fleetd plan  [CAMPAIGN FLAGS] --shards N --out plan.json
-    fleetd work  --plan plan.json --shard K --out shard-K.json [--trace t.jsonl]
+    fleetd work  --plan plan.json --shard K --out shard-K.json
+                 [--attempt A] [--trace t.jsonl] [--inject SPEC]
     fleetd merge --plan plan.json [--format F] [--out FILE] shard-0.json shard-1.json …
     fleetd run   [CAMPAIGN FLAGS] --shards N [--format F] [--out FILE]
                  [--in-process] [--no-verify] [--work-dir DIR] [--trace t.jsonl]
+                 [--max-retries N] [--slots N] [--steal] [--stale-ms MS]
+                 [--backoff-ms MS] [--inject SPEC]
     fleetd status DIR [--stale-ms N]
     fleetd help
 
@@ -82,7 +87,33 @@ TELEMETRY (work, run, status):
     --stale-ms N        `status`: a Running heartbeat older than N ms
                         counts as stale                  [default: 10000]
 
-Workers write `shard-K.hb.json` heartbeats next to their reports;
+FAULT TOLERANCE (run):
+    --max-retries N     retries per shard after its first attempt
+                        (attempt generations 0..=N)      [default: 2]
+    --slots N           concurrent worker attempts       [default: unbounded]
+    --steal             let idle slots claim any eligible shard instead
+                        of waiting in strict shard order
+    --stale-ms MS       a Running heartbeat older than MS counts as
+                        stale: the worker is killed and the shard
+                        reassigned                       [default: 10000]
+    --backoff-ms MS     retry backoff base; attempt A waits MS×2^A,
+                        capped at 5000ms                 [default: 200]
+    --inject SPEC       deterministic fault injection (TEST ONLY):
+                        kind:shard[.attempt][@cells], kinds
+                        kill|hang|truncate|stale, comma-separated —
+                        e.g. kill:3@5,hang:7,truncate:2.1. Faults are
+                        keyed by (shard, attempt): a fault on attempt 0
+                        retries clean on attempt 1.
+
+Every shard attempt gets its own claim / report / heartbeat / stderr /
+trace files (`shard-K.aA.*`): a superseded worker that finishes late
+can never overwrite its retry's report, and the merge only admits the
+scheduler's winning attempt per shard — recovery never perturbs the
+deterministic merge. A shard that fails every attempt ends the run
+with a typed error naming each dead attempt; use a fresh --work-dir
+per run (claims are never recycled).
+
+Workers write `shard-K.aA.hb.json` heartbeats next to their reports;
 `fleetd status DIR` renders them (DIR is the run's --work-dir), and
 `run` folds them into a live stderr ticker. Legacy flags build a spec
 internally and round-trip it through the serializer; `fleetd spec`
@@ -92,7 +123,7 @@ single-process digest, cell count, FNV cell checksum) to stderr;
 ";
 
 /// Boolean switches (flags without a value).
-const SWITCHES: &[&str] = &["--in-process", "--no-verify", "--help"];
+const SWITCHES: &[&str] = &["--in-process", "--no-verify", "--steal", "--help"];
 
 /// Valued flags accepted per subcommand (a misspelled flag must be an
 /// error, not a silently ignored entry that runs the wrong campaign).
@@ -102,10 +133,21 @@ fn allowed_flags(command: &str) -> Option<Vec<&'static str>> {
     let mut allowed: Vec<&'static str> = match command {
         "spec" => vec!["format", "out"],
         "plan" => vec!["shards", "out"],
-        "work" => return Some(vec!["plan", "shard", "out", "trace"]),
+        "work" => return Some(vec!["plan", "shard", "attempt", "out", "trace", "inject"]),
         "merge" => return Some(vec!["plan", "format", "out"]),
         "status" => return Some(vec!["stale-ms"]),
-        "run" => vec!["shards", "format", "out", "work-dir", "trace"],
+        "run" => vec![
+            "shards",
+            "format",
+            "out",
+            "work-dir",
+            "trace",
+            "max-retries",
+            "slots",
+            "stale-ms",
+            "backoff-ms",
+            "inject",
+        ],
         _ => return None,
     };
     allowed.extend_from_slice(CAMPAIGN_FLAG_NAMES);
@@ -260,6 +302,33 @@ fn cmd_plan(args: &Args) -> Result<(), FleetdError> {
     Ok(())
 }
 
+/// An [`Sink`] that aborts the process once the progress stream shows
+/// enough cells complete — the subprocess half of `kill:K@N`. Exiting
+/// without a report or a terminal heartbeat is the point: this *is*
+/// the abrupt death the supervisor must recover from.
+struct ExitAfterCells {
+    after_cells: usize,
+    cells_per_job: usize,
+}
+
+impl Sink for ExitAfterCells {
+    fn emit(&self, event: &Event) {
+        if let Event::Progress { done, .. } = event {
+            if done * self.cells_per_job >= self.after_cells {
+                std::process::exit(101);
+            }
+        }
+    }
+}
+
+/// Sleeps forever (well past any plausible staleness threshold) in
+/// small slices; the supervisor's stale-kill ends it.
+fn sleep_until_killed() {
+    loop {
+        std::thread::sleep(std::time::Duration::from_millis(250));
+    }
+}
+
 fn cmd_work(args: &Args) -> Result<(), FleetdError> {
     let plan_path = args
         .get("plan")
@@ -271,19 +340,26 @@ fn cmd_work(args: &Args) -> Result<(), FleetdError> {
             .map_err(|_| FleetdError::Usage(format!("--shard: cannot parse {text:?}")))?,
         None => return Err(FleetdError::Usage("work needs --shard <index>".into())),
     };
+    let attempt: usize = args.parsed("attempt", 0)?;
     let out = args
         .get("out")
         .ok_or_else(|| FleetdError::Usage("work needs --out <shard.json>".into()))?;
+    let fault = match args.get("inject") {
+        Some(spec) => FaultPlan::parse(spec)?.fault_for(shard, attempt),
+        None => None,
+    };
 
     // Telemetry: a heartbeat file next to the report, plus an optional
     // JSONL trace, fanned into one obs handle. Per-solve span detail is
     // only worth emitting when someone asked for the trace.
     let jobs_total = plan.shards.get(shard).map_or(0, |m| m.len());
-    let heartbeat_sink = Arc::new(HeartbeatSink::new(
+    let cells_per_job = plan.campaign.solvers.len();
+    let heartbeat_sink = Arc::new(HeartbeatSink::for_attempt(
         heartbeat::path_for_report(Path::new(out)),
         shard,
+        attempt,
         jobs_total,
-        plan.campaign.solvers.len(),
+        cells_per_job,
     ));
     let mut sinks: Vec<Arc<dyn Sink>> = vec![heartbeat_sink.clone()];
     let verbosity = match args.get("trace") {
@@ -297,12 +373,54 @@ fn cmd_work(args: &Args) -> Result<(), FleetdError> {
         }
         None => Verbosity::Progress,
     };
+
+    // Injected faults, acted out for real: this process genuinely
+    // dies / hangs / tears its report — the supervisor sees exactly
+    // what a production failure looks like.
+    match fault {
+        Some(FaultKind::Kill { after_cells }) => {
+            if after_cells == 0 {
+                std::process::exit(101);
+            }
+            sinks.push(Arc::new(ExitAfterCells {
+                after_cells,
+                cells_per_job: cells_per_job.max(1),
+            }));
+        }
+        Some(FaultKind::Hang) => {
+            // Stop heartbeating and stop progressing: the starting
+            // heartbeat was written, then nothing — Stale, killed.
+            heartbeat_sink.freeze();
+            sleep_until_killed();
+        }
+        Some(FaultKind::StaleHeartbeat) => {
+            // Freeze the heartbeat but keep living: the coordinator
+            // classifies the worker stale and kills it mid-nap. (The
+            // in-process runner is where this fault survives to become
+            // a true zombie — see coordinator::run_in_process.)
+            heartbeat_sink.freeze();
+            sleep_until_killed();
+        }
+        Some(FaultKind::TruncateReport) | None => {}
+    }
     let obs = Obs::new(Arc::new(FanoutSink::new(sinks)), verbosity);
 
-    let result = worker::run_shard_observed(&plan, shard, &obs).and_then(|report| {
-        write_json(&PathBuf::from(out), &report)?;
-        Ok(report)
-    });
+    let result = worker::run_shard_attempt(&plan, shard, attempt, &obs, None)
+        .map(|report| report.expect("no cancel token given"))
+        .and_then(|report| {
+            if let Some(FaultKind::TruncateReport) = fault {
+                // Tear the write the way `kill -9` mid-write would:
+                // half the JSON bytes, then exit 0 as if all were well.
+                let json = serde_json::to_string(&report).map_err(|e| FleetdError::Io {
+                    path: out.to_string(),
+                    message: format!("serializing: {e}"),
+                })?;
+                crate::coordinator::write_text(&PathBuf::from(out), &json[..json.len() / 2])?;
+            } else {
+                write_json(&PathBuf::from(out), &report)?;
+            }
+            Ok(report)
+        });
     let report = match result {
         Ok(report) => report,
         Err(e) => {
@@ -312,9 +430,10 @@ fn cmd_work(args: &Args) -> Result<(), FleetdError> {
     };
     heartbeat_sink.finish(WorkerState::Done);
     eprintln!(
-        "shard {}/{}: jobs {}..{}, {} cells, checksum {:016x} → {out}",
+        "shard {}/{} attempt {}: jobs {}..{}, {} cells, checksum {:016x} → {out}",
         report.shard,
         report.shard_count,
+        report.attempt,
         report.start,
         report.end,
         report.cell_count,
@@ -370,9 +489,21 @@ fn cmd_run(args: &Args) -> Result<(), FleetdError> {
             "one process per shard"
         },
     );
+    let defaults = SchedConfig::default();
     let options = RunOptions {
         trace: args.get("trace").map(PathBuf::from),
         live_status: true,
+        sched: SchedConfig {
+            max_retries: args.parsed("max-retries", defaults.max_retries)?,
+            slots: args.parsed("slots", defaults.slots)?,
+            steal: args.has("--steal"),
+            stale_ms: args.parsed("stale-ms", defaults.stale_ms)?,
+            backoff_ms: args.parsed("backoff-ms", defaults.backoff_ms)?,
+        },
+        faults: match args.get("inject") {
+            Some(spec) => FaultPlan::parse(spec)?,
+            None => FaultPlan::none(),
+        },
     };
     let merged = run_plan_with(&plan, &workers, &options)?;
     if !args.has("--no-verify") {

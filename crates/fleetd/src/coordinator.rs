@@ -1,53 +1,74 @@
-//! The coordinator: spawning shard workers and merging their reports.
+//! The coordinator: supervising shard workers and merging their reports.
 //!
 //! The multi-process path re-invokes this same binary (`fleetd work`)
-//! once per shard via [`std::process::Command`], hands each worker the
-//! plan file plus its shard index, waits for all of them, then merges
-//! the reports with [`crate::merge::merge_reports`]. Workers are plain
-//! OS processes — no shared memory, no IPC beyond the JSON files — so
-//! the same plan/work/merge protocol extends to many machines with a
-//! shared filesystem (or any file transport) unchanged.
+//! once per shard attempt via [`std::process::Command`], hands each
+//! worker the plan file plus its shard index and attempt generation,
+//! supervises the fleet, then merges the winning reports with
+//! [`crate::merge::merge_reports_fenced`]. Workers are plain OS
+//! processes — no shared memory, no IPC beyond the JSON files — so the
+//! same plan/work/merge protocol extends to many machines with a shared
+//! filesystem (or any file transport) unchanged.
 //!
-//! [`Workers::InProcess`] runs the same protocol without spawning
-//! (shard loop in the current process): the mode for examples, tests
-//! and environments where spawning is unavailable.
+//! Supervision is the [`Scheduler`] state machine driven by the real
+//! clock: every launch first claims its `(shard, attempt)` in the
+//! [`crate::pool`] (atomic hard-link claims, per-attempt files), worker
+//! exits and torn reports feed `on_success`/`on_failure`, and a worker
+//! whose heartbeat goes [`ShardStatus::Stale`] — hung, killed, host
+//! unreachable — is killed and its shard reassigned with bounded
+//! backoff (`--max-retries`, `--steal`). Attempt fencing means a
+//! superseded worker's late report sits harmlessly in its own
+//! `shard-K.aA.json`; only the scheduler's winning attempts merge.
 //!
-//! While subprocess workers run, the coordinator polls their
-//! heartbeat files ([`crate::heartbeat`]) and renders a live status
-//! ticker to stderr; each worker's stderr is captured to
-//! `shard-K.stderr` so a failing shard's diagnostics land in the
+//! [`Workers::InProcess`] runs the same scheduler without spawning,
+//! on a **virtual clock** that jumps straight to the next backoff gate:
+//! the mode for examples, tests and environments where spawning is
+//! unavailable — and the deterministic half of the fault-injection
+//! battery, via [`RunOptions::faults`].
+//!
+//! While subprocess workers run, the coordinator polls their heartbeat
+//! files ([`crate::heartbeat`]) and renders a live status ticker to
+//! stderr; each attempt's stderr is captured to `shard-K.aA.stderr` so
+//! a failing attempt's diagnostics land in the
 //! [`FleetdError::Protocol`] message instead of interleaving with the
-//! others. [`RunOptions::trace`] threads a `--trace` JSONL request
-//! down to every worker and concatenates the per-shard traces, in
+//! others. [`RunOptions::trace`] threads a `--trace` JSONL request down
+//! to every worker and concatenates the *winning* attempts' traces, in
 //! shard order, into one file.
 
 use crate::error::FleetdError;
-use crate::heartbeat;
-use crate::merge::merge_reports;
+use crate::fault::{FaultKind, FaultPlan};
+use crate::heartbeat::{self, Heartbeat, ShardStatus};
+use crate::merge::merge_reports_fenced;
 use crate::plan::ShardPlan;
+use crate::pool::{self, ClaimRecord};
+use crate::sched::{Launch, SchedConfig, Scheduler};
 use crate::shard::ShardReport;
-use replica_engine::obs::{Obs, Verbosity};
-use replica_engine::{Fleet, FleetReport, Registry};
+use crate::worker;
+use replica_engine::obs::{Obs, Sink, Verbosity};
+use replica_engine::{CancelToken, Fleet, FleetReport, Registry};
 use std::fs;
 use std::path::{Path, PathBuf};
-use std::process::{Command, Stdio};
+use std::process::{Child, Command, Stdio};
+use std::sync::Arc;
 use std::time::Duration;
 
 /// How shard workers are executed.
 #[derive(Clone, Debug)]
 pub enum Workers {
-    /// Run every shard sequentially in the current process (each shard
-    /// still solves its own jobs with rayon). No subprocesses, no files.
+    /// Run every shard attempt sequentially in the current process
+    /// (each shard still solves its own jobs with rayon), with the
+    /// scheduler on a virtual clock. No subprocesses; no files.
     InProcess,
-    /// Spawn one OS process per shard, re-invoking `exe work …` — the
-    /// production mode. Shard reports travel through `work_dir` (a
-    /// unique temp directory when `None`, removed after the merge).
+    /// Spawn one OS process per shard attempt, re-invoking `exe work …`
+    /// — the production mode. Shard reports travel through `work_dir`
+    /// (a unique temp directory when `None`, removed after the merge).
     Processes {
         /// The `fleetd` binary to invoke (usually
         /// [`std::env::current_exe`]).
         exe: PathBuf,
-        /// Directory for `plan.json` / `shard-K.json`; kept if given,
-        /// temporary otherwise.
+        /// Directory for `plan.json` / `shard-K.aA.json`; kept if
+        /// given, temporary otherwise. Use a fresh directory per run —
+        /// claims are never unclaimed, so a reused directory's stale
+        /// claims count against the new run's retries.
         work_dir: Option<PathBuf>,
     },
 }
@@ -66,50 +87,49 @@ impl Workers {
     }
 }
 
-/// Coordinator-level telemetry options for a planned run.
+/// Coordinator options for a planned run: telemetry plus the
+/// fault-tolerance policy.
 #[derive(Clone, Debug, Default)]
 pub struct RunOptions {
     /// Write a JSONL trace of the run here. Subprocess workers each
-    /// trace to `shard-K.trace.jsonl` in the work directory; the
-    /// coordinator concatenates them, in shard order, into this file.
-    /// In-process runs trace straight to it.
+    /// trace to `shard-K.aA.trace.jsonl` in the work directory; the
+    /// coordinator concatenates the winning attempts', in shard order,
+    /// into this file. In-process runs trace straight to it.
     pub trace: Option<PathBuf>,
     /// Render a live status ticker (heartbeat summary) to stderr while
     /// subprocess workers run.
     pub live_status: bool,
+    /// Retry/steal/backoff/staleness policy (CLI: `--max-retries`,
+    /// `--slots`, `--steal`, `--stale-ms`, `--backoff-ms`).
+    pub sched: SchedConfig,
+    /// Deterministic fault injection (CLI: `--inject`, test-only).
+    /// Forwarded verbatim to subprocess workers; converted to
+    /// engine-level cancellations and virtual-clock stalls in-process.
+    pub faults: FaultPlan,
 }
 
-/// Runs a planned campaign shard by shard and merges the results.
+/// Runs a planned campaign shard by shard — retrying, stealing and
+/// fencing per the default [`SchedConfig`] — and merges the results.
 pub fn run_plan(plan: &ShardPlan, workers: &Workers) -> Result<FleetReport, FleetdError> {
     run_plan_with(plan, workers, &RunOptions::default())
 }
 
-/// [`run_plan`] with telemetry options. Tracing is strictly
-/// out-of-band: the merged report is byte-identical whatever
-/// `options` says.
+/// [`run_plan`] with options. Telemetry and fault tolerance are
+/// strictly out-of-band: whatever `options` says — tracing on or off,
+/// workers killed and retried, shards stolen — a run that completes
+/// merges to the byte-identical report.
 pub fn run_plan_with(
     plan: &ShardPlan,
     workers: &Workers,
     options: &RunOptions,
 ) -> Result<FleetReport, FleetdError> {
-    let reports = match workers {
-        Workers::InProcess => {
-            let obs = match &options.trace {
-                Some(path) => Obs::jsonl(path, Verbosity::Solve).map_err(|e| FleetdError::Io {
-                    path: path.display().to_string(),
-                    message: format!("cannot create trace file: {e}"),
-                })?,
-                None => Obs::noop(),
-            };
-            (0..plan.shards.len())
-                .map(|k| crate::worker::run_shard_observed(plan, k, &obs))
-                .collect::<Result<Vec<_>, _>>()?
-        }
+    let (reports, winning) = match workers {
+        Workers::InProcess => run_in_process(plan, options)?,
         Workers::Processes { exe, work_dir } => {
             spawn_workers(plan, exe, work_dir.as_deref(), options)?
         }
     };
-    merge_reports(plan, &reports)
+    merge_reports_fenced(plan, &reports, &winning)
 }
 
 /// How often the coordinator polls worker exit status and heartbeats.
@@ -119,13 +139,215 @@ const POLL_INTERVAL: Duration = Duration::from_millis(150);
 /// the error message.
 const STDERR_TAIL_BYTES: usize = 2048;
 
-/// Spawns one `fleetd work` process per shard and collects the reports.
+/// The error a run ends with when some shard ran out of retries:
+/// every recorded failure, most recent last, so the typed error names
+/// each dead attempt (`shard K attempt A: …`).
+fn exhausted_error(sched: &Scheduler, failures: &[String]) -> FleetdError {
+    let shards: Vec<String> = sched
+        .exhausted()
+        .iter()
+        .map(|(shard, attempt)| format!("shard {shard} (after attempt {attempt})"))
+        .collect();
+    FleetdError::Protocol(format!(
+        "retries exhausted for {}: {}",
+        shards.join(", "),
+        failures.join("; ")
+    ))
+}
+
+/// The in-process supervised runner: the same [`Scheduler`] the
+/// subprocess supervisor uses, driven synchronously on a **virtual
+/// clock** — backoff gates and staleness windows are jumped over, not
+/// slept through, so a fault schedule that kills every attempt of
+/// every shard still settles in milliseconds. Injected faults map to
+/// their in-process analogues:
+///
+/// * `Kill{after_cells}` — a [`CancelToken`] fired from the progress
+///   stream once enough cells completed; the engine's all-or-nothing
+///   fold returns nothing, exactly like a dead worker.
+/// * `Hang` — the virtual clock jumps past the staleness window and
+///   the attempt is failed, as the subprocess supervisor would after
+///   killing the hung worker.
+/// * `TruncateReport` — the attempt's report is serialized, torn in
+///   half, and re-parsed; the parse failure becomes the attempt's
+///   typed failure (the same path a torn file takes).
+/// * `StaleHeartbeat` — the attempt *completes* and its report enters
+///   the pool, but the coordinator has already written it off as
+///   stale: a true zombie that only the attempt fence keeps out.
+fn run_in_process(
+    plan: &ShardPlan,
+    options: &RunOptions,
+) -> Result<(Vec<ShardReport>, Vec<Option<usize>>), FleetdError> {
+    let obs = match &options.trace {
+        Some(path) => Obs::jsonl(path, Verbosity::Solve).map_err(|e| FleetdError::Io {
+            path: path.display().to_string(),
+            message: format!("cannot create trace file: {e}"),
+        })?,
+        None => Obs::noop(),
+    };
+    let cells_per_job = plan.campaign.solvers.len().max(1);
+    let mut sched = Scheduler::new(plan.shards.len(), options.sched);
+    let mut now: u64 = 0;
+    let mut pool: Vec<ShardReport> = Vec::new();
+    let mut failures: Vec<String> = Vec::new();
+
+    while !sched.all_settled() {
+        let launches = sched.launches(now);
+        if launches.is_empty() {
+            // Nothing is ever in flight here (attempts run to
+            // completion synchronously), so an empty launch set means
+            // every pending shard is gated: jump the clock.
+            match sched.next_wakeup_ms() {
+                Some(gate) => now = now.max(gate.max(now + 1)),
+                None => break,
+            }
+            continue;
+        }
+        for Launch { shard, attempt } in launches {
+            match options.faults.fault_for(shard, attempt) {
+                None => match worker::run_shard_attempt(plan, shard, attempt, &obs, None) {
+                    Ok(Some(report)) => {
+                        sched.on_success(shard, attempt);
+                        pool.push(report);
+                    }
+                    Ok(None) => unreachable!("no cancel token given"),
+                    Err(e) => {
+                        failures.push(format!("shard {shard} attempt {attempt}: {e}"));
+                        sched.on_failure(shard, attempt, now);
+                    }
+                },
+                Some(FaultKind::Kill { after_cells }) => {
+                    let cancel = CancelToken::new();
+                    if after_cells == 0 {
+                        cancel.cancel();
+                    }
+                    let sink: Arc<dyn Sink> = Arc::new(CancelAfterCells::new(
+                        cancel.clone(),
+                        after_cells,
+                        cells_per_job,
+                    ));
+                    let fault_obs = Obs::new(sink, Verbosity::Progress);
+                    // Whether the cancellation landed between batches
+                    // (None) or the shard finished first (Some — died
+                    // after solving, before writing), a killed worker
+                    // delivers nothing.
+                    let _ =
+                        worker::run_shard_attempt(plan, shard, attempt, &fault_obs, Some(&cancel));
+                    failures.push(format!(
+                        "shard {shard} attempt {attempt}: worker killed after {after_cells} cells (injected)"
+                    ));
+                    sched.on_failure(shard, attempt, now);
+                }
+                Some(FaultKind::Hang) => {
+                    now += options.sched.stale_ms + 1;
+                    failures.push(format!(
+                        "shard {shard} attempt {attempt}: heartbeat stale after {}ms (injected hang), worker killed",
+                        options.sched.stale_ms
+                    ));
+                    sched.on_failure(shard, attempt, now);
+                }
+                Some(FaultKind::TruncateReport) => {
+                    let failure =
+                        match worker::run_shard_attempt(plan, shard, attempt, &Obs::noop(), None) {
+                            Ok(Some(report)) => {
+                                // Tear the report the way a killed writer
+                                // would and take the parse error as the
+                                // typed failure.
+                                let json = serde_json::to_string(&report).unwrap_or_default();
+                                let torn = &json[..json.len() / 2];
+                                let parse = serde_json::from_str::<ShardReport>(torn)
+                                    .expect_err("a torn report must not parse");
+                                FleetdError::shard_protocol(
+                                    shard,
+                                    attempt,
+                                    format!(
+                                    "cannot parse shard report ({parse}) — torn write (injected)"
+                                ),
+                                )
+                            }
+                            Ok(None) => unreachable!("no cancel token given"),
+                            Err(e) => e,
+                        };
+                    failures.push(failure.to_string());
+                    sched.on_failure(shard, attempt, now);
+                }
+                Some(FaultKind::StaleHeartbeat) => {
+                    // The worker completes — its report lands in the
+                    // pool — but its heartbeat froze, so the
+                    // coordinator wrote the attempt off long ago. The
+                    // report is a zombie the fenced merge must skip.
+                    if let Ok(Some(report)) =
+                        worker::run_shard_attempt(plan, shard, attempt, &Obs::noop(), None)
+                    {
+                        pool.push(report);
+                    }
+                    now += options.sched.stale_ms + 1;
+                    failures.push(format!(
+                        "shard {shard} attempt {attempt}: heartbeat stale after {}ms (injected freeze), worker written off",
+                        options.sched.stale_ms
+                    ));
+                    sched.on_failure(shard, attempt, now);
+                }
+            }
+        }
+    }
+
+    if !sched.exhausted().is_empty() {
+        return Err(exhausted_error(&sched, &failures));
+    }
+    Ok((pool, sched.winning_attempts()))
+}
+
+/// An [`Sink`] that fires a [`CancelToken`] once the progress stream
+/// shows `after_cells` cells complete — the in-process analogue of
+/// `kill:K@N` (granularity: the engine's streaming batch, which is all
+/// a between-batches cancellation can see anyway).
+struct CancelAfterCells {
+    cancel: CancelToken,
+    after_cells: usize,
+    cells_per_job: usize,
+}
+
+impl CancelAfterCells {
+    fn new(cancel: CancelToken, after_cells: usize, cells_per_job: usize) -> Self {
+        CancelAfterCells {
+            cancel,
+            after_cells,
+            cells_per_job,
+        }
+    }
+}
+
+impl Sink for CancelAfterCells {
+    fn emit(&self, event: &replica_engine::obs::Event) {
+        if let replica_engine::obs::Event::Progress { done, .. } = event {
+            if done * self.cells_per_job >= self.after_cells {
+                self.cancel.cancel();
+            }
+        }
+    }
+}
+
+/// One subprocess shard attempt in flight.
+struct Inflight {
+    shard: usize,
+    attempt: usize,
+    child: Child,
+    out: PathBuf,
+    stderr_path: PathBuf,
+    hb_path: PathBuf,
+    launched_ms: u64,
+}
+
+/// The subprocess supervisor: drives the [`Scheduler`] with the real
+/// clock — claim, spawn, reap, stale-kill, retry — and returns the
+/// report pool plus the winning attempt per shard.
 fn spawn_workers(
     plan: &ShardPlan,
     exe: &Path,
     work_dir: Option<&Path>,
     options: &RunOptions,
-) -> Result<Vec<ShardReport>, FleetdError> {
+) -> Result<(Vec<ShardReport>, Vec<Option<usize>>), FleetdError> {
     let (dir, ephemeral) = match work_dir {
         Some(dir) => (dir.to_path_buf(), false),
         None => {
@@ -141,129 +363,239 @@ fn spawn_workers(
         path: dir.display().to_string(),
         message: format!("cannot create work directory: {e}"),
     })?;
-    let run = || -> Result<Vec<ShardReport>, FleetdError> {
-        let plan_path = dir.join("plan.json");
-        write_json(&plan_path, plan)?;
-
-        // Spawn all workers up front: shards run concurrently, each a
-        // full OS process with its own rayon pool. Each worker's stderr
-        // goes to its own `shard-K.stderr` file so a failure's
-        // diagnostics can be attributed (and quoted) per shard.
-        let mut children = Vec::new();
-        for manifest in &plan.shards {
-            let out = dir.join(format!("shard-{}.json", manifest.shard));
-            let stderr_path = dir.join(format!("shard-{}.stderr", manifest.shard));
-            let stderr_file = fs::File::create(&stderr_path).map_err(|e| FleetdError::Io {
-                path: stderr_path.display().to_string(),
-                message: format!("cannot create worker stderr file: {e}"),
-            })?;
-            let mut command = Command::new(exe);
-            command
-                .arg("work")
-                .arg("--plan")
-                .arg(&plan_path)
-                .arg("--shard")
-                .arg(manifest.shard.to_string())
-                .arg("--out")
-                .arg(&out)
-                .stdin(Stdio::null())
-                .stdout(Stdio::null())
-                .stderr(Stdio::from(stderr_file));
-            if options.trace.is_some() {
-                command
-                    .arg("--trace")
-                    .arg(dir.join(format!("shard-{}.trace.jsonl", manifest.shard)));
-            }
-            let child = command.spawn().map_err(|e| {
-                FleetdError::Protocol(format!(
-                    "cannot spawn worker for shard {}: {e}",
-                    manifest.shard
-                ))
-            })?;
-            children.push((
-                manifest.shard,
-                out,
-                stderr_path,
-                child,
-                None::<std::process::ExitStatus>,
-            ));
-        }
-
-        // Poll: reap exits as they happen, and between polls fold the
-        // workers' heartbeat files into a live status ticker (printed
-        // only when it changes — quiet runs stay quiet).
-        let mut last_line = String::new();
-        loop {
-            let mut all_exited = true;
-            for (shard, _, _, child, status) in &mut children {
-                if status.is_none() {
-                    *status = child.try_wait().map_err(|e| {
-                        FleetdError::Protocol(format!("waiting for shard {shard} worker: {e}"))
-                    })?;
-                    if status.is_none() {
-                        all_exited = false;
-                    }
-                }
-            }
-            if options.live_status {
-                if let Ok(heartbeats) = heartbeat::load_dir(&dir) {
-                    if !heartbeats.is_empty() {
-                        let line = heartbeat::summarize(
-                            &heartbeats,
-                            heartbeat::now_unix_ms(),
-                            STALE_AFTER_MS,
-                        )
-                        .line();
-                        if line != last_line {
-                            eprintln!("fleetd: {line}");
-                            last_line = line;
-                        }
-                    }
-                }
-            }
-            if all_exited {
-                break;
-            }
-            std::thread::sleep(POLL_INTERVAL);
-        }
-
-        let mut reports = Vec::with_capacity(children.len());
-        let mut failures = Vec::new();
-        for (shard, out, stderr_path, _, status) in children {
-            let status = status.expect("poll loop exits only once every worker has");
-            if !status.success() {
-                let tail = stderr_tail(&stderr_path, STDERR_TAIL_BYTES);
-                failures.push(if tail.is_empty() {
-                    format!("shard {shard} worker exited with {status}")
-                } else {
-                    format!("shard {shard} worker exited with {status}; stderr tail:\n{tail}")
-                });
-                continue;
-            }
-            match read_json::<ShardReport>(&out) {
-                Ok(report) => reports.push(report),
-                Err(e) => failures.push(e.to_string()),
-            }
-        }
-        if !failures.is_empty() {
-            return Err(FleetdError::Protocol(failures.join("; ")));
-        }
-        if let Some(trace) = &options.trace {
-            concat_traces(&dir, plan.shards.len(), trace)?;
-        }
-        Ok(reports)
-    };
-    let result = run();
+    let result = supervise(plan, exe, &dir, options);
     if ephemeral {
         let _ = fs::remove_dir_all(&dir);
     }
     result
 }
 
-/// Staleness threshold for the coordinator's own ticker: generous,
-/// because the workers are local children whose exits are reaped by
-/// the same loop (`fleetd status` takes `--stale-ms` instead).
-const STALE_AFTER_MS: u64 = 10_000;
+fn supervise(
+    plan: &ShardPlan,
+    exe: &Path,
+    dir: &Path,
+    options: &RunOptions,
+) -> Result<(Vec<ShardReport>, Vec<Option<usize>>), FleetdError> {
+    let plan_path = dir.join("plan.json");
+    write_json(&plan_path, plan)?;
+
+    let mut sched = Scheduler::new(plan.shards.len(), options.sched);
+    let mut inflight: Vec<Inflight> = Vec::new();
+    let mut pool: Vec<ShardReport> = Vec::new();
+    let mut failures: Vec<String> = Vec::new();
+    let mut last_line = String::new();
+
+    loop {
+        let now = heartbeat::now_unix_ms();
+
+        // Launch every attempt the scheduler releases: claim its
+        // generation in the pool, then spawn `fleetd work` with the
+        // attempt number (and the fault schedule, forwarded verbatim —
+        // the worker looks up its own (shard, attempt) entry).
+        for Launch { shard, attempt } in sched.launches(now) {
+            if !pool::try_claim(dir, &ClaimRecord::new(shard, attempt, "coordinator"))? {
+                failures.push(format!(
+                    "shard {shard} attempt {attempt}: claim already held (reused work dir?)"
+                ));
+                sched.on_failure(shard, attempt, now);
+                continue;
+            }
+            match spawn_attempt(exe, dir, &plan_path, shard, attempt, options) {
+                Ok(worker) => inflight.push(worker),
+                Err(e) => {
+                    failures.push(format!("shard {shard} attempt {attempt}: {e}"));
+                    sched.on_failure(shard, attempt, now);
+                }
+            }
+        }
+
+        // Reap exits and stale-kill hung workers. Every verdict is
+        // delivered to the scheduler under the attempt that earned it —
+        // the fence discards verdicts about superseded generations.
+        let mut still = Vec::with_capacity(inflight.len());
+        for mut w in inflight.drain(..) {
+            let exit = w.child.try_wait().map_err(|e| {
+                FleetdError::shard_protocol(w.shard, w.attempt, format!("waiting for worker: {e}"))
+            })?;
+            match exit {
+                Some(status) if status.success() => {
+                    match read_json::<ShardReport>(&w.out) {
+                        Ok(report) if (report.shard, report.attempt) == (w.shard, w.attempt) => {
+                            sched.on_success(w.shard, w.attempt);
+                            pool.push(report);
+                        }
+                        Ok(report) => {
+                            failures.push(
+                                FleetdError::shard_protocol(
+                                    w.shard,
+                                    w.attempt,
+                                    format!(
+                                        "report identifies as shard {} attempt {}",
+                                        report.shard, report.attempt
+                                    ),
+                                )
+                                .to_string(),
+                            );
+                            heartbeat::stamp_failed(&w.hb_path, w.shard, w.attempt);
+                            sched.on_failure(w.shard, w.attempt, now);
+                        }
+                        Err(e) => {
+                            // Exit 0 but unreadable/torn report: the
+                            // typed protocol failure names the attempt;
+                            // the retry gets a fresh generation.
+                            failures.push(
+                                FleetdError::shard_protocol(
+                                    w.shard,
+                                    w.attempt,
+                                    format!("unreadable shard report ({e}) — killed mid-write?"),
+                                )
+                                .to_string(),
+                            );
+                            heartbeat::stamp_failed(&w.hb_path, w.shard, w.attempt);
+                            sched.on_failure(w.shard, w.attempt, now);
+                        }
+                    }
+                }
+                Some(status) => {
+                    let tail = stderr_tail(&w.stderr_path, STDERR_TAIL_BYTES);
+                    failures.push(
+                        FleetdError::shard_protocol(
+                            w.shard,
+                            w.attempt,
+                            if tail.is_empty() {
+                                format!("worker exited with {status}")
+                            } else {
+                                format!("worker exited with {status}; stderr tail:\n{tail}")
+                            },
+                        )
+                        .to_string(),
+                    );
+                    heartbeat::stamp_failed(&w.hb_path, w.shard, w.attempt);
+                    sched.on_failure(w.shard, w.attempt, now);
+                }
+                None => {
+                    // Still running: judge liveness from its heartbeat
+                    // (a worker that never wrote one is judged from its
+                    // launch time). Stale ⇒ kill and reassign — the
+                    // satellite fix: staleness now *schedules*, it is
+                    // no longer render-only.
+                    let status = match Heartbeat::load(&w.hb_path) {
+                        Ok(hb) if hb.attempt == w.attempt => hb.status(now, options.sched.stale_ms),
+                        _ if now.saturating_sub(w.launched_ms) > options.sched.stale_ms => {
+                            ShardStatus::Stale
+                        }
+                        _ => ShardStatus::Live,
+                    };
+                    if status == ShardStatus::Stale {
+                        let _ = w.child.kill();
+                        let _ = w.child.wait();
+                        heartbeat::stamp_failed(&w.hb_path, w.shard, w.attempt);
+                        failures.push(
+                            FleetdError::shard_protocol(
+                                w.shard,
+                                w.attempt,
+                                format!(
+                                    "heartbeat stale (no update for {}ms) — worker killed",
+                                    options.sched.stale_ms
+                                ),
+                            )
+                            .to_string(),
+                        );
+                        sched.on_failure(w.shard, w.attempt, now);
+                    } else {
+                        still.push(w);
+                    }
+                }
+            }
+        }
+        inflight = still;
+
+        if options.live_status {
+            if let Ok(heartbeats) = heartbeat::load_dir(dir) {
+                if !heartbeats.is_empty() {
+                    let line =
+                        heartbeat::summarize(&heartbeats, now, options.sched.stale_ms).line();
+                    if line != last_line {
+                        eprintln!("fleetd: {line}");
+                        last_line = line;
+                    }
+                }
+            }
+        }
+
+        if inflight.is_empty() && sched.all_settled() {
+            break;
+        }
+        std::thread::sleep(POLL_INTERVAL);
+    }
+
+    if !sched.exhausted().is_empty() {
+        return Err(exhausted_error(&sched, &failures));
+    }
+    let winning = sched.winning_attempts();
+    let retries = sched.attempts_launched() - plan.shards.len();
+    if options.live_status && retries > 0 {
+        eprintln!(
+            "fleetd: recovered after {retries} retr{}",
+            if retries == 1 { "y" } else { "ies" }
+        );
+    }
+    if let Some(trace) = &options.trace {
+        concat_winning_traces(dir, &winning, trace)?;
+    }
+    Ok((pool, winning))
+}
+
+/// Spawns one `fleetd work` process for `(shard, attempt)`.
+fn spawn_attempt(
+    exe: &Path,
+    dir: &Path,
+    plan_path: &Path,
+    shard: usize,
+    attempt: usize,
+    options: &RunOptions,
+) -> Result<Inflight, FleetdError> {
+    let out = pool::report_path(dir, shard, attempt);
+    let stderr_path = pool::stderr_path(dir, shard, attempt);
+    let stderr_file = fs::File::create(&stderr_path).map_err(|e| FleetdError::Io {
+        path: stderr_path.display().to_string(),
+        message: format!("cannot create worker stderr file: {e}"),
+    })?;
+    let mut command = Command::new(exe);
+    command
+        .arg("work")
+        .arg("--plan")
+        .arg(plan_path)
+        .arg("--shard")
+        .arg(shard.to_string())
+        .arg("--attempt")
+        .arg(attempt.to_string())
+        .arg("--out")
+        .arg(&out)
+        .stdin(Stdio::null())
+        .stdout(Stdio::null())
+        .stderr(Stdio::from(stderr_file));
+    if options.trace.is_some() {
+        command
+            .arg("--trace")
+            .arg(pool::trace_path(dir, shard, attempt));
+    }
+    if !options.faults.is_empty() {
+        command.arg("--inject").arg(options.faults.to_spec());
+    }
+    let child = command
+        .spawn()
+        .map_err(|e| FleetdError::Protocol(format!("cannot spawn worker: {e}")))?;
+    Ok(Inflight {
+        shard,
+        attempt,
+        child,
+        out,
+        stderr_path,
+        hb_path: heartbeat::path_for_report(&pool::report_path(dir, shard, attempt)),
+        launched_ms: heartbeat::now_unix_ms(),
+    })
+}
 
 /// The last `max_bytes` of `path`, trimmed — empty when the file is
 /// missing or blank (a worker that died before writing anything).
@@ -278,14 +610,19 @@ fn stderr_tail(path: &Path, max_bytes: usize) -> String {
     }
 }
 
-/// Concatenates the per-worker `shard-K.trace.jsonl` files, in shard
-/// order, into `out` — one chronological-within-shard trace of the
-/// whole run. Workers that wrote no trace (older binary, spawn race)
-/// are skipped silently: the trace is telemetry, not a deliverable.
-fn concat_traces(dir: &Path, shards: usize, out: &Path) -> Result<(), FleetdError> {
+/// Concatenates the winning attempts' `shard-K.aA.trace.jsonl` files,
+/// in shard order, into `out` — one chronological-within-shard trace
+/// of the surviving run. Attempts that wrote no trace are skipped
+/// silently: the trace is telemetry, not a deliverable.
+fn concat_winning_traces(
+    dir: &Path,
+    winning: &[Option<usize>],
+    out: &Path,
+) -> Result<(), FleetdError> {
     let mut combined = String::new();
-    for shard in 0..shards {
-        if let Ok(text) = fs::read_to_string(dir.join(format!("shard-{shard}.trace.jsonl"))) {
+    for (shard, attempt) in winning.iter().enumerate() {
+        let Some(attempt) = attempt else { continue };
+        if let Ok(text) = fs::read_to_string(pool::trace_path(dir, shard, *attempt)) {
             combined.push_str(&text);
         }
     }
@@ -398,5 +735,39 @@ mod tests {
         let back: ShardPlan = read_json(&path).unwrap();
         assert_eq!(back.fingerprint, plan.fingerprint);
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn injected_faults_in_process_recover_to_the_identical_digest() {
+        let plan = tiny_plan(3);
+        let baseline = run_single_process(&plan).unwrap().digest();
+        let options = RunOptions {
+            faults: FaultPlan::parse("kill:0@3,hang:1,truncate:2,stale:0.1").unwrap(),
+            ..RunOptions::default()
+        };
+        let merged = run_plan_with(&plan, &Workers::InProcess, &options).unwrap();
+        assert_eq!(
+            merged.digest(),
+            baseline,
+            "recovery must not perturb the merge"
+        );
+    }
+
+    #[test]
+    fn dooming_a_shard_in_process_is_a_typed_error_naming_the_attempts() {
+        let plan = tiny_plan(2);
+        let options = RunOptions {
+            faults: FaultPlan::parse("kill:1,hang:1.1,truncate:1.2").unwrap(),
+            ..RunOptions::default()
+        };
+        assert!(options.faults.dooms_some_shard(options.sched.max_retries));
+        let err = run_plan_with(&plan, &Workers::InProcess, &options)
+            .err()
+            .expect("a doomed shard cannot merge");
+        assert!(matches!(err, FleetdError::Protocol(_)));
+        let message = err.to_string();
+        assert!(message.contains("retries exhausted"), "{message}");
+        assert!(message.contains("shard 1 attempt 2"), "{message}");
+        assert_eq!(err.exit_code(), 1);
     }
 }

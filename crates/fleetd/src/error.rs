@@ -66,6 +66,14 @@ impl FleetdError {
             _ => 1,
         }
     }
+
+    /// A protocol error attributed to one shard attempt — the uniform
+    /// `shard K attempt A: …` prefix the fault-tolerance layer uses, so
+    /// a torn report or dead worker always names exactly which attempt
+    /// misbehaved (and tests can grep for it).
+    pub fn shard_protocol(shard: usize, attempt: usize, message: impl fmt::Display) -> FleetdError {
+        FleetdError::Protocol(format!("shard {shard} attempt {attempt}: {message}"))
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,260 @@
+//! Deterministic fault injection for the fault-tolerance test battery.
+//!
+//! A [`FaultPlan`] is an explicit, seeded-upstream schedule of worker
+//! failures keyed by `(shard, attempt)`: kill a worker after N cells,
+//! hang it (heartbeat goes stale), truncate its report mid-write, or
+//! freeze its heartbeat while it keeps working (the zombie scenario the
+//! attempt fence exists for). The plan is **test-only machinery** — it
+//! rides in on the `--inject` CLI flag, never in a campaign spec, so a
+//! campaign fingerprint can never depend on it — and it is fully
+//! deterministic: the same plan against the same campaign produces the
+//! same failure sequence, which is what lets the fault-injection suite
+//! assert byte-identical merged digests under every schedule.
+//!
+//! The wire form is the compact spec string the CLI takes and the
+//! coordinator forwards to subprocess workers:
+//!
+//! ```text
+//! kill:3            kill shard 3's attempt-0 worker before it reports
+//! kill:3@5          … after 5 cells
+//! kill:3.1@5        … on attempt 1 instead
+//! hang:7            shard 7 attempt 0 hangs (heartbeat goes stale)
+//! truncate:2        shard 2 attempt 0 writes a torn report and exits 0
+//! stale:4           shard 4 attempt 0 freezes its heartbeat mid-run
+//! ```
+//!
+//! joined with commas: `kill:3,hang:7,truncate:2.1`.
+
+use crate::error::FleetdError;
+use serde::{Deserialize, Serialize};
+
+/// What an injected fault makes the worker do.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FaultKind {
+    /// Exit abruptly (no report, no terminal heartbeat) after observing
+    /// `after_cells` cells — `0` kills before the first cell; a value
+    /// past the shard's cell count kills after solving but *before*
+    /// writing the report.
+    Kill {
+        /// Cells to observe before dying.
+        after_cells: usize,
+    },
+    /// Stop making progress and stop heartbeating — the coordinator must
+    /// classify the worker [`Stale`](crate::heartbeat::ShardStatus::Stale)
+    /// and reassign the shard.
+    Hang,
+    /// Finish the shard but write only half the report's bytes and exit
+    /// 0 — the "killed mid-write" torn file the merge must reject as a
+    /// typed protocol error, never parse partially.
+    TruncateReport,
+    /// Freeze the heartbeat after its first write while continuing to
+    /// work (slowly). The coordinator sees a stale worker and reassigns;
+    /// the original may still complete later as a **zombie** whose
+    /// report carries the superseded attempt number — exactly what the
+    /// attempt fence must keep out of the merge.
+    StaleHeartbeat,
+}
+
+/// One scheduled fault: `kind` strikes shard `shard`'s attempt
+/// `attempt`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Fault {
+    /// Target shard index.
+    pub shard: usize,
+    /// Target attempt generation (0 = the first launch).
+    pub attempt: usize,
+    /// What happens.
+    pub kind: FaultKind,
+}
+
+/// A deterministic schedule of worker faults for one supervised run.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultPlan {
+    /// The scheduled faults (at most one per `(shard, attempt)`).
+    pub faults: Vec<Fault>,
+}
+
+impl FaultPlan {
+    /// An empty plan: no faults, every worker runs clean.
+    pub fn none() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// Parses the CLI spec string (see the module docs for the
+    /// grammar). Duplicate `(shard, attempt)` targets are rejected —
+    /// one worker cannot die two different ways.
+    pub fn parse(spec: &str) -> Result<FaultPlan, FleetdError> {
+        let usage = |what: String| {
+            FleetdError::Usage(format!(
+                "--inject: {what} (grammar: kind:shard[.attempt][@cells], \
+                 kinds kill|hang|truncate|stale, e.g. kill:3@5,hang:7)"
+            ))
+        };
+        let mut faults = Vec::new();
+        for part in spec.split(',').filter(|p| !p.trim().is_empty()) {
+            let part = part.trim();
+            let (kind_name, target) = part
+                .split_once(':')
+                .ok_or_else(|| usage(format!("missing `:` in {part:?}")))?;
+            let (target, cells) = match target.split_once('@') {
+                Some((t, c)) => (
+                    t,
+                    Some(c.parse::<usize>().map_err(|_| {
+                        usage(format!("cannot parse cell count {c:?} in {part:?}"))
+                    })?),
+                ),
+                None => (target, None),
+            };
+            let (shard, attempt) = match target.split_once('.') {
+                Some((s, a)) => (
+                    s.parse::<usize>()
+                        .map_err(|_| usage(format!("cannot parse shard {s:?} in {part:?}")))?,
+                    a.parse::<usize>()
+                        .map_err(|_| usage(format!("cannot parse attempt {a:?} in {part:?}")))?,
+                ),
+                None => (
+                    target
+                        .parse::<usize>()
+                        .map_err(|_| usage(format!("cannot parse shard {target:?} in {part:?}")))?,
+                    0,
+                ),
+            };
+            let kind = match kind_name {
+                "kill" => FaultKind::Kill {
+                    after_cells: cells.unwrap_or(0),
+                },
+                "hang" | "truncate" | "stale" if cells.is_some() => {
+                    return Err(usage(format!("@cells only applies to kill, not {part:?}")))
+                }
+                "hang" => FaultKind::Hang,
+                "truncate" => FaultKind::TruncateReport,
+                "stale" => FaultKind::StaleHeartbeat,
+                other => return Err(usage(format!("unknown fault kind {other:?}"))),
+            };
+            if faults
+                .iter()
+                .any(|f: &Fault| f.shard == shard && f.attempt == attempt)
+            {
+                return Err(usage(format!(
+                    "duplicate fault for shard {shard} attempt {attempt}"
+                )));
+            }
+            faults.push(Fault {
+                shard,
+                attempt,
+                kind,
+            });
+        }
+        Ok(FaultPlan { faults })
+    }
+
+    /// Renders the plan back to the CLI spec string
+    /// (`parse(to_spec(p)) == p` — the coordinator uses this to forward
+    /// the schedule to subprocess workers).
+    pub fn to_spec(&self) -> String {
+        self.faults
+            .iter()
+            .map(|f| {
+                let kind = match f.kind {
+                    FaultKind::Kill { .. } => "kill",
+                    FaultKind::Hang => "hang",
+                    FaultKind::TruncateReport => "truncate",
+                    FaultKind::StaleHeartbeat => "stale",
+                };
+                let mut out = format!("{kind}:{}", f.shard);
+                if f.attempt != 0 {
+                    out.push_str(&format!(".{}", f.attempt));
+                }
+                if let FaultKind::Kill { after_cells } = f.kind {
+                    if after_cells != 0 {
+                        out.push_str(&format!("@{after_cells}"));
+                    }
+                }
+                out
+            })
+            .collect::<Vec<_>>()
+            .join(",")
+    }
+
+    /// The fault scheduled for `(shard, attempt)`, if any.
+    pub fn fault_for(&self, shard: usize, attempt: usize) -> Option<FaultKind> {
+        self.faults
+            .iter()
+            .find(|f| f.shard == shard && f.attempt == attempt)
+            .map(|f| f.kind)
+    }
+
+    /// Whether the plan schedules nothing.
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    /// Whether some shard is doomed: faulted on every attempt
+    /// `0..=max_retries`, so no schedule of retries can finish it. The
+    /// fault battery uses this to predict which runs must end in a typed
+    /// error rather than a digest.
+    pub fn dooms_some_shard(&self, max_retries: usize) -> bool {
+        let shards: std::collections::BTreeSet<usize> =
+            self.faults.iter().map(|f| f.shard).collect();
+        shards
+            .into_iter()
+            .any(|shard| (0..=max_retries).all(|attempt| self.fault_for(shard, attempt).is_some()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_grammar_round_trips() {
+        let plan = FaultPlan::parse("kill:3,hang:7,kill:2.1@5,truncate:0,stale:4.2").unwrap();
+        assert_eq!(plan.faults.len(), 5);
+        assert_eq!(
+            plan.fault_for(3, 0),
+            Some(FaultKind::Kill { after_cells: 0 })
+        );
+        assert_eq!(plan.fault_for(7, 0), Some(FaultKind::Hang));
+        assert_eq!(
+            plan.fault_for(2, 1),
+            Some(FaultKind::Kill { after_cells: 5 })
+        );
+        assert_eq!(plan.fault_for(0, 0), Some(FaultKind::TruncateReport));
+        assert_eq!(plan.fault_for(4, 2), Some(FaultKind::StaleHeartbeat));
+        assert_eq!(plan.fault_for(4, 0), None, "attempt 0 of shard 4 is clean");
+        assert_eq!(FaultPlan::parse(&plan.to_spec()).unwrap(), plan);
+        // Empty and blank specs are the empty plan.
+        assert!(FaultPlan::parse("").unwrap().is_empty());
+        assert!(FaultPlan::parse(" , ").unwrap().is_empty());
+    }
+
+    #[test]
+    fn malformed_specs_are_usage_errors() {
+        for bad in [
+            "explode:1",     // unknown kind
+            "kill",          // no target
+            "kill:x",        // bad shard
+            "kill:1.z",      // bad attempt
+            "kill:1@z",      // bad cell count
+            "hang:1@3",      // @cells on a non-kill
+            "kill:1,hang:1", // duplicate (shard 1, attempt 0)
+        ] {
+            let err = FaultPlan::parse(bad).unwrap_err();
+            assert!(
+                matches!(err, FleetdError::Usage(_)),
+                "{bad:?} must be a usage error, got {err}"
+            );
+            assert_eq!(err.exit_code(), 2, "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn doomed_shards_are_predicted() {
+        // Shard 1 faulted on attempts 0, 1 and 2: with max_retries = 2
+        // (three attempts) it can never finish; with 3 it can.
+        let plan = FaultPlan::parse("kill:1,kill:1.1,hang:1.2,kill:0").unwrap();
+        assert!(plan.dooms_some_shard(2));
+        assert!(!plan.dooms_some_shard(3));
+        assert!(!FaultPlan::none().dooms_some_shard(0));
+    }
+}

@@ -46,6 +46,11 @@ pub enum WorkerState {
 pub struct Heartbeat {
     /// Shard index within the plan.
     pub shard: usize,
+    /// Attempt generation of the worker writing this heartbeat (0 =
+    /// first launch; defaults on deserialization so pre-fencing
+    /// heartbeats stay readable).
+    #[serde(default)]
+    pub attempt: usize,
     /// OS process id of the worker (0 for in-process shards).
     pub pid: u32,
     /// Lifecycle state.
@@ -72,8 +77,14 @@ impl Heartbeat {
     /// A fresh `Running` heartbeat for shard `shard` of `jobs_total`
     /// jobs, stamped now.
     pub fn starting(shard: usize, jobs_total: usize) -> Heartbeat {
+        Heartbeat::starting_attempt(shard, 0, jobs_total)
+    }
+
+    /// [`Heartbeat::starting`] for a specific attempt generation.
+    pub fn starting_attempt(shard: usize, attempt: usize, jobs_total: usize) -> Heartbeat {
         Heartbeat {
             shard,
+            attempt,
             pid: std::process::id(),
             state: WorkerState::Running,
             jobs_done: 0,
@@ -122,6 +133,22 @@ impl Heartbeat {
 /// report).
 pub fn path_for_report(report: &Path) -> PathBuf {
     report.with_extension("hb.json")
+}
+
+/// Stamps the heartbeat at `path` as [`WorkerState::Failed`] — the
+/// coordinator's post-mortem mark after it kills a stale worker or
+/// reaps a crashed one that died too abruptly to stamp itself. Missing
+/// or unreadable heartbeats are stamped from scratch so `fleetd status`
+/// still counts the failure. Best-effort like all heartbeat I/O.
+pub fn stamp_failed(path: &Path, shard: usize, attempt: usize) {
+    let mut hb = Heartbeat::load(path).unwrap_or_else(|_| {
+        let mut hb = Heartbeat::starting_attempt(shard, attempt, 0);
+        hb.pid = 0;
+        hb
+    });
+    hb.state = WorkerState::Failed;
+    hb.updated_unix_ms = now_unix_ms();
+    let _ = hb.write(path);
 }
 
 /// Loads every heartbeat (`*.hb.json`) in `dir`, sorted by shard index.
@@ -222,12 +249,13 @@ impl StatusSummary {
 
 /// The `fleetd status` rendering: one row per shard, summary line last.
 pub fn render_status(heartbeats: &[Heartbeat], now_ms: u64, stale_ms: u64) -> String {
-    let mut out = String::from("shard  state   jobs         cells   age_ms  pid\n");
+    let mut out = String::from("shard  att  state   jobs         cells   age_ms  pid\n");
     for hb in heartbeats {
         let _ = writeln!(
             out,
-            "{:<5}  {:<6}  {:>5}/{:<5}  {:>6}  {:>6}  {}",
+            "{:<5}  {:<3}  {:<6}  {:>5}/{:<5}  {:>6}  {:>6}  {}",
             hb.shard,
+            hb.attempt,
             hb.status(now_ms, stale_ms).label(),
             hb.jobs_done,
             hb.jobs_total,
@@ -248,24 +276,54 @@ pub struct HeartbeatSink {
     path: PathBuf,
     cells_per_job: usize,
     state: Mutex<Heartbeat>,
+    frozen: std::sync::atomic::AtomicBool,
 }
 
 impl HeartbeatSink {
     /// Creates the sink and writes the initial `Running` heartbeat
     /// (best-effort: heartbeat I/O failures never fail the shard).
     pub fn new(path: PathBuf, shard: usize, jobs_total: usize, cells_per_job: usize) -> Self {
-        let heartbeat = Heartbeat::starting(shard, jobs_total);
+        HeartbeatSink::for_attempt(path, shard, 0, jobs_total, cells_per_job)
+    }
+
+    /// [`HeartbeatSink::new`] for a specific attempt generation.
+    pub fn for_attempt(
+        path: PathBuf,
+        shard: usize,
+        attempt: usize,
+        jobs_total: usize,
+        cells_per_job: usize,
+    ) -> Self {
+        let heartbeat = Heartbeat::starting_attempt(shard, attempt, jobs_total);
         let _ = heartbeat.write(&path);
         HeartbeatSink {
             path,
             cells_per_job,
             state: Mutex::new(heartbeat),
+            frozen: std::sync::atomic::AtomicBool::new(false),
         }
+    }
+
+    /// Freezes the heartbeat file: every later progress update and
+    /// [`HeartbeatSink::finish`] becomes a no-op, so the file's
+    /// `updated_unix_ms` stops advancing while the worker keeps
+    /// running. This is the `stale:K` fault — the worker *looks* dead
+    /// to the coordinator and gets reassigned, then finishes as a
+    /// zombie the attempt fence must keep out of the merge.
+    pub fn freeze(&self) {
+        self.frozen.store(true, std::sync::atomic::Ordering::SeqCst);
+    }
+
+    fn is_frozen(&self) -> bool {
+        self.frozen.load(std::sync::atomic::Ordering::SeqCst)
     }
 
     /// Stamps the terminal state (with every job accounted for when
     /// `Done`) and writes the final heartbeat.
     pub fn finish(&self, state: WorkerState) {
+        if self.is_frozen() {
+            return;
+        }
         let mut hb = self.state.lock().expect("heartbeat state poisoned");
         hb.state = state;
         if state == WorkerState::Done {
@@ -279,6 +337,9 @@ impl HeartbeatSink {
 
 impl Sink for HeartbeatSink {
     fn emit(&self, event: &Event) {
+        if self.is_frozen() {
+            return;
+        }
         if let Event::Progress { done, total, .. } = event {
             let mut hb = self.state.lock().expect("heartbeat state poisoned");
             hb.jobs_done = *done;
@@ -297,6 +358,7 @@ mod tests {
     fn beat(shard: usize, state: WorkerState, jobs_done: usize, updated: u64) -> Heartbeat {
         Heartbeat {
             shard,
+            attempt: 0,
             pid: 7,
             state,
             jobs_done,
@@ -384,6 +446,40 @@ mod tests {
         let done = Heartbeat::load(&path).unwrap();
         assert_eq!(done.state, WorkerState::Done);
         assert_eq!((done.jobs_done, done.cells_done), (8, 16));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn frozen_sink_stops_updating_and_stamp_failed_marks_the_attempt() {
+        let dir = std::env::temp_dir().join(format!("fleetd-hbfreeze-{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("shard-3.a1.hb.json");
+        let sink = HeartbeatSink::for_attempt(path.clone(), 3, 1, 8, 2);
+        let initial = Heartbeat::load(&path).unwrap();
+        assert_eq!((initial.shard, initial.attempt), (3, 1));
+
+        sink.freeze();
+        sink.emit(&Event::Progress {
+            done: 5,
+            total: 8,
+            jobs_per_sec: 1.0,
+            eta_secs: 3.0,
+        });
+        sink.finish(WorkerState::Done);
+        let after = Heartbeat::load(&path).unwrap();
+        assert_eq!(after, initial, "frozen heartbeat never changes");
+
+        // The coordinator's post-mortem stamp overrides the frozen file…
+        stamp_failed(&path, 3, 1);
+        let stamped = Heartbeat::load(&path).unwrap();
+        assert_eq!(stamped.state, WorkerState::Failed);
+        assert_eq!((stamped.shard, stamped.attempt), (3, 1));
+        // …and works from scratch for a worker that never wrote one.
+        let missing = dir.join("shard-4.a0.hb.json");
+        stamp_failed(&missing, 4, 0);
+        let fresh = Heartbeat::load(&missing).unwrap();
+        assert_eq!(fresh.state, WorkerState::Failed);
+        assert_eq!((fresh.shard, fresh.attempt, fresh.pid), (4, 0, 0));
         let _ = fs::remove_dir_all(&dir);
     }
 }

@@ -45,6 +45,20 @@
 //! determinism suite pins the contract: any shard count merges to the
 //! identical report.
 //!
+//! The coordinator is a **supervisor**, not a fire-once fan-out: shard
+//! attempts live in a claim-based pool ([`pool`] — atomic per-attempt
+//! `shard-K.aA.claim.json` files, safe on any shared filesystem), a
+//! pure scheduling state machine ([`sched`]) retries failed or stale
+//! workers with bounded backoff (`--max-retries`) and optionally lets
+//! idle slots steal any eligible manifest (`--steal`), and **attempt
+//! generation fencing** (every report, heartbeat and claim carries its
+//! attempt number) guarantees a zombie worker's late report can never
+//! be merged over a retry's. The deterministic [`fault`] injection seam
+//! (`--inject kill:3@5,hang:7,…`, test-only) is how the fault battery
+//! proves it: any kill/hang/truncate/stale schedule either merges to
+//! the byte-identical single-process digest or fails with a typed
+//! [`FleetdError`] — never a wrong answer, never a hang.
+//!
 //! Telemetry ([`heartbeat`], `replica-obs`) rides alongside: every
 //! worker maintains a `shard-K.hb.json` heartbeat next to its report,
 //! the coordinator folds those into a live status ticker (and
@@ -80,16 +94,22 @@
 pub mod cli;
 pub mod coordinator;
 pub mod error;
+pub mod fault;
 pub mod heartbeat;
 pub mod merge;
 pub mod plan;
+pub mod pool;
+pub mod sched;
 pub mod shard;
 pub mod worker;
 
 pub use error::FleetdError;
+pub use fault::{Fault, FaultKind, FaultPlan};
 pub use heartbeat::{Heartbeat, ShardStatus, WorkerState};
-pub use merge::{merge_reports, run_sharded_in_process};
+pub use merge::{merge_reports, merge_reports_fenced, run_sharded_in_process};
 pub use plan::{plan_shards, ShardManifest, ShardPlan};
+pub use pool::ClaimRecord;
+pub use sched::{FailureOutcome, Launch, Phase, SchedConfig, Scheduler};
 pub use shard::{CellRecord, CellStatus, ShardReport};
 
 // The campaign description and rendering layers live in the engine's

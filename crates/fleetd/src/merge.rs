@@ -138,6 +138,48 @@ pub fn merge_reports(
     Ok(report)
 }
 
+/// [`merge_reports`] behind the attempt fence: `winning[k]` is the
+/// attempt generation the scheduler crowned for shard `k`, and only
+/// that attempt's report may represent the shard. Zombie reports —
+/// superseded attempts that finished late — are filtered out (merging
+/// them *over* a retry is exactly the corruption the fence exists to
+/// prevent); a shard whose winning attempt is missing, or that has no
+/// winner at all, is a typed protocol error naming the shard and
+/// attempt. The payload merge itself is [`merge_reports`] unchanged,
+/// so fencing cannot perturb determinism: the survivors replay through
+/// the same fold, checksums and cross-checks included.
+pub fn merge_reports_fenced(
+    plan: &ShardPlan,
+    reports: &[ShardReport],
+    winning: &[Option<usize>],
+) -> Result<FleetReport, FleetdError> {
+    if winning.len() != plan.shards.len() {
+        return Err(FleetdError::Protocol(format!(
+            "winning-attempt table covers {} shards, plan has {}",
+            winning.len(),
+            plan.shards.len()
+        )));
+    }
+    let mut fenced = Vec::with_capacity(plan.shards.len());
+    for (shard, expected) in winning.iter().enumerate() {
+        let Some(attempt) = expected else {
+            return Err(FleetdError::Protocol(format!(
+                "shard {shard}: no winning attempt (retries exhausted?) — nothing to merge"
+            )));
+        };
+        let report = reports
+            .iter()
+            .find(|r| r.shard == shard && r.attempt == *attempt)
+            .ok_or_else(|| {
+                FleetdError::Protocol(format!(
+                    "shard {shard} attempt {attempt}: winning report missing from the pool"
+                ))
+            })?;
+        fenced.push(report.clone());
+    }
+    merge_reports(plan, &fenced)
+}
+
 /// Iterates a shard report's cells as job rows `(scenario, instance,
 /// row)`, validating row-major consistency as it goes.
 #[allow(clippy::type_complexity)]
@@ -255,5 +297,45 @@ mod tests {
 
         // The originals still merge.
         assert!(merge_reports(&plan, &good).is_ok());
+    }
+
+    #[test]
+    fn fenced_merge_keeps_zombies_out_and_names_what_is_missing() {
+        let plan = tiny_plan(2);
+        let good: Vec<ShardReport> = (0..2).map(|k| run_shard(&plan, k).unwrap()).collect();
+
+        // Shard 0's attempt 0 became a zombie: it finished late *and*
+        // its payload is corrupt. The retry (attempt 1) is clean and
+        // crowned. The pool holds both.
+        let mut zombie = good[0].clone();
+        if let crate::shard::CellStatus::Solved { power, .. } = &mut zombie.cells[0].status {
+            *power += 100.0;
+        }
+        let mut winner = good[0].clone();
+        winner.attempt = 1;
+        let pool = vec![zombie, winner, good[1].clone()];
+
+        // The fence picks the crowned attempt: the corrupt zombie is
+        // invisible and the merge is byte-identical to single-process.
+        let merged = merge_reports_fenced(&plan, &pool, &[Some(1), Some(0)]).unwrap();
+        assert_eq!(merged.digest(), single_process_digest(&plan));
+
+        // Crowning the zombie instead drags the corruption in — and the
+        // ordinary integrity checks catch it (checksum mismatch).
+        assert!(merge_reports_fenced(&plan, &pool, &[Some(0), Some(0)]).is_err());
+
+        // A shard with no winner, or a winner whose report is missing,
+        // is a typed protocol error naming shard and attempt.
+        let err = merge_reports_fenced(&plan, &pool, &[None, Some(0)])
+            .err()
+            .expect("a shard with no winner cannot merge");
+        assert!(matches!(err, FleetdError::Protocol(_)));
+        assert!(err.to_string().contains("shard 0"), "{err}");
+        let err = merge_reports_fenced(&plan, &pool, &[Some(2), Some(0)])
+            .err()
+            .expect("a missing winning report cannot merge");
+        assert!(err.to_string().contains("shard 0 attempt 2"), "{err}");
+        // A winning table of the wrong shape never merges anything.
+        assert!(merge_reports_fenced(&plan, &pool, &[Some(1)]).is_err());
     }
 }

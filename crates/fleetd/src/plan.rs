@@ -68,6 +68,17 @@ impl ShardPlan {
     pub fn shard_count(&self) -> usize {
         self.shards.len()
     }
+
+    /// The manifest of shard `shard`, as a typed protocol error when
+    /// out of range (the supervisor and workers share this check).
+    pub fn manifest(&self, shard: usize) -> Result<&ShardManifest, FleetdError> {
+        self.shards.get(shard).ok_or_else(|| {
+            FleetdError::Protocol(format!(
+                "shard {shard} out of range (plan has {})",
+                self.shards.len()
+            ))
+        })
+    }
 }
 
 /// Splits `0..job_count` into `shard_count` contiguous ranges whose

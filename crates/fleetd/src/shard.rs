@@ -108,6 +108,12 @@ pub struct ShardReport {
     pub fingerprint: u64,
     /// This shard's index.
     pub shard: usize,
+    /// Attempt generation that produced this report (0 = first launch;
+    /// defaults on deserialization so pre-fencing reports stay
+    /// readable). The fenced merge rejects reports whose attempt is not
+    /// the scheduler's winning generation — the zombie fence.
+    #[serde(default)]
+    pub attempt: usize,
     /// Total shards in the plan this report was produced under.
     pub shard_count: usize,
     /// First job of the shard (global index, inclusive).

@@ -22,7 +22,7 @@ use crate::error::FleetdError;
 use crate::plan::ShardPlan;
 use crate::shard::{CellRecord, ShardReport};
 use replica_engine::obs::Obs;
-use replica_engine::{Fleet, JobSpace, Registry};
+use replica_engine::{CancelToken, Fleet, JobSpace, Registry};
 
 /// Runs shard `shard` of `plan` in-process over the campaign's own lazy
 /// job space and returns its report.
@@ -62,12 +62,38 @@ pub fn run_shard_on_observed<S: JobSpace + ?Sized>(
     space: &S,
     obs: &Obs,
 ) -> Result<ShardReport, FleetdError> {
-    let manifest = *plan.shards.get(shard).ok_or_else(|| {
-        FleetdError::Protocol(format!(
-            "shard {shard} out of range (plan has {})",
-            plan.shards.len()
-        ))
-    })?;
+    let report = run_shard_on_attempt(plan, shard, 0, space, obs, None)?;
+    Ok(report.expect("no cancel token given"))
+}
+
+/// Runs shard `shard` as attempt generation `attempt` over the
+/// campaign's own lazy job space — the supervised coordinator's entry
+/// point. `Ok(None)` means `cancel` fired between batches: the attempt
+/// produced nothing at all (the engine's all-or-nothing fold), which is
+/// exactly what a kill fault must look like.
+pub fn run_shard_attempt(
+    plan: &ShardPlan,
+    shard: usize,
+    attempt: usize,
+    obs: &Obs,
+    cancel: Option<&CancelToken>,
+) -> Result<Option<ShardReport>, FleetdError> {
+    run_shard_on_attempt(plan, shard, attempt, &plan.campaign.space(), obs, cancel)
+}
+
+/// [`run_shard_attempt`] over an explicit job space — the most general
+/// worker entry point; every other `run_shard_*` delegates here. The
+/// returned report carries `attempt` so the fenced merge can tell a
+/// winning attempt's report from a superseded zombie's.
+pub fn run_shard_on_attempt<S: JobSpace + ?Sized>(
+    plan: &ShardPlan,
+    shard: usize,
+    attempt: usize,
+    space: &S,
+    obs: &Obs,
+    cancel: Option<&CancelToken>,
+) -> Result<Option<ShardReport>, FleetdError> {
+    let manifest = *plan.manifest(shard)?;
     if plan.campaign.fingerprint() != plan.fingerprint {
         return Err(FleetdError::Protocol(
             "plan fingerprint does not match its campaign (corrupted plan?)".into(),
@@ -85,18 +111,22 @@ pub fn run_shard_on_observed<S: JobSpace + ?Sized>(
 
     let fleet = Fleet::try_new(&registry, plan.campaign.fleet_config())?;
     let mut cells = Vec::with_capacity(manifest.len() * plan.campaign.solvers.len());
-    let run = fleet.run_space_shard_recorded_traced(
+    let Some(run) = fleet.run_space_shard_recorded_cancellable(
         space,
         manifest.start..manifest.end,
         |cell| {
             cells.push(CellRecord::from_cell(cell));
         },
         obs,
-    );
+        cancel,
+    ) else {
+        return Ok(None);
+    };
 
-    Ok(ShardReport {
+    Ok(Some(ShardReport {
         fingerprint: plan.fingerprint,
         shard: manifest.shard,
+        attempt,
         shard_count: plan.shards.len(),
         start: manifest.start,
         end: manifest.end,
@@ -104,7 +134,7 @@ pub fn run_shard_on_observed<S: JobSpace + ?Sized>(
         checksum: run.report.cell_checksum,
         cells,
         groups: run.groups,
-    })
+    }))
 }
 
 #[cfg(test)]
@@ -131,6 +161,28 @@ mod tests {
             assert_eq!(report.fingerprint, plan.fingerprint);
         }
         assert!(run_shard(&plan, 99).is_err());
+    }
+
+    #[test]
+    fn attempts_are_stamped_and_cancellation_yields_nothing() {
+        let plan = tiny_plan(2);
+        let base = run_shard(&plan, 0).unwrap();
+        assert_eq!(base.attempt, 0, "plain runs are attempt 0");
+
+        // A retry attempt produces the byte-identical payload — only the
+        // attempt stamp differs.
+        let retry = run_shard_attempt(&plan, 0, 3, &Obs::noop(), None)
+            .unwrap()
+            .expect("no cancel token given");
+        assert_eq!(retry.attempt, 3);
+        assert_eq!(retry.checksum, base.checksum);
+        assert_eq!(retry.cell_count, base.cell_count);
+
+        // A pre-cancelled attempt returns nothing at all.
+        let cancel = CancelToken::new();
+        cancel.cancel();
+        let killed = run_shard_attempt(&plan, 0, 1, &Obs::noop(), Some(&cancel)).unwrap();
+        assert!(killed.is_none(), "cancelled attempts produce no report");
     }
 
     #[test]

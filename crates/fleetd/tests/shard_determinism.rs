@@ -10,8 +10,8 @@
 
 use proptest::prelude::*;
 use replica_engine::{Fleet, FleetReport, Registry};
-use replica_fleetd::merge::merge_reports;
-use replica_fleetd::worker::run_shard;
+use replica_fleetd::merge::{merge_reports, merge_reports_fenced};
+use replica_fleetd::worker::{run_shard, run_shard_attempt};
 use replica_fleetd::{Campaign, ShardPlan, ShardReport};
 
 /// A small but non-trivial campaign: two topology families, churn
@@ -92,6 +92,61 @@ proptest! {
         let campaign = campaign(seed);
         let plan = ShardPlan::new(campaign.clone(), shards).unwrap();
         let merged = shard_and_merge(&plan);
+        let baseline = single_process(&campaign);
+        prop_assert_eq!(merged.digest(), baseline.digest());
+        prop_assert_eq!(merged.cell_checksum, baseline.cell_checksum);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// The fencing dimension of the contract: each shard's crowned
+    /// report may come from **any** attempt generation, every
+    /// superseded attempt lingers in the pool as a zombie, and the pool
+    /// arrives in an **arbitrary completion order** — the fenced merge
+    /// still reproduces the unsharded digest bit for bit.
+    #[test]
+    fn retried_reports_in_any_completion_order_merge_byte_identically(
+        shards in 1usize..8,
+        seed in 0u64..1_000,
+        scramble in 0u64..u64::MAX,
+    ) {
+        let campaign = campaign(seed);
+        let plan = ShardPlan::new(campaign.clone(), shards).unwrap();
+        let obs = replica_engine::obs::Obs::noop();
+
+        // Draw each shard's winning generation from the scramble bits;
+        // every earlier generation also completed (late) and sits in
+        // the pool.
+        let mut pool: Vec<ShardReport> = Vec::new();
+        let mut winning: Vec<Option<usize>> = Vec::new();
+        let mut bits = scramble;
+        for shard in 0..plan.shards.len() {
+            let crowned = (bits % 3) as usize;
+            bits /= 3;
+            for attempt in 0..=crowned {
+                let report = run_shard_attempt(&plan, shard, attempt, &obs, None)
+                    .unwrap()
+                    .expect("no cancellation requested");
+                assert_eq!(report.attempt, attempt);
+                pool.push(report);
+            }
+            winning.push(Some(crowned));
+        }
+
+        // Arbitrary completion order: a seeded Fisher–Yates over the
+        // whole pool, zombies and winners interleaved.
+        let mut state = scramble.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+        for i in (1..pool.len()).rev() {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            let j = (state % (i as u64 + 1)) as usize;
+            pool.swap(i, j);
+        }
+
+        let merged = merge_reports_fenced(&plan, &pool, &winning).unwrap();
         let baseline = single_process(&campaign);
         prop_assert_eq!(merged.digest(), baseline.digest());
         prop_assert_eq!(merged.cell_checksum, baseline.cell_checksum);
