@@ -17,12 +17,19 @@
 //! minimum is the standard robust statistic for an overhead comparison
 //! (it measures the code, medians measure the machine's background
 //! load too), and interleaving decorrelates slow drift.
+//!
+//! The read path rides along: the trace the jsonl runs accumulated is
+//! parsed back through [`Trace::parse`] and profiled through
+//! [`Analysis::of`], reported as `lines/sec` (same min-of-reps
+//! discipline) — the forensic tooling must keep up with the traces the
+//! fleet actually produces.
+//!
 //! Usage: `cargo run --release -p replica-bench --bin obs_overhead
 //! [-- OUT.json]` (default `BENCH_obs.json` in the working directory —
 //! the repository root under `cargo run`).
 
 use replica_bench::standard_campaign;
-use replica_engine::obs::{JsonlSink, Obs, Verbosity};
+use replica_engine::obs::{Analysis, JsonlSink, Obs, Trace, Verbosity};
 use replica_engine::{Fleet, Registry};
 use std::hint::black_box;
 use std::sync::Arc;
@@ -76,11 +83,24 @@ fn main() {
         jsonl = jsonl.min(time_ms(|| fleet.run_space_traced(&space, &jsonl_obs)));
     }
     drop(jsonl_obs);
+    let text = std::fs::read_to_string(&trace_path).expect("trace file readable");
     let _ = std::fs::remove_file(&trace_path);
+
+    // Read path over the trace the jsonl runs just accumulated (one
+    // warm-up plus REPS appended runs — a realistically large file).
+    let lines = text.lines().count();
+    let parsed = Trace::parse(&text);
+    assert!(parsed.errors.is_empty(), "a live trace parses clean");
+    let (mut parse_ms, mut analyze_ms) = (f64::INFINITY, f64::INFINITY);
+    for _ in 0..REPS {
+        parse_ms = parse_ms.min(time_ms(|| Trace::parse(&text)));
+        analyze_ms = analyze_ms.min(time_ms(|| Analysis::of(&parsed)));
+    }
+    let per_sec = |ms: f64| lines as f64 / (ms / 1e3);
 
     let pct = |traced: f64| (traced / untraced - 1.0) * 100.0;
     let json = format!(
-        "{{\n  \"bench\": \"obs\",\n  \"campaign\": {{ \"scenarios\": {}, \"per_scenario\": {}, \"nodes\": {}, \"jobs\": {} }},\n  \"solvers\": \"dp_power,greedy_power,heur_power_greedy\",\n  \"untraced_ms\": {:.3},\n  \"noop_ms\": {:.3},\n  \"noop_overhead_pct\": {:.2},\n  \"jsonl_ms\": {:.3},\n  \"jsonl_overhead_pct\": {:.2}\n}}\n",
+        "{{\n  \"bench\": \"obs\",\n  \"campaign\": {{ \"scenarios\": {}, \"per_scenario\": {}, \"nodes\": {}, \"jobs\": {} }},\n  \"solvers\": \"dp_power,greedy_power,heur_power_greedy\",\n  \"untraced_ms\": {:.3},\n  \"noop_ms\": {:.3},\n  \"noop_overhead_pct\": {:.2},\n  \"jsonl_ms\": {:.3},\n  \"jsonl_overhead_pct\": {:.2},\n  \"trace_lines\": {},\n  \"parse_ms\": {:.3},\n  \"parse_lines_per_sec\": {:.0},\n  \"analyze_ms\": {:.3},\n  \"analyze_lines_per_sec\": {:.0}\n}}\n",
         campaign.scenarios.len(),
         PER_SCENARIO,
         NODES,
@@ -90,6 +110,11 @@ fn main() {
         pct(noop),
         jsonl,
         pct(jsonl),
+        lines,
+        parse_ms,
+        per_sec(parse_ms),
+        analyze_ms,
+        per_sec(analyze_ms),
     );
     std::fs::write(&out, &json).expect("cannot write the overhead artifact");
     eprint!("{json}");

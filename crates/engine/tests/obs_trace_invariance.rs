@@ -85,7 +85,7 @@ proptest! {
         // The invariance is non-vacuous: the traced runs really traced.
         let events = memory.take();
         prop_assert!(
-            events.iter().any(|e| matches!(e, Event::SpanStart { name: "solve", .. })),
+            events.iter().any(|e| matches!(e, Event::SpanStart { name, .. } if name == "solve")),
             "solve verbosity must emit per-solve spans"
         );
         prop_assert!(events.iter().any(|e| matches!(e, Event::Progress { .. })));
@@ -126,11 +126,7 @@ fn phase_spans_do_not_change_solver_outcomes() {
         let phases: Vec<&str> = events
             .iter()
             .filter_map(|e| match e {
-                Event::SpanStart {
-                    name: "phase",
-                    label,
-                    ..
-                } => Some(label.as_str()),
+                Event::SpanStart { name, label, .. } if name == "phase" => Some(label.as_str()),
                 _ => None,
             })
             .collect();

@@ -60,7 +60,11 @@ fleet flags (a campaign spec, validated before any job runs):
   --format F         table | table-det | csv | json | json-det
   --trace FILE       write a JSONL telemetry trace of the run (spans,
                      progress, timing histograms); strictly out-of-band —
-                     the report is byte-identical with or without it";
+                     the report is byte-identical with or without it
+  --analyze          after the run, parse the trace back and print the
+                     forensic report (phase profile, slowest solves,
+                     throughput) to stderr; uses --trace FILE when given,
+                     a temporary trace otherwise";
 
 fn main() -> ExitCode {
     let raw: Vec<String> = std::env::args().skip(1).collect();
@@ -306,15 +310,20 @@ fn run_fleet(args: &Args) {
     );
     let start = std::time::Instant::now();
     // --trace is a CLI-level concern, deliberately not a spec field:
-    // telemetry must never alter the campaign fingerprint.
-    let obs = match args.get("trace") {
-        Some(path) => {
-            let path = PathBuf::from(path);
-            replica_engine::obs::Obs::jsonl(&path, replica_engine::obs::Verbosity::Solve)
-                .unwrap_or_else(|e| {
-                    die(&format!("cannot create trace file {}: {e}", path.display()))
-                })
-        }
+    // telemetry must never alter the campaign fingerprint. --analyze
+    // needs a trace to read back, so without --trace it records into a
+    // temporary file it cleans up afterwards.
+    let analyze = args.has("analyze");
+    let trace_path = match args.get("trace") {
+        Some(path) => Some(PathBuf::from(path)),
+        None if analyze => Some(
+            std::env::temp_dir().join(format!("fleet-analyze-{}.trace.jsonl", std::process::id())),
+        ),
+        None => None,
+    };
+    let obs = match &trace_path {
+        Some(path) => replica_engine::obs::Obs::jsonl(path, replica_engine::obs::Verbosity::Solve)
+            .unwrap_or_else(|e| die(&format!("cannot create trace file {}: {e}", path.display()))),
         None => replica_engine::obs::Obs::noop(),
     };
     let fleet_report =
@@ -330,6 +339,29 @@ fn run_fleet(args: &Args) {
     if let Some(table) = fleet_cmd::budget_table(&campaign, &registry) {
         println!("{}", table.to_ascii());
         write(&table, args, "fleet_budget_sweep.csv");
+    }
+    if analyze {
+        obs.flush();
+        let path = trace_path.as_ref().expect("--analyze records a trace");
+        match std::fs::read_to_string(path) {
+            Ok(text) => {
+                let trace = replica_engine::obs::Trace::parse(&text);
+                let analysis = replica_engine::obs::Analysis::of(&trace);
+                // Stderr, like every other diagnostic: stdout stays the
+                // campaign report alone, pipeable in any --format.
+                eprint!(
+                    "{}",
+                    replica_engine::output::render_analysis(
+                        &analysis,
+                        replica_engine::output::OutputFormat::Table
+                    )
+                );
+            }
+            Err(e) => eprintln!("warning: --analyze cannot read {}: {e}", path.display()),
+        }
+        if args.get("trace").is_none() {
+            let _ = std::fs::remove_file(path);
+        }
     }
     eprintln!("[fleet] done in {:.1?}", start.elapsed());
 }

@@ -26,7 +26,8 @@
 //! proves the merged report byte-identical.
 
 use crate::coordinator::{
-    prove_against_single_process, read_json, run_plan_with, write_json, RunOptions, Workers,
+    assemble_trace_text, prove_against_single_process, read_json, run_plan_with, write_json,
+    RunOptions, Workers,
 };
 use crate::error::FleetdError;
 use crate::fault::{FaultKind, FaultPlan};
@@ -36,8 +37,8 @@ use crate::plan::ShardPlan;
 use crate::sched::SchedConfig;
 use crate::shard::ShardReport;
 use crate::worker;
-use replica_engine::obs::{Event, FanoutSink, JsonlSink, Obs, Sink, Verbosity};
-use replica_engine::output::{render, OutputFormat};
+use replica_engine::obs::{Analysis, Event, FanoutSink, JsonlSink, Obs, Sink, Trace, Verbosity};
+use replica_engine::output::{render, render_analysis, OutputFormat};
 use replica_engine::spec::{Campaign, CampaignSpec, SpecError, CAMPAIGN_FLAG_NAMES};
 use replica_engine::Registry;
 use std::collections::HashMap;
@@ -57,7 +58,8 @@ USAGE:
                  [--in-process] [--no-verify] [--work-dir DIR] [--trace t.jsonl]
                  [--max-retries N] [--slots N] [--steal] [--stale-ms MS]
                  [--backoff-ms MS] [--inject SPEC]
-    fleetd status DIR [--stale-ms N]
+    fleetd status DIR [--stale-ms N] [--format F]
+    fleetd analyze DIR|trace.jsonl [--format F] [--out FILE] [--top N]
     fleetd help
 
 CAMPAIGN FLAGS (spec, plan, run):
@@ -79,13 +81,23 @@ OUTPUT:
                         [default: the spec's `output` field, else table]
     --out FILE          write the rendering to FILE instead of stdout
 
-TELEMETRY (work, run, status):
+TELEMETRY (work, run, status, analyze):
     --trace FILE        write a JSONL event trace (spans, progress,
-                        counters, histograms) — strictly out-of-band:
-                        deterministic outputs are byte-identical with
-                        or without it
+                        counters, histograms, supervision events) —
+                        strictly out-of-band: deterministic outputs are
+                        byte-identical with or without it
     --stale-ms N        `status`: a Running heartbeat older than N ms
                         counts as stale                  [default: 10000]
+    --top N             `analyze`: slowest solves to list [default: 10]
+
+`analyze` reads a trace back: give it a trace file, or a run's
+--work-dir and it assembles the supervision stream
+(`sched.trace.jsonl`, written by every supervised run) plus each
+attempt's trace. The report covers phase self/total time, slowest
+solves, per-shard retry/steal/stale-kill/fence timelines, slot
+occupancy and throughput; malformed lines are reported with their line
+numbers, never fatal. `--format table-det`/`json-det` render the same
+forensics timing-free for byte-diffable CI runs.
 
 FAULT TOLERANCE (run):
     --max-retries N     retries per shard after its first attempt
@@ -135,7 +147,8 @@ fn allowed_flags(command: &str) -> Option<Vec<&'static str>> {
         "plan" => vec!["shards", "out"],
         "work" => return Some(vec!["plan", "shard", "attempt", "out", "trace", "inject"]),
         "merge" => return Some(vec!["plan", "format", "out"]),
-        "status" => return Some(vec!["stale-ms"]),
+        "status" => return Some(vec!["stale-ms", "format"]),
+        "analyze" => return Some(vec!["format", "out", "top"]),
         "run" => vec![
             "shards",
             "format",
@@ -517,6 +530,10 @@ fn cmd_status(args: &Args) -> Result<(), FleetdError> {
         FleetdError::Usage("status needs the run's work directory as an argument".into())
     })?;
     let stale_ms = args.parsed("stale-ms", 10_000u64)?;
+    let format = match args.get("format") {
+        Some(name) => OutputFormat::parse(name).map_err(FleetdError::Spec)?,
+        None => OutputFormat::Table,
+    };
     let heartbeats = heartbeat::load_dir(Path::new(dir))?;
     if heartbeats.is_empty() {
         return Err(FleetdError::Protocol(format!(
@@ -526,9 +543,44 @@ fn cmd_status(args: &Args) -> Result<(), FleetdError> {
     }
     print!(
         "{}",
-        heartbeat::render_status(&heartbeats, heartbeat::now_unix_ms(), stale_ms)
+        heartbeat::render_status_as(&heartbeats, heartbeat::now_unix_ms(), stale_ms, format)
     );
     Ok(())
+}
+
+/// `fleetd analyze DIR|trace.jsonl`: parse a JSONL trace back into
+/// events and render the forensic report. A directory argument means a
+/// run's work directory — the supervision stream plus every attempt's
+/// trace, assembled exactly as `--trace` would have; a file argument
+/// is read as-is.
+fn cmd_analyze(args: &Args) -> Result<(), FleetdError> {
+    let target = args.positional.first().ok_or_else(|| {
+        FleetdError::Usage(
+            "analyze needs a trace file or a run's work directory as an argument".into(),
+        )
+    })?;
+    let path = Path::new(target);
+    let text = if path.is_dir() {
+        assemble_trace_text(path)?
+    } else {
+        std::fs::read_to_string(path).map_err(|e| FleetdError::Io {
+            path: target.clone(),
+            message: format!("cannot read trace: {e}"),
+        })?
+    };
+    let trace = Trace::parse(&text);
+    if trace.lines.is_empty() && trace.errors.is_empty() {
+        return Err(FleetdError::Protocol(format!(
+            "no trace lines in {target} — was the run traced (or supervised)?"
+        )));
+    }
+    let top = args.parsed("top", 10usize)?;
+    let analysis = Analysis::with_top(&trace, top);
+    let format = match args.get("format") {
+        Some(name) => OutputFormat::parse(name).map_err(FleetdError::Spec)?,
+        None => OutputFormat::Table,
+    };
+    emit(args, &render_analysis(&analysis, format))
 }
 
 /// Entry point: returns the process exit code.
@@ -555,6 +607,7 @@ pub fn main(args: Vec<String>) -> i32 {
         "merge" => cmd_merge(&parsed),
         "run" => cmd_run(&parsed),
         "status" => cmd_status(&parsed),
+        "analyze" => cmd_analyze(&parsed),
         "help" | "--help" | "-h" => {
             eprint!("{USAGE}");
             return 0;

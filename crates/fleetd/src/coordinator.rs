@@ -30,9 +30,19 @@
 //! stderr; each attempt's stderr is captured to `shard-K.aA.stderr` so
 //! a failing attempt's diagnostics land in the
 //! [`FleetdError::Protocol`] message instead of interleaving with the
-//! others. [`RunOptions::trace`] threads a `--trace` JSONL request down
-//! to every worker and concatenates the *winning* attempts' traces, in
-//! shard order, into one file.
+//! others.
+//!
+//! Every supervision decision is also a telemetry event: claims,
+//! launches, steals, retries (with their backoff gate), stale-kills,
+//! fence rejections and terminal done/exhausted verdicts are emitted
+//! as [`Event::Sched`] lines. The subprocess supervisor always writes
+//! them to `sched.trace.jsonl` in the work directory — `fleetd analyze
+//! DIR` reads the supervision stream of any run, traced or not — and
+//! [`RunOptions::trace`] additionally threads a `--trace` JSONL
+//! request down to every worker and assembles the per-attempt traces
+//! into one file, each attempt's lines prefixed with an
+//! [`Event::ShardSegment`] provenance marker so span ids from
+//! different worker processes can never collide in the reader.
 
 use crate::error::FleetdError;
 use crate::fault::{FaultKind, FaultPlan};
@@ -40,10 +50,10 @@ use crate::heartbeat::{self, Heartbeat, ShardStatus};
 use crate::merge::merge_reports_fenced;
 use crate::plan::ShardPlan;
 use crate::pool::{self, ClaimRecord};
-use crate::sched::{Launch, SchedConfig, Scheduler};
+use crate::sched::{FailureOutcome, Launch, SchedConfig, Scheduler};
 use crate::shard::ShardReport;
 use crate::worker;
-use replica_engine::obs::{Obs, Sink, Verbosity};
+use replica_engine::obs::{Event, Obs, SchedOp, Sink, Verbosity};
 use replica_engine::{CancelToken, Fleet, FleetReport, Registry};
 use std::fs;
 use std::path::{Path, PathBuf};
@@ -93,8 +103,10 @@ impl Workers {
 pub struct RunOptions {
     /// Write a JSONL trace of the run here. Subprocess workers each
     /// trace to `shard-K.aA.trace.jsonl` in the work directory; the
-    /// coordinator concatenates the winning attempts', in shard order,
-    /// into this file. In-process runs trace straight to it.
+    /// coordinator assembles the supervision stream plus every
+    /// attempt's trace — behind `segment` provenance markers, in
+    /// (shard, attempt) order — into this file. In-process runs trace
+    /// straight to it, markers and supervision events interleaved.
     pub trace: Option<PathBuf>,
     /// Render a live status ticker (heartbeat summary) to stderr while
     /// subprocess workers run.
@@ -155,6 +167,49 @@ fn exhausted_error(sched: &Scheduler, failures: &[String]) -> FleetdError {
     ))
 }
 
+/// The supervision stream of a subprocess run, written into the work
+/// directory unconditionally (tracing on or off): `fleetd analyze DIR`
+/// reads the scheduler's decisions from any completed or in-flight
+/// run.
+pub const SCHED_TRACE_FILE: &str = "sched.trace.jsonl";
+
+/// One supervision event, ready to emit.
+fn sched_event(op: SchedOp, shard: usize, attempt: usize, not_before_ms: Option<u64>) -> Event {
+    Event::Sched {
+        op,
+        shard,
+        attempt,
+        not_before_ms,
+    }
+}
+
+/// Emits the launch decision: a plain `launch`, or a `steal` when the
+/// scheduler jumped a backoff-gated earlier shard.
+fn emit_launch(obs: &Obs, launch: &Launch) {
+    let op = if launch.stolen {
+        SchedOp::Steal
+    } else {
+        SchedOp::Launch
+    };
+    obs.emit(sched_event(op, launch.shard, launch.attempt, None));
+}
+
+/// Emits what [`Scheduler::on_failure`] decided about a failed
+/// attempt: `retry` (with its backoff gate), `exhausted`, or
+/// `fence_reject` for a superseded generation's late verdict. The
+/// event names the attempt the verdict was *about*, not the retry it
+/// scheduled — the analyzer pairs it with that attempt's launch.
+fn emit_failure(obs: &Obs, shard: usize, attempt: usize, outcome: FailureOutcome) {
+    let event = match outcome {
+        FailureOutcome::WillRetry { not_before_ms, .. } => {
+            sched_event(SchedOp::Retry, shard, attempt, Some(not_before_ms))
+        }
+        FailureOutcome::Exhausted => sched_event(SchedOp::Exhausted, shard, attempt, None),
+        FailureOutcome::Fenced => sched_event(SchedOp::FenceReject, shard, attempt, None),
+    };
+    obs.emit(event);
+}
+
 /// The in-process supervised runner: the same [`Scheduler`] the
 /// subprocess supervisor uses, driven synchronously on a **virtual
 /// clock** — backoff gates and staleness windows are jumped over, not
@@ -203,17 +258,25 @@ fn run_in_process(
             }
             continue;
         }
-        for Launch { shard, attempt } in launches {
+        for launch in launches {
+            let Launch { shard, attempt, .. } = launch;
+            // Supervision telemetry: the launch decision, then a
+            // segment marker so the attempt's span ids are scoped to
+            // this (shard, attempt) in the reader.
+            emit_launch(&obs, &launch);
+            obs.emit(Event::ShardSegment { shard, attempt });
             match options.faults.fault_for(shard, attempt) {
                 None => match worker::run_shard_attempt(plan, shard, attempt, &obs, None) {
                     Ok(Some(report)) => {
-                        sched.on_success(shard, attempt);
+                        if sched.on_success(shard, attempt) {
+                            obs.emit(sched_event(SchedOp::Done, shard, attempt, None));
+                        }
                         pool.push(report);
                     }
                     Ok(None) => unreachable!("no cancel token given"),
                     Err(e) => {
                         failures.push(format!("shard {shard} attempt {attempt}: {e}"));
-                        sched.on_failure(shard, attempt, now);
+                        emit_failure(&obs, shard, attempt, sched.on_failure(shard, attempt, now));
                     }
                 },
                 Some(FaultKind::Kill { after_cells }) => {
@@ -236,7 +299,7 @@ fn run_in_process(
                     failures.push(format!(
                         "shard {shard} attempt {attempt}: worker killed after {after_cells} cells (injected)"
                     ));
-                    sched.on_failure(shard, attempt, now);
+                    emit_failure(&obs, shard, attempt, sched.on_failure(shard, attempt, now));
                 }
                 Some(FaultKind::Hang) => {
                     now += options.sched.stale_ms + 1;
@@ -244,7 +307,8 @@ fn run_in_process(
                         "shard {shard} attempt {attempt}: heartbeat stale after {}ms (injected hang), worker killed",
                         options.sched.stale_ms
                     ));
-                    sched.on_failure(shard, attempt, now);
+                    obs.emit(sched_event(SchedOp::StaleKill, shard, attempt, None));
+                    emit_failure(&obs, shard, attempt, sched.on_failure(shard, attempt, now));
                 }
                 Some(FaultKind::TruncateReport) => {
                     let failure =
@@ -269,7 +333,7 @@ fn run_in_process(
                             Err(e) => e,
                         };
                     failures.push(failure.to_string());
-                    sched.on_failure(shard, attempt, now);
+                    emit_failure(&obs, shard, attempt, sched.on_failure(shard, attempt, now));
                 }
                 Some(FaultKind::StaleHeartbeat) => {
                     // The worker completes — its report lands in the
@@ -286,11 +350,13 @@ fn run_in_process(
                         "shard {shard} attempt {attempt}: heartbeat stale after {}ms (injected freeze), worker written off",
                         options.sched.stale_ms
                     ));
-                    sched.on_failure(shard, attempt, now);
+                    obs.emit(sched_event(SchedOp::StaleKill, shard, attempt, None));
+                    emit_failure(&obs, shard, attempt, sched.on_failure(shard, attempt, now));
                 }
             }
         }
     }
+    obs.flush();
 
     if !sched.exhausted().is_empty() {
         return Err(exhausted_error(&sched, &failures));
@@ -379,6 +445,12 @@ fn supervise(
     let plan_path = dir.join("plan.json");
     write_json(&plan_path, plan)?;
 
+    // The supervision stream, written unconditionally: every claim,
+    // launch, steal, retry, stale-kill, fence rejection and terminal
+    // verdict, as it happens. Telemetry must never fail the run, so a
+    // directory we cannot trace into degrades to no stream.
+    let sobs = Obs::jsonl(&dir.join(SCHED_TRACE_FILE), Verbosity::Progress)
+        .unwrap_or_else(|_| Obs::noop());
     let mut sched = Scheduler::new(plan.shards.len(), options.sched);
     let mut inflight: Vec<Inflight> = Vec::new();
     let mut pool: Vec<ShardReport> = Vec::new();
@@ -392,19 +464,24 @@ fn supervise(
         // generation in the pool, then spawn `fleetd work` with the
         // attempt number (and the fault schedule, forwarded verbatim —
         // the worker looks up its own (shard, attempt) entry).
-        for Launch { shard, attempt } in sched.launches(now) {
+        for launch in sched.launches(now) {
+            let Launch { shard, attempt, .. } = launch;
             if !pool::try_claim(dir, &ClaimRecord::new(shard, attempt, "coordinator"))? {
                 failures.push(format!(
                     "shard {shard} attempt {attempt}: claim already held (reused work dir?)"
                 ));
-                sched.on_failure(shard, attempt, now);
+                emit_failure(&sobs, shard, attempt, sched.on_failure(shard, attempt, now));
                 continue;
             }
+            sobs.emit(sched_event(SchedOp::Claim, shard, attempt, None));
             match spawn_attempt(exe, dir, &plan_path, shard, attempt, options) {
-                Ok(worker) => inflight.push(worker),
+                Ok(worker) => {
+                    emit_launch(&sobs, &launch);
+                    inflight.push(worker);
+                }
                 Err(e) => {
                     failures.push(format!("shard {shard} attempt {attempt}: {e}"));
-                    sched.on_failure(shard, attempt, now);
+                    emit_failure(&sobs, shard, attempt, sched.on_failure(shard, attempt, now));
                 }
             }
         }
@@ -421,7 +498,15 @@ fn supervise(
                 Some(status) if status.success() => {
                     match read_json::<ShardReport>(&w.out) {
                         Ok(report) if (report.shard, report.attempt) == (w.shard, w.attempt) => {
-                            sched.on_success(w.shard, w.attempt);
+                            let op = if sched.on_success(w.shard, w.attempt) {
+                                SchedOp::Done
+                            } else {
+                                // A superseded zombie delivered late:
+                                // its report enters the pool but the
+                                // fence keeps it out of the merge.
+                                SchedOp::FenceReject
+                            };
+                            sobs.emit(sched_event(op, w.shard, w.attempt, None));
                             pool.push(report);
                         }
                         Ok(report) => {
@@ -437,7 +522,8 @@ fn supervise(
                                 .to_string(),
                             );
                             heartbeat::stamp_failed(&w.hb_path, w.shard, w.attempt);
-                            sched.on_failure(w.shard, w.attempt, now);
+                            let outcome = sched.on_failure(w.shard, w.attempt, now);
+                            emit_failure(&sobs, w.shard, w.attempt, outcome);
                         }
                         Err(e) => {
                             // Exit 0 but unreadable/torn report: the
@@ -452,7 +538,8 @@ fn supervise(
                                 .to_string(),
                             );
                             heartbeat::stamp_failed(&w.hb_path, w.shard, w.attempt);
-                            sched.on_failure(w.shard, w.attempt, now);
+                            let outcome = sched.on_failure(w.shard, w.attempt, now);
+                            emit_failure(&sobs, w.shard, w.attempt, outcome);
                         }
                     }
                 }
@@ -471,7 +558,8 @@ fn supervise(
                         .to_string(),
                     );
                     heartbeat::stamp_failed(&w.hb_path, w.shard, w.attempt);
-                    sched.on_failure(w.shard, w.attempt, now);
+                    let outcome = sched.on_failure(w.shard, w.attempt, now);
+                    emit_failure(&sobs, w.shard, w.attempt, outcome);
                 }
                 None => {
                     // Still running: judge liveness from its heartbeat
@@ -501,7 +589,9 @@ fn supervise(
                             )
                             .to_string(),
                         );
-                        sched.on_failure(w.shard, w.attempt, now);
+                        sobs.emit(sched_event(SchedOp::StaleKill, w.shard, w.attempt, None));
+                        let outcome = sched.on_failure(w.shard, w.attempt, now);
+                        emit_failure(&sobs, w.shard, w.attempt, outcome);
                     } else {
                         still.push(w);
                     }
@@ -529,6 +619,7 @@ fn supervise(
         std::thread::sleep(POLL_INTERVAL);
     }
 
+    sobs.flush();
     if !sched.exhausted().is_empty() {
         return Err(exhausted_error(&sched, &failures));
     }
@@ -541,7 +632,7 @@ fn supervise(
         );
     }
     if let Some(trace) = &options.trace {
-        concat_winning_traces(dir, &winning, trace)?;
+        write_text(trace, &assemble_trace_text(dir)?)?;
     }
     Ok((pool, winning))
 }
@@ -610,23 +701,47 @@ fn stderr_tail(path: &Path, max_bytes: usize) -> String {
     }
 }
 
-/// Concatenates the winning attempts' `shard-K.aA.trace.jsonl` files,
-/// in shard order, into `out` — one chronological-within-shard trace
-/// of the surviving run. Attempts that wrote no trace are skipped
-/// silently: the trace is telemetry, not a deliverable.
-fn concat_winning_traces(
-    dir: &Path,
-    winning: &[Option<usize>],
-    out: &Path,
-) -> Result<(), FleetdError> {
-    let mut combined = String::new();
-    for (shard, attempt) in winning.iter().enumerate() {
-        let Some(attempt) = attempt else { continue };
-        if let Ok(text) = fs::read_to_string(pool::trace_path(dir, shard, *attempt)) {
-            combined.push_str(&text);
+/// Assembles one forensic trace from a fleetd work directory: the
+/// supervision stream ([`SCHED_TRACE_FILE`]) first, then every
+/// `shard-K.aA.trace.jsonl` in (shard, attempt) order, each prefixed
+/// with a `segment` provenance marker line. Worker processes number
+/// their span ids independently, so two attempts' traces reuse the
+/// same ids — the marker is what lets the reader keep their spans
+/// distinct. Failed attempts' traces are included deliberately: the
+/// lines a killed worker got out before dying are where the forensics
+/// live. Missing files are skipped silently (the trace is telemetry,
+/// not a deliverable); an unreadable directory is an error.
+pub fn assemble_trace_text(dir: &Path) -> Result<String, FleetdError> {
+    let entries = fs::read_dir(dir).map_err(|e| FleetdError::Io {
+        path: dir.display().to_string(),
+        message: format!("cannot read work directory: {e}"),
+    })?;
+    let mut attempts: Vec<(usize, usize, PathBuf)> = Vec::new();
+    for entry in entries.flatten() {
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        if let Some((shard, attempt)) = parse_trace_name(name) {
+            attempts.push((shard, attempt, entry.path()));
         }
     }
-    write_text(out, &combined)
+    attempts.sort();
+    let mut combined = fs::read_to_string(dir.join(SCHED_TRACE_FILE)).unwrap_or_default();
+    for (shard, attempt, path) in attempts {
+        let Ok(text) = fs::read_to_string(&path) else {
+            continue;
+        };
+        combined.push_str(&Event::ShardSegment { shard, attempt }.to_json_line(None));
+        combined.push('\n');
+        combined.push_str(&text);
+    }
+    Ok(combined)
+}
+
+/// `shard-K.aA.trace.jsonl` → `(K, A)`.
+fn parse_trace_name(name: &str) -> Option<(usize, usize)> {
+    let rest = name.strip_prefix("shard-")?.strip_suffix(".trace.jsonl")?;
+    let (shard, attempt) = rest.split_once(".a")?;
+    Some((shard.parse().ok()?, attempt.parse().ok()?))
 }
 
 /// Runs the same campaign single-process ([`Fleet::run_space`] over the

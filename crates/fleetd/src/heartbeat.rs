@@ -20,8 +20,9 @@
 //! unit-testable without clocks or files.
 
 use crate::error::FleetdError;
+use replica_engine::output::OutputFormat;
 use replica_obs::{Event, Sink};
-use serde::{Deserialize, Serialize};
+use serde::{Deserialize, Serialize, Value};
 use std::fmt::Write as _;
 use std::fs;
 use std::path::{Path, PathBuf};
@@ -268,6 +269,112 @@ pub fn render_status(heartbeats: &[Heartbeat], now_ms: u64, stale_ms: u64) -> St
     out
 }
 
+/// [`render_status`] in any [`OutputFormat`]. The deterministic
+/// variants drop the per-row wall-clock age and pid — the columns that
+/// differ between two observations of the same fleet state — so a
+/// `table-det`/`json-det` status can be diffed across reruns.
+pub fn render_status_as(
+    heartbeats: &[Heartbeat],
+    now_ms: u64,
+    stale_ms: u64,
+    format: OutputFormat,
+) -> String {
+    match format {
+        OutputFormat::Table => render_status(heartbeats, now_ms, stale_ms),
+        OutputFormat::TableDeterministic => {
+            let mut out = String::from("shard  att  state   jobs         cells\n");
+            for hb in heartbeats {
+                let _ = writeln!(
+                    out,
+                    "{:<5}  {:<3}  {:<6}  {:>5}/{:<5}  {:>6}",
+                    hb.shard,
+                    hb.attempt,
+                    hb.status(now_ms, stale_ms).label(),
+                    hb.jobs_done,
+                    hb.jobs_total,
+                    hb.cells_done,
+                );
+            }
+            let _ = writeln!(out, "{}", summarize(heartbeats, now_ms, stale_ms).line());
+            out
+        }
+        OutputFormat::Csv => {
+            let mut out =
+                String::from("shard,attempt,state,jobs_done,jobs_total,cells_done,age_ms,pid\n");
+            for hb in heartbeats {
+                let _ = writeln!(
+                    out,
+                    "{},{},{},{},{},{},{},{}",
+                    hb.shard,
+                    hb.attempt,
+                    hb.status(now_ms, stale_ms).label(),
+                    hb.jobs_done,
+                    hb.jobs_total,
+                    hb.cells_done,
+                    hb.age_ms(now_ms),
+                    hb.pid,
+                );
+            }
+            out
+        }
+        OutputFormat::Json | OutputFormat::JsonDeterministic => {
+            let timing = format == OutputFormat::Json;
+            format!("{}\n", status_json(heartbeats, now_ms, stale_ms, timing))
+        }
+    }
+}
+
+/// The JSON status document: one object per shard plus the fleet-wide
+/// summary. `timing` gates the wall-clock fields (`age_ms`, `pid`).
+fn status_json(heartbeats: &[Heartbeat], now_ms: u64, stale_ms: u64, timing: bool) -> String {
+    let int = |n: usize| Value::Int(n as i128);
+    let object = |fields: Vec<(&str, Value)>| {
+        Value::Object(
+            fields
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect(),
+        )
+    };
+    let shards: Vec<Value> = heartbeats
+        .iter()
+        .map(|hb| {
+            let mut fields = vec![
+                ("shard", int(hb.shard)),
+                ("attempt", int(hb.attempt)),
+                (
+                    "state",
+                    Value::Str(hb.status(now_ms, stale_ms).label().into()),
+                ),
+                ("jobs_done", int(hb.jobs_done)),
+                ("jobs_total", int(hb.jobs_total)),
+                ("cells_done", int(hb.cells_done)),
+            ];
+            if timing {
+                fields.push(("age_ms", Value::Int(hb.age_ms(now_ms) as i128)));
+                fields.push(("pid", Value::Int(hb.pid as i128)));
+            }
+            object(fields)
+        })
+        .collect();
+    let summary = summarize(heartbeats, now_ms, stale_ms);
+    let doc = object(vec![
+        ("shards", Value::Array(shards)),
+        (
+            "summary",
+            object(vec![
+                ("live", int(summary.live)),
+                ("stale", int(summary.stale)),
+                ("done", int(summary.done)),
+                ("failed", int(summary.failed)),
+                ("jobs_done", int(summary.jobs_done)),
+                ("jobs_total", int(summary.jobs_total)),
+            ]),
+        ),
+    ]);
+    serde_json::to_string(&doc).unwrap_or_default()
+}
+
 /// An [`replica_obs::Sink`] that folds the engine's per-batch
 /// [`Event::Progress`] stream into the shard's heartbeat file. All
 /// other events pass through untouched (fan this sink out next to a
@@ -418,6 +525,42 @@ mod tests {
     }
 
     #[test]
+    fn status_renders_in_every_format() {
+        let now = 100_000;
+        let all = [
+            beat(0, WorkerState::Running, 3, now - 1_000),
+            beat(1, WorkerState::Done, 10, now - 60_000),
+        ];
+        for format in OutputFormat::ALL {
+            let text = render_status_as(&all, now, 10_000, format);
+            assert!(text.contains("done"), "{format:?}: {text}");
+        }
+        let csv = render_status_as(&all, now, 10_000, OutputFormat::Csv);
+        assert!(
+            csv.starts_with("shard,attempt,state,jobs_done,jobs_total,cells_done,age_ms,pid\n"),
+            "{csv}"
+        );
+        assert!(csv.contains("0,0,live,3,10,9,1000,7"), "{csv}");
+        let json = render_status_as(&all, now, 10_000, OutputFormat::Json);
+        assert!(json.contains("\"age_ms\":1000"), "{json}");
+        assert!(json.contains("\"summary\":"), "{json}");
+        // The deterministic variants carry no wall-clock or pid noise.
+        for format in [
+            OutputFormat::TableDeterministic,
+            OutputFormat::JsonDeterministic,
+        ] {
+            let det = render_status_as(&all, now, 10_000, format);
+            assert!(!det.contains("age_ms"), "{det}");
+            assert!(!det.contains("pid"), "{det}");
+            assert_eq!(
+                det,
+                render_status_as(&all, now + 500, 10_000, format),
+                "same states observed at a different instant must render identically"
+            );
+        }
+    }
+
+    #[test]
     fn sink_folds_progress_events_into_the_file() {
         let dir = std::env::temp_dir().join(format!("fleetd-hbsink-{}", std::process::id()));
         fs::create_dir_all(&dir).unwrap();
@@ -435,7 +578,7 @@ mod tests {
         });
         // Non-progress events leave the heartbeat alone.
         sink.emit(&Event::Counter {
-            name: "cells_solved",
+            name: "cells_solved".into(),
             value: 6,
         });
         let mid = Heartbeat::load(&path).unwrap();

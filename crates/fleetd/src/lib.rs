@@ -36,7 +36,8 @@
 //!    single-process run.
 //!
 //! The `fleetd` binary ([`cli`]) exposes the protocol as `spec` /
-//! `plan` / `work` / `merge` / `run` / `status` subcommands with
+//! `plan` / `work` / `merge` / `run` / `status` / `analyze`
+//! subcommands with
 //! table, CSV and JSON output (the engine's
 //! [`render`](replica_engine::render); the spec's `output` field is
 //! the default rendering). Every failure is a
@@ -62,10 +63,17 @@
 //! Telemetry ([`heartbeat`], `replica-obs`) rides alongside: every
 //! worker maintains a `shard-K.hb.json` heartbeat next to its report,
 //! the coordinator folds those into a live status ticker (and
-//! `fleetd status DIR` renders them on demand), and `--trace` captures
-//! the run's span/progress/histogram event stream as JSONL. All of it
-//! is strictly out-of-band — deterministic outputs are byte-identical
-//! with telemetry on or off.
+//! `fleetd status DIR` renders them on demand, in any output format),
+//! and `--trace` captures the run's span/progress/histogram event
+//! stream as JSONL. Supervision decisions — claims, launches, steals,
+//! retries with their backoff gates, stale-kills, fence rejections,
+//! terminal verdicts — are themselves events: the supervisor always
+//! writes them to `sched.trace.jsonl` in the work directory, and
+//! `fleetd analyze DIR` reads the whole stream back through the
+//! `replica-obs` trace reader into a forensic report (phase profiles,
+//! slowest solves, per-shard attempt timelines, slot occupancy). All
+//! of it is strictly out-of-band — deterministic outputs are
+//! byte-identical with telemetry on or off.
 //!
 //! ## Quickstart (in-process workers)
 //!

@@ -107,6 +107,10 @@ pub struct Launch {
     pub shard: usize,
     /// Attempt generation to run it as.
     pub attempt: usize,
+    /// Whether this launch jumped past a backoff-gated earlier shard —
+    /// a work steal (only possible with `steal` on). Telemetry reports
+    /// it as a `steal` supervision event instead of a plain `launch`.
+    pub stolen: bool,
 }
 
 /// What [`Scheduler::on_failure`] decided.
@@ -179,6 +183,7 @@ impl Scheduler {
             .count();
         let mut free = self.config.slots.saturating_sub(running);
         let mut launches = Vec::new();
+        let mut skipped_gated = false;
         for shard in 0..self.phases.len() {
             if free == 0 {
                 break;
@@ -190,10 +195,19 @@ impl Scheduler {
                 } => {
                     if not_before_ms <= now_ms {
                         self.phases[shard] = Phase::Running { attempt };
-                        launches.push(Launch { shard, attempt });
+                        launches.push(Launch {
+                            shard,
+                            attempt,
+                            stolen: skipped_gated,
+                        });
                         free -= 1;
                     } else if !self.config.steal {
                         break;
+                    } else {
+                        // An idle slot is about to jump this gated
+                        // shard: every later launch this round is a
+                        // steal.
+                        skipped_gated = true;
                     }
                 }
                 Phase::Running { .. } | Phase::Done { .. } | Phase::Exhausted { .. } => {}
@@ -339,7 +353,11 @@ mod tests {
         assert_eq!(
             launches,
             (0..3)
-                .map(|shard| Launch { shard, attempt: 0 })
+                .map(|shard| Launch {
+                    shard,
+                    attempt: 0,
+                    stolen: false
+                })
                 .collect::<Vec<_>>()
         );
         assert!(sched.launches(0).is_empty(), "everything is in flight");
@@ -390,7 +408,8 @@ mod tests {
             sched.launches(now + 200),
             vec![Launch {
                 shard: 1,
-                attempt: 1
+                attempt: 1,
+                stolen: false
             }]
         );
         assert!(sched.on_success(1, 1));
@@ -411,7 +430,8 @@ mod tests {
             sched.launches(1_200),
             vec![Launch {
                 shard: 0,
-                attempt: 1
+                attempt: 1,
+                stolen: false
             }]
         );
 
@@ -435,7 +455,14 @@ mod tests {
         let mut gates = Vec::new();
         // max_retries = 2 → attempts 0, 1, 2 and no more.
         for attempt in 0..2 {
-            assert_eq!(sched.launches(now), vec![Launch { shard: 0, attempt }]);
+            assert_eq!(
+                sched.launches(now),
+                vec![Launch {
+                    shard: 0,
+                    attempt,
+                    stolen: false
+                }]
+            );
             match sched.on_failure(0, attempt, now) {
                 FailureOutcome::WillRetry { not_before_ms, .. } => {
                     gates.push(not_before_ms - now);
@@ -449,7 +476,8 @@ mod tests {
             sched.launches(now),
             vec![Launch {
                 shard: 0,
-                attempt: 2
+                attempt: 2,
+                stolen: false
             }]
         );
         assert_eq!(sched.on_failure(0, 2, now), FailureOutcome::Exhausted);
@@ -488,7 +516,8 @@ mod tests {
                 sched.launches(0),
                 vec![Launch {
                     shard: 0,
-                    attempt: 0
+                    attempt: 0,
+                    stolen: false
                 }]
             );
             sched.on_failure(0, 0, 100);
@@ -499,12 +528,14 @@ mod tests {
         // shard 0's backoff even though shards 1 and 2 are ready.
         assert_eq!(run(false), vec![]);
         // Stealing: the idle slot skips the gated shard and claims the
-        // lowest-indexed eligible manifest.
+        // lowest-indexed eligible manifest — and the launch is marked
+        // as a steal so telemetry can report it.
         assert_eq!(
             run(true),
             vec![Launch {
                 shard: 1,
-                attempt: 0
+                attempt: 0,
+                stolen: true
             }]
         );
 
@@ -524,7 +555,8 @@ mod tests {
             sched.launches(300),
             vec![Launch {
                 shard: 0,
-                attempt: 1
+                attempt: 1,
+                stolen: false
             }]
         );
 
@@ -544,7 +576,8 @@ mod tests {
             sched.launches(0),
             vec![Launch {
                 shard: 2,
-                attempt: 0
+                attempt: 0,
+                stolen: false
             }]
         );
     }

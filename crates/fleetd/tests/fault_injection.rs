@@ -14,8 +14,10 @@
 //! for real.
 
 use proptest::prelude::*;
-use replica_engine::obs::Obs;
-use replica_fleetd::coordinator::{run_plan_with, run_single_process, RunOptions, Workers};
+use replica_engine::obs::{Analysis, Obs, SchedOp, Trace};
+use replica_fleetd::coordinator::{
+    run_plan_with, run_single_process, RunOptions, Workers, SCHED_TRACE_FILE,
+};
 use replica_fleetd::worker::run_shard_attempt;
 use replica_fleetd::{
     merge_reports_fenced, pool, Campaign, CellStatus, Fault, FaultKind, FaultPlan, FleetdError,
@@ -239,7 +241,124 @@ fn real_subprocess_workers_survive_kills_hangs_and_torn_reports() {
             );
         }
     }
+
+    // The supervision stream is always on: even though this run passed
+    // no `--trace`, the work dir carries `sched.trace.jsonl`, and
+    // analyzing it recovers the full story — six claims for six
+    // attempts, every shard retried exactly once, the hung worker
+    // written off by a stale-kill, all three shards Done.
+    let text = std::fs::read_to_string(dir.join(SCHED_TRACE_FILE)).unwrap();
+    let trace = Trace::parse(&text);
+    assert!(
+        trace.errors.is_empty(),
+        "live stream parses clean: {:?}",
+        trace.errors
+    );
+    let analysis = Analysis::of(&trace);
+    assert_eq!(analysis.sched.total(SchedOp::Claim), 6);
+    assert_eq!(analysis.sched.total(SchedOp::Retry), 3);
+    assert_eq!(analysis.sched.total(SchedOp::StaleKill), 1);
+    assert_eq!(analysis.sched.total(SchedOp::Done), 3);
+    for timeline in &analysis.sched.shards {
+        assert_eq!(timeline.retries, 1, "shard {} retried once", timeline.shard);
+        assert_eq!(
+            timeline.outcome,
+            Some(SchedOp::Done),
+            "shard {}",
+            timeline.shard
+        );
+    }
     let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The forensic loop closes: a traced fault-injection run, read back
+/// through the `replica-obs` trace reader, reports exactly the
+/// decisions the scheduler made — the retries with their backoff
+/// gates, the stale-kill, the terminal verdicts — and the `segment`
+/// provenance markers attribute every solve span to the (shard,
+/// attempt) that actually ran it.
+#[test]
+fn analyze_reports_the_schedulers_decisions() {
+    let plan = plan_of(3, 0xFA07);
+    let baseline = baseline_digest(&plan);
+    let trace_path =
+        std::env::temp_dir().join(format!("fleetd-analyze-{}.trace.jsonl", std::process::id()));
+    let _ = std::fs::remove_file(&trace_path);
+    let options = RunOptions {
+        trace: Some(trace_path.clone()),
+        faults: FaultPlan::parse("kill:1,hang:2").unwrap(),
+        ..RunOptions::default()
+    };
+    let merged = run_plan_with(&plan, &Workers::InProcess, &options).unwrap();
+    assert_eq!(
+        merged.digest(),
+        baseline,
+        "tracing must not perturb the run"
+    );
+
+    let text = std::fs::read_to_string(&trace_path).unwrap();
+    let _ = std::fs::remove_file(&trace_path);
+    let trace = Trace::parse(&text);
+    assert!(
+        trace.errors.is_empty(),
+        "live trace parses clean: {:?}",
+        trace.errors
+    );
+    let analysis = Analysis::with_top(&trace, 1_000);
+
+    // The supervision stream matches what the scheduler did: three
+    // first attempts plus two retry launches, one backoff-gated retry
+    // per faulted shard, the hang written off by the stale-kill, every
+    // shard Done, nothing fenced or exhausted.
+    let sched = &analysis.sched;
+    assert!(
+        !sched.is_empty(),
+        "in-process traces carry supervision events"
+    );
+    assert_eq!(
+        sched.total(SchedOp::Launch),
+        5,
+        "3 first attempts + 2 retries"
+    );
+    assert_eq!(sched.total(SchedOp::Retry), 2);
+    assert_eq!(sched.total(SchedOp::StaleKill), 1);
+    assert_eq!(sched.total(SchedOp::Done), 3);
+    assert_eq!(sched.total(SchedOp::FenceReject), 0);
+    assert_eq!(sched.total(SchedOp::Exhausted), 0);
+
+    let shard1 = sched.shards.iter().find(|s| s.shard == 1).unwrap();
+    assert_eq!(shard1.retries, 1);
+    assert_eq!(shard1.outcome, Some(SchedOp::Done));
+    let retry = shard1
+        .events
+        .iter()
+        .find(|e| e.op == SchedOp::Retry)
+        .unwrap();
+    assert_eq!(retry.attempt, 0, "the retry names the attempt that failed");
+    assert!(
+        retry.not_before_ms.is_some(),
+        "retries carry their backoff gate"
+    );
+
+    let shard2 = sched.shards.iter().find(|s| s.shard == 2).unwrap();
+    assert_eq!(shard2.stale_kills, 1, "the hang surfaces as a stale-kill");
+    assert_eq!(shard2.outcome, Some(SchedOp::Done));
+
+    // Segment markers attribute the work: every solve span carries its
+    // (shard, attempt) provenance, and the killed shard's winning work
+    // is tagged with the retry generation.
+    assert!(
+        !analysis.slowest.is_empty(),
+        "solve spans made it into the trace"
+    );
+    assert!(analysis.slowest.iter().all(|s| s.provenance.is_some()));
+    assert!(
+        analysis
+            .slowest
+            .iter()
+            .any(|s| s.provenance == Some((1, 1))),
+        "shard 1's solves belong to attempt 1"
+    );
 }
 
 /// Deterministically expands raw bits into a fault schedule over

@@ -1,0 +1,743 @@
+//! Trace forensics: everything the workspace computes *from* a parsed
+//! [`Trace`].
+//!
+//! [`Analysis::of`] reconstructs the span trees (keyed by shard/attempt
+//! provenance so concatenated multi-shard traces cannot collide), and
+//! derives:
+//!
+//! - **per-phase profiles** — for every span name, how many spans ran,
+//!   their total wall-clock, and their *self* time (total minus direct
+//!   children — the number that says where the time actually went);
+//! - **top-N slowest solves** — the individual `solve` spans worth
+//!   staring at;
+//! - **batch timeline** and **throughput curve** — `batch` spans and
+//!   `progress` events in run order;
+//! - **supervision forensics** ([`SchedAnalysis`]) — per-shard attempt
+//!   timelines with retry/backoff causality, op totals, and a
+//!   slot-utilization summary when the trace carries timestamps.
+//!
+//! Rendering lives in `engine::output::render_analysis` (table / CSV /
+//! JSON, with timing-free `-det` variants for CI byte-diffing); this
+//! module is pure computation.
+
+use crate::event::{Event, SchedOp};
+use crate::hist::Stats;
+use crate::reader::Trace;
+use std::collections::BTreeMap;
+
+/// Wall-clock profile of one span name across a whole trace.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PhaseProfile {
+    /// Span name (`campaign`, `batch`, `solve`, `dp_table`, …).
+    pub name: String,
+    /// Closed spans with this name.
+    pub count: usize,
+    /// Spans that opened but never closed (torn traces).
+    pub open: usize,
+    /// Sum of the closed spans' durations, microseconds.
+    pub total_micros: u64,
+    /// Total minus time attributed to direct children, microseconds.
+    pub self_micros: u64,
+}
+
+/// One slow `solve` span.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SlowSolve {
+    /// The span's instance label (scenario/job/solver).
+    pub label: String,
+    /// Measured duration, microseconds.
+    pub micros: u64,
+    /// Shard/attempt the span ran in, when known.
+    pub provenance: Option<(usize, usize)>,
+}
+
+/// One closed `batch` span, in trace order.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BatchSpan {
+    /// The batch label (job range).
+    pub label: String,
+    /// Measured duration, microseconds.
+    pub micros: u64,
+    /// Shard/attempt the batch ran in, when known.
+    pub provenance: Option<(usize, usize)>,
+}
+
+/// One `progress` event, in trace order.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ThroughputPoint {
+    /// Jobs done at this snapshot.
+    pub done: usize,
+    /// Total jobs.
+    pub total: usize,
+    /// Observed jobs/second.
+    pub jobs_per_sec: f64,
+    /// Shard/attempt the snapshot came from, when known.
+    pub provenance: Option<(usize, usize)>,
+}
+
+/// One `histogram` event.
+#[derive(Clone, Debug, PartialEq)]
+pub struct HistogramLine {
+    /// Histogram name.
+    pub name: String,
+    /// Unit of the recorded values.
+    pub unit: String,
+    /// The snapshot.
+    pub stats: Stats,
+}
+
+/// One supervision event in a shard's timeline.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AttemptEvent {
+    /// Attempt generation.
+    pub attempt: usize,
+    /// What happened.
+    pub op: SchedOp,
+    /// Retry backoff gate (coordinator ms), for [`SchedOp::Retry`].
+    pub not_before_ms: Option<u64>,
+    /// Wall timestamp of the line, when stamped.
+    pub ts_ms: Option<u64>,
+}
+
+/// The supervision story of one shard.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ShardTimeline {
+    /// Shard index.
+    pub shard: usize,
+    /// Its events, in trace order.
+    pub events: Vec<AttemptEvent>,
+    /// Worker launches (in-order plus stolen).
+    pub launches: usize,
+    /// Retries scheduled after failures.
+    pub retries: usize,
+    /// Launches that jumped the strict shard order.
+    pub steals: usize,
+    /// Stale-heartbeat kills.
+    pub stale_kills: usize,
+    /// Superseded results rejected by the attempt fence.
+    pub fence_rejects: usize,
+    /// Terminal outcome ([`SchedOp::Done`] or [`SchedOp::Exhausted`]),
+    /// `None` if the trace ends mid-flight.
+    pub outcome: Option<SchedOp>,
+}
+
+/// Slot-occupancy summary derived from timestamped launch/settle pairs.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SlotUtilization {
+    /// Most attempts in flight at once.
+    pub max_concurrent: usize,
+    /// Mean attempts in flight over the supervised window.
+    pub avg_concurrent: f64,
+    /// Sum of attempt running time, milliseconds.
+    pub busy_ms: u64,
+    /// First-launch to last-settle window, milliseconds.
+    pub window_ms: u64,
+}
+
+/// Everything derived from the `sched` events of a trace.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct SchedAnalysis {
+    /// Per-shard timelines, sorted by shard.
+    pub shards: Vec<ShardTimeline>,
+    /// Total events per op, in [`SchedOp::ALL`] order (zero counts
+    /// included).
+    pub op_totals: Vec<(SchedOp, usize)>,
+    /// Slot occupancy, when the trace is timestamped.
+    pub utilization: Option<SlotUtilization>,
+}
+
+impl SchedAnalysis {
+    /// Whether the trace carried any supervision events at all.
+    pub fn is_empty(&self) -> bool {
+        self.shards.is_empty()
+    }
+
+    /// Total count for one op.
+    pub fn total(&self, op: SchedOp) -> usize {
+        self.op_totals
+            .iter()
+            .find(|(o, _)| *o == op)
+            .map_or(0, |(_, n)| *n)
+    }
+}
+
+/// The full forensic digest of one trace.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Analysis {
+    /// Well-formed lines parsed.
+    pub parsed_lines: usize,
+    /// Malformed lines (rendered [`crate::ParseError`]s).
+    pub malformed: Vec<String>,
+    /// Events per kind, sorted by kind name (zero-count kinds omitted).
+    pub kind_counts: Vec<(String, usize)>,
+    /// Per-span-name wall-clock profiles, sorted by name.
+    pub phases: Vec<PhaseProfile>,
+    /// Top-N slowest closed `solve` spans, slowest first.
+    pub slowest: Vec<SlowSolve>,
+    /// Closed `batch` spans, in trace order.
+    pub batches: Vec<BatchSpan>,
+    /// `progress` events, in trace order.
+    pub throughput: Vec<ThroughputPoint>,
+    /// Counter totals summed across shard segments, sorted by name.
+    pub counters: Vec<(String, u64)>,
+    /// `histogram` events, in trace order.
+    pub histograms: Vec<HistogramLine>,
+    /// Span starts without a matching end plus ends without a start.
+    pub unmatched_spans: usize,
+    /// Supervision forensics.
+    pub sched: SchedAnalysis,
+}
+
+impl Analysis {
+    /// Number of slowest solves kept by [`Analysis::of`].
+    pub const TOP_SOLVES: usize = 10;
+
+    /// Computes the full digest of `trace`, keeping the
+    /// [`Self::TOP_SOLVES`] slowest solve spans.
+    pub fn of(trace: &Trace) -> Analysis {
+        Analysis::with_top(trace, Self::TOP_SOLVES)
+    }
+
+    /// [`Analysis::of`] with an explicit top-N solve budget.
+    pub fn with_top(trace: &Trace, top: usize) -> Analysis {
+        let mut kind_counts: BTreeMap<&'static str, usize> = BTreeMap::new();
+        let mut counters: BTreeMap<String, u64> = BTreeMap::new();
+        let mut histograms = Vec::new();
+        let mut throughput = Vec::new();
+
+        // Span reconstruction, keyed by (provenance, id) so ids reused
+        // across concatenated per-process traces stay distinct.
+        type SpanKey = (Option<(usize, usize)>, u64);
+        struct OpenSpan {
+            name: String,
+            ended: bool,
+        }
+        let mut starts: BTreeMap<SpanKey, OpenSpan> = BTreeMap::new();
+        struct ClosedSpan {
+            key: SpanKey,
+            parent: Option<SpanKey>,
+            name: String,
+            label: String,
+            micros: u64,
+            provenance: Option<(usize, usize)>,
+        }
+        let mut closed: Vec<ClosedSpan> = Vec::new();
+        let mut parents: BTreeMap<SpanKey, Option<SpanKey>> = BTreeMap::new();
+        let mut orphan_ends = 0usize;
+        let mut sched_records = Vec::new();
+
+        for line in &trace.lines {
+            *kind_counts.entry(line.event.kind()).or_insert(0) += 1;
+            match &line.event {
+                Event::SpanStart {
+                    id, parent, name, ..
+                } => {
+                    let key = (line.provenance, *id);
+                    parents.insert(key, parent.map(|p| (line.provenance, p)));
+                    starts.insert(
+                        key,
+                        OpenSpan {
+                            name: name.clone(),
+                            ended: false,
+                        },
+                    );
+                }
+                Event::SpanEnd {
+                    id,
+                    name,
+                    label,
+                    micros,
+                } => {
+                    let key = (line.provenance, *id);
+                    let parent = parents.get(&key).copied().flatten();
+                    match starts.get_mut(&key) {
+                        Some(open) if !open.ended => open.ended = true,
+                        _ => orphan_ends += 1,
+                    }
+                    closed.push(ClosedSpan {
+                        key,
+                        parent,
+                        name: name.clone(),
+                        label: label.clone(),
+                        micros: *micros,
+                        provenance: line.provenance,
+                    });
+                }
+                Event::Progress {
+                    done,
+                    total,
+                    jobs_per_sec,
+                    ..
+                } => throughput.push(ThroughputPoint {
+                    done: *done,
+                    total: *total,
+                    jobs_per_sec: *jobs_per_sec,
+                    provenance: line.provenance,
+                }),
+                Event::Counter { name, value } => {
+                    *counters.entry(name.clone()).or_insert(0) += value;
+                }
+                Event::Histogram { name, unit, stats } => histograms.push(HistogramLine {
+                    name: name.clone(),
+                    unit: unit.clone(),
+                    stats: *stats,
+                }),
+                Event::Sched {
+                    op,
+                    shard,
+                    attempt,
+                    not_before_ms,
+                } => sched_records.push((
+                    *shard,
+                    AttemptEvent {
+                        attempt: *attempt,
+                        op: *op,
+                        not_before_ms: *not_before_ms,
+                        ts_ms: line.ts_ms,
+                    },
+                )),
+                Event::ShardSegment { .. } => {}
+            }
+        }
+
+        // Self time: each closed span's duration minus its direct
+        // children's.
+        let mut child_micros: BTreeMap<SpanKey, u64> = BTreeMap::new();
+        for span in &closed {
+            if let Some(parent) = span.parent {
+                *child_micros.entry(parent).or_insert(0) += span.micros;
+            }
+        }
+        let mut phases: BTreeMap<String, PhaseProfile> = BTreeMap::new();
+        for span in &closed {
+            let entry = phases
+                .entry(span.name.clone())
+                .or_insert_with(|| PhaseProfile {
+                    name: span.name.clone(),
+                    count: 0,
+                    open: 0,
+                    total_micros: 0,
+                    self_micros: 0,
+                });
+            entry.count += 1;
+            entry.total_micros += span.micros;
+            entry.self_micros += span
+                .micros
+                .saturating_sub(child_micros.get(&span.key).copied().unwrap_or(0));
+        }
+        let unended = starts.values().filter(|open| !open.ended);
+        for open in unended.clone() {
+            let entry = phases
+                .entry(open.name.clone())
+                .or_insert_with(|| PhaseProfile {
+                    name: open.name.clone(),
+                    count: 0,
+                    open: 0,
+                    total_micros: 0,
+                    self_micros: 0,
+                });
+            entry.open += 1;
+        }
+        let unmatched_spans = unended.count() + orphan_ends;
+
+        let mut slowest: Vec<SlowSolve> = closed
+            .iter()
+            .filter(|span| span.name == "solve")
+            .map(|span| SlowSolve {
+                label: span.label.clone(),
+                micros: span.micros,
+                provenance: span.provenance,
+            })
+            .collect();
+        slowest.sort_by(|a, b| b.micros.cmp(&a.micros).then_with(|| a.label.cmp(&b.label)));
+        slowest.truncate(top);
+
+        let batches: Vec<BatchSpan> = closed
+            .iter()
+            .filter(|span| span.name == "batch")
+            .map(|span| BatchSpan {
+                label: span.label.clone(),
+                micros: span.micros,
+                provenance: span.provenance,
+            })
+            .collect();
+
+        Analysis {
+            parsed_lines: trace.lines.len(),
+            malformed: trace.errors.iter().map(|e| e.to_string()).collect(),
+            kind_counts: kind_counts
+                .into_iter()
+                .map(|(kind, n)| (kind.to_string(), n))
+                .collect(),
+            phases: phases.into_values().collect(),
+            slowest,
+            batches,
+            throughput,
+            counters: counters.into_iter().collect(),
+            histograms,
+            unmatched_spans,
+            sched: sched_analysis(sched_records),
+        }
+    }
+
+    /// The profile for one span name, if present.
+    pub fn phase(&self, name: &str) -> Option<&PhaseProfile> {
+        self.phases.iter().find(|p| p.name == name)
+    }
+}
+
+fn sched_analysis(records: Vec<(usize, AttemptEvent)>) -> SchedAnalysis {
+    if records.is_empty() {
+        return SchedAnalysis {
+            op_totals: SchedOp::ALL.iter().map(|op| (*op, 0)).collect(),
+            ..SchedAnalysis::default()
+        };
+    }
+    let mut by_shard: BTreeMap<usize, Vec<AttemptEvent>> = BTreeMap::new();
+    let mut op_totals: BTreeMap<SchedOp, usize> = SchedOp::ALL.iter().map(|op| (*op, 0)).collect();
+    for (shard, event) in &records {
+        *op_totals.get_mut(&event.op).expect("all ops present") += 1;
+        by_shard.entry(*shard).or_default().push(event.clone());
+    }
+    let shards = by_shard
+        .into_iter()
+        .map(|(shard, events)| {
+            let count = |op: SchedOp| events.iter().filter(|e| e.op == op).count();
+            let outcome = events
+                .iter()
+                .rev()
+                .map(|e| e.op)
+                .find(|op| matches!(op, SchedOp::Done | SchedOp::Exhausted));
+            ShardTimeline {
+                shard,
+                launches: count(SchedOp::Launch) + count(SchedOp::Steal),
+                retries: count(SchedOp::Retry),
+                steals: count(SchedOp::Steal),
+                stale_kills: count(SchedOp::StaleKill),
+                fence_rejects: count(SchedOp::FenceReject),
+                outcome,
+                events,
+            }
+        })
+        .collect();
+    SchedAnalysis {
+        shards,
+        op_totals: op_totals.into_iter().collect(),
+        utilization: utilization(&records),
+    }
+}
+
+/// Attempts' running intervals from timestamped launch→settle pairs;
+/// `None` unless every launch has a timestamp and a settling event.
+fn utilization(records: &[(usize, AttemptEvent)]) -> Option<SlotUtilization> {
+    let mut intervals: Vec<(u64, u64)> = Vec::new();
+    for (i, (shard, event)) in records.iter().enumerate() {
+        if !matches!(event.op, SchedOp::Launch | SchedOp::Steal) {
+            continue;
+        }
+        let start = event.ts_ms?;
+        // The attempt settles at its first later done / retry /
+        // stale-kill / exhausted event.
+        let end = records[i + 1..]
+            .iter()
+            .find(|(s, e)| {
+                *s == *shard
+                    && e.attempt == event.attempt
+                    && matches!(
+                        e.op,
+                        SchedOp::Done | SchedOp::Retry | SchedOp::StaleKill | SchedOp::Exhausted
+                    )
+            })
+            .and_then(|(_, e)| e.ts_ms)?;
+        intervals.push((start, end.max(start)));
+    }
+    if intervals.is_empty() {
+        return None;
+    }
+    let window_start = intervals.iter().map(|(s, _)| *s).min()?;
+    let window_end = intervals.iter().map(|(_, e)| *e).max()?;
+    let window_ms = (window_end - window_start).max(1);
+    let busy_ms: u64 = intervals.iter().map(|(s, e)| e - s).sum();
+    // Sweep the edges for peak concurrency.
+    let mut edges: Vec<(u64, i64)> = Vec::with_capacity(intervals.len() * 2);
+    for (s, e) in &intervals {
+        edges.push((*s, 1));
+        edges.push((*e, -1));
+    }
+    edges.sort_by(|a, b| a.0.cmp(&b.0).then(a.1.cmp(&b.1)));
+    let mut live = 0i64;
+    let mut max_concurrent = 0i64;
+    for (_, delta) in edges {
+        live += delta;
+        max_concurrent = max_concurrent.max(live);
+    }
+    Some(SlotUtilization {
+        max_concurrent: max_concurrent.max(0) as usize,
+        avg_concurrent: busy_ms as f64 / window_ms as f64,
+        busy_ms,
+        window_ms,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line(event: Event, ts_ms: Option<u64>) -> String {
+        event.to_json_line(ts_ms)
+    }
+
+    fn sched(op: SchedOp, shard: usize, attempt: usize, ts: u64) -> String {
+        line(
+            Event::Sched {
+                op,
+                shard,
+                attempt,
+                not_before_ms: (op == SchedOp::Retry).then_some(ts + 100),
+            },
+            Some(ts),
+        )
+    }
+
+    #[test]
+    fn phase_profiles_attribute_self_time() {
+        // campaign(100µs) > solve(60µs) > phase(35µs): campaign self 40,
+        // solve self 25, phase self 35.
+        let text = [
+            line(
+                Event::SpanStart {
+                    id: 1,
+                    parent: None,
+                    name: "campaign".into(),
+                    label: "c".into(),
+                },
+                None,
+            ),
+            line(
+                Event::SpanStart {
+                    id: 2,
+                    parent: Some(1),
+                    name: "solve".into(),
+                    label: "s".into(),
+                },
+                None,
+            ),
+            line(
+                Event::SpanStart {
+                    id: 3,
+                    parent: Some(2),
+                    name: "phase".into(),
+                    label: "dp_table".into(),
+                },
+                None,
+            ),
+            line(
+                Event::SpanEnd {
+                    id: 3,
+                    name: "phase".into(),
+                    label: "dp_table".into(),
+                    micros: 35,
+                },
+                None,
+            ),
+            line(
+                Event::SpanEnd {
+                    id: 2,
+                    name: "solve".into(),
+                    label: "s".into(),
+                    micros: 60,
+                },
+                None,
+            ),
+            line(
+                Event::SpanEnd {
+                    id: 1,
+                    name: "campaign".into(),
+                    label: "c".into(),
+                    micros: 100,
+                },
+                None,
+            ),
+        ]
+        .join("\n");
+        let analysis = Analysis::of(&Trace::parse(&text));
+        assert_eq!(analysis.unmatched_spans, 0);
+        let campaign = analysis.phase("campaign").unwrap();
+        assert_eq!((campaign.total_micros, campaign.self_micros), (100, 40));
+        let solve = analysis.phase("solve").unwrap();
+        assert_eq!((solve.total_micros, solve.self_micros), (60, 25));
+        let phase = analysis.phase("phase").unwrap();
+        assert_eq!((phase.total_micros, phase.self_micros), (35, 35));
+        assert_eq!(analysis.slowest.len(), 1);
+        assert_eq!(analysis.slowest[0].micros, 60);
+    }
+
+    #[test]
+    fn segment_markers_keep_reused_span_ids_distinct() {
+        // Two shard traces concatenated; both use span id 1. Without
+        // provenance the second start would clobber the first.
+        let seg0 = line(
+            Event::ShardSegment {
+                shard: 0,
+                attempt: 0,
+            },
+            None,
+        );
+        let seg1 = line(
+            Event::ShardSegment {
+                shard: 1,
+                attempt: 0,
+            },
+            None,
+        );
+        let start = |label: &str| {
+            line(
+                Event::SpanStart {
+                    id: 1,
+                    parent: None,
+                    name: "campaign".into(),
+                    label: label.into(),
+                },
+                None,
+            )
+        };
+        let end = |label: &str, micros| {
+            line(
+                Event::SpanEnd {
+                    id: 1,
+                    name: "campaign".into(),
+                    label: label.into(),
+                    micros,
+                },
+                None,
+            )
+        };
+        let text = [
+            seg0,
+            start("shard0"),
+            end("shard0", 10),
+            seg1,
+            start("shard1"),
+            end("shard1", 20),
+        ]
+        .join("\n");
+        let analysis = Analysis::of(&Trace::parse(&text));
+        assert_eq!(analysis.unmatched_spans, 0, "{analysis:?}");
+        let campaign = analysis.phase("campaign").unwrap();
+        assert_eq!(campaign.count, 2);
+        assert_eq!(campaign.total_micros, 30);
+    }
+
+    #[test]
+    fn counters_sum_across_segments_and_torn_spans_are_counted() {
+        let text = [
+            line(
+                Event::ShardSegment {
+                    shard: 0,
+                    attempt: 0,
+                },
+                None,
+            ),
+            line(
+                Event::Counter {
+                    name: "cells_solved".into(),
+                    value: 3,
+                },
+                None,
+            ),
+            line(
+                Event::SpanStart {
+                    id: 9,
+                    parent: None,
+                    name: "batch".into(),
+                    label: "torn".into(),
+                },
+                None,
+            ),
+            line(
+                Event::ShardSegment {
+                    shard: 1,
+                    attempt: 1,
+                },
+                None,
+            ),
+            line(
+                Event::Counter {
+                    name: "cells_solved".into(),
+                    value: 4,
+                },
+                None,
+            ),
+        ]
+        .join("\n");
+        let analysis = Analysis::of(&Trace::parse(&text));
+        assert_eq!(analysis.counters, vec![("cells_solved".to_string(), 7)]);
+        assert_eq!(analysis.unmatched_spans, 1);
+        assert_eq!(analysis.phase("batch").unwrap().open, 1);
+    }
+
+    #[test]
+    fn sched_timelines_capture_retry_and_steal_causality() {
+        let text = [
+            sched(SchedOp::Claim, 0, 0, 0),
+            sched(SchedOp::Launch, 0, 0, 0),
+            sched(SchedOp::Retry, 0, 0, 50),
+            sched(SchedOp::Claim, 1, 0, 60),
+            sched(SchedOp::Steal, 1, 0, 60),
+            sched(SchedOp::Claim, 0, 1, 200),
+            sched(SchedOp::Launch, 0, 1, 200),
+            sched(SchedOp::Done, 1, 0, 260),
+            sched(SchedOp::Done, 0, 1, 300),
+        ]
+        .join("\n");
+        let analysis = Analysis::of(&Trace::parse(&text));
+        let sched = &analysis.sched;
+        assert!(!sched.is_empty());
+        assert_eq!(sched.total(SchedOp::Retry), 1);
+        assert_eq!(sched.total(SchedOp::Steal), 1);
+        assert_eq!(sched.shards.len(), 2);
+        let shard0 = &sched.shards[0];
+        assert_eq!(shard0.shard, 0);
+        assert_eq!(shard0.launches, 2);
+        assert_eq!(shard0.retries, 1);
+        assert_eq!(shard0.outcome, Some(SchedOp::Done));
+        // The retry carries its backoff gate.
+        let retry = shard0
+            .events
+            .iter()
+            .find(|e| e.op == SchedOp::Retry)
+            .unwrap();
+        assert_eq!(retry.not_before_ms, Some(150));
+        let shard1 = &sched.shards[1];
+        assert_eq!((shard1.steals, shard1.launches), (1, 1));
+        // Utilization: shard0 a0 0..50, shard1 a0 60..260, shard0 a1
+        // 200..300 → busy 350, window 300, peak 2.
+        let util = sched.utilization.as_ref().expect("timestamps present");
+        assert_eq!(util.max_concurrent, 2);
+        assert_eq!((util.busy_ms, util.window_ms), (350, 300));
+    }
+
+    #[test]
+    fn untimestamped_sched_traces_skip_utilization() {
+        let text = [
+            Event::Sched {
+                op: SchedOp::Launch,
+                shard: 0,
+                attempt: 0,
+                not_before_ms: None,
+            }
+            .to_json_line(None),
+            Event::Sched {
+                op: SchedOp::Done,
+                shard: 0,
+                attempt: 0,
+                not_before_ms: None,
+            }
+            .to_json_line(None),
+        ]
+        .join("\n");
+        let analysis = Analysis::of(&Trace::parse(&text));
+        assert!(analysis.sched.utilization.is_none());
+        assert_eq!(analysis.sched.shards[0].outcome, Some(SchedOp::Done));
+    }
+}

@@ -12,14 +12,90 @@
 //! {"kind":"progress","done":32,"total":96,"jobs_per_sec":812.5,"eta_secs":0.078}
 //! {"kind":"counter","name":"cells_solved","value":64}
 //! {"kind":"histogram","name":"fat-uniform-16/dp_power","unit":"ms","count":8,"mean":1.2,"min":0.9,"max":2.1,"p50":1.1,"p90":2.0}
+//! {"kind":"sched","op":"retry","shard":3,"attempt":1,"not_before_ms":1200}
+//! {"kind":"segment","shard":3,"attempt":1}
 //! ```
 //!
 //! Every line carries a `"kind"` discriminant first; the JSONL sink
 //! appends a wall-clock `"ts_ms"` timestamp last. Floats render exactly
 //! like the workspace's JSON layer (shortest round-trip, `.0` marker,
-//! non-finite as `null`).
+//! non-finite as `null`). The exact inverse of this writer lives in
+//! [`crate::reader`] — any change here must keep the round-trip
+//! property pinned by `crates/obs/tests/wire_roundtrip.rs`.
 
 use crate::hist::Stats;
+
+/// A supervision decision recorded by the fleet scheduler/coordinator.
+///
+/// Every [`Event::Sched`] line carries one of these plus the
+/// `(shard, attempt)` it concerns, so a trace holds the full causal
+/// story of a supervised run: who claimed what, which failures turned
+/// into backoff-gated retries, where slots stole ahead, which zombies
+/// were fenced off.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum SchedOp {
+    /// The coordinator won the `(shard, attempt)` claim in the pool.
+    Claim,
+    /// A worker for the attempt was launched in a slot.
+    Launch,
+    /// The attempt failed; a retry was scheduled (with backoff — see
+    /// the line's `not_before_ms`).
+    Retry,
+    /// The attempt was launched out of strict shard order because an
+    /// earlier pending shard was backoff-gated (work stealing).
+    Steal,
+    /// The attempt's heartbeat went stale; the coordinator killed it
+    /// and wrote it off.
+    StaleKill,
+    /// A superseded attempt's result arrived and was rejected by the
+    /// attempt-generation fence.
+    FenceReject,
+    /// The attempt finished and its report was accepted as the shard's
+    /// winning result.
+    Done,
+    /// The shard ran out of retry budget; the run will fail.
+    Exhausted,
+}
+
+impl SchedOp {
+    /// Every operation, in a stable order (wire-format docs and tests
+    /// iterate this).
+    pub const ALL: [SchedOp; 8] = [
+        SchedOp::Claim,
+        SchedOp::Launch,
+        SchedOp::Retry,
+        SchedOp::Steal,
+        SchedOp::StaleKill,
+        SchedOp::FenceReject,
+        SchedOp::Done,
+        SchedOp::Exhausted,
+    ];
+
+    /// The wire name of this operation (the `"op"` field).
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            SchedOp::Claim => "claim",
+            SchedOp::Launch => "launch",
+            SchedOp::Retry => "retry",
+            SchedOp::Steal => "steal",
+            SchedOp::StaleKill => "stale_kill",
+            SchedOp::FenceReject => "fence_reject",
+            SchedOp::Done => "done",
+            SchedOp::Exhausted => "exhausted",
+        }
+    }
+
+    /// Parses a wire name back into the operation.
+    pub fn parse(s: &str) -> Option<SchedOp> {
+        SchedOp::ALL.into_iter().find(|op| op.as_str() == s)
+    }
+}
+
+impl std::fmt::Display for SchedOp {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
 
 /// One telemetry event.
 #[derive(Clone, Debug, PartialEq)]
@@ -31,7 +107,7 @@ pub enum Event {
         /// Enclosing span id, if any.
         parent: Option<u64>,
         /// Structural name (`campaign`, `batch`, `solve`, `phase`, …).
-        name: &'static str,
+        name: String,
         /// Free-form instance label (scenario, solver, job range, …).
         label: String,
     },
@@ -40,7 +116,7 @@ pub enum Event {
         /// Id of the span being closed.
         id: u64,
         /// Structural name, repeated for grep-ability.
-        name: &'static str,
+        name: String,
         /// Instance label, repeated for grep-ability.
         label: String,
         /// Wall-clock duration in microseconds.
@@ -60,7 +136,7 @@ pub enum Event {
     /// Final value of a monotonic counter.
     Counter {
         /// Counter name (e.g. `cells_solved`).
-        name: &'static str,
+        name: String,
         /// Accumulated value.
         value: u64,
     },
@@ -69,9 +145,33 @@ pub enum Event {
         /// Histogram name (e.g. `scenario/solver`).
         name: String,
         /// Unit of the recorded values (e.g. `ms`).
-        unit: &'static str,
+        unit: String,
         /// Distribution snapshot (count, mean, min, max, p50, p90).
         stats: Stats,
+    },
+    /// A supervision decision of the fleet scheduler/coordinator.
+    Sched {
+        /// What happened.
+        op: SchedOp,
+        /// The shard it happened to.
+        shard: usize,
+        /// The attempt generation it happened to.
+        attempt: usize,
+        /// For [`SchedOp::Retry`]: the earliest clock reading
+        /// (coordinator milliseconds) at which the retry may launch —
+        /// the backoff gate. `None` for every other operation.
+        not_before_ms: Option<u64>,
+    },
+    /// Provenance marker in an assembled multi-shard trace: every
+    /// following span/progress/counter/histogram line belongs to
+    /// `(shard, attempt)` until the next marker. This is what keeps
+    /// per-process span ids unambiguous after concatenation — the
+    /// reader keys spans by `(provenance, id)`.
+    ShardSegment {
+        /// Shard whose trace follows.
+        shard: usize,
+        /// Attempt generation whose trace follows.
+        attempt: usize,
     },
 }
 
@@ -84,6 +184,8 @@ impl Event {
             Event::Progress { .. } => "progress",
             Event::Counter { .. } => "counter",
             Event::Histogram { .. } => "histogram",
+            Event::Sched { .. } => "sched",
+            Event::ShardSegment { .. } => "segment",
         }
     }
 
@@ -146,6 +248,23 @@ impl Event {
                 push_f64(&mut out, "p50", stats.p50);
                 push_f64(&mut out, "p90", stats.p90);
             }
+            Event::Sched {
+                op,
+                shard,
+                attempt,
+                not_before_ms,
+            } => {
+                push_str(&mut out, "op", op.as_str());
+                push_u64(&mut out, "shard", *shard as u64);
+                push_u64(&mut out, "attempt", *attempt as u64);
+                if let Some(gate) = not_before_ms {
+                    push_u64(&mut out, "not_before_ms", *gate);
+                }
+            }
+            Event::ShardSegment { shard, attempt } => {
+                push_u64(&mut out, "shard", *shard as u64);
+                push_u64(&mut out, "attempt", *attempt as u64);
+            }
         }
         if let Some(ts) = ts_ms {
             push_u64(&mut out, "ts_ms", ts);
@@ -207,7 +326,7 @@ mod tests {
         let start = Event::SpanStart {
             id: 2,
             parent: Some(1),
-            name: "solve",
+            name: "solve".into(),
             label: "fat-uniform-16#3 dp_power".into(),
         };
         assert_eq!(
@@ -218,7 +337,7 @@ mod tests {
         let root = Event::SpanStart {
             id: 1,
             parent: None,
-            name: "campaign",
+            name: "campaign".into(),
             label: "jobs 0..96".into(),
         };
         assert!(root.to_json_line(Some(7)).contains("\"parent\":null"));
@@ -245,10 +364,51 @@ mod tests {
     fn strings_are_escaped() {
         let e = Event::Histogram {
             name: "we\"ird\nname".into(),
-            unit: "ms",
+            unit: "ms".into(),
             stats: Stats::default(),
         };
         let line = e.to_json_line(None);
         assert!(line.contains("we\\\"ird\\nname"), "{line}");
+    }
+
+    #[test]
+    fn sched_lines_carry_op_shard_attempt_and_optional_gate() {
+        let retry = Event::Sched {
+            op: SchedOp::Retry,
+            shard: 3,
+            attempt: 1,
+            not_before_ms: Some(1200),
+        };
+        assert_eq!(
+            retry.to_json_line(None),
+            "{\"kind\":\"sched\",\"op\":\"retry\",\"shard\":3,\"attempt\":1,\
+             \"not_before_ms\":1200}"
+        );
+        let done = Event::Sched {
+            op: SchedOp::Done,
+            shard: 3,
+            attempt: 1,
+            not_before_ms: None,
+        };
+        assert_eq!(
+            done.to_json_line(None),
+            "{\"kind\":\"sched\",\"op\":\"done\",\"shard\":3,\"attempt\":1}"
+        );
+        let seg = Event::ShardSegment {
+            shard: 7,
+            attempt: 2,
+        };
+        assert_eq!(
+            seg.to_json_line(None),
+            "{\"kind\":\"segment\",\"shard\":7,\"attempt\":2}"
+        );
+    }
+
+    #[test]
+    fn sched_op_names_round_trip() {
+        for op in SchedOp::ALL {
+            assert_eq!(SchedOp::parse(op.as_str()), Some(op), "{op:?}");
+        }
+        assert_eq!(SchedOp::parse("nonsense"), None);
     }
 }

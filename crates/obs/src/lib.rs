@@ -28,12 +28,19 @@
 
 #![warn(missing_docs)]
 
+pub mod analyze;
 mod event;
 mod hist;
+pub mod reader;
 mod sink;
 
-pub use event::Event;
+pub use analyze::{
+    Analysis, AttemptEvent, BatchSpan, HistogramLine, PhaseProfile, SchedAnalysis, ShardTimeline,
+    SlotUtilization, SlowSolve, ThroughputPoint,
+};
+pub use event::{Event, SchedOp};
 pub use hist::{MetricAccumulator, P2Quantile, Stats};
+pub use reader::{ParseError, Trace, TraceLine};
 pub use sink::{FanoutSink, JsonlSink, MemorySink, NoopSink, Sink};
 
 use std::collections::BTreeMap;
@@ -119,7 +126,7 @@ impl Obs {
         shared.sink.emit(&Event::SpanStart {
             id,
             parent,
-            name,
+            name: name.to_string(),
             label: label.clone(),
         });
         Span {
@@ -174,7 +181,21 @@ impl Obs {
         let Some(shared) = &self.shared else { return };
         let counters = std::mem::take(&mut *shared.counters.lock().expect("obs counters poisoned"));
         for (name, value) in counters {
-            shared.sink.emit(&Event::Counter { name, value });
+            shared.sink.emit(&Event::Counter {
+                name: name.to_string(),
+                value,
+            });
+        }
+    }
+
+    /// Emits a pre-built event as-is (no verbosity gating). This is the
+    /// raw seam the fleet coordinator uses for supervision events
+    /// ([`Event::Sched`]) and trace provenance markers
+    /// ([`Event::ShardSegment`]) — kinds that have no dedicated helper
+    /// because they are not produced by instrumented solver code.
+    pub fn emit(&self, event: Event) {
+        if let Some(shared) = &self.shared {
+            shared.sink.emit(&event);
         }
     }
 
@@ -183,7 +204,7 @@ impl Obs {
         let Some(shared) = &self.shared else { return };
         shared.sink.emit(&Event::Histogram {
             name: name.into(),
-            unit,
+            unit: unit.to_string(),
             stats,
         });
     }
@@ -243,7 +264,7 @@ impl Drop for Span {
             if let Some(shared) = &inner.obs.shared {
                 shared.sink.emit(&Event::SpanEnd {
                     id: inner.id,
-                    name: inner.name,
+                    name: inner.name.to_string(),
                     label: inner.label,
                     micros: inner.start.elapsed().as_micros() as u64,
                 });
@@ -354,11 +375,11 @@ mod tests {
             events,
             vec![
                 Event::Counter {
-                    name: "cells_failed",
+                    name: "cells_failed".into(),
                     value: 1
                 },
                 Event::Counter {
-                    name: "cells_solved",
+                    name: "cells_solved".into(),
                     value: 5
                 },
             ]

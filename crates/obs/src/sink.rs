@@ -154,7 +154,7 @@ mod tests {
 
     fn counter(value: u64) -> Event {
         Event::Counter {
-            name: "cells_solved",
+            name: "cells_solved".into(),
             value,
         }
     }

@@ -1,0 +1,214 @@
+//! The JSONL wire contract, pinned from both ends.
+//!
+//! [`Event::to_json_line`] and [`Trace::parse`] are written as exact
+//! inverses; this suite proves it two ways over randomized events:
+//!
+//! * **Structural round trip** — for events whose floats are all
+//!   finite, `parse(emit(e)) == e` (and the `ts_ms` stamp survives).
+//! * **Byte fixpoint** — for *every* event, including non-finite
+//!   floats (which the writer renders as `null` and the reader maps
+//!   back to NaN), re-emitting the parsed event reproduces the
+//!   original line byte for byte: `emit(parse(emit(e))) == emit(e)`.
+//!
+//! A deterministic malformed-line corpus rides along: every damaged
+//! line must come back as a typed [`ParseError`] carrying its
+//! 1-indexed line number — never a panic, never a silent skip.
+
+use proptest::prelude::*;
+use replica_obs::{Event, ParseError, SchedOp, Stats, Trace};
+
+/// Label/name corpus: empty, plain, and every escape class the writer
+/// knows (quotes, backslashes, newlines, tabs, other control bytes,
+/// multi-byte unicode).
+const STRINGS: &[&str] = &[
+    "",
+    "solve",
+    "fat/uniform-16#3 dp_power",
+    "we\"ird\\na\"me",
+    "line\nbreak\ttab\rret",
+    "ctrl\u{1}bytes\u{1f}",
+    "ünïcødé αβγ ✓",
+    "emoji 🌲 forest",
+];
+
+/// Float corpus: zeros, negatives, subnormal-small, huge, and the
+/// three non-finite values the wire renders as `null`.
+const FLOATS: &[f64] = &[
+    0.0,
+    -0.0,
+    1.0,
+    2.5,
+    -17.125,
+    1e-300,
+    f64::MAX,
+    f64::MIN_POSITIVE,
+    812.973,
+    f64::NAN,
+    f64::INFINITY,
+    f64::NEG_INFINITY,
+];
+
+fn string(pick: usize) -> String {
+    STRINGS[pick % STRINGS.len()].to_string()
+}
+
+fn float(pick: usize) -> f64 {
+    FLOATS[pick % FLOATS.len()]
+}
+
+/// Builds one event from drawn primitives; `kind` selects the variant.
+fn event(kind: usize, a: u64, b: u64, s1: usize, s2: usize, f1: usize, f2: usize) -> Event {
+    match kind % 7 {
+        0 => Event::SpanStart {
+            id: a,
+            parent: if b.is_multiple_of(3) { None } else { Some(b) },
+            name: string(s1),
+            label: string(s2),
+        },
+        1 => Event::SpanEnd {
+            id: a,
+            name: string(s1),
+            label: string(s2),
+            micros: b,
+        },
+        2 => Event::Progress {
+            done: a as usize % 1_000_000,
+            total: b as usize % 1_000_000,
+            jobs_per_sec: float(f1),
+            eta_secs: float(f2),
+        },
+        3 => Event::Counter {
+            name: string(s1),
+            value: a,
+        },
+        4 => Event::Histogram {
+            name: string(s1),
+            unit: string(s2),
+            stats: Stats {
+                count: b as usize % 1_000_000,
+                mean: float(f1),
+                min: float(f2),
+                max: float(f1.wrapping_add(1)),
+                p50: float(f2.wrapping_add(2)),
+                p90: float(f1.wrapping_add(3)),
+            },
+        },
+        5 => Event::Sched {
+            op: SchedOp::ALL[a as usize % SchedOp::ALL.len()],
+            shard: a as usize % 64,
+            attempt: b as usize % 8,
+            not_before_ms: if b.is_multiple_of(2) { Some(a) } else { None },
+        },
+        _ => Event::ShardSegment {
+            shard: a as usize % 64,
+            attempt: b as usize % 8,
+        },
+    }
+}
+
+/// Whether every float the event carries is finite — the precondition
+/// for structural (value-level) round-trip identity; NaN breaks `==`
+/// by design, which is what the byte-fixpoint property covers.
+fn all_finite(event: &Event) -> bool {
+    match event {
+        Event::Progress {
+            jobs_per_sec,
+            eta_secs,
+            ..
+        } => jobs_per_sec.is_finite() && eta_secs.is_finite(),
+        Event::Histogram { stats, .. } => [stats.mean, stats.min, stats.max, stats.p50, stats.p90]
+            .iter()
+            .all(|v| v.is_finite()),
+        _ => true,
+    }
+}
+
+fn parse_one(line: &str) -> Result<(Event, Option<u64>), String> {
+    let trace = Trace::parse(line);
+    if let Some(error) = trace.errors.first() {
+        return Err(format!("unexpected parse error for {line:?}: {error}"));
+    }
+    match trace.lines.as_slice() {
+        [only] => Ok((only.event.clone(), only.ts_ms)),
+        other => Err(format!("expected 1 line, got {}", other.len())),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn emitted_lines_parse_back(
+        kind in 0usize..7,
+        a in 0u64..u64::MAX,
+        b in 0u64..u64::MAX,
+        s1 in 0usize..64,
+        s2 in 0usize..64,
+        f1 in 0usize..64,
+        f2 in 0usize..64,
+        ts in 0u64..u64::MAX,
+    ) {
+        let original = event(kind, a, b, s1, s2, f1, f2);
+
+        // Byte fixpoint, every event: emit → parse → emit is identity
+        // on the wire (non-finite floats become null, parse to NaN,
+        // and render null again).
+        let bare = original.to_json_line(None);
+        let (parsed, no_ts) = parse_one(&bare)?;
+        prop_assert_eq!(&no_ts, &None);
+        prop_assert_eq!(parsed.to_json_line(None), bare.clone(), "byte fixpoint broke");
+
+        // Structural round trip for finite events, with the timestamp.
+        let stamped = original.to_json_line(Some(ts));
+        let (reparsed, ts_back) = parse_one(&stamped)?;
+        prop_assert_eq!(ts_back, Some(ts), "ts_ms must survive");
+        if all_finite(&original) {
+            prop_assert_eq!(reparsed, original, "structural identity broke for {}", bare);
+        } else {
+            prop_assert_eq!(reparsed.to_json_line(Some(ts)), stamped);
+        }
+    }
+}
+
+/// Damaged lines come back as typed errors with 1-indexed line
+/// numbers; the undamaged neighbours still parse. The reader never
+/// panics and never silently drops.
+#[test]
+fn malformed_corpus_yields_typed_errors_with_line_numbers() {
+    let text = concat!(
+        "{\"kind\":\"counter\",\"name\":\"ok\",\"value\":1}\n",
+        "{\"kind\":\"counter\",\"name\":\"torn\",\"val\n", // 2: torn mid-write
+        "{\"kind\":\"warp_drive\",\"x\":1}\n",             // 3: unknown kind
+        "{\"kind\":\"counter\",\"name\":\"dup\",\"value\":1,\"value\":2}\n", // 4: duplicate key
+        "{\"kind\":\"counter\",\"value\":2}\n",            // 5: missing field
+        "{\"kind\":\"counter\",\"name\":\"bad\",\"value\":\"NaN\"}\n", // 6: wrong type
+        "not json at all\n",                               // 7: syntax
+        "{\"kind\":\"segment\",\"shard\":1,\"attempt\":0}\n", // 8: fine
+        "{\"kind\":\"counter\",\"name\":\"also ok\",\"value\":3}\n",
+    );
+    let trace = Trace::parse(text);
+    assert_eq!(trace.lines.len(), 3, "good lines all parse");
+    assert_eq!(trace.errors.len(), 6, "damaged lines all report");
+
+    let lines: Vec<usize> = trace.errors.iter().filter_map(ParseError::line).collect();
+    assert_eq!(lines, vec![2, 3, 4, 5, 6, 7], "1-indexed, in order");
+    assert!(
+        trace
+            .errors
+            .iter()
+            .any(|e| matches!(e, ParseError::UnknownKind { kind, .. } if kind == "warp_drive")),
+        "unknown kinds carry the kind name"
+    );
+    assert!(trace
+        .errors
+        .iter()
+        .any(|e| matches!(e, ParseError::DuplicateKey { key, .. } if key == "value")));
+    assert!(trace
+        .errors
+        .iter()
+        .any(|e| matches!(e, ParseError::MissingField { field: "name", .. })));
+
+    // Provenance still threads through around the damage.
+    let last = trace.lines.last().unwrap();
+    assert_eq!(last.provenance, Some((1, 0)));
+}

@@ -230,6 +230,15 @@ impl<T: Serialize + ?Sized> Serialize for &T {
     }
 }
 
+impl Serialize for Value {
+    /// A value tree serializes as itself — this is what lets callers
+    /// hand-build documents (`serde_json::to_string(&value)`) when the
+    /// derive subset cannot express their shape.
+    fn serialize(&self) -> Value {
+        self.clone()
+    }
+}
+
 impl<T: Serialize> Serialize for Option<T> {
     fn serialize(&self) -> Value {
         match self {
