@@ -1,0 +1,111 @@
+//! Solver hot paths over the flat post-order layout, 10³–10⁶ nodes.
+//!
+//! The criterion twin of the `solvers_trajectory` binary (which emits the
+//! committed `BENCH_solvers.json`): same Experiment-3-style fat-tree
+//! regime, same registry dispatch, statistical sampling instead of a
+//! point estimate. The linear paths (`greedy`, `greedy_power`) scale to
+//! 10⁶ nodes. The exact DPs split by power regime — energy-proportional
+//! (α = 1) frontiers stay compact and the pruned DP reaches 10⁵ nodes;
+//! under the paper's superlinear α = 3 model the frontier itself grows
+//! with subtree size and the DP is ~quadratic, so that ladder is capped
+//! where a single solve stays within a criterion sample budget (see the
+//! trajectory binary's module docs).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use replica_bench::{fat_linear_power_instance, fat_power_instance};
+use replica_core::{dp_power_pruned, SolveArena};
+use replica_engine::{Registry, SolveOptions};
+use std::hint::black_box;
+
+const SEED: u64 = 9;
+
+fn bench_linear_solvers(c: &mut Criterion) {
+    let registry = Registry::with_all();
+    let options = SolveOptions::default();
+    let mut group = c.benchmark_group("solvers_linear");
+    group.sample_size(10);
+    for nodes in [1_000usize, 10_000, 100_000, 1_000_000] {
+        let instance = fat_power_instance(SEED, nodes, nodes / 10);
+        for solver in ["greedy", "greedy_power"] {
+            group.bench_with_input(BenchmarkId::new(solver, nodes), &instance, |b, inst| {
+                b.iter(|| black_box(registry.solve(solver, inst, &options).unwrap()))
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_exact_dps(c: &mut Criterion) {
+    let registry = Registry::with_all();
+    let options = SolveOptions::default();
+    let mut group = c.benchmark_group("solvers_exact");
+    group.sample_size(10);
+    // Energy-proportional regime: compact frontiers, near-linear DP.
+    for nodes in [10_000usize, 100_000] {
+        let instance = fat_linear_power_instance(SEED, nodes, nodes / 10);
+        group.bench_with_input(
+            BenchmarkId::new("dp_power_a1", nodes),
+            &instance,
+            |b, inst| b.iter(|| black_box(registry.solve("dp_power", inst, &options).unwrap())),
+        );
+        // The same algorithm at the core layer, arena'd and without the
+        // engine wrapper — the difference is dispatch + evaluation.
+        let mut arena = SolveArena::new();
+        group.bench_with_input(
+            BenchmarkId::new("dp_power_pruned_a1", nodes),
+            &instance,
+            |b, inst| {
+                b.iter(|| {
+                    black_box(
+                        dp_power_pruned::solve_min_power_bounded_cost_in(
+                            inst,
+                            f64::INFINITY,
+                            &mut arena.pruned,
+                        )
+                        .unwrap(),
+                    )
+                })
+            },
+        );
+    }
+    // Superlinear (α = 3) regime: the frontier grows with subtree size.
+    for nodes in [1_000usize, 3_000] {
+        let instance = fat_power_instance(SEED, nodes, nodes / 10);
+        group.bench_with_input(
+            BenchmarkId::new("dp_power_a3", nodes),
+            &instance,
+            |b, inst| b.iter(|| black_box(registry.solve("dp_power", inst, &options).unwrap())),
+        );
+        let mut arena = SolveArena::new();
+        group.bench_with_input(
+            BenchmarkId::new("dp_power_pruned_a3", nodes),
+            &instance,
+            |b, inst| {
+                b.iter(|| {
+                    black_box(
+                        dp_power_pruned::solve_min_power_bounded_cost_in(
+                            inst,
+                            f64::INFINITY,
+                            &mut arena.pruned,
+                        )
+                        .unwrap(),
+                    )
+                })
+            },
+        );
+    }
+    for nodes in [30usize, 60, 100] {
+        let instance = fat_power_instance(SEED, nodes, nodes / 10);
+        group.bench_with_input(
+            BenchmarkId::new("dp_power_full", nodes),
+            &instance,
+            |b, inst| {
+                b.iter(|| black_box(registry.solve("dp_power_full", inst, &options).unwrap()))
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(solvers, bench_linear_solvers, bench_exact_dps);
+criterion_main!(solvers);

@@ -1,0 +1,251 @@
+//! Emits `BENCH_solvers.json` — the committed perf-trajectory artifact
+//! for the flat post-order layout + solve-arena hot path.
+//!
+//! Measures nodes-vs-ns/solve curves over Experiment-3-style fat trees
+//! (modes {5, 10}, 10% pre-existing at mode 1, Fig-8 uniform costs),
+//! in two power regimes because the exact DP's reach depends on the
+//! regime, not just the code (see `docs/ARCHITECTURE.md`, "Flat tree
+//! layout & solve arenas"):
+//!
+//! * `greedy` / `greedy_power` — the linear-time paths under the paper's
+//!   α = 3 model, up to 10⁶ nodes;
+//! * `dp_power` / `dp_power_pruned` — the dominance-pruned exact DP
+//!   under **energy-proportional power** (α = 1), where per-flow Pareto
+//!   frontiers stay compact and the DP is near-linear, up to 10⁵ nodes.
+//!   `dp_power` goes through the engine registry (what fleet runs
+//!   execute); `dp_power_pruned` is the same algorithm at the core
+//!   layer (`solve_min_power_bounded_cost_in`, no engine wrapper), so
+//!   the difference isolates dispatch + evaluation overhead;
+//! * `dp_power_alpha3` / `dp_power_pruned_alpha3` — the same two
+//!   pipelines under the paper's **superlinear** α = 3 model, where
+//!   splitting load across more servers keeps reducing power while cost
+//!   grows, the exact frontier itself grows ~linearly with subtree
+//!   size, and merges pay a product of frontier sizes: ~quadratic
+//!   forward pass, heavier-still reconstruct. Capped at 3·10⁴ nodes
+//!   (~3 min/solve on the reference box; 10⁵ is hours — that cliff is
+//!   the point of the curve, and the ROADMAP's "sub-quadratic exact
+//!   frontiers" item tracks the attacks on it);
+//! * `dp_power_full` — the unpruned full-state DP (α = 3), capped at
+//!   its ~10²-node feasibility edge (30 → 100 nodes is ms → ~10 s).
+//!
+//! Each point is the median of a size-dependent number of repetitions
+//! (9 at small sizes shrinking to 1 where a single solve is minutes).
+//! Usage: `cargo run --release -p replica-bench --bin solvers_trajectory
+//! [-- OUT.json [--fast]]`. `--fast` caps every ladder at CI-smoke sizes
+//! (seconds, not minutes) so the schema and the code paths stay
+//! exercised on every push; the committed artifact is a full run.
+
+use replica_bench::{fat_linear_power_instance, fat_power_instance};
+use replica_core::{dp_power_pruned, SolveArena};
+use replica_engine::{Registry, SolveOptions};
+use replica_model::Instance;
+use std::hint::black_box;
+use std::time::Instant;
+
+const SEED: u64 = 9;
+const ALPHA1: &str = "energy_proportional(P_s=10, alpha=1)";
+const ALPHA3: &str = "paper_experiment3(alpha=3)";
+
+/// Median wall-clock nanoseconds over `reps` runs (one warm-up when the
+/// budget allows more than one repetition).
+fn median_ns<R>(reps: usize, mut f: impl FnMut() -> R) -> f64 {
+    if reps > 1 {
+        black_box(f());
+    }
+    let mut samples: Vec<f64> = (0..reps)
+        .map(|_| {
+            let start = Instant::now();
+            black_box(f());
+            start.elapsed().as_secs_f64() * 1e9
+        })
+        .collect();
+    samples.sort_by(|a, b| a.total_cmp(b));
+    samples[samples.len() / 2]
+}
+
+/// Repetition budget: plenty at sub-second sizes, a single run where a
+/// solve is minutes.
+fn reps_for(nodes: usize) -> usize {
+    match nodes {
+        n if n >= 30_000 => 1,
+        n if n >= 10_000 => 3,
+        n if n >= 3_000 => 5,
+        _ => 9,
+    }
+}
+
+struct Point {
+    nodes: usize,
+    ns_per_solve: f64,
+    reps: usize,
+}
+
+struct Curve {
+    solver: String,
+    power: &'static str,
+    points: Vec<Point>,
+}
+
+fn curve(
+    name: &str,
+    power: &'static str,
+    sizes: &[usize],
+    reps_of: impl Fn(usize) -> usize,
+    mut solve: impl FnMut(usize, usize) -> f64,
+) -> Curve {
+    let points = sizes
+        .iter()
+        .map(|&nodes| {
+            let reps = reps_of(nodes);
+            let ns = solve(nodes, reps);
+            eprintln!("{name:>24} n={nodes:<8} {:.3} ms/solve", ns / 1e6);
+            Point {
+                nodes,
+                ns_per_solve: ns,
+                reps,
+            }
+        })
+        .collect();
+    Curve {
+        solver: name.to_string(),
+        power,
+        points,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let fast = args.iter().any(|a| a == "--fast");
+    let out = args
+        .iter()
+        .find(|a| a.as_str() != "--fast")
+        .cloned()
+        .unwrap_or_else(|| "BENCH_solvers.json".into());
+
+    // Ladders. Full mode spans 10³–10⁶ for the linear paths, 10³–10⁵
+    // for the pruned DP in the α = 1 regime, and 10³–3·10⁴ in the
+    // superlinear regime; fast mode keeps every solve sub-second for
+    // the CI smoke.
+    let (linear_sizes, a1_sizes, a3_sizes, full_sizes): (
+        Vec<usize>,
+        Vec<usize>,
+        Vec<usize>,
+        Vec<usize>,
+    ) = if fast {
+        (
+            vec![1_000, 10_000],
+            vec![1_000, 10_000],
+            vec![300, 1_000],
+            vec![30, 60],
+        )
+    } else {
+        (
+            vec![1_000, 10_000, 100_000, 1_000_000],
+            vec![1_000, 10_000, 30_000, 100_000],
+            vec![1_000, 3_000, 10_000, 30_000],
+            vec![30, 60, 100],
+        )
+    };
+
+    let registry = Registry::with_all();
+    let options = SolveOptions::default();
+    let mut arena = SolveArena::new();
+
+    let a3 = |nodes: usize| fat_power_instance(SEED, nodes, nodes / 10);
+    let a1 = |nodes: usize| fat_linear_power_instance(SEED, nodes, nodes / 10);
+
+    let registry_ns = |registry: &Registry, name: &str, instance: &Instance, reps: usize| {
+        median_ns(reps, || {
+            registry
+                .solve(name, instance, &options)
+                .expect("benchmark instances are feasible")
+        })
+    };
+    // The full-state DP's "huge" is two orders of magnitude smaller
+    // than the pruned DP's, so its repetition budget shrinks earlier.
+    let full_reps = |n: usize| match n {
+        n if n >= 100 => 1,
+        n if n >= 60 => 3,
+        _ => 9,
+    };
+
+    let mut curves = vec![
+        curve("greedy", ALPHA3, &linear_sizes, reps_for, |n, reps| {
+            registry_ns(&registry, "greedy", &a3(n), reps)
+        }),
+        curve(
+            "greedy_power",
+            ALPHA3,
+            &linear_sizes,
+            reps_for,
+            |n, reps| registry_ns(&registry, "greedy_power", &a3(n), reps),
+        ),
+        curve("dp_power", ALPHA1, &a1_sizes, reps_for, |n, reps| {
+            registry_ns(&registry, "dp_power", &a1(n), reps)
+        }),
+        curve("dp_power_alpha3", ALPHA3, &a3_sizes, reps_for, |n, reps| {
+            registry_ns(&registry, "dp_power", &a3(n), reps)
+        }),
+    ];
+    let mut core_pruned_ns = |instance: &Instance, reps: usize| {
+        median_ns(reps, || {
+            dp_power_pruned::solve_min_power_bounded_cost_in(
+                instance,
+                f64::INFINITY,
+                &mut arena.pruned,
+            )
+            .expect("benchmark instances are feasible")
+        })
+    };
+    curves.push(curve(
+        "dp_power_pruned",
+        ALPHA1,
+        &a1_sizes,
+        reps_for,
+        |n, reps| core_pruned_ns(&a1(n), reps),
+    ));
+    curves.push(curve(
+        "dp_power_pruned_alpha3",
+        ALPHA3,
+        &a3_sizes,
+        reps_for,
+        |n, reps| core_pruned_ns(&a3(n), reps),
+    ));
+    curves.push(curve(
+        "dp_power_full",
+        ALPHA3,
+        &full_sizes,
+        full_reps,
+        |n, reps| registry_ns(&registry, "dp_power_full", &a3(n), reps),
+    ));
+
+    let curves_json: Vec<String> = curves
+        .iter()
+        .map(|c| {
+            let pts: Vec<String> = c
+                .points
+                .iter()
+                .map(|p| {
+                    format!(
+                        "        {{ \"nodes\": {}, \"ns_per_solve\": {:.0}, \"reps\": {} }}",
+                        p.nodes, p.ns_per_solve, p.reps
+                    )
+                })
+                .collect();
+            format!(
+                "    {{\n      \"solver\": \"{}\",\n      \"power\": \"{}\",\n      \"points\": [\n{}\n      ]\n    }}",
+                c.solver,
+                c.power,
+                pts.join(",\n")
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"bench\": \"solvers\",\n  \"mode\": \"{}\",\n  \"regime\": {{\n    \"tree\": \"paper_fat\",\n    \"modes\": [5, 10],\n    \"pre_existing\": \"nodes/10 at mode 1\",\n    \"cost\": \"uniform(0.1, 0.01, 0.001)\",\n    \"seed\": {}\n  }},\n  \"curves\": [\n{}\n  ]\n}}\n",
+        if fast { "fast" } else { "full" },
+        SEED,
+        curves_json.join(",\n")
+    );
+    std::fs::write(&out, &json).expect("cannot write the trajectory artifact");
+    eprintln!("→ {out}");
+}

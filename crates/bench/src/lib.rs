@@ -39,6 +39,46 @@ pub fn power_instance(seed: u64, nodes: usize, pre_count: usize) -> Instance {
         .unwrap()
 }
 
+/// Deterministic Experiment-3-style instance on the *fat* paper tree —
+/// the scaling workload shared by `benches/solvers.rs`, the
+/// `solvers_trajectory` binary (committed `BENCH_solvers.json`) and the
+/// release-mode scale guard in `replica-core`. `pre_count` servers are
+/// pre-existing at mode 1; pass 0 for the greenfield regime.
+pub fn fat_power_instance(seed: u64, nodes: usize, pre_count: usize) -> Instance {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let tree = generate::random_tree(&GeneratorConfig::paper_fat(nodes), &mut rng);
+    let pre = generate::random_pre_existing(&tree, pre_count, &mut rng);
+    let modes = ModeSet::new(vec![5, 10]).unwrap();
+    let power = PowerModel::paper_experiment3(&modes);
+    Instance::builder(tree)
+        .modes(modes)
+        .pre_existing(PreExisting::at_mode(pre, 1))
+        .cost(CostModel::uniform(2, 0.1, 0.01, 0.001))
+        .power(power)
+        .build()
+        .unwrap()
+}
+
+/// The [`fat_power_instance`] workload under an **energy-proportional**
+/// power model (α = 1, `P_static = 10`). Cost and power then rise
+/// together with the server count, per-flow Pareto frontiers stay
+/// compact, and the exact pruned DP is near-linear — the regime where
+/// 10⁵-node exact solves are routine (see `docs/ARCHITECTURE.md`,
+/// "Flat tree layout & solve arenas").
+pub fn fat_linear_power_instance(seed: u64, nodes: usize, pre_count: usize) -> Instance {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let tree = generate::random_tree(&GeneratorConfig::paper_fat(nodes), &mut rng);
+    let pre = generate::random_pre_existing(&tree, pre_count, &mut rng);
+    let modes = ModeSet::new(vec![5, 10]).unwrap();
+    Instance::builder(tree)
+        .modes(modes)
+        .pre_existing(PreExisting::at_mode(pre, 1))
+        .cost(CostModel::uniform(2, 0.1, 0.01, 0.001))
+        .power(PowerModel::new(10.0, 1.0))
+        .build()
+        .unwrap()
+}
+
 /// Deterministic single-mode `MinCost-WithPre` instance.
 pub fn min_cost_instance(seed: u64, nodes: usize, pre_count: usize) -> Instance {
     let mut rng = StdRng::seed_from_u64(seed);

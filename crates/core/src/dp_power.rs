@@ -22,10 +22,22 @@
 //! [`RootCandidate`]s: one DP run answers *every* budget (this is how the
 //! experiment harness sweeps Figure 8's x-axis with a single run per tree)
 //! and yields the whole cost/power Pareto front.
+//!
+//! ## Hot path and determinism
+//!
+//! The forward pass iterates the [`FlatTree`] post-order layout; the layout,
+//! the outer table vector and the per-position unit-key buffers live in a
+//! reusable [`FullScratch`]. The per-node hash tables themselves are created
+//! **fresh** each solve on purpose: `FxHashMap` iteration order depends on
+//! the map's capacity history, the root scan's candidate order feeds
+//! `best_within`'s tie-breaking, and reusing maps across solves would make
+//! equally-optimal tie winners depend on what was solved before. Fresh maps
+//! with the same capacity hints keep every run bit-identical to the pre-flat
+//! implementation ([`crate::reference::full_solve`] pins this).
 
 use crate::state::{StateCodec, StateKey};
 use replica_model::{le_tolerant, Instance, ModeIdx, ModelError, Placement};
-use replica_tree::{traversal, NodeId};
+use replica_tree::FlatTree;
 use rustc_hash::FxHashMap;
 
 /// Sparse DP table: packed state → minimal traversing flow.
@@ -74,11 +86,24 @@ pub struct PowerDpOptions {
 /// worth the fork/join overhead.
 const PARALLEL_PAIRS_THRESHOLD: usize = 1 << 14;
 
+/// Reusable working memory for [`PowerDp::run_in`]: the flat layout, the
+/// outer table vector and the per-position unit-key buffers. Inner hash
+/// tables are deliberately *not* pooled (see the module docs on
+/// determinism).
+#[derive(Default)]
+pub struct FullScratch {
+    flat: FlatTree,
+    tables: Vec<Table>,
+    /// `unit_keys[p][mode]`: state increment for a replica at position `p`
+    /// assigned `mode`.
+    unit_keys: Vec<Vec<StateKey>>,
+}
+
 /// A completed DP run: per-node tables plus the evaluated root candidates.
 pub struct PowerDp<'a> {
     instance: &'a Instance,
     codec: StateCodec,
-    tables: Vec<Table>,
+    scratch: FullScratch,
     candidates: Vec<RootCandidate>,
     options: PowerDpOptions,
 }
@@ -91,54 +116,78 @@ impl<'a> PowerDp<'a> {
 
     /// Runs the forward pass and the root scan.
     pub fn run_with(instance: &'a Instance, options: PowerDpOptions) -> Result<Self, ModelError> {
-        let tree = instance.tree();
+        Self::run_with_in(instance, options, &mut FullScratch::default())
+    }
+
+    /// [`PowerDp::run`] borrowing `scratch`'s buffers; hand them back with
+    /// [`PowerDp::recycle`] (the error path returns them immediately).
+    pub fn run_in(instance: &'a Instance, scratch: &mut FullScratch) -> Result<Self, ModelError> {
+        Self::run_with_in(instance, PowerDpOptions::default(), scratch)
+    }
+
+    /// [`PowerDp::run_with`] with caller-provided working memory.
+    pub fn run_with_in(
+        instance: &'a Instance,
+        options: PowerDpOptions,
+        scratch: &mut FullScratch,
+    ) -> Result<Self, ModelError> {
         let pre = instance.pre_existing();
         let m = instance.mode_count();
+        let tree = instance.tree();
         let max_new = (tree.internal_count() - pre.count()) as u64;
         let codec = StateCodec::new(m, max_new, pre.count() as u64)?;
         let wmax = instance.max_capacity();
 
-        // unit_keys[node][mode]: state increment for a replica at `node`
-        // assigned `mode`.
-        let unit_keys: Vec<Vec<StateKey>> = tree
-            .internal_nodes()
-            .map(|node| {
-                (0..m)
-                    .map(|mode| match pre.mode_of(node) {
-                        Some(orig) => codec.bump_reused(codec.zero(), orig, mode),
-                        None => codec.bump_new(codec.zero(), mode),
-                    })
-                    .collect()
-            })
-            .collect();
+        let mut s = std::mem::take(scratch);
+        s.flat.rebuild(tree);
+        let n = s.flat.len();
 
-        let mut tables: Vec<Table> = vec![Table::default(); tree.internal_count()];
-        for node in traversal::post_order(tree) {
-            let direct = tree.client_load(node);
+        s.unit_keys.truncate(n);
+        for v in &mut s.unit_keys {
+            v.clear();
+        }
+        s.unit_keys.resize_with(n, Vec::new);
+        for p in 0..n {
+            let node = s.flat.node_at(p);
+            let keys = &mut s.unit_keys[p];
+            keys.extend((0..m).map(|mode| match pre.mode_of(node) {
+                Some(orig) => codec.bump_reused(codec.zero(), orig, mode),
+                None => codec.bump_new(codec.zero(), mode),
+            }));
+        }
+
+        // Fresh inner tables every solve — bit-identical iteration order
+        // (module docs); only the outer vector's allocation is reused.
+        s.tables.clear();
+        s.tables.resize_with(n, Table::default);
+        for p in 0..n {
+            let direct = s.flat.client_load(p);
             let mut table = Table::default();
             if direct <= wmax {
                 table.insert(codec.zero(), direct);
             }
             // An unserveable client bundle leaves the table empty, which
             // propagates to an empty root table → Infeasible below.
-            for &child in tree.children(node) {
+            for &child in s.flat.children(p) {
                 table = merge_child(
                     &codec,
                     instance,
                     &table,
-                    &tables[child.index()],
-                    &unit_keys[child.index()],
+                    &s.tables[child as usize],
+                    &s.unit_keys[child as usize],
                     options,
                 );
                 if table.is_empty() {
                     break;
                 }
             }
-            tables[node.index()] = table;
+            s.tables[p] = table;
         }
 
-        let candidates = root_scan(instance, &codec, &tables[tree.root().index()], &unit_keys);
+        let root = s.flat.root_position();
+        let candidates = root_scan(instance, &codec, &s.tables[root], &s.unit_keys[root]);
         if candidates.is_empty() {
+            *scratch = s;
             return Err(ModelError::Infeasible(
                 "no feasible placement exists for this instance".into(),
             ));
@@ -146,10 +195,15 @@ impl<'a> PowerDp<'a> {
         Ok(PowerDp {
             instance,
             codec,
-            tables,
+            scratch: s,
             candidates,
             options,
         })
+    }
+
+    /// Returns the working memory to `scratch` for the next solve.
+    pub fn recycle(self, scratch: &mut FullScratch) {
+        *scratch = self.scratch;
     }
 
     /// All feasible aggregate solutions at the root (every budget filter and
@@ -187,38 +241,37 @@ impl<'a> PowerDp<'a> {
 
     /// Rebuilds a full placement achieving `candidate`.
     pub fn reconstruct(&self, candidate: &RootCandidate) -> Result<PowerResult, ModelError> {
-        let tree = self.instance.tree();
-        let pre = self.instance.pre_existing();
+        let s = &self.scratch;
+        let flat = &s.flat;
         let modes = self.instance.modes();
-        let mut placement = Placement::empty(tree);
+        let mut placement = Placement::with_slots(flat.len());
         if let Some(mode) = candidate.root_mode {
-            placement.insert(tree.root(), mode);
+            placement.insert(flat.node_at(flat.root_position()), mode);
         }
 
         // Worklist backtrack, re-running each node's merge sequence.
-        let mut work: Vec<(NodeId, StateKey, u64)> =
-            vec![(tree.root(), candidate.table_key, candidate.flow)];
-        while let Some((node, key_target, flow_target)) = work.pop() {
-            let children = tree.children(node);
+        let mut work: Vec<(usize, StateKey, u64)> =
+            vec![(flat.root_position(), candidate.table_key, candidate.flow)];
+        while let Some((p, key_target, flow_target)) = work.pop() {
+            let children = flat.children(p);
             if children.is_empty() {
                 debug_assert_eq!(key_target, self.codec.zero());
-                debug_assert_eq!(flow_target, tree.client_load(node));
+                debug_assert_eq!(flow_target, flat.client_load(p));
                 continue;
             }
             // Recompute intermediate tables left-to-right.
             let wmax = self.instance.max_capacity();
             let mut inter: Vec<Table> = Vec::with_capacity(children.len() + 1);
             let mut table = Table::default();
-            table.insert(self.codec.zero(), tree.client_load(node));
+            table.insert(self.codec.zero(), flat.client_load(p));
             inter.push(table);
             for &child in children {
-                let unit = self.unit_keys_for(child);
                 let next = merge_child(
                     &self.codec,
                     self.instance,
                     inter.last().expect("intermediate tables start non-empty"),
-                    &self.tables[child.index()],
-                    &unit,
+                    &s.tables[child as usize],
+                    &s.unit_keys[child as usize],
                     self.options,
                 );
                 inter.push(next);
@@ -229,8 +282,8 @@ impl<'a> PowerDp<'a> {
             let mut flow_cur = flow_target;
             for (k, &child) in children.iter().enumerate().rev() {
                 let left = &inter[k];
-                let child_table = &self.tables[child.index()];
-                let unit = self.unit_keys_for(child);
+                let child_table = &s.tables[child as usize];
+                let unit = &s.unit_keys[child as usize];
                 let mut found = None;
                 'search: for (&k1, &f1) in left {
                     for (&k2, &f2) in child_table {
@@ -249,38 +302,28 @@ impl<'a> PowerDp<'a> {
                     }
                 }
                 let (k1, f1, k2, f2, server_mode) = found.ok_or_else(|| {
+                    let (node, child_node) = (flat.node_at(p), flat.node_at(child as usize));
                     ModelError::Infeasible(format!(
-                        "internal error: no producer for state at {node} (child {child})"
+                        "internal error: no producer for state at {node} (child {child_node})"
                     ))
                 })?;
                 if let Some(mode) = server_mode {
-                    placement.insert(child, mode);
+                    placement.insert(flat.node_at(child as usize), mode);
                 }
-                work.push((child, k2, f2));
+                work.push((child as usize, k2, f2));
                 key_cur = k1;
                 flow_cur = f1;
             }
             debug_assert_eq!(key_cur, self.codec.zero());
-            debug_assert_eq!(flow_cur, tree.client_load(node));
+            debug_assert_eq!(flow_cur, flat.client_load(p));
         }
 
-        let _ = pre; // modes of pre-existing servers are encoded in the key
         Ok(PowerResult {
             placement,
             cost: candidate.cost,
             power: candidate.power,
             servers: candidate.servers,
         })
-    }
-
-    fn unit_keys_for(&self, node: NodeId) -> Vec<StateKey> {
-        let pre = self.instance.pre_existing();
-        (0..self.codec.modes)
-            .map(|mode| match pre.mode_of(node) {
-                Some(orig) => self.codec.bump_reused(self.codec.zero(), orig, mode),
-                None => self.codec.bump_new(self.codec.zero(), mode),
-            })
-            .collect()
     }
 }
 
@@ -399,18 +442,16 @@ fn root_scan(
     instance: &Instance,
     codec: &StateCodec,
     root_table: &Table,
-    unit_keys: &[Vec<StateKey>],
+    root_units: &[StateKey],
 ) -> Vec<RootCandidate> {
-    let tree = instance.tree();
     let modes = instance.modes();
-    let root = tree.root();
     let mut out = Vec::new();
     for (&key, &flow) in root_table {
         if flow == 0 {
             out.push(evaluate(instance, codec, key, flow, None));
         }
         if let Some(first) = modes.mode_for_load(flow) {
-            for (mode, &unit) in unit_keys[root.index()].iter().enumerate().skip(first) {
+            for (mode, &unit) in root_units.iter().enumerate().skip(first) {
                 out.push(evaluate(instance, codec, key + unit, flow, Some(mode)));
             }
         }
@@ -647,6 +688,62 @@ mod tests {
         let bw = |dp: &PowerDp, b: f64| dp.best_within(b).map(|c| (c.power, c.cost));
         for bound in [5.0, 10.0, 20.0, f64::INFINITY] {
             assert_eq!(bw(&serial, bound), bw(&parallel, bound));
+        }
+    }
+
+    #[test]
+    fn scratch_reuse_is_bit_identical() {
+        // One scratch across differently-sized instances must reproduce the
+        // fresh-scratch pipeline exactly (incl. hash-order tie-breaking).
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        use replica_tree::{generate, GeneratorConfig};
+        let mut scratch = FullScratch::default();
+        for (seed, nodes) in [(7u64, 20usize), (8, 9), (9, 28)] {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let tree = generate::random_tree(&GeneratorConfig::paper_power(nodes), &mut rng);
+            let pre: PreExisting = generate::random_pre_existing(&tree, 3, &mut rng)
+                .into_iter()
+                .map(|n| (n, rng.random_range(0..2)))
+                .collect();
+            let inst = Instance::builder(tree)
+                .modes(ModeSet::new(vec![5, 10]).unwrap())
+                .pre_existing(pre)
+                .cost(CostModel::uniform(2, 0.1, 0.01, 0.001))
+                .power(PowerModel::paper_experiment3(
+                    &ModeSet::new(vec![5, 10]).unwrap(),
+                ))
+                .build()
+                .unwrap();
+            let fresh = PowerDp::run(&inst).unwrap();
+            let reused = PowerDp::run_in(&inst, &mut scratch).unwrap();
+            for bound in [15.0, 30.0, f64::INFINITY] {
+                let f = fresh.best_within(bound).map(|c| {
+                    (
+                        c.power.to_bits(),
+                        c.cost.to_bits(),
+                        c.servers,
+                        c.table_key,
+                        c.root_mode,
+                    )
+                });
+                let r = reused.best_within(bound).map(|c| {
+                    (
+                        c.power.to_bits(),
+                        c.cost.to_bits(),
+                        c.servers,
+                        c.table_key,
+                        c.root_mode,
+                    )
+                });
+                assert_eq!(f, r, "seed {seed} bound {bound}");
+                if let (Some(fc), Some(rc)) = (fresh.best_within(bound), reused.best_within(bound))
+                {
+                    let fp = fresh.reconstruct(fc).unwrap();
+                    let rp = reused.reconstruct(rc).unwrap();
+                    assert_eq!(fp.placement, rp.placement, "seed {seed} bound {bound}");
+                }
+            }
+            reused.recycle(&mut scratch);
         }
     }
 }

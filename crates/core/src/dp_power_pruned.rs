@@ -23,9 +23,19 @@
 //! Reconstruction exploits determinism: re-running a node's merge sequence
 //! reproduces its tables bit-for-bit (same code path, same order), so the
 //! backtrack can match partial costs/powers with exact `f64` equality.
+//!
+//! ## Hot path
+//!
+//! The forward pass iterates the [`FlatTree`] post-order layout (one dense
+//! scan, children as position windows) and all working memory — the layout,
+//! the per-position tables, the merge/prune double buffers, the flattened
+//! weight arrays — lives in a [`PrunedScratch`] that [`PrunedPowerDp::run_in`]
+//! borrows and [`PrunedPowerDp::recycle`] returns, so fleet batches solve
+//! with zero steady-state allocation. Results are bit-identical to the
+//! pre-flat pointer traversal ([`crate::reference::pruned_solve`] pins this).
 
 use replica_model::{le_tolerant, Instance, ModeIdx, ModelError, Placement};
-use replica_tree::{traversal, NodeId};
+use replica_tree::FlatTree;
 
 /// One table entry: everything a completion needs to know about a subtree.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -52,56 +62,89 @@ pub struct PrunedCandidate {
     pub power: f64,
 }
 
+/// Reusable working memory for [`PrunedPowerDp::run_in`].
+///
+/// Holds every allocation the forward pass needs: the flat layout, the
+/// per-position Pareto tables, the merge/prune double buffers, and the
+/// flattened per-(position, mode) weight arrays. After one solve has grown
+/// the buffers, subsequent solves of same-sized trees allocate nothing.
+#[derive(Default)]
+pub struct PrunedScratch {
+    flat: FlatTree,
+    tables: Vec<Vec<Triple>>,
+    cur: Vec<Triple>,
+    next: Vec<Triple>,
+    kept: Vec<Triple>,
+    served: Vec<Served>,
+    served_kept: Vec<Served>,
+    /// `wcost[p * m + mode]`: additive cost of a server at position `p`.
+    wcost: Vec<f64>,
+    /// `wpower[mode]`: additive power of a server at `mode`.
+    wpower: Vec<f64>,
+}
+
+/// A child outcome paired with one feasible server mode's weights — the
+/// candidate pool for "place a replica at the child" merge outputs.
+///
+/// Kept as the four addends rather than their sums: the forward pass must
+/// reproduce the original `l + c + w` float summation order bit for bit,
+/// so dominance between served outcomes is judged component-wise (`cost`,
+/// `power`, `wcost`, `wpower` all ≤) — exactly the condition under which
+/// the dominator's output beats the dominated one for *every* left entry
+/// under IEEE-754 addition monotonicity.
+#[derive(Clone, Copy)]
+struct Served {
+    cost: f64,
+    power: f64,
+    wcost: f64,
+    wpower: f64,
+}
+
 /// A completed pruned-DP run.
 pub struct PrunedPowerDp<'a> {
     instance: &'a Instance,
-    tables: Vec<Vec<Triple>>,
+    scratch: PrunedScratch,
     candidates: Vec<PrunedCandidate>,
     delete_constant: f64,
 }
 
-/// Per-server additive weights, precomputed per node.
-struct Weights {
-    /// `cost_of[node][mode]`, `power_of[mode]`.
-    cost: Vec<Vec<f64>>,
-    power: Vec<f64>,
-}
-
-fn weights(instance: &Instance) -> Weights {
-    let tree = instance.tree();
+/// Fills the flattened per-server additive weights (position-indexed).
+fn fill_weights(instance: &Instance, flat: &FlatTree, wcost: &mut Vec<f64>, wpower: &mut Vec<f64>) {
     let modes = instance.modes();
     let cost_model = instance.cost();
     let pre = instance.pre_existing();
-    let power: Vec<f64> = modes
-        .indices()
-        .map(|m| instance.power().server_power(modes, m))
-        .collect();
-    let cost = tree
-        .internal_nodes()
-        .map(|node| {
-            modes
-                .indices()
-                .map(|m| match pre.mode_of(node) {
-                    // Reusing cancels the deletion this server would have
-                    // paid inside the global constant.
-                    Some(o) => cost_model.reused_server(o, m) - cost_model.deleted_server(o),
-                    None => cost_model.new_server(m),
-                })
-                .collect()
-        })
-        .collect();
-    Weights { cost, power }
+    let m = modes.count();
+    wpower.clear();
+    wpower.extend(
+        modes
+            .indices()
+            .map(|mode| instance.power().server_power(modes, mode)),
+    );
+    wcost.clear();
+    wcost.reserve(flat.len() * m);
+    for p in flat.positions() {
+        let node = flat.node_at(p);
+        for mode in modes.indices() {
+            wcost.push(match pre.mode_of(node) {
+                // Reusing cancels the deletion this server would have paid
+                // inside the global constant.
+                Some(o) => cost_model.reused_server(o, mode) - cost_model.deleted_server(o),
+                None => cost_model.new_server(mode),
+            });
+        }
+    }
 }
 
-/// Prunes to the 3-D Pareto front (minimal flow/cost/power).
-fn prune(entries: &mut Vec<Triple>) {
+/// Prunes to the 3-D Pareto front (minimal flow/cost/power), keeping the
+/// survivors in `entries`; `kept` is the filter buffer.
+fn prune_into(entries: &mut Vec<Triple>, kept: &mut Vec<Triple>) {
     entries.sort_by(|a, b| {
         a.cost
             .total_cmp(&b.cost)
             .then(a.power.total_cmp(&b.power))
             .then(a.flow.cmp(&b.flow))
     });
-    let mut kept: Vec<Triple> = Vec::with_capacity(entries.len().min(64));
+    kept.clear();
     for &e in entries.iter() {
         // Everything already kept has cost ≤ e.cost (sort order), so e is
         // dominated iff some kept entry also has power ≤ and flow ≤.
@@ -109,21 +152,92 @@ fn prune(entries: &mut Vec<Triple>) {
             kept.push(e);
         }
     }
-    *entries = kept;
+    std::mem::swap(entries, kept);
 }
 
-/// One merge step (shared by the forward pass and reconstruction).
-fn merge(
+/// Allocating [`prune_into`] (unit tests).
+#[cfg(test)]
+fn prune(entries: &mut Vec<Triple>) {
+    let mut kept = Vec::with_capacity(entries.len().min(64));
+    prune_into(entries, &mut kept);
+}
+
+/// Prunes served outcomes to their component-wise Pareto front (see
+/// [`Served`] for why dominance must be judged on the addends).
+fn prune_served_into(entries: &mut Vec<Served>, kept: &mut Vec<Served>) {
+    entries.sort_by(|a, b| {
+        a.cost
+            .total_cmp(&b.cost)
+            .then(a.power.total_cmp(&b.power))
+            .then(a.wcost.total_cmp(&b.wcost))
+            .then(a.wpower.total_cmp(&b.wpower))
+    });
+    kept.clear();
+    for &e in entries.iter() {
+        if !kept
+            .iter()
+            .any(|k| k.power <= e.power && k.wcost <= e.wcost && k.wpower <= e.wpower)
+        {
+            kept.push(e);
+        }
+    }
+    std::mem::swap(entries, kept);
+}
+
+/// `out` is compacted whenever it outgrows this floor (or four times its
+/// last Pareto front, whichever is larger): the buffer and every sort stay
+/// proportional to the front, not to the full `left × child` product.
+const COMPACT_FLOOR: usize = 8 * 1024;
+
+/// One merge step into caller buffers (the forward-pass kernel).
+///
+/// The resulting table is the 3-D Pareto front of every combination, and
+/// [`prune_into`] is a pure function of the candidate *set* — so the
+/// enumeration below may drop candidates it can prove dominated and
+/// compact `out` mid-flight without changing a bit of the output. Two such
+/// liberties keep datacenter-sized merges out of quadratic memory:
+///
+/// * **Served-outcome collapse**: a "replica at the child" output reuses
+///   the left entry's flow, so among `(child entry, mode)` pairs only the
+///   component-wise front ([`Served`]) can survive the final prune; it is
+///   computed once per merge instead of rediscovered per left entry.
+/// * **Chunked compaction**: `out` is pruned whenever it outgrows
+///   [`COMPACT_FLOOR`] (or 4× its last front), so the buffer and each
+///   sort stay front-sized instead of cross-product-sized.
+#[allow(clippy::too_many_arguments)]
+fn merge_into(
     instance: &Instance,
-    w: &Weights,
-    child_node: NodeId,
+    wcost: &[f64],
+    wpower: &[f64],
+    child_pos: usize,
     left: &[Triple],
     child: &[Triple],
-) -> Vec<Triple> {
+    out: &mut Vec<Triple>,
+    kept: &mut Vec<Triple>,
+    served: &mut Vec<Served>,
+    served_kept: &mut Vec<Served>,
+) {
     let modes = instance.modes();
     let wmax = instance.max_capacity();
     let m = modes.count();
-    let mut out = Vec::with_capacity(left.len() * (m + 1));
+
+    served.clear();
+    for c in child {
+        if let Some(first) = modes.mode_for_load(c.flow) {
+            for mode in first..m {
+                served.push(Served {
+                    cost: c.cost,
+                    power: c.power,
+                    wcost: wcost[child_pos * m + mode],
+                    wpower: wpower[mode],
+                });
+            }
+        }
+    }
+    prune_served_into(served, served_kept);
+
+    out.clear();
+    let mut compact_at = COMPACT_FLOOR;
     for l in left {
         for c in child {
             let combined = l.flow + c.flow;
@@ -134,26 +248,63 @@ fn merge(
                     power: l.power + c.power,
                 });
             }
-            if let Some(first) = modes.mode_for_load(c.flow) {
-                for mode in first..m {
-                    out.push(Triple {
-                        flow: l.flow,
-                        cost: l.cost + c.cost + w.cost[child_node.index()][mode],
-                        power: l.power + c.power + w.power[mode],
-                    });
-                }
-            }
+        }
+        // Same addition order as the pre-collapse code: (l + c) + w.
+        for s in served.iter() {
+            out.push(Triple {
+                flow: l.flow,
+                cost: l.cost + s.cost + s.wcost,
+                power: l.power + s.power + s.wpower,
+            });
+        }
+        if out.len() >= compact_at {
+            prune_into(out, kept);
+            compact_at = COMPACT_FLOOR.max(out.len() * 4);
         }
     }
-    prune(&mut out);
+    prune_into(out, kept);
+}
+
+/// Allocating merge (shared by reconstruction, which rebuilds small
+/// intermediate tables on demand).
+fn merge(
+    instance: &Instance,
+    wcost: &[f64],
+    wpower: &[f64],
+    child_pos: usize,
+    left: &[Triple],
+    child: &[Triple],
+) -> Vec<Triple> {
+    let mut out = Vec::new();
+    let mut kept = Vec::new();
+    let mut served = Vec::new();
+    let mut served_kept = Vec::new();
+    merge_into(
+        instance,
+        wcost,
+        wpower,
+        child_pos,
+        left,
+        child,
+        &mut out,
+        &mut kept,
+        &mut served,
+        &mut served_kept,
+    );
     out
 }
 
 impl<'a> PrunedPowerDp<'a> {
-    /// Runs the forward pass and the root scan.
+    /// Runs the forward pass and the root scan with one-shot scratch.
     pub fn run(instance: &'a Instance) -> Result<Self, ModelError> {
-        let tree = instance.tree();
-        let w = weights(instance);
+        Self::run_in(instance, &mut PrunedScratch::default())
+    }
+
+    /// Runs the forward pass and the root scan, borrowing `scratch`'s
+    /// buffers. Hand them back with [`PrunedPowerDp::recycle`] once done
+    /// (the error path returns them immediately).
+    pub fn run_in(instance: &'a Instance, scratch: &mut PrunedScratch) -> Result<Self, ModelError> {
+        let mut s = std::mem::take(scratch);
         let wmax = instance.max_capacity();
         let delete_constant: f64 = instance
             .pre_existing()
@@ -161,31 +312,52 @@ impl<'a> PrunedPowerDp<'a> {
             .map(|(_, orig)| instance.cost().deleted_server(orig))
             .sum();
 
-        let mut tables: Vec<Vec<Triple>> = vec![Vec::new(); tree.internal_count()];
-        for node in traversal::post_order(tree) {
-            let direct = tree.client_load(node);
-            let mut table = Vec::new();
+        s.flat.rebuild(instance.tree());
+        fill_weights(instance, &s.flat, &mut s.wcost, &mut s.wpower);
+        let n = s.flat.len();
+        s.tables.truncate(n);
+        for t in &mut s.tables {
+            t.clear();
+        }
+        s.tables.resize_with(n, Vec::new);
+
+        for p in s.flat.positions() {
+            let direct = s.flat.client_load(p);
+            s.cur.clear();
             if direct <= wmax {
-                table.push(Triple {
+                s.cur.push(Triple {
                     flow: direct,
                     cost: 0.0,
                     power: 0.0,
                 });
             }
-            for &child in tree.children(node) {
-                if table.is_empty() {
+            for &child in s.flat.children(p) {
+                if s.cur.is_empty() {
                     break;
                 }
-                table = merge(instance, &w, child, &table, &tables[child.index()]);
+                merge_into(
+                    instance,
+                    &s.wcost,
+                    &s.wpower,
+                    child as usize,
+                    &s.cur,
+                    &s.tables[child as usize],
+                    &mut s.next,
+                    &mut s.kept,
+                    &mut s.served,
+                    &mut s.served_kept,
+                );
+                std::mem::swap(&mut s.cur, &mut s.next);
             }
-            tables[node.index()] = table;
+            std::mem::swap(&mut s.tables[p], &mut s.cur);
         }
 
         // Root scan.
         let modes = instance.modes();
-        let root = tree.root();
+        let m = modes.count();
+        let root = s.flat.root_position();
         let mut candidates = Vec::new();
-        for &t in &tables[root.index()] {
+        for &t in &s.tables[root] {
             if t.flow == 0 {
                 candidates.push(PrunedCandidate {
                     triple: t,
@@ -195,27 +367,33 @@ impl<'a> PrunedPowerDp<'a> {
                 });
             }
             if let Some(first) = modes.mode_for_load(t.flow) {
-                for mode in first..modes.count() {
+                for mode in first..m {
                     candidates.push(PrunedCandidate {
                         triple: t,
                         root_mode: Some(mode),
-                        cost: t.cost + w.cost[root.index()][mode] + delete_constant,
-                        power: t.power + w.power[mode],
+                        cost: t.cost + s.wcost[root * m + mode] + delete_constant,
+                        power: t.power + s.wpower[mode],
                     });
                 }
             }
         }
         if candidates.is_empty() {
+            *scratch = s;
             return Err(ModelError::Infeasible(
                 "no feasible placement exists for this instance".into(),
             ));
         }
         Ok(PrunedPowerDp {
             instance,
-            tables,
+            scratch: s,
             candidates,
             delete_constant,
         })
+    }
+
+    /// Returns the working memory to `scratch` for the next solve.
+    pub fn recycle(self, scratch: &mut PrunedScratch) {
+        *scratch = self.scratch;
     }
 
     /// All root candidates.
@@ -225,7 +403,7 @@ impl<'a> PrunedPowerDp<'a> {
 
     /// Total entries across all node tables (the ablation metric).
     pub fn table_entries(&self) -> usize {
-        self.tables.iter().map(Vec::len).sum()
+        self.scratch.tables.iter().map(Vec::len).sum()
     }
 
     /// Minimum-power candidate with cost within `cost_bound`.
@@ -251,39 +429,40 @@ impl<'a> PrunedPowerDp<'a> {
     /// Rebuilds a placement achieving `candidate` (bit-exact backtrack, see
     /// module docs).
     pub fn reconstruct(&self, candidate: &PrunedCandidate) -> Result<Placement, ModelError> {
-        let tree = self.instance.tree();
-        let w = weights(self.instance);
+        let s = &self.scratch;
+        let flat = &s.flat;
         let _ = self.delete_constant;
-        let mut placement = Placement::empty(tree);
+        let mut placement = Placement::with_slots(flat.len());
         if let Some(mode) = candidate.root_mode {
-            placement.insert(tree.root(), mode);
+            placement.insert(flat.node_at(flat.root_position()), mode);
         }
         let modes = self.instance.modes();
         let wmax = self.instance.max_capacity();
         let m = modes.count();
 
-        let mut work: Vec<(NodeId, Triple)> = vec![(tree.root(), candidate.triple)];
-        while let Some((node, target)) = work.pop() {
-            let children = tree.children(node);
+        let mut work: Vec<(usize, Triple)> = vec![(flat.root_position(), candidate.triple)];
+        while let Some((p, target)) = work.pop() {
+            let children = flat.children(p);
             if children.is_empty() {
-                debug_assert_eq!(target.flow, tree.client_load(node));
+                debug_assert_eq!(target.flow, flat.client_load(p));
                 continue;
             }
             // Recompute intermediate tables (bit-identical to the forward
             // pass).
             let mut inter: Vec<Vec<Triple>> = Vec::with_capacity(children.len() + 1);
             inter.push(vec![Triple {
-                flow: tree.client_load(node),
+                flow: flat.client_load(p),
                 cost: 0.0,
                 power: 0.0,
             }]);
             for &child in children {
                 let next = merge(
                     self.instance,
-                    &w,
-                    child,
+                    &s.wcost,
+                    &s.wpower,
+                    child as usize,
                     inter.last().expect("non-empty"),
-                    &self.tables[child.index()],
+                    &s.tables[child as usize],
                 );
                 inter.push(next);
             }
@@ -291,7 +470,7 @@ impl<'a> PrunedPowerDp<'a> {
             let mut cur = target;
             for (k, &child) in children.iter().enumerate().rev() {
                 let left = &inter[k];
-                let child_table = &self.tables[child.index()];
+                let child_table = &s.tables[child as usize];
                 let mut found = None;
                 'search: for l in left {
                     for c in child_table {
@@ -310,8 +489,9 @@ impl<'a> PrunedPowerDp<'a> {
                             if let Some(first) = modes.mode_for_load(c.flow) {
                                 for mode in first..m {
                                     #[allow(clippy::float_cmp)]
-                                    if l.cost + c.cost + w.cost[child.index()][mode] == cur.cost
-                                        && l.power + c.power + w.power[mode] == cur.power
+                                    if l.cost + c.cost + s.wcost[child as usize * m + mode]
+                                        == cur.cost
+                                        && l.power + c.power + s.wpower[mode] == cur.power
                                     {
                                         found = Some((*l, *c, Some(mode)));
                                         break 'search;
@@ -322,14 +502,15 @@ impl<'a> PrunedPowerDp<'a> {
                     }
                 }
                 let (l, c, server_mode) = found.ok_or_else(|| {
+                    let node = flat.node_at(p);
                     ModelError::Infeasible(format!(
                         "internal error: no producer for pruned state at {node}"
                     ))
                 })?;
                 if let Some(mode) = server_mode {
-                    placement.insert(child, mode);
+                    placement.insert(flat.node_at(child as usize), mode);
                 }
-                work.push((child, c));
+                work.push((child as usize, c));
                 cur = l;
             }
         }
@@ -342,12 +523,29 @@ pub fn solve_min_power_bounded_cost(
     instance: &Instance,
     cost_bound: f64,
 ) -> Result<(Placement, f64, f64), ModelError> {
-    let dp = PrunedPowerDp::run(instance)?;
-    let best = *dp.best_within(cost_bound).ok_or_else(|| {
-        ModelError::Infeasible(format!("no placement fits the cost bound {cost_bound}"))
-    })?;
-    let placement = dp.reconstruct(&best)?;
-    Ok((placement, best.cost, best.power))
+    solve_min_power_bounded_cost_in(instance, cost_bound, &mut PrunedScratch::default())
+}
+
+/// [`solve_min_power_bounded_cost`] with reusable working memory — the fleet
+/// hot path (one [`PrunedScratch`] per thread, zero steady-state allocation).
+pub fn solve_min_power_bounded_cost_in(
+    instance: &Instance,
+    cost_bound: f64,
+    scratch: &mut PrunedScratch,
+) -> Result<(Placement, f64, f64), ModelError> {
+    let dp = PrunedPowerDp::run_in(instance, scratch)?;
+    let best = match dp.best_within(cost_bound) {
+        Some(&b) => b,
+        None => {
+            dp.recycle(scratch);
+            return Err(ModelError::Infeasible(format!(
+                "no placement fits the cost bound {cost_bound}"
+            )));
+        }
+    };
+    let placement = dp.reconstruct(&best);
+    dp.recycle(scratch);
+    Ok((placement?, best.cost, best.power))
 }
 
 #[cfg(test)]
@@ -528,5 +726,26 @@ mod tests {
             "pruned tables unexpectedly large: {}",
             pruned.table_entries()
         );
+    }
+
+    #[test]
+    fn scratch_reuse_is_bit_identical() {
+        // One scratch across different instances (growing and shrinking
+        // trees) must reproduce the fresh-scratch pipeline exactly.
+        let mut scratch = PrunedScratch::default();
+        for (seed, nodes) in [(3u64, 30usize), (4, 12), (5, 45), (6, 8)] {
+            let inst = random_instance(seed, nodes, 3);
+            let fresh = solve_min_power_bounded_cost(&inst, 25.0);
+            let reused = solve_min_power_bounded_cost_in(&inst, 25.0, &mut scratch);
+            match (fresh, reused) {
+                (Ok((fp, fc, fw)), Ok((rp, rc, rw))) => {
+                    assert_eq!(fp, rp, "seed {seed}: placements diverge");
+                    assert_eq!(fc.to_bits(), rc.to_bits(), "seed {seed}: cost bits");
+                    assert_eq!(fw.to_bits(), rw.to_bits(), "seed {seed}: power bits");
+                }
+                (Err(_), Err(_)) => {}
+                other => panic!("seed {seed}: {other:?}"),
+            }
+        }
     }
 }

@@ -25,7 +25,7 @@
 //! [`greedy_power`](crate::greedy_power)).
 
 use replica_model::{ModelError, Placement};
-use replica_tree::{traversal, NodeId, Tree};
+use replica_tree::{FlatTree, NodeId, Tree};
 
 /// Outcome of the greedy placement.
 #[derive(Clone, Debug)]
@@ -37,12 +37,13 @@ pub struct GreedyResult {
     pub servers: u64,
 }
 
-/// Reusable working memory for [`greedy_min_replicas_in`].
+/// Reusable working memory for [`greedy_min_replicas_flat`].
 ///
 /// The greedy is the hottest per-instance path of fleet evaluation (the
 /// `GR` capacity sweep re-runs it `W_M − W₁ + 1` times per instance);
 /// keeping the per-node flow table and the child-contribution buffer
 /// alive across runs makes those runs allocation-free after the first.
+/// [`crate::SolveArena`] bundles this with the shared [`FlatTree`].
 #[derive(Default)]
 pub struct GreedyScratch {
     flow: Vec<u64>,
@@ -60,14 +61,34 @@ pub fn greedy_min_replicas(tree: &Tree, capacity: u64) -> Result<GreedyResult, M
 }
 
 /// [`greedy_min_replicas`] with caller-provided scratch buffers.
+///
+/// Builds a fresh [`FlatTree`] per call; sweep-style callers that solve the
+/// same tree repeatedly should build the layout once and call
+/// [`greedy_min_replicas_flat`] directly (see [`crate::greedy_power`]).
 pub fn greedy_min_replicas_in(
     tree: &Tree,
     capacity: u64,
     scratch: &mut GreedyScratch,
 ) -> Result<GreedyResult, ModelError> {
+    greedy_min_replicas_flat(&FlatTree::new(tree), capacity, scratch)
+}
+
+/// The flat-layout `GR` kernel: one forward scan over post-order positions.
+///
+/// `flat` must be freshly [rebuilt](FlatTree::rebuild) against the tree's
+/// current demand (the layout snapshots client loads). Placements are
+/// bit-identical to the pre-flat pointer traversal
+/// ([`crate::reference::greedy_min_replicas`]): positions are visited in the
+/// exact `traversal::post_order` sequence and the largest-first absorb sorts
+/// the same `(flow, NodeId)` keys.
+pub fn greedy_min_replicas_flat(
+    flat: &FlatTree,
+    capacity: u64,
+    scratch: &mut GreedyScratch,
+) -> Result<GreedyResult, ModelError> {
     assert!(capacity > 0, "capacity must be positive");
-    let n = tree.internal_count();
-    let mut placement = Placement::empty(tree);
+    let n = flat.len();
+    let mut placement = Placement::with_slots(n);
     let GreedyScratch {
         flow,
         contributions,
@@ -75,19 +96,20 @@ pub fn greedy_min_replicas_in(
     flow.clear();
     flow.resize(n, 0);
 
-    for node in traversal::post_order(tree) {
-        let direct = tree.client_load(node);
+    for p in flat.positions() {
+        let direct = flat.client_load(p);
         if direct > capacity {
+            let node = flat.node_at(p);
             return Err(ModelError::Infeasible(format!(
                 "clients attached to {node} bundle {direct} requests > capacity {capacity}"
             )));
         }
         let mut f = direct;
         contributions.clear();
-        for &c in tree.children(node) {
-            let fc = flow[c.index()];
+        for &c in flat.children(p) {
+            let fc = flow[c as usize];
             if fc > 0 {
-                contributions.push((fc, c));
+                contributions.push((fc, flat.node_at(c as usize)));
             }
             f += fc;
         }
@@ -106,12 +128,12 @@ pub fn greedy_min_replicas_in(
                 "direct load fits, so absorbing every child flow must too"
             );
         }
-        flow[node.index()] = f;
+        flow[p] = f;
     }
 
-    let root = tree.root();
-    if flow[root.index()] > 0 {
-        placement.insert(root, 0);
+    let root = flat.root_position();
+    if flow[root] > 0 {
+        placement.insert(flat.node_at(root), 0);
     }
     let servers = placement.server_count() as u64;
     Ok(GreedyResult { placement, servers })

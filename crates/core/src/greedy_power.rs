@@ -16,7 +16,8 @@
 //! happens to choose them), and keep, per budget, the feasible sweep point
 //! of minimal power.
 
-use crate::greedy::{greedy_min_replicas_in, GreedyScratch};
+use crate::arena::SolveArena;
+use crate::greedy::greedy_min_replicas_flat;
 use replica_model::{le_tolerant, Instance, ModePolicy, ModelError, Placement, Solution};
 
 /// One sweep point of the `GR` baseline.
@@ -41,16 +42,28 @@ pub fn sweep<I: IntoIterator<Item = u64>>(
     instance: &Instance,
     trial_capacities: I,
 ) -> Vec<SweepPoint> {
+    sweep_in(instance, trial_capacities, &mut SolveArena::default())
+}
+
+/// [`sweep`] with a caller-provided [`SolveArena`] — the fleet hot path.
+///
+/// The flat layout is rebuilt **once** per instance and every trial
+/// capacity re-runs the allocation-free greedy kernel over it; with a
+/// per-thread arena the whole `W₁..=W_M` sweep allocates nothing in steady
+/// state beyond the returned placements.
+pub fn sweep_in<I: IntoIterator<Item = u64>>(
+    instance: &Instance,
+    trial_capacities: I,
+    arena: &mut SolveArena,
+) -> Vec<SweepPoint> {
     let mut out = Vec::new();
-    // One scratch allocation serves the whole capacity sweep (hot path of
-    // fleet evaluation).
-    let mut scratch = GreedyScratch::default();
+    arena.flat.rebuild(instance.tree());
     for w in trial_capacities {
         // A trial capacity above W_M would overload the real modes; skip.
         if w == 0 || w > instance.max_capacity() {
             continue;
         }
-        let Ok(greedy) = greedy_min_replicas_in(instance.tree(), w, &mut scratch) else {
+        let Ok(greedy) = greedy_min_replicas_flat(&arena.flat, w, &mut arena.greedy) else {
             continue;
         };
         // Re-moding to the lowest feasible mode cannot fail here: every
@@ -76,6 +89,13 @@ pub fn paper_sweep(instance: &Instance) -> Vec<SweepPoint> {
     sweep(instance, lo..=hi)
 }
 
+/// [`paper_sweep`] with a caller-provided [`SolveArena`].
+pub fn paper_sweep_in(instance: &Instance, arena: &mut SolveArena) -> Vec<SweepPoint> {
+    let lo = instance.modes().capacity(0);
+    let hi = instance.max_capacity();
+    sweep_in(instance, lo..=hi, arena)
+}
+
 /// Minimum-power sweep point with cost within `cost_bound`.
 pub fn best_within(points: &[SweepPoint], cost_bound: f64) -> Option<&SweepPoint> {
     points
@@ -86,7 +106,16 @@ pub fn best_within(points: &[SweepPoint], cost_bound: f64) -> Option<&SweepPoint
 
 /// Convenience: sweep + filter in one call.
 pub fn solve(instance: &Instance, cost_bound: f64) -> Result<SweepPoint, ModelError> {
-    let points = paper_sweep(instance);
+    solve_in(instance, cost_bound, &mut SolveArena::default())
+}
+
+/// [`solve`] with a caller-provided [`SolveArena`].
+pub fn solve_in(
+    instance: &Instance,
+    cost_bound: f64,
+    arena: &mut SolveArena,
+) -> Result<SweepPoint, ModelError> {
+    let points = paper_sweep_in(instance, arena);
     best_within(&points, cost_bound).cloned().ok_or_else(|| {
         ModelError::Infeasible(format!(
             "greedy sweep finds nothing under cost {cost_bound}"

@@ -56,6 +56,7 @@
 //! assert!(best.cost <= 40.0 + 1e-9);
 //! ```
 
+pub mod arena;
 pub mod bounds;
 pub mod dp_mincost;
 pub mod dp_mincost_nopre;
@@ -67,12 +68,18 @@ pub mod greedy;
 pub mod greedy_power;
 pub mod heuristics;
 pub mod np_gadget;
+pub mod reference;
 pub mod state;
 
+pub use arena::SolveArena;
 pub use dp_mincost::{solve_min_cost, MinCostResult};
 pub use dp_mincost_nopre::{solve_min_count, MinCountResult};
 pub use dp_power::{
-    solve_min_power, solve_min_power_bounded_cost, PowerDp, PowerDpOptions, PowerResult,
-    RootCandidate,
+    solve_min_power, solve_min_power_bounded_cost, FullScratch, PowerDp, PowerDpOptions,
+    PowerResult, RootCandidate,
 };
-pub use greedy::{greedy_min_replicas, greedy_min_replicas_in, GreedyResult, GreedyScratch};
+pub use dp_power_pruned::{PrunedPowerDp, PrunedScratch};
+pub use greedy::{
+    greedy_min_replicas, greedy_min_replicas_flat, greedy_min_replicas_in, GreedyResult,
+    GreedyScratch,
+};

@@ -1114,7 +1114,13 @@ impl<'r> Fleet<'r> {
         } else {
             Span::disabled()
         };
-        match solver.solve_traced(&job.instance, &options, &span) {
+        // Worker threads solve thousands of cells: the thread arena keeps
+        // each solver's flat layout, DP tables and scratch buffers warm
+        // across jobs (bit-identical outcomes either way — see
+        // `Solver::solve_traced_in`).
+        match crate::solver::with_thread_arena(|arena| {
+            solver.solve_traced_in(&job.instance, &options, &span, arena)
+        }) {
             Ok(outcome) => (
                 CellResult::Solved(CellOutcome {
                     cost: outcome.cost,

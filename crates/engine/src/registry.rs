@@ -32,24 +32,17 @@
 //! ([`crate::sweep::sweep_via_solves`]).
 
 use crate::solver::{
-    evaluated_outcome, timed, Capabilities, EngineError, Objective, SolveOptions, SolveOutcome,
-    Solver,
+    evaluated_outcome, timed, with_thread_arena, Capabilities, EngineError, Objective,
+    SolveOptions, SolveOutcome, Solver,
 };
 use crate::sweep::{sweep_via_solves, BudgetSweepSolver, Frontier, SweepOutcome};
 use replica_core::heuristics::{annealing, local_search, power_greedy};
 use replica_core::{
     dp_mincost, dp_mincost_nopre, dp_power, dp_power_pruned, exhaustive, greedy, greedy_power,
-    GreedyScratch,
+    SolveArena,
 };
 use replica_model::{Instance, ModePolicy, ModelError};
 use replica_obs::Span;
-use std::cell::RefCell;
-
-thread_local! {
-    /// Per-worker scratch for the greedy hot path (fleet runs re-enter the
-    /// greedy thousands of times per thread).
-    static GREEDY_SCRATCH: RefCell<GreedyScratch> = RefCell::new(GreedyScratch::default());
-}
 
 /// All registered solvers, addressable by name.
 pub struct Registry {
@@ -212,17 +205,29 @@ impl Solver for GreedySolver {
     fn solve(
         &self,
         instance: &Instance,
-        _options: &SolveOptions,
+        options: &SolveOptions,
     ) -> Result<SolveOutcome, EngineError> {
-        let (result, wall) = GREEDY_SCRATCH.with(|scratch| {
-            let mut scratch = scratch.borrow_mut();
-            timed(|| {
-                greedy::greedy_min_replicas_in(
-                    instance.tree(),
-                    instance.max_capacity(),
-                    &mut scratch,
-                )
-            })
+        with_thread_arena(|arena| self.solve_traced_in(instance, options, &Span::disabled(), arena))
+    }
+
+    // The arena entry point holds the real implementation: the flat layout
+    // and flow buffers come from the caller's arena, so fleet threads
+    // (which re-enter the greedy thousands of times) run allocation-free
+    // in steady state.
+    fn solve_traced_in(
+        &self,
+        instance: &Instance,
+        _options: &SolveOptions,
+        _span: &Span,
+        arena: &mut SolveArena,
+    ) -> Result<SolveOutcome, EngineError> {
+        let (result, wall) = timed(|| {
+            arena.flat.rebuild(instance.tree());
+            greedy::greedy_min_replicas_flat(
+                &arena.flat,
+                instance.max_capacity(),
+                &mut arena.greedy,
+            )
         });
         evaluated_outcome(
             self.name(),
@@ -338,28 +343,43 @@ impl Solver for FullPowerDpSolver {
         self.solve_traced(instance, options, &Span::disabled())
     }
 
-    // The one implementation serves both entry points: `solve` passes a
-    // disabled span, so the phases always run identically and tracing
-    // stays out-of-band by construction.
     fn solve_traced(
         &self,
         instance: &Instance,
         options: &SolveOptions,
         span: &Span,
     ) -> Result<SolveOutcome, EngineError> {
+        with_thread_arena(|arena| self.solve_traced_in(instance, options, span, arena))
+    }
+
+    // The one implementation serves all three entry points: `solve` passes
+    // a disabled span and both it and `solve_traced` borrow the thread
+    // arena, so the phases always run identically, tracing stays
+    // out-of-band by construction, and arena reuse is bit-invisible (the
+    // full DP keeps its hash tables fresh per solve — see the determinism
+    // notes in `replica_core::dp_power`).
+    fn solve_traced_in(
+        &self,
+        instance: &Instance,
+        options: &SolveOptions,
+        span: &Span,
+        arena: &mut SolveArena,
+    ) -> Result<SolveOutcome, EngineError> {
         let (result, wall) = timed(|| -> Result<_, ModelError> {
             let dp = {
                 let _phase = span.child("phase", "dp_table");
-                dp_power::PowerDp::run(instance)?
+                dp_power::PowerDp::run_in(instance, &mut arena.full)?
             };
             let _phase = span.child("phase", "reconstruct");
-            let best = dp.best_within(options.cost_bound).ok_or_else(|| {
-                ModelError::Infeasible(format!(
+            let outcome = match dp.best_within(options.cost_bound) {
+                Some(best) => dp.reconstruct(best),
+                None => Err(ModelError::Infeasible(format!(
                     "no placement fits the cost bound {}",
                     options.cost_bound
-                ))
-            })?;
-            dp.reconstruct(best)
+                ))),
+            };
+            dp.recycle(&mut arena.full);
+            outcome
         });
         evaluated_outcome(
             self.name(),
@@ -381,8 +401,12 @@ impl BudgetSweepSolver for FullPowerDpSolver {
         instance: &Instance,
         _options: &SolveOptions,
     ) -> Result<Frontier, EngineError> {
-        let dp = dp_power::PowerDp::run(instance)?;
-        Ok(Frontier::from_points(dp.cost_power_points()))
+        with_thread_arena(|arena| {
+            let dp = dp_power::PowerDp::run_in(instance, &mut arena.full)?;
+            let points = dp.cost_power_points();
+            dp.recycle(&mut arena.full);
+            Ok(Frontier::from_points(points))
+        })
     }
 }
 
@@ -415,26 +439,38 @@ impl Solver for PrunedPowerDpSolver {
         self.solve_traced(instance, options, &Span::disabled())
     }
 
-    // One implementation for both entry points; see `FullPowerDpSolver`.
     fn solve_traced(
         &self,
         instance: &Instance,
         options: &SolveOptions,
         span: &Span,
     ) -> Result<SolveOutcome, EngineError> {
+        with_thread_arena(|arena| self.solve_traced_in(instance, options, span, arena))
+    }
+
+    // One implementation for all three entry points; see `FullPowerDpSolver`.
+    fn solve_traced_in(
+        &self,
+        instance: &Instance,
+        options: &SolveOptions,
+        span: &Span,
+        arena: &mut SolveArena,
+    ) -> Result<SolveOutcome, EngineError> {
         let (result, wall) = timed(|| -> Result<_, ModelError> {
             let dp = {
                 let _phase = span.child("phase", "dp_table");
-                dp_power_pruned::PrunedPowerDp::run(instance)?
+                dp_power_pruned::PrunedPowerDp::run_in(instance, &mut arena.pruned)?
             };
             let _phase = span.child("phase", "reconstruct");
-            let best = dp.best_within(options.cost_bound).copied().ok_or_else(|| {
-                ModelError::Infeasible(format!(
+            let outcome = match dp.best_within(options.cost_bound).copied() {
+                Some(best) => dp.reconstruct(&best),
+                None => Err(ModelError::Infeasible(format!(
                     "no placement fits the cost bound {}",
                     options.cost_bound
-                ))
-            })?;
-            dp.reconstruct(&best)
+                ))),
+            };
+            dp.recycle(&mut arena.pruned);
+            outcome
         });
         evaluated_outcome(self.name(), instance, &result?, ModePolicy::Assigned, wall)
     }
@@ -450,8 +486,12 @@ impl BudgetSweepSolver for PrunedPowerDpSolver {
         instance: &Instance,
         _options: &SolveOptions,
     ) -> Result<Frontier, EngineError> {
-        let dp = dp_power_pruned::PrunedPowerDp::run(instance)?;
-        Ok(Frontier::from_points(dp.cost_power_points()))
+        with_thread_arena(|arena| {
+            let dp = dp_power_pruned::PrunedPowerDp::run_in(instance, &mut arena.pruned)?;
+            let points = dp.cost_power_points();
+            dp.recycle(&mut arena.pruned);
+            Ok(Frontier::from_points(points))
+        })
     }
 }
 
@@ -479,7 +519,19 @@ impl Solver for GreedyPowerSolver {
         instance: &Instance,
         options: &SolveOptions,
     ) -> Result<SolveOutcome, EngineError> {
-        let (result, wall) = timed(|| greedy_power::solve(instance, options.cost_bound));
+        with_thread_arena(|arena| self.solve_traced_in(instance, options, &Span::disabled(), arena))
+    }
+
+    // Arena entry point: the whole `W₁..=W_M` sweep shares one flat layout
+    // and one set of greedy buffers from the caller's arena.
+    fn solve_traced_in(
+        &self,
+        instance: &Instance,
+        options: &SolveOptions,
+        _span: &Span,
+        arena: &mut SolveArena,
+    ) -> Result<SolveOutcome, EngineError> {
+        let (result, wall) = timed(|| greedy_power::solve_in(instance, options.cost_bound, arena));
         evaluated_outcome(
             self.name(),
             instance,
@@ -504,7 +556,7 @@ impl BudgetSweepSolver for GreedyPowerSolver {
         // same handful of points. An instance no trial capacity can serve
         // yields an empty frontier, not an error (matching the paper's
         // "value 0 when the algorithm fails" convention).
-        let points = greedy_power::paper_sweep(instance)
+        let points = with_thread_arena(|arena| greedy_power::paper_sweep_in(instance, arena))
             .into_iter()
             .map(|p| (p.cost, p.power))
             .collect();

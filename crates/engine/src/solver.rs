@@ -15,9 +15,32 @@
 //! cross-validation suite use these flags to decide which instances a
 //! solver may be asked to solve and how strictly to judge the answer.
 
+use replica_core::SolveArena;
 use replica_model::{Instance, ModePolicy, ModelError, Placement, Solution};
+use std::cell::RefCell;
 use std::fmt;
 use std::time::{Duration, Instant};
+
+thread_local! {
+    /// Per-worker solve arena: fleet threads re-enter the hot solvers
+    /// thousands of times, and the arena lets every solve after the first
+    /// run allocation-free in steady state.
+    static SOLVE_ARENA: RefCell<SolveArena> = RefCell::new(SolveArena::new());
+}
+
+/// Runs `f` with this thread's [`SolveArena`].
+///
+/// Re-entrancy safe: if the thread-local arena is already borrowed (a
+/// solver's defaulted [`Solver::solve_traced_in`] delegating back through
+/// [`Solver::solve`] would otherwise double-borrow), `f` gets a fresh
+/// throwaway arena instead. Arena reuse never changes results — see
+/// [`replica_core::arena`] — so which arena `f` receives is unobservable.
+pub fn with_thread_arena<T>(f: impl FnOnce(&mut SolveArena) -> T) -> T {
+    SOLVE_ARENA.with(|cell| match cell.try_borrow_mut() {
+        Ok(mut arena) => f(&mut arena),
+        Err(_) => f(&mut SolveArena::new()),
+    })
+}
 
 /// What a solver optimizes.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -159,6 +182,26 @@ pub trait Solver: Send + Sync {
         _span: &replica_obs::Span,
     ) -> Result<SolveOutcome, EngineError> {
         self.solve(instance, options)
+    }
+
+    /// [`Solver::solve_traced`] with caller-provided working memory.
+    ///
+    /// The fleet runner calls this entry point with one [`SolveArena`] per
+    /// worker thread so the hot solvers (greedy, both power DPs, the `GR`
+    /// sweep) reuse their flat-tree layout, DP tables and prune buffers
+    /// across jobs instead of reallocating per solve. The default ignores
+    /// the arena and delegates to [`Solver::solve_traced`]; overrides must
+    /// be *bit-identical* to the arena-free path (the equivalence
+    /// batteries in `replica-core` pin this through arbitrary reuse
+    /// sequences).
+    fn solve_traced_in(
+        &self,
+        instance: &Instance,
+        options: &SolveOptions,
+        span: &replica_obs::Span,
+        _arena: &mut SolveArena,
+    ) -> Result<SolveOutcome, EngineError> {
+        self.solve_traced(instance, options, span)
     }
 
     /// Whether `instance` is within this solver's capabilities.

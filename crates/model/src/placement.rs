@@ -22,8 +22,17 @@ impl Placement {
 
     /// An empty placement for `tree`.
     pub fn empty(tree: &Tree) -> Self {
+        Placement::with_slots(tree.internal_count())
+    }
+
+    /// An empty placement with `internal_count` node slots.
+    ///
+    /// For callers holding a flat layout (`replica_tree::FlatTree`) instead
+    /// of the tree itself; equivalent to [`Placement::empty`] on any tree
+    /// with that many internal nodes.
+    pub fn with_slots(internal_count: usize) -> Self {
         Placement {
-            modes: vec![None; tree.internal_count()],
+            modes: vec![None; internal_count],
             servers: 0,
         }
     }

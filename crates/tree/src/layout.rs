@@ -1,0 +1,339 @@
+//! Flat post-order tree layout — the solver hot-path substrate.
+//!
+//! [`FlatTree`] re-indexes a [`Tree`] by **post-order position**: node at
+//! position `p` appears after every node in its subtree, and the subtree of
+//! `p` is the *contiguous* range `first(p) ..= p`. Children, clients and
+//! aggregated client demand of every node are packed into shared flat arrays
+//! with per-node offset windows, so a bottom-up dynamic program is a single
+//! forward scan `for p in 0..len()` over dense, cache-friendly memory —
+//! no pointer-chasing through per-node `Vec`s.
+//!
+//! ## Invariants
+//!
+//! The layout order is **exactly** [`crate::traversal::post_order`]'s output (the
+//! two-stack left-to-right post-order), which pins these properties:
+//!
+//! ```text
+//! positions:   0 1 2 ... n-1          (root is always n-1)
+//! subtree(p):  [first(p) ..= p]       contiguous, nested or disjoint
+//! children(p): ascending positions,   last child at some q < p, and the
+//!              left-to-right child     windows of the children partition
+//!              order of the Tree       [first(p) ..= p-1]
+//! ```
+//!
+//! Subtree = contiguous range is what makes *incremental* re-solves cheap:
+//! when only one subtree's demand changes, the affected DP slice is
+//! `first(p)..=p` and everything outside it can be reused verbatim.
+//!
+//! A `FlatTree` snapshots client demand at build time ([`FlatTree::rebuild`]
+//! is allocation-free on reuse, so per-solve refresh is cheap).
+//!
+//! ```
+//! use replica_tree::{FlatTree, TreeBuilder};
+//!
+//! let mut b = TreeBuilder::new();
+//! let root = b.root();
+//! let a = b.add_child(root);
+//! let c = b.add_child(a);
+//! b.add_client(c, 5);
+//! b.add_client(root, 1);
+//! let tree = b.build().unwrap();
+//!
+//! let flat = FlatTree::new(&tree);
+//! let rp = flat.root_position();
+//! assert_eq!(rp, flat.len() - 1);                 // root is last
+//! assert_eq!(flat.subtree_range(rp), 0..flat.len()); // whole tree
+//! assert_eq!(flat.subtree_load(rp), 6);           // 5 + 1
+//! let cp = flat.position_of(c);
+//! assert_eq!(flat.subtree_range(cp), cp..cp + 1); // leaf: itself only
+//! assert_eq!(flat.client_load(cp), 5);
+//! assert_eq!(flat.node_at(flat.position_of(a)), a);
+//! ```
+
+use crate::arena::Tree;
+use crate::ids::{ClientId, NodeId};
+
+/// Dense post-order layout of a [`Tree`] (see the [module docs](self)).
+///
+/// All per-node data is indexed by **post-order position** (`usize` in
+/// `0..len()`), not by [`NodeId`]; [`FlatTree::position_of`] /
+/// [`FlatTree::node_at`] convert between the two.
+#[derive(Clone, Debug, Default)]
+pub struct FlatTree {
+    /// `order[p]` = node at post-order position `p`.
+    order: Vec<NodeId>,
+    /// `post[node.index()]` = post-order position of `node`.
+    post: Vec<u32>,
+    /// `first[p]` = first position of `p`'s subtree (subtree = `first[p]..=p`).
+    first: Vec<u32>,
+    /// `parent[p]` = parent position (`u32::MAX` for the root).
+    parent: Vec<u32>,
+    /// Per-position child windows into `children`: `children_off[p]..children_off[p+1]`.
+    children_off: Vec<u32>,
+    /// Children as post-order positions, ascending within each window.
+    children: Vec<u32>,
+    /// Per-position client windows into `clients`: `client_off[p]..client_off[p+1]`.
+    client_off: Vec<u32>,
+    /// Clients grouped by owning position.
+    clients: Vec<ClientId>,
+    /// Direct client demand per position (the paper's `client(j)`).
+    client_load: Vec<u64>,
+    /// Aggregated demand of the whole subtree, including the node itself.
+    subtree_load: Vec<u64>,
+    /// Build scratch (kept so `rebuild` is allocation-free on reuse).
+    stack: Vec<NodeId>,
+}
+
+impl FlatTree {
+    /// Builds the layout for `tree`.
+    pub fn new(tree: &Tree) -> Self {
+        let mut flat = FlatTree::default();
+        flat.rebuild(tree);
+        flat
+    }
+
+    /// Recomputes the layout for `tree`, reusing this value's allocations.
+    ///
+    /// Demand is re-snapshotted from the tree's current client requests, so
+    /// call this after [`Tree::set_requests`] updates. O(N + C), no
+    /// allocation once the buffers have grown to the tree's size.
+    pub fn rebuild(&mut self, tree: &Tree) {
+        let n = tree.internal_count();
+        self.order.clear();
+        self.order.reserve(n);
+        // Identical two-stack construction to `traversal::post_order`: emit
+        // reverse pre-order with children pushed left-to-right, then reverse.
+        // Solvers iterating `FlatTree` positions therefore visit nodes in
+        // exactly the order the pointer-based solvers did.
+        self.stack.clear();
+        self.stack.push(tree.root());
+        while let Some(node) = self.stack.pop() {
+            self.order.push(node);
+            self.stack.extend_from_slice(tree.children(node));
+        }
+        self.order.reverse();
+        debug_assert_eq!(self.order.len(), n);
+
+        self.post.clear();
+        self.post.resize(n, 0);
+        for (p, node) in self.order.iter().enumerate() {
+            self.post[node.index()] = p as u32;
+        }
+
+        self.parent.clear();
+        self.children_off.clear();
+        self.children.clear();
+        self.client_off.clear();
+        self.clients.clear();
+        self.client_load.clear();
+        self.first.clear();
+        self.subtree_load.clear();
+
+        for (p, &node) in self.order.iter().enumerate() {
+            self.children_off.push(self.children.len() as u32);
+            self.client_off.push(self.clients.len() as u32);
+            self.parent.push(match tree.parent(node) {
+                Some(par) => self.post[par.index()],
+                None => u32::MAX,
+            });
+            // Child positions in the tree's left-to-right order; post-order
+            // makes them ascending, with the leftmost child's subtree first.
+            let mut first = p as u32;
+            let load = tree.client_load(node);
+            let mut agg = load;
+            let mut prev_child: Option<u32> = None;
+            for &c in tree.children(node) {
+                let cp = self.post[c.index()];
+                debug_assert!(
+                    prev_child.is_none_or(|prev| prev < cp) && cp < p as u32,
+                    "child positions ascend and precede the parent"
+                );
+                prev_child = Some(cp);
+                self.children.push(cp);
+                first = first.min(self.first[cp as usize]);
+                agg += self.subtree_load[cp as usize];
+            }
+            self.clients.extend_from_slice(tree.clients_of(node));
+            self.first.push(first);
+            self.client_load.push(load);
+            self.subtree_load.push(agg);
+        }
+        self.children_off.push(self.children.len() as u32);
+        self.client_off.push(self.clients.len() as u32);
+    }
+
+    /// Number of internal nodes.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.order.len()
+    }
+
+    /// True when the layout has not been built (a [`Tree`] always has a root).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.order.is_empty()
+    }
+
+    /// The root's position — always `len() - 1` in post order.
+    #[inline]
+    pub fn root_position(&self) -> usize {
+        self.order.len() - 1
+    }
+
+    /// Node at position `p`.
+    #[inline]
+    pub fn node_at(&self, p: usize) -> NodeId {
+        self.order[p]
+    }
+
+    /// Position of `node`.
+    #[inline]
+    pub fn position_of(&self, node: NodeId) -> usize {
+        self.post[node.index()] as usize
+    }
+
+    /// Parent position of `p`, or `None` for the root.
+    #[inline]
+    pub fn parent_position(&self, p: usize) -> Option<usize> {
+        match self.parent[p] {
+            u32::MAX => None,
+            q => Some(q as usize),
+        }
+    }
+
+    /// Child positions of `p`, ascending (= the tree's left-to-right order).
+    #[inline]
+    pub fn children(&self, p: usize) -> &[u32] {
+        &self.children[self.children_off[p] as usize..self.children_off[p + 1] as usize]
+    }
+
+    /// Clients attached directly to the node at `p`.
+    #[inline]
+    pub fn clients(&self, p: usize) -> &[ClientId] {
+        &self.clients[self.client_off[p] as usize..self.client_off[p + 1] as usize]
+    }
+
+    /// Direct client demand of the node at `p` (snapshot of
+    /// [`Tree::client_load`] at build time).
+    #[inline]
+    pub fn client_load(&self, p: usize) -> u64 {
+        self.client_load[p]
+    }
+
+    /// Aggregated demand of the subtree rooted at `p`, including `p` itself.
+    #[inline]
+    pub fn subtree_load(&self, p: usize) -> u64 {
+        self.subtree_load[p]
+    }
+
+    /// The contiguous position range of `p`'s subtree (inclusive of `p`,
+    /// which is the last element).
+    #[inline]
+    pub fn subtree_range(&self, p: usize) -> std::ops::Range<usize> {
+        self.first[p] as usize..p + 1
+    }
+
+    /// Number of nodes in `p`'s subtree, including `p`.
+    #[inline]
+    pub fn subtree_size(&self, p: usize) -> usize {
+        p + 1 - self.first[p] as usize
+    }
+
+    /// All positions, bottom-up (children strictly before parents).
+    #[inline]
+    pub fn positions(&self) -> std::ops::Range<usize> {
+        0..self.order.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{traversal, TreeBuilder};
+
+    /// root ── a ── c
+    ///      └─ b
+    /// clients: c:5, b:2, root:1
+    fn sample() -> (Tree, [NodeId; 4]) {
+        let mut bld = TreeBuilder::new();
+        let r = bld.root();
+        let a = bld.add_child(r);
+        let b = bld.add_child(r);
+        let c = bld.add_child(a);
+        bld.add_client(c, 5);
+        bld.add_client(b, 2);
+        bld.add_client(r, 1);
+        (bld.build().unwrap(), [r, a, b, c])
+    }
+
+    #[test]
+    fn order_matches_traversal_post_order() {
+        let (t, _) = sample();
+        let flat = FlatTree::new(&t);
+        let reference = traversal::post_order(&t);
+        let got: Vec<_> = flat.positions().map(|p| flat.node_at(p)).collect();
+        assert_eq!(got, reference);
+    }
+
+    #[test]
+    fn subtree_ranges_and_windows() {
+        let (t, [r, a, b, c]) = sample();
+        let flat = FlatTree::new(&t);
+        let (rp, ap, bp, cp) = (
+            flat.position_of(r),
+            flat.position_of(a),
+            flat.position_of(b),
+            flat.position_of(c),
+        );
+        // post order: c, a, b, r
+        assert_eq!((cp, ap, bp, rp), (0, 1, 2, 3));
+        assert_eq!(flat.root_position(), rp);
+        assert_eq!(flat.subtree_range(rp), 0..4);
+        assert_eq!(flat.subtree_range(ap), 0..2);
+        assert_eq!(flat.subtree_range(bp), 2..3);
+        assert_eq!(flat.subtree_size(ap), 2);
+        assert_eq!(flat.children(rp), &[ap as u32, bp as u32]);
+        assert_eq!(flat.children(cp), &[] as &[u32]);
+        assert_eq!(flat.parent_position(rp), None);
+        assert_eq!(flat.parent_position(cp), Some(ap));
+        assert_eq!(flat.clients(cp), t.clients_of(c));
+        assert_eq!(flat.client_load(rp), 1);
+        assert_eq!(flat.subtree_load(rp), 8);
+        assert_eq!(flat.subtree_load(ap), 5);
+        assert_eq!(flat.subtree_load(bp), 2);
+    }
+
+    #[test]
+    fn rebuild_reuses_and_resnapshots() {
+        let (t, _) = sample();
+        let mut flat = FlatTree::new(&t);
+
+        let mut b2 = TreeBuilder::new();
+        let r2 = b2.root();
+        let x = b2.add_child(r2);
+        let k = b2.add_client(x, 7);
+        let mut t2 = b2.build().unwrap();
+        flat.rebuild(&t2);
+        assert_eq!(flat.len(), 2);
+        assert_eq!(flat.subtree_load(flat.root_position()), 7);
+
+        t2.set_requests(k, 11);
+        flat.rebuild(&t2);
+        assert_eq!(flat.subtree_load(flat.root_position()), 11);
+    }
+
+    #[test]
+    fn deep_chain_does_not_overflow_stack() {
+        let mut b = TreeBuilder::new();
+        let mut cur = b.root();
+        for _ in 0..100_000 {
+            cur = b.add_child(cur);
+        }
+        b.add_client(cur, 3);
+        let t = b.build().unwrap();
+        let flat = FlatTree::new(&t);
+        assert_eq!(flat.len(), 100_001);
+        assert_eq!(flat.subtree_load(flat.root_position()), 3);
+        assert_eq!(flat.subtree_range(flat.root_position()).len(), 100_001);
+    }
+}

@@ -18,6 +18,8 @@
 //! * a mutation-safe [`TreeBuilder`],
 //! * [traversals](traversal) (post-order, pre-order, ancestors, depths,
 //!   per-subtree tallies) used by every algorithm in `replica-core`,
+//! * the cache-friendly [`FlatTree`](layout) post-order layout (subtree =
+//!   contiguous index range) that the solver hot paths iterate,
 //! * seeded [random generators](generate) reproducing the exact tree shapes of
 //!   the paper's evaluation section (fat 6–9-children trees and high
 //!   2–4-children trees) plus standard synthetic shapes,
@@ -55,6 +57,7 @@ pub mod builder;
 pub mod dot;
 pub mod generate;
 pub mod ids;
+pub mod layout;
 pub mod serde_impl;
 pub mod stats;
 pub mod text_format;
@@ -65,5 +68,6 @@ pub use arena::{Client, Tree};
 pub use builder::TreeBuilder;
 pub use generate::{random_pre_existing, random_tree, GeneratorConfig, TreeShape};
 pub use ids::{ClientId, NodeId};
+pub use layout::FlatTree;
 pub use stats::TreeStats;
 pub use validate::TreeError;

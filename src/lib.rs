@@ -100,7 +100,7 @@ pub mod prelude {
     pub use replica_core::{
         dp_power::{solve_min_power, solve_min_power_bounded_cost, PowerDp},
         greedy::greedy_min_replicas,
-        greedy_power, heuristics, np_gadget, solve_min_cost, solve_min_count,
+        greedy_power, heuristics, np_gadget, solve_min_cost, solve_min_count, SolveArena,
     };
     pub use replica_engine::{
         churn_families, extended_families, standard_families, Campaign, CampaignSpec, Demand,
@@ -113,6 +113,6 @@ pub mod prelude {
     };
     pub use replica_tree::{
         generate::{balanced, caterpillar, path, random_pre_existing, random_tree, star},
-        GeneratorConfig, NodeId, Tree, TreeBuilder, TreeShape, TreeStats,
+        FlatTree, GeneratorConfig, NodeId, Tree, TreeBuilder, TreeShape, TreeStats,
     };
 }
