@@ -77,6 +77,7 @@ pub struct PrunedScratch {
     kept: Vec<Triple>,
     served: Vec<Served>,
     served_kept: Vec<Served>,
+    merge: MergeScratch,
     /// `wcost[p * m + mode]`: additive cost of a server at position `p`.
     wcost: Vec<f64>,
     /// `wpower[mode]`: additive power of a server at `mode`.
@@ -93,7 +94,7 @@ pub struct PrunedScratch {
 /// the dominator's output beats the dominated one for *every* left entry
 /// under IEEE-754 addition monotonicity.
 #[derive(Clone, Copy)]
-struct Served {
+pub(crate) struct Served {
     cost: f64,
     power: f64,
     wcost: f64,
@@ -109,7 +110,12 @@ pub struct PrunedPowerDp<'a> {
 }
 
 /// Fills the flattened per-server additive weights (position-indexed).
-fn fill_weights(instance: &Instance, flat: &FlatTree, wcost: &mut Vec<f64>, wpower: &mut Vec<f64>) {
+pub(crate) fn fill_weights(
+    instance: &Instance,
+    flat: &FlatTree,
+    wcost: &mut Vec<f64>,
+    wpower: &mut Vec<f64>,
+) {
     let modes = instance.modes();
     let cost_model = instance.cost();
     let pre = instance.pre_existing();
@@ -135,21 +141,51 @@ fn fill_weights(instance: &Instance, flat: &FlatTree, wcost: &mut Vec<f64>, wpow
     }
 }
 
+/// Flow ceiling up to which [`prune_into`] uses the O(1) bucketed
+/// dominance test; larger capacities fall back to the front scan.
+const MAX_FLOW_BUCKETS: u64 = 4096;
+
 /// Prunes to the 3-D Pareto front (minimal flow/cost/power), keeping the
-/// survivors in `entries`; `kept` is the filter buffer.
-fn prune_into(entries: &mut Vec<Triple>, kept: &mut Vec<Triple>) {
-    entries.sort_by(|a, b| {
+/// survivors in `entries`; `kept` is the filter buffer. `wmax` is the
+/// instance's flow ceiling — every entry's flow is ≤ `wmax` by
+/// construction (infeasible combinations are never pushed).
+fn prune_into(entries: &mut Vec<Triple>, kept: &mut Vec<Triple>, wmax: u64) {
+    // Unstable sort is safe: comparator-equal triples are bit-identical
+    // (total_cmp is a total order on the raw representation), so any
+    // permutation of an equal run yields the same sequence.
+    entries.sort_unstable_by(|a, b| {
         a.cost
             .total_cmp(&b.cost)
             .then(a.power.total_cmp(&b.power))
             .then(a.flow.cmp(&b.flow))
     });
     kept.clear();
-    for &e in entries.iter() {
-        // Everything already kept has cost ≤ e.cost (sort order), so e is
-        // dominated iff some kept entry also has power ≤ and flow ≤.
-        if !kept.iter().any(|k| k.power <= e.power && k.flow <= e.flow) {
+    // Everything already kept has cost ≤ e.cost (sort order), so e is
+    // dominated iff some kept entry also has power ≤ and flow ≤.
+    if wmax <= MAX_FLOW_BUCKETS {
+        // minpow[f] = min power over kept entries with flow ≤ f. It is
+        // non-increasing in f, so the membership test collapses to one
+        // lookup and inserts stop updating at the first already-lower
+        // slot.
+        let mut minpow = vec![f64::INFINITY; wmax as usize + 1];
+        for &e in entries.iter() {
+            if minpow[e.flow as usize] <= e.power {
+                continue;
+            }
             kept.push(e);
+            for slot in &mut minpow[e.flow as usize..] {
+                if *slot > e.power {
+                    *slot = e.power;
+                } else {
+                    break;
+                }
+            }
+        }
+    } else {
+        for &e in entries.iter() {
+            if !kept.iter().any(|k| k.power <= e.power && k.flow <= e.flow) {
+                kept.push(e);
+            }
         }
     }
     std::mem::swap(entries, kept);
@@ -157,9 +193,9 @@ fn prune_into(entries: &mut Vec<Triple>, kept: &mut Vec<Triple>) {
 
 /// Allocating [`prune_into`] (unit tests).
 #[cfg(test)]
-fn prune(entries: &mut Vec<Triple>) {
+fn prune(entries: &mut Vec<Triple>, wmax: u64) {
     let mut kept = Vec::with_capacity(entries.len().min(64));
-    prune_into(entries, &mut kept);
+    prune_into(entries, &mut kept, wmax);
 }
 
 /// Prunes served outcomes to their component-wise Pareto front (see
@@ -189,13 +225,68 @@ fn prune_served_into(entries: &mut Vec<Served>, kept: &mut Vec<Served>) {
 /// proportional to the front, not to the full `left × child` product.
 const COMPACT_FLOOR: usize = 8 * 1024;
 
+/// Reusable working memory for [`merge_into`]'s flow bucketing and
+/// push-side dominance prefilter. One instance serves a whole forward
+/// pass; after the first merge has grown the buffers nothing allocates.
+#[derive(Default)]
+pub(crate) struct MergeScratch {
+    /// The child table counting-sorted by flow, so the capacity-feasible
+    /// partners of a left entry form a contiguous prefix.
+    by_flow: Vec<Triple>,
+    /// Bucket boundaries: entries with flow ≤ f are `by_flow[..starts[f + 1]]`.
+    starts: Vec<usize>,
+    cursor: Vec<usize>,
+    /// `stairs[f]`: the last compaction's front restricted to flow ≤ f,
+    /// as a (cost ascending, power strictly descending) staircase. A
+    /// candidate dominated by it can be dropped *before* entering the
+    /// sort buffer — the dominating front entry is still in `out`, so
+    /// the final front is unchanged.
+    stairs: Vec<Vec<(f64, f64)>>,
+}
+
+/// Is `(flow, cost, power)` dominated by the staircase front?
+///
+/// `stairs[flow]` only holds front entries with flow ≤ `flow`, sorted by
+/// cost with power strictly decreasing — so the rightmost entry with
+/// cost ≤ `cost` carries the minimum power over every front entry that
+/// could dominate, and one binary search decides.
+#[inline]
+fn stair_dominated(stairs: &[Vec<(f64, f64)>], flow: u64, cost: f64, power: f64) -> bool {
+    let s = &stairs[flow as usize];
+    let i = s.partition_point(|&(c, _)| c <= cost);
+    i > 0 && s[i - 1].1 <= power
+}
+
+/// Rebuilds the per-flow staircases from a cost-sorted front (the
+/// [`prune_into`] output order). Walking the front in cost order means a
+/// bucket push only needs a power check against the bucket's last entry;
+/// buckets are cumulative in flow, so once an entry stops improving one
+/// bucket it cannot improve any later one.
+fn rebuild_stairs(front: &[Triple], wmax: usize, stairs: &mut Vec<Vec<(f64, f64)>>) {
+    if stairs.len() < wmax + 1 {
+        stairs.resize_with(wmax + 1, Vec::new);
+    }
+    for s in stairs.iter_mut() {
+        s.clear();
+    }
+    for e in front {
+        for s in stairs[e.flow as usize..=wmax].iter_mut() {
+            match s.last() {
+                Some(&(_, p)) if p <= e.power => break,
+                _ => s.push((e.cost, e.power)),
+            }
+        }
+    }
+}
+
 /// One merge step into caller buffers (the forward-pass kernel).
 ///
 /// The resulting table is the 3-D Pareto front of every combination, and
 /// [`prune_into`] is a pure function of the candidate *set* — so the
-/// enumeration below may drop candidates it can prove dominated and
-/// compact `out` mid-flight without changing a bit of the output. Two such
-/// liberties keep datacenter-sized merges out of quadratic memory:
+/// enumeration below may drop candidates it can prove dominated, visit
+/// pairs in any order, and compact `out` mid-flight without changing a
+/// bit of the output. The liberties taken, which together keep
+/// datacenter-sized merges out of quadratic time and memory:
 ///
 /// * **Served-outcome collapse**: a "replica at the child" output reuses
 ///   the left entry's flow, so among `(child entry, mode)` pairs only the
@@ -204,8 +295,16 @@ const COMPACT_FLOOR: usize = 8 * 1024;
 /// * **Chunked compaction**: `out` is pruned whenever it outgrows
 ///   [`COMPACT_FLOOR`] (or 4× its last front), so the buffer and each
 ///   sort stay front-sized instead of cross-product-sized.
+/// * **Flow-bucketed enumeration**: the child table is counting-sorted
+///   by flow, so a left entry's capacity-feasible partners are a
+///   contiguous prefix and infeasible pairs are never visited.
+/// * **Push-side prefilter**: after each compaction the surviving front
+///   is folded into per-flow staircases ([`MergeScratch::stairs`]); a
+///   later candidate it dominates is dropped by one binary search
+///   instead of being pushed, sorted, and discarded — near the root
+///   well over 99% of candidates die here.
 #[allow(clippy::too_many_arguments)]
-fn merge_into(
+pub(crate) fn merge_into(
     instance: &Instance,
     wcost: &[f64],
     wpower: &[f64],
@@ -216,6 +315,7 @@ fn merge_into(
     kept: &mut Vec<Triple>,
     served: &mut Vec<Served>,
     served_kept: &mut Vec<Served>,
+    mscratch: &mut MergeScratch,
 ) {
     let modes = instance.modes();
     let wmax = instance.max_capacity();
@@ -236,38 +336,110 @@ fn merge_into(
     }
     prune_served_into(served, served_kept);
 
+    // Pair enumeration order is free: [`prune_into`]'s total sort makes
+    // the pruned table a pure function of the candidate *set* (see the
+    // invariant note on [`compute_position`]), and each candidate's
+    // sums are per-pair, so bucketing the child table by flow changes
+    // neither values nor the final front. What it buys: for an
+    // accumulator entry with flow `fl`, only child entries with flow
+    // ≤ `wmax − fl` can combine, and with the child grouped by flow
+    // those form a contiguous prefix — the capacity check moves out of
+    // the inner loop and infeasible pairs are never visited at all.
     out.clear();
     let mut compact_at = COMPACT_FLOOR;
-    for l in left {
+    if wmax <= MAX_FLOW_BUCKETS {
+        let w = wmax as usize;
+        // Counting-sort `child` by flow; `starts[f]` = first index of
+        // bucket `f`, so entries with flow ≤ f are `by_flow[..starts[f + 1]]`.
+        mscratch.starts.clear();
+        mscratch.starts.resize(w + 2, 0);
         for c in child {
-            let combined = l.flow + c.flow;
-            if combined <= wmax {
-                out.push(Triple {
-                    flow: combined,
-                    cost: l.cost + c.cost,
-                    power: l.power + c.power,
-                });
+            mscratch.starts[c.flow as usize + 1] += 1;
+        }
+        for f in 0..=w {
+            mscratch.starts[f + 1] += mscratch.starts[f];
+        }
+        mscratch.cursor.clone_from(&mscratch.starts);
+        mscratch.by_flow.clear();
+        mscratch.by_flow.resize(
+            child.len(),
+            Triple {
+                flow: 0,
+                cost: 0.0,
+                power: 0.0,
+            },
+        );
+        for c in child {
+            let slot = mscratch.cursor[c.flow as usize];
+            mscratch.by_flow[slot] = *c;
+            mscratch.cursor[c.flow as usize] = slot + 1;
+        }
+        if mscratch.stairs.len() < w + 1 {
+            mscratch.stairs.resize_with(w + 1, Vec::new);
+        }
+        for s in mscratch.stairs.iter_mut() {
+            s.clear();
+        }
+        for l in left {
+            let budget = (wmax - l.flow) as usize;
+            for c in &mscratch.by_flow[..mscratch.starts[budget + 1]] {
+                let flow = l.flow + c.flow;
+                let cost = l.cost + c.cost;
+                let power = l.power + c.power;
+                if !stair_dominated(&mscratch.stairs, flow, cost, power) {
+                    out.push(Triple { flow, cost, power });
+                }
+            }
+            // Same addition order as the pre-collapse code: (l + c) + w.
+            for s in served.iter() {
+                let cost = l.cost + s.cost + s.wcost;
+                let power = l.power + s.power + s.wpower;
+                if !stair_dominated(&mscratch.stairs, l.flow, cost, power) {
+                    out.push(Triple {
+                        flow: l.flow,
+                        cost,
+                        power,
+                    });
+                }
+            }
+            if out.len() >= compact_at {
+                prune_into(out, kept, wmax);
+                compact_at = COMPACT_FLOOR.max(out.len() * 4);
+                rebuild_stairs(out, w, &mut mscratch.stairs);
             }
         }
-        // Same addition order as the pre-collapse code: (l + c) + w.
-        for s in served.iter() {
-            out.push(Triple {
-                flow: l.flow,
-                cost: l.cost + s.cost + s.wcost,
-                power: l.power + s.power + s.wpower,
-            });
-        }
-        if out.len() >= compact_at {
-            prune_into(out, kept);
-            compact_at = COMPACT_FLOOR.max(out.len() * 4);
+    } else {
+        for l in left {
+            for c in child {
+                let combined = l.flow + c.flow;
+                if combined <= wmax {
+                    out.push(Triple {
+                        flow: combined,
+                        cost: l.cost + c.cost,
+                        power: l.power + c.power,
+                    });
+                }
+            }
+            // Same addition order as the pre-collapse code: (l + c) + w.
+            for s in served.iter() {
+                out.push(Triple {
+                    flow: l.flow,
+                    cost: l.cost + s.cost + s.wcost,
+                    power: l.power + s.power + s.wpower,
+                });
+            }
+            if out.len() >= compact_at {
+                prune_into(out, kept, wmax);
+                compact_at = COMPACT_FLOOR.max(out.len() * 4);
+            }
         }
     }
-    prune_into(out, kept);
+    prune_into(out, kept, wmax);
 }
 
 /// Allocating merge (shared by reconstruction, which rebuilds small
 /// intermediate tables on demand).
-fn merge(
+pub(crate) fn merge(
     instance: &Instance,
     wcost: &[f64],
     wpower: &[f64],
@@ -279,6 +451,7 @@ fn merge(
     let mut kept = Vec::new();
     let mut served = Vec::new();
     let mut served_kept = Vec::new();
+    let mut mscratch = MergeScratch::default();
     merge_into(
         instance,
         wcost,
@@ -290,8 +463,364 @@ fn merge(
         &mut kept,
         &mut served,
         &mut served_kept,
+        &mut mscratch,
     );
     out
+}
+
+/// The global Eq. 4 deletion constant `Σᵢ deleteᵢ·Eᵢ`.
+pub(crate) fn deletion_constant(instance: &Instance) -> f64 {
+    instance
+        .pre_existing()
+        .iter()
+        .map(|(_, orig)| instance.cost().deleted_server(orig))
+        .sum()
+}
+
+/// Computes the Pareto table of position `p` from its children's tables
+/// (which must already be current) and swaps it into `tables[p]`.
+///
+/// This is THE forward-pass step: [`PrunedPowerDp::run_in`] calls it for
+/// every position bottom-up, and the incremental solver
+/// ([`crate::incremental::IncrementalDp`]) calls it for exactly the dirty
+/// closure — sharing this function is what makes the incremental recompute
+/// bit-identical to a from-scratch solve by construction.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn compute_position(
+    instance: &Instance,
+    flat: &FlatTree,
+    wcost: &[f64],
+    wpower: &[f64],
+    p: usize,
+    tables: &mut [Vec<Triple>],
+    cur: &mut Vec<Triple>,
+    next: &mut Vec<Triple>,
+    kept: &mut Vec<Triple>,
+    served: &mut Vec<Served>,
+    served_kept: &mut Vec<Served>,
+    mscratch: &mut MergeScratch,
+) {
+    let wmax = instance.max_capacity();
+    let direct = flat.client_load(p);
+    cur.clear();
+    if direct <= wmax {
+        cur.push(Triple {
+            flow: direct,
+            cost: 0.0,
+            power: 0.0,
+        });
+    }
+    for &child in flat.children(p) {
+        if cur.is_empty() {
+            break;
+        }
+        merge_into(
+            instance,
+            wcost,
+            wpower,
+            child as usize,
+            cur,
+            &tables[child as usize],
+            next,
+            kept,
+            served,
+            served_kept,
+            mscratch,
+        );
+        std::mem::swap(cur, next);
+    }
+    std::mem::swap(&mut tables[p], cur);
+}
+
+/// [`compute_position`] with the fold's intermediate prefix tables cached
+/// in `inters_p` — the incremental solver's forward step.
+///
+/// `inters_p[k]` holds the accumulated table *before* merging child `k`
+/// (`inters_p[0]` is the direct-load base; leaves use it as the whole
+/// table). The final merge lands in `tables[p]` as usual. `start` is the
+/// fold index of the first child whose table changed since the last call
+/// here: the cached prefixes `0..=start` are reused verbatim and only the
+/// fold's suffix re-merges. Because the suffix runs the *same*
+/// [`merge_into`] calls on bit-identical inputs that a full
+/// [`compute_position`] would reach, the resulting table is bit-identical
+/// by construction — and the cached `inters_p` doubles as the
+/// reconstruction's intermediate tables, so the backtrack needs no
+/// re-merge at all.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn compute_position_cached(
+    instance: &Instance,
+    flat: &FlatTree,
+    wcost: &[f64],
+    wpower: &[f64],
+    p: usize,
+    start: usize,
+    tables: &mut [Vec<Triple>],
+    inters_p: &mut Vec<Vec<Triple>>,
+    next: &mut Vec<Triple>,
+    kept: &mut Vec<Triple>,
+    served: &mut Vec<Served>,
+    served_kept: &mut Vec<Served>,
+    mscratch: &mut MergeScratch,
+) {
+    let children = flat.children(p);
+    let len = children.len();
+    let slots = len.max(1);
+    if inters_p.len() < slots {
+        inters_p.resize_with(slots, Vec::new);
+    }
+    if start == 0 {
+        let wmax = instance.max_capacity();
+        let direct = flat.client_load(p);
+        inters_p[0].clear();
+        if direct <= wmax {
+            inters_p[0].push(Triple {
+                flow: direct,
+                cost: 0.0,
+                power: 0.0,
+            });
+        }
+    }
+    if len == 0 {
+        tables[p].clear();
+        tables[p].extend_from_slice(&inters_p[0]);
+        return;
+    }
+    for k in start..len {
+        if inters_p[k].is_empty() {
+            // An empty accumulator stays empty through every further
+            // merge — mirror `compute_position`'s early break, and clear
+            // the stale suffix so future suffix-only calls see it.
+            for later in inters_p[k + 1..len].iter_mut() {
+                later.clear();
+            }
+            tables[p].clear();
+            return;
+        }
+        merge_into(
+            instance,
+            wcost,
+            wpower,
+            children[k] as usize,
+            &inters_p[k],
+            &tables[children[k] as usize],
+            next,
+            kept,
+            served,
+            served_kept,
+            mscratch,
+        );
+        if k + 1 < len {
+            std::mem::swap(&mut inters_p[k + 1], next);
+        } else {
+            std::mem::swap(&mut tables[p], next);
+        }
+    }
+}
+
+/// Scans the root table into the feasible candidate set (the no-replica
+/// option for flow 0, plus every feasible root mode per entry).
+pub(crate) fn scan_root(
+    instance: &Instance,
+    flat: &FlatTree,
+    root_table: &[Triple],
+    wcost: &[f64],
+    wpower: &[f64],
+    delete_constant: f64,
+    out: &mut Vec<PrunedCandidate>,
+) {
+    let modes = instance.modes();
+    let m = modes.count();
+    let root = flat.root_position();
+    out.clear();
+    for &t in root_table {
+        if t.flow == 0 {
+            out.push(PrunedCandidate {
+                triple: t,
+                root_mode: None,
+                cost: t.cost + delete_constant,
+                power: t.power,
+            });
+        }
+        if let Some(first) = modes.mode_for_load(t.flow) {
+            for mode in first..m {
+                out.push(PrunedCandidate {
+                    triple: t,
+                    root_mode: Some(mode),
+                    cost: t.cost + wcost[root * m + mode] + delete_constant,
+                    power: t.power + wpower[mode],
+                });
+            }
+        }
+    }
+}
+
+/// Minimum-power candidate with cost within `cost_bound` (ties broken by
+/// cost — deterministic because `total_cmp` is a total order).
+pub(crate) fn best_candidate_within(
+    candidates: &[PrunedCandidate],
+    cost_bound: f64,
+) -> Option<&PrunedCandidate> {
+    candidates
+        .iter()
+        .filter(|c| le_tolerant(c.cost, cost_bound))
+        .min_by(|a, b| a.power.total_cmp(&b.power).then(a.cost.total_cmp(&b.cost)))
+}
+
+/// Backtracks `candidate` into a placement against the given forward-pass
+/// state (bit-exact re-merge matching, see module docs). Shared by
+/// [`PrunedPowerDp::reconstruct`] and the incremental solver.
+pub(crate) fn reconstruct_in(
+    instance: &Instance,
+    flat: &FlatTree,
+    tables: &[Vec<Triple>],
+    wcost: &[f64],
+    wpower: &[f64],
+    candidate: &PrunedCandidate,
+) -> Result<Placement, ModelError> {
+    let mut placement = Placement::with_slots(flat.len());
+    reconstruct_seeded(
+        instance,
+        flat,
+        tables,
+        wcost,
+        wpower,
+        candidate,
+        None,
+        &mut placement,
+        &mut |_, _| false,
+    )?;
+    Ok(placement)
+}
+
+/// [`reconstruct_in`] over a caller-seeded placement with a subtree-reuse
+/// hook — the incremental solver's fast path.
+///
+/// `visit(p, target)` is called once per position the backtrack reaches,
+/// with the exact [`Triple`] that subtree must produce. Returning `true`
+/// asserts the seeded placement already holds the correct sub-placement
+/// for `subtree(p)`, and the walk skips it entirely. This is sound
+/// because the backtrack below `p` is a deterministic pure function of
+/// `(tables of subtree(p), target)`: if neither changed since the
+/// placement in the seed was produced, the decisions — and therefore the
+/// sub-placement — are bit-for-bit the same. A `false` return expands
+/// `p` as usual, *overwriting* the seed: every child slot is explicitly
+/// set or cleared, so stale seed servers cannot leak through an expanded
+/// region.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn reconstruct_seeded(
+    instance: &Instance,
+    flat: &FlatTree,
+    tables: &[Vec<Triple>],
+    wcost: &[f64],
+    wpower: &[f64],
+    candidate: &PrunedCandidate,
+    inters: Option<&[Vec<Vec<Triple>>]>,
+    placement: &mut Placement,
+    visit: &mut dyn FnMut(usize, &Triple) -> bool,
+) -> Result<(), ModelError> {
+    let root_node = flat.node_at(flat.root_position());
+    match candidate.root_mode {
+        Some(mode) => placement.insert(root_node, mode),
+        None => {
+            placement.remove(root_node);
+        }
+    }
+    let modes = instance.modes();
+    let wmax = instance.max_capacity();
+    let m = modes.count();
+
+    let mut scratch_inter: Vec<Vec<Triple>> = Vec::new();
+    let mut work: Vec<(usize, Triple)> = vec![(flat.root_position(), candidate.triple)];
+    while let Some((p, target)) = work.pop() {
+        if visit(p, &target) {
+            continue;
+        }
+        let children = flat.children(p);
+        if children.is_empty() {
+            debug_assert_eq!(target.flow, flat.client_load(p));
+            continue;
+        }
+        // The split search below needs the accumulated table *before*
+        // each child — `inter[k]` for fold index `k`. The incremental
+        // solver hands these in pre-computed (its forward pass caches
+        // them); otherwise recompute them here, bit-identical to the
+        // forward pass. The accumulator *after* the last child is never
+        // consulted, so the fresh rebuild skips that final (and most
+        // expensive) merge.
+        let inter: &[Vec<Triple>] = match inters {
+            Some(all) => &all[p],
+            None => {
+                scratch_inter.clear();
+                scratch_inter.push(vec![Triple {
+                    flow: flat.client_load(p),
+                    cost: 0.0,
+                    power: 0.0,
+                }]);
+                for &child in &children[..children.len() - 1] {
+                    let next = merge(
+                        instance,
+                        wcost,
+                        wpower,
+                        child as usize,
+                        scratch_inter.last().expect("non-empty"),
+                        &tables[child as usize],
+                    );
+                    scratch_inter.push(next);
+                }
+                &scratch_inter
+            }
+        };
+
+        let mut cur = target;
+        for (k, &child) in children.iter().enumerate().rev() {
+            let left = &inter[k];
+            let child_table = &tables[child as usize];
+            let mut found = None;
+            'search: for l in left {
+                for c in child_table {
+                    // Option a: no replica on the child.
+                    #[allow(clippy::float_cmp)] // bit-reproducible sums
+                    if l.flow + c.flow == cur.flow
+                        && l.flow + c.flow <= wmax
+                        && l.cost + c.cost == cur.cost
+                        && l.power + c.power == cur.power
+                    {
+                        found = Some((*l, *c, None));
+                        break 'search;
+                    }
+                    // Option b: replica at the child in some mode.
+                    if l.flow == cur.flow {
+                        if let Some(first) = modes.mode_for_load(c.flow) {
+                            for mode in first..m {
+                                #[allow(clippy::float_cmp)]
+                                if l.cost + c.cost + wcost[child as usize * m + mode] == cur.cost
+                                    && l.power + c.power + wpower[mode] == cur.power
+                                {
+                                    found = Some((*l, *c, Some(mode)));
+                                    break 'search;
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            let (l, c, server_mode) = found.ok_or_else(|| {
+                let node = flat.node_at(p);
+                ModelError::Infeasible(format!(
+                    "internal error: no producer for pruned state at {node}"
+                ))
+            })?;
+            match server_mode {
+                Some(mode) => placement.insert(flat.node_at(child as usize), mode),
+                None => {
+                    placement.remove(flat.node_at(child as usize));
+                }
+            }
+            work.push((child as usize, c));
+            cur = l;
+        }
+    }
+    Ok(())
 }
 
 impl<'a> PrunedPowerDp<'a> {
@@ -305,12 +834,7 @@ impl<'a> PrunedPowerDp<'a> {
     /// (the error path returns them immediately).
     pub fn run_in(instance: &'a Instance, scratch: &mut PrunedScratch) -> Result<Self, ModelError> {
         let mut s = std::mem::take(scratch);
-        let wmax = instance.max_capacity();
-        let delete_constant: f64 = instance
-            .pre_existing()
-            .iter()
-            .map(|(_, orig)| instance.cost().deleted_server(orig))
-            .sum();
+        let delete_constant = deletion_constant(instance);
 
         s.flat.rebuild(instance.tree());
         fill_weights(instance, &s.flat, &mut s.wcost, &mut s.wpower);
@@ -322,61 +846,32 @@ impl<'a> PrunedPowerDp<'a> {
         s.tables.resize_with(n, Vec::new);
 
         for p in s.flat.positions() {
-            let direct = s.flat.client_load(p);
-            s.cur.clear();
-            if direct <= wmax {
-                s.cur.push(Triple {
-                    flow: direct,
-                    cost: 0.0,
-                    power: 0.0,
-                });
-            }
-            for &child in s.flat.children(p) {
-                if s.cur.is_empty() {
-                    break;
-                }
-                merge_into(
-                    instance,
-                    &s.wcost,
-                    &s.wpower,
-                    child as usize,
-                    &s.cur,
-                    &s.tables[child as usize],
-                    &mut s.next,
-                    &mut s.kept,
-                    &mut s.served,
-                    &mut s.served_kept,
-                );
-                std::mem::swap(&mut s.cur, &mut s.next);
-            }
-            std::mem::swap(&mut s.tables[p], &mut s.cur);
+            compute_position(
+                instance,
+                &s.flat,
+                &s.wcost,
+                &s.wpower,
+                p,
+                &mut s.tables,
+                &mut s.cur,
+                &mut s.next,
+                &mut s.kept,
+                &mut s.served,
+                &mut s.served_kept,
+                &mut s.merge,
+            );
         }
 
-        // Root scan.
-        let modes = instance.modes();
-        let m = modes.count();
-        let root = s.flat.root_position();
         let mut candidates = Vec::new();
-        for &t in &s.tables[root] {
-            if t.flow == 0 {
-                candidates.push(PrunedCandidate {
-                    triple: t,
-                    root_mode: None,
-                    cost: t.cost + delete_constant,
-                    power: t.power,
-                });
-            }
-            if let Some(first) = modes.mode_for_load(t.flow) {
-                for mode in first..m {
-                    candidates.push(PrunedCandidate {
-                        triple: t,
-                        root_mode: Some(mode),
-                        cost: t.cost + s.wcost[root * m + mode] + delete_constant,
-                        power: t.power + s.wpower[mode],
-                    });
-                }
-            }
-        }
+        scan_root(
+            instance,
+            &s.flat,
+            &s.tables[s.flat.root_position()],
+            &s.wcost,
+            &s.wpower,
+            delete_constant,
+            &mut candidates,
+        );
         if candidates.is_empty() {
             *scratch = s;
             return Err(ModelError::Infeasible(
@@ -408,10 +903,7 @@ impl<'a> PrunedPowerDp<'a> {
 
     /// Minimum-power candidate with cost within `cost_bound`.
     pub fn best_within(&self, cost_bound: f64) -> Option<&PrunedCandidate> {
-        self.candidates
-            .iter()
-            .filter(|c| le_tolerant(c.cost, cost_bound))
-            .min_by(|a, b| a.power.total_cmp(&b.power).then(a.cost.total_cmp(&b.cost)))
+        best_candidate_within(&self.candidates, cost_bound)
     }
 
     /// Raw `(cost, power)` pairs of every root candidate — the input to a
@@ -430,91 +922,15 @@ impl<'a> PrunedPowerDp<'a> {
     /// module docs).
     pub fn reconstruct(&self, candidate: &PrunedCandidate) -> Result<Placement, ModelError> {
         let s = &self.scratch;
-        let flat = &s.flat;
         let _ = self.delete_constant;
-        let mut placement = Placement::with_slots(flat.len());
-        if let Some(mode) = candidate.root_mode {
-            placement.insert(flat.node_at(flat.root_position()), mode);
-        }
-        let modes = self.instance.modes();
-        let wmax = self.instance.max_capacity();
-        let m = modes.count();
-
-        let mut work: Vec<(usize, Triple)> = vec![(flat.root_position(), candidate.triple)];
-        while let Some((p, target)) = work.pop() {
-            let children = flat.children(p);
-            if children.is_empty() {
-                debug_assert_eq!(target.flow, flat.client_load(p));
-                continue;
-            }
-            // Recompute intermediate tables (bit-identical to the forward
-            // pass).
-            let mut inter: Vec<Vec<Triple>> = Vec::with_capacity(children.len() + 1);
-            inter.push(vec![Triple {
-                flow: flat.client_load(p),
-                cost: 0.0,
-                power: 0.0,
-            }]);
-            for &child in children {
-                let next = merge(
-                    self.instance,
-                    &s.wcost,
-                    &s.wpower,
-                    child as usize,
-                    inter.last().expect("non-empty"),
-                    &s.tables[child as usize],
-                );
-                inter.push(next);
-            }
-
-            let mut cur = target;
-            for (k, &child) in children.iter().enumerate().rev() {
-                let left = &inter[k];
-                let child_table = &s.tables[child as usize];
-                let mut found = None;
-                'search: for l in left {
-                    for c in child_table {
-                        // Option a: no replica on the child.
-                        #[allow(clippy::float_cmp)] // bit-reproducible sums
-                        if l.flow + c.flow == cur.flow
-                            && l.flow + c.flow <= wmax
-                            && l.cost + c.cost == cur.cost
-                            && l.power + c.power == cur.power
-                        {
-                            found = Some((*l, *c, None));
-                            break 'search;
-                        }
-                        // Option b: replica at the child in some mode.
-                        if l.flow == cur.flow {
-                            if let Some(first) = modes.mode_for_load(c.flow) {
-                                for mode in first..m {
-                                    #[allow(clippy::float_cmp)]
-                                    if l.cost + c.cost + s.wcost[child as usize * m + mode]
-                                        == cur.cost
-                                        && l.power + c.power + s.wpower[mode] == cur.power
-                                    {
-                                        found = Some((*l, *c, Some(mode)));
-                                        break 'search;
-                                    }
-                                }
-                            }
-                        }
-                    }
-                }
-                let (l, c, server_mode) = found.ok_or_else(|| {
-                    let node = flat.node_at(p);
-                    ModelError::Infeasible(format!(
-                        "internal error: no producer for pruned state at {node}"
-                    ))
-                })?;
-                if let Some(mode) = server_mode {
-                    placement.insert(flat.node_at(child as usize), mode);
-                }
-                work.push((child as usize, c));
-                cur = l;
-            }
-        }
-        Ok(placement)
+        reconstruct_in(
+            self.instance,
+            &s.flat,
+            &s.tables,
+            &s.wcost,
+            &s.wpower,
+            candidate,
+        )
     }
 }
 
@@ -614,7 +1030,11 @@ mod tests {
                 power: 9.0,
             }, // dominated (cost)
         ];
-        prune(&mut entries);
+        // Exercise both dominance paths: the bucketed test and the scan.
+        let mut scanned = entries.clone();
+        prune(&mut entries, 10);
+        prune(&mut scanned, MAX_FLOW_BUCKETS + 1);
+        assert_eq!(entries, scanned);
         assert_eq!(entries.len(), 4);
         assert!(entries.contains(&Triple {
             flow: 5,

@@ -67,6 +67,7 @@ pub mod frontier;
 pub mod greedy;
 pub mod greedy_power;
 pub mod heuristics;
+pub mod incremental;
 pub mod np_gadget;
 pub mod reference;
 pub mod state;
@@ -83,3 +84,4 @@ pub use greedy::{
     greedy_min_replicas, greedy_min_replicas_flat, greedy_min_replicas_in, GreedyResult,
     GreedyScratch,
 };
+pub use incremental::IncrementalDp;

@@ -368,6 +368,7 @@ fn scale_stats(stats: Stats, factor: f64) -> Stats {
         max: stats.max * factor,
         p50: stats.p50 * factor,
         p90: stats.p90 * factor,
+        p99: stats.p99 * factor,
     }
 }
 

@@ -386,14 +386,20 @@ fn analysis_table(analysis: &Analysis, timing: bool) -> String {
         if timing {
             let _ = writeln!(
                 out,
-                "  {:<40} {:>5} {:>7} {:>10} {:>10} {:>10}",
-                "name", "unit", "count", "mean", "p50", "p90"
+                "  {:<40} {:>5} {:>7} {:>10} {:>10} {:>10} {:>10}",
+                "name", "unit", "count", "mean", "p50", "p90", "p99"
             );
             for h in &analysis.histograms {
                 let _ = writeln!(
                     out,
-                    "  {:<40} {:>5} {:>7} {:>10.3} {:>10.3} {:>10.3}",
-                    h.name, h.unit, h.stats.count, h.stats.mean, h.stats.p50, h.stats.p90
+                    "  {:<40} {:>5} {:>7} {:>10.3} {:>10.3} {:>10.3} {:>10.3}",
+                    h.name,
+                    h.unit,
+                    h.stats.count,
+                    h.stats.mean,
+                    h.stats.p50,
+                    h.stats.p90,
+                    h.stats.p99
                 );
             }
         } else {
@@ -602,6 +608,7 @@ fn analysis_json(analysis: &Analysis, timing: bool) -> String {
                 fields.push(("mean", Value::Float(h.stats.mean)));
                 fields.push(("p50", Value::Float(h.stats.p50)));
                 fields.push(("p90", Value::Float(h.stats.p90)));
+                fields.push(("p99", Value::Float(h.stats.p99)));
             }
             object(fields)
         })

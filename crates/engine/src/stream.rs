@@ -278,6 +278,26 @@ mod tests {
     }
 
     #[test]
+    fn pre_p99_tapes_still_deserialize_and_gain_p99() {
+        // The wire format is the bare observation array — exactly what
+        // the pre-p99 writer emitted — so old tapes read back unchanged,
+        // and the rebuilt accumulator now carries the p99 sketch too.
+        let old_wire = "[1.5,2.5,3.5,4.5,5.5,100.25]";
+        let back: RecordedMetric = serde_json::from_str(old_wire).unwrap();
+        assert_eq!(back.count(), 6);
+        let stats = back.stats();
+        assert_eq!(stats.max, 100.25);
+        assert!(stats.p99 >= stats.p90, "p99 sketch must be populated");
+        // Re-serializing emits the identical tape-only format: adding a
+        // quantile grew no wire field.
+        let tape: Vec<f64> = back.tape().to_vec();
+        assert_eq!(
+            serde_json::to_string(&back).unwrap(),
+            serde_json::to_string(&tape).unwrap()
+        );
+    }
+
+    #[test]
     fn recorded_metric_matches_plain_accumulator() {
         let values: Vec<f64> = (0..500).map(|i| ((i * 83) % 107) as f64).collect();
         let mut plain = MetricAccumulator::default();

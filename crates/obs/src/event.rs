@@ -247,6 +247,7 @@ impl Event {
                 push_f64(&mut out, "max", stats.max);
                 push_f64(&mut out, "p50", stats.p50);
                 push_f64(&mut out, "p90", stats.p90);
+                push_f64(&mut out, "p99", stats.p99);
             }
             Event::Sched {
                 op,

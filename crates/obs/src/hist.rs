@@ -32,6 +32,9 @@ pub struct Stats {
     pub p50: f64,
     /// 90th percentile (P² estimate when streaming).
     pub p90: f64,
+    /// 99th percentile (P² estimate when streaming) — the latency-SLO
+    /// tail. Old serialized traces without this field read back as `0.0`.
+    pub p99: f64,
 }
 
 impl Stats {
@@ -51,6 +54,7 @@ impl Stats {
             max: sorted[sorted.len() - 1],
             p50: rank(0.5),
             p90: rank(0.9),
+            p99: rank(0.99),
         }
     }
 }
@@ -177,7 +181,7 @@ impl P2Quantile {
 }
 
 /// Streaming accumulator for one metric: count, sum, min, max plus P²
-/// sketches for p50 and p90. Doubles as the telemetry layer's
+/// sketches for p50, p90, and p99. Doubles as the telemetry layer's
 /// wall-clock histogram.
 #[derive(Clone, Debug)]
 pub struct MetricAccumulator {
@@ -187,6 +191,7 @@ pub struct MetricAccumulator {
     max: f64,
     p50: P2Quantile,
     p90: P2Quantile,
+    p99: P2Quantile,
 }
 
 impl Default for MetricAccumulator {
@@ -198,6 +203,7 @@ impl Default for MetricAccumulator {
             max: f64::NEG_INFINITY,
             p50: P2Quantile::new(0.5),
             p90: P2Quantile::new(0.9),
+            p99: P2Quantile::new(0.99),
         }
     }
 }
@@ -211,6 +217,7 @@ impl MetricAccumulator {
         self.max = self.max.max(value);
         self.p50.push(value);
         self.p90.push(value);
+        self.p99.push(value);
     }
 
     /// Observations folded so far.
@@ -250,6 +257,7 @@ impl MetricAccumulator {
             max: self.max,
             p50: self.p50.estimate(),
             p90: self.p90.estimate(),
+            p99: self.p99.estimate(),
         }
     }
 }
@@ -308,6 +316,12 @@ mod tests {
             streamed.p90,
             exact.p90
         );
+        assert!(
+            (streamed.p99 - exact.p99).abs() < 3.0,
+            "p99 {} vs {}",
+            streamed.p99,
+            exact.p99
+        );
     }
 
     #[test]
@@ -330,7 +344,10 @@ mod tests {
             acc.push(7.5);
         }
         let s = acc.stats();
-        assert_eq!((s.min, s.max, s.p50, s.p90), (7.5, 7.5, 7.5, 7.5));
+        assert_eq!(
+            (s.min, s.max, s.p50, s.p90, s.p99),
+            (7.5, 7.5, 7.5, 7.5, 7.5)
+        );
         assert!((s.mean - 7.5).abs() < 1e-12);
     }
 }

@@ -232,6 +232,9 @@ pub fn parse_line(raw: &str, line_no: usize) -> Result<(Event, Option<u64>), Par
                 max: req_f64("max")?,
                 p50: req_f64("p50")?,
                 p90: req_f64("p90")?,
+                // Traces written before the p99 extension lack the field;
+                // read them as 0.0 rather than rejecting the line.
+                p99: at.opt_f64_field("p99")?.unwrap_or(0.0),
             },
         },
         "sched" => {
@@ -332,6 +335,19 @@ impl Fields<'_> {
         match self.require(kind, field)? {
             Scalar::Str(s) => Ok(s),
             other => Err(self.bad(field, format!("expected string, got {other:?}"))),
+        }
+    }
+
+    /// An `f64` field that may be absent (`null` still means non-finite).
+    fn opt_f64_field(&self, field: &'static str) -> Result<Option<f64>, ParseError> {
+        match self.get(field) {
+            None => Ok(None),
+            Some(Scalar::Null) => Ok(Some(f64::NAN)),
+            Some(Scalar::Num(raw)) => raw
+                .parse::<f64>()
+                .map(Some)
+                .map_err(|_| self.bad(field, format!("expected number, got {raw}"))),
+            Some(other) => Err(self.bad(field, format!("expected number or null, got {other:?}"))),
         }
     }
 

@@ -91,6 +91,7 @@ fn event(kind: usize, a: u64, b: u64, s1: usize, s2: usize, f1: usize, f2: usize
                 max: float(f1.wrapping_add(1)),
                 p50: float(f2.wrapping_add(2)),
                 p90: float(f1.wrapping_add(3)),
+                p99: float(f2.wrapping_add(4)),
             },
         },
         5 => Event::Sched {
@@ -116,9 +117,11 @@ fn all_finite(event: &Event) -> bool {
             eta_secs,
             ..
         } => jobs_per_sec.is_finite() && eta_secs.is_finite(),
-        Event::Histogram { stats, .. } => [stats.mean, stats.min, stats.max, stats.p50, stats.p90]
-            .iter()
-            .all(|v| v.is_finite()),
+        Event::Histogram { stats, .. } => [
+            stats.mean, stats.min, stats.max, stats.p50, stats.p90, stats.p99,
+        ]
+        .iter()
+        .all(|v| v.is_finite()),
         _ => true,
     }
 }

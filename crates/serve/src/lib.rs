@@ -1,0 +1,45 @@
+//! # `replica-serve` — a placement server for continuous demand churn
+//!
+//! The batch side of this workspace answers "given *this* demand, where
+//! do the replicas go?". This crate answers the operational question
+//! that follows: demand never holds still, so keep a placement *live*.
+//! The `placed` daemon holds one instance (topology, modes, cost/power
+//! models — all frozen) plus its mutable demand, ingests a stream of
+//! per-client volume deltas, and re-solves at epoch marks:
+//!
+//! * **exactly and incrementally** through
+//!   [`IncrementalDp`](replica_core::IncrementalDp) — only the
+//!   ancestor closure of the touched attach nodes is recomputed, and the
+//!   result is bit-identical to a from-scratch
+//!   `solve_min_power_bounded_cost` by construction;
+//! * or, when an epoch dirties more of the tree than
+//!   `--warm-threshold` allows, through the warm-started greedy
+//!   fallback (`GR` of §5.2) — a latency-bound answer that leaves the
+//!   exact state reconcilable at the next quiet epoch.
+//!
+//! Events arrive as JSONL on stdin, from a `--replay` file, or from the
+//! built-in load generator ([`gen`]) driving the `replica-sim`
+//! evolutions (walk-drift / quiet-churn / subtree-mix) at a
+//! configurable event rate. Every epoch emits a placement **diff**
+//! (adds / removals / re-modes) in the engine's five output formats;
+//! the deterministic variants are timing-free and solver-strategy-free,
+//! so a `--oracle` run (fresh pruned DP every epoch) byte-matches an
+//! incremental run on the same stream — the CI smoke job diffs exactly
+//! that. Decision latency is tracked with the shared P² sketches
+//! (p50/p90/p99) and, with `--trace`, the run emits a `replica-obs`
+//! span/progress/histogram stream that `fleetd analyze` reads back.
+//!
+//! Module map: [`wire`] (the JSONL event format), [`server`] (the
+//! epoch loop around `IncrementalDp`), [`render`] (five-format diff
+//! rendering), [`gen`] (load-generator presets), [`cli`] (the `placed`
+//! front end).
+
+pub mod cli;
+pub mod gen;
+pub mod render;
+pub mod server;
+pub mod wire;
+
+pub use gen::{Generator, Preset};
+pub use server::{EpochReport, PlacementDiff, PlacementServer, ServeConfig, SolverKind, Totals};
+pub use wire::ServeEvent;

@@ -1,0 +1,8 @@
+//! The `placed` binary: a long-running incremental placement server.
+//!
+//! See `replica_serve::cli` for the flags, or run `placed help`.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    std::process::exit(replica_serve::cli::main(args));
+}

@@ -7,8 +7,9 @@
 //! the update-strategy studies, where the *rate and amplitude* of variation
 //! is exactly what decides a good update interval (§6).
 
-use rand::Rng;
-use replica_tree::Tree;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use replica_tree::{ClientId, Tree};
 use serde::{Deserialize, Serialize};
 
 /// How client volumes change from one step to the next.
@@ -90,11 +91,115 @@ impl Evolution {
     }
 }
 
+/// One demand event: `client`'s request volume becomes `volume`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DemandDelta {
+    /// The client whose volume changes.
+    pub client: ClientId,
+    /// The new absolute volume.
+    pub volume: u64,
+}
+
+/// A seeded per-event demand stream — the streaming counterpart of
+/// [`Evolution::apply`].
+///
+/// Where `apply` rewrites *every* client once per round, a `DeltaIter`
+/// emits one [`DemandDelta`] at a time: each event picks a client
+/// uniformly and draws its new volume under the evolution rule, reading
+/// the tree's *current* state (so a [`Evolution::RandomWalk`] step walks
+/// from wherever previous events left that client). This is what a
+/// long-running placement server consumes — demand drifts one client at a
+/// time, not in lockstep rounds.
+///
+/// `rate` parameterizes events per epoch for callers that batch between
+/// re-solves ([`DeltaIter::epoch`]); the per-event methods ignore it.
+/// Everything is driven by one owned [`StdRng`], so a `(evolution, seed,
+/// rate)` triple replays the identical stream against the identical
+/// starting tree.
+#[derive(Clone, Debug)]
+pub struct DeltaIter {
+    evolution: Evolution,
+    rng: StdRng,
+    rate: u64,
+}
+
+impl DeltaIter {
+    /// A stream over `evolution`, seeded with `seed`, batching `rate`
+    /// events per [`DeltaIter::epoch`].
+    pub fn new(evolution: Evolution, seed: u64, rate: u64) -> Self {
+        DeltaIter {
+            evolution,
+            rng: StdRng::seed_from_u64(seed),
+            rate,
+        }
+    }
+
+    /// Events per [`DeltaIter::epoch`].
+    pub fn rate(&self) -> u64 {
+        self.rate
+    }
+
+    /// Draws the next event against the tree's current volumes, without
+    /// applying it. `None` iff the tree has no clients.
+    pub fn next_delta(&mut self, tree: &Tree) -> Option<DemandDelta> {
+        let count = tree.client_count();
+        if count == 0 {
+            return None;
+        }
+        let client = ClientId::from_index(self.rng.random_range(0..count));
+        let volume = match self.evolution {
+            Evolution::Resample { range: (lo, hi) } => {
+                assert!(lo <= hi, "invalid range");
+                self.rng.random_range(lo..=hi)
+            }
+            Evolution::RandomWalk {
+                step,
+                range: (lo, hi),
+            } => {
+                assert!(lo <= hi, "invalid range");
+                let cur = tree.requests(client);
+                let delta = self.rng.random_range(0..=2 * step) as i128 - step as i128;
+                (cur as i128 + delta).clamp(lo as i128, hi as i128) as u64
+            }
+            Evolution::Churn {
+                range: (lo, hi),
+                quiet_probability,
+            } => {
+                assert!(lo <= hi, "invalid range");
+                assert!((0.0..=1.0).contains(&quiet_probability));
+                if self.rng.random_bool(quiet_probability) {
+                    0
+                } else {
+                    self.rng.random_range(lo..=hi)
+                }
+            }
+        };
+        Some(DemandDelta { client, volume })
+    }
+
+    /// Draws the next event and applies it to the tree.
+    pub fn apply_next(&mut self, tree: &mut Tree) -> Option<DemandDelta> {
+        let delta = self.next_delta(tree)?;
+        tree.set_requests(delta.client, delta.volume);
+        Some(delta)
+    }
+
+    /// Draws and applies one epoch of `rate` events, handing each to
+    /// `sink` as it lands (events later in the epoch observe earlier
+    /// ones, exactly like a live stream would).
+    pub fn epoch(&mut self, tree: &mut Tree, mut sink: impl FnMut(DemandDelta)) {
+        for _ in 0..self.rate {
+            match self.apply_next(tree) {
+                Some(delta) => sink(delta),
+                None => return,
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
     use replica_tree::{generate, GeneratorConfig};
 
     fn tree(seed: u64) -> Tree {
@@ -145,6 +250,69 @@ mod tests {
         let active = t.client_count() - quiet;
         assert!(quiet > 0, "with p = 0.5 some client should be quiet");
         assert!(active > 0, "with p = 0.5 some client should stay active");
+    }
+
+    #[test]
+    fn delta_iter_replays_identically_under_one_seed() {
+        let mut t1 = tree(9);
+        let mut t2 = tree(9);
+        let ev = Evolution::Churn {
+            range: (1, 6),
+            quiet_probability: 0.3,
+        };
+        let mut s1 = DeltaIter::new(ev, 42, 10);
+        let mut s2 = DeltaIter::new(ev, 42, 10);
+        for _ in 0..50 {
+            assert_eq!(s1.apply_next(&mut t1), s2.apply_next(&mut t2));
+        }
+        for c in t1.client_ids() {
+            assert_eq!(t1.requests(c), t2.requests(c));
+        }
+    }
+
+    #[test]
+    fn delta_iter_walk_steps_from_current_state() {
+        let mut t = tree(11);
+        let mut stream = DeltaIter::new(
+            Evolution::RandomWalk {
+                step: 2,
+                range: (1, 9),
+            },
+            5,
+            1,
+        );
+        for _ in 0..200 {
+            let before = {
+                let delta = stream.next_delta(&t).unwrap();
+                (delta, t.requests(delta.client))
+            };
+            let (delta, old) = before;
+            assert!(
+                delta.volume.abs_diff(old) <= 2,
+                "walk step exceeded 2: {old} → {}",
+                delta.volume
+            );
+            assert!((1..=9).contains(&delta.volume));
+            t.set_requests(delta.client, delta.volume);
+        }
+    }
+
+    #[test]
+    fn delta_iter_epoch_emits_rate_events() {
+        let mut t = tree(13);
+        let mut stream = DeltaIter::new(Evolution::Resample { range: (0, 7) }, 3, 17);
+        let mut seen = Vec::new();
+        stream.epoch(&mut t, |d| seen.push(d));
+        assert_eq!(seen.len(), 17);
+        // Applied state agrees with the emitted stream replayed onto a
+        // fresh copy.
+        let mut replay = tree(13);
+        for d in &seen {
+            replay.set_requests(d.client, d.volume);
+        }
+        for c in t.client_ids() {
+            assert_eq!(t.requests(c), replay.requests(c));
+        }
     }
 
     #[test]

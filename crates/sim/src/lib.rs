@@ -26,7 +26,7 @@ pub mod metrics;
 pub mod runner;
 pub mod strategy;
 
-pub use evolution::Evolution;
+pub use evolution::{DeltaIter, DemandDelta, Evolution};
 pub use metrics::{histogram, Histogram};
 pub use runner::{run_dynamic, Algorithm, DynamicConfig, StepRecord};
 pub use strategy::{run_with_strategy, StrategyConfig, StrategyRecord, UpdateStrategy};

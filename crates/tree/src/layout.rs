@@ -244,6 +244,146 @@ impl FlatTree {
     pub fn positions(&self) -> std::ops::Range<usize> {
         0..self.order.len()
     }
+
+    /// Re-snapshots the direct client demand of `node` from `tree` and
+    /// propagates the (exact, integer) difference into the aggregated
+    /// subtree loads along the root path. Returns whether anything
+    /// changed.
+    ///
+    /// This is the incremental counterpart of [`FlatTree::rebuild`]: after
+    /// [`Tree::set_requests`] updates to clients of `node`, calling this is
+    /// equivalent — bit for bit, since all loads are `u64` sums — to a full
+    /// rebuild, at O(depth) instead of O(N + C). Topology must be the tree
+    /// this layout was built from (positions never move; only demand does).
+    pub fn refresh_demand(&mut self, tree: &Tree, node: NodeId) -> bool {
+        let p = self.position_of(node);
+        let load = tree.client_load(node);
+        let old = self.client_load[p];
+        if load == old {
+            return false;
+        }
+        self.client_load[p] = load;
+        // u64 subtree sums are exact, so adding the signed difference along
+        // the root path reproduces what a full rebuild would recompute.
+        let delta = load as i128 - old as i128;
+        let mut q = p;
+        loop {
+            self.subtree_load[q] = (self.subtree_load[q] as i128 + delta) as u64;
+            match self.parent_position(q) {
+                Some(parent) => q = parent,
+                None => break,
+            }
+        }
+        true
+    }
+}
+
+/// A mark-and-sweep dirty-position set over a [`FlatTree`].
+///
+/// Incremental solvers mark the positions whose inputs changed (typically
+/// via [`DirtySet::mark_node`] after a demand update) and then
+/// [`DirtySet::sweep`] once per epoch: the sweep closes the marked set
+/// under the parent relation — a node's DP state depends on its children's,
+/// so every ancestor of a dirty position must be recomputed too — and
+/// returns the closure in **ascending position order**, which in post order
+/// is exactly bottom-up recompute order (children before parents).
+///
+/// Marking is idempotent and O(1); the sweep is O(closure · log closure)
+/// and leaves the set empty for the next epoch.
+///
+/// ```
+/// use replica_tree::{DirtySet, FlatTree, TreeBuilder};
+///
+/// let mut b = TreeBuilder::new();
+/// let root = b.root();
+/// let a = b.add_child(root);
+/// let c = b.add_child(a);
+/// b.add_client(c, 5);
+/// let tree = b.build().unwrap();
+/// let flat = FlatTree::new(&tree);
+///
+/// let mut dirty = DirtySet::with_len(flat.len());
+/// dirty.mark_node(&flat, c);
+/// let mut out = Vec::new();
+/// dirty.sweep(&flat, &mut out);
+/// // The closure is c plus its ancestors, bottom-up.
+/// assert_eq!(out, vec![flat.position_of(c), flat.position_of(a),
+///                      flat.position_of(root)]);
+/// assert!(dirty.is_empty());
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct DirtySet {
+    /// `flags[p]`: `p` is marked (or already collected during a sweep).
+    flags: Vec<bool>,
+    /// Marked positions, unordered, deduplicated via `flags`.
+    marked: Vec<usize>,
+}
+
+impl DirtySet {
+    /// An empty set sized for a layout of `len` positions.
+    pub fn with_len(len: usize) -> Self {
+        DirtySet {
+            flags: vec![false; len],
+            marked: Vec::new(),
+        }
+    }
+
+    /// Resizes for a layout of `len` positions, clearing all marks.
+    pub fn reset(&mut self, len: usize) {
+        self.flags.clear();
+        self.flags.resize(len, false);
+        self.marked.clear();
+    }
+
+    /// Marks position `p` dirty (idempotent).
+    pub fn mark(&mut self, p: usize) {
+        if !self.flags[p] {
+            self.flags[p] = true;
+            self.marked.push(p);
+        }
+    }
+
+    /// Marks the position of `node` in `flat` dirty.
+    pub fn mark_node(&mut self, flat: &FlatTree, node: NodeId) {
+        self.mark(flat.position_of(node));
+    }
+
+    /// Number of positions marked since the last sweep (before ancestor
+    /// closure).
+    pub fn marked_len(&self) -> usize {
+        self.marked.len()
+    }
+
+    /// Whether nothing is marked.
+    pub fn is_empty(&self) -> bool {
+        self.marked.is_empty()
+    }
+
+    /// Sweeps the set: fills `out` with the marked positions closed under
+    /// the parent relation of `flat`, sorted ascending (= bottom-up in post
+    /// order), and clears every mark.
+    pub fn sweep(&mut self, flat: &FlatTree, out: &mut Vec<usize>) {
+        out.clear();
+        out.extend_from_slice(&self.marked);
+        // Close under ancestors: appended parents are processed in turn
+        // (a parent position is always greater than its child's, so the
+        // walk terminates at the root).
+        let mut i = 0;
+        while i < out.len() {
+            if let Some(parent) = flat.parent_position(out[i]) {
+                if !self.flags[parent] {
+                    self.flags[parent] = true;
+                    out.push(parent);
+                }
+            }
+            i += 1;
+        }
+        out.sort_unstable();
+        for &p in out.iter() {
+            self.flags[p] = false;
+        }
+        self.marked.clear();
+    }
 }
 
 #[cfg(test)]
@@ -320,6 +460,86 @@ mod tests {
         t2.set_requests(k, 11);
         flat.rebuild(&t2);
         assert_eq!(flat.subtree_load(flat.root_position()), 11);
+    }
+
+    #[test]
+    fn refresh_demand_matches_full_rebuild() {
+        let mut bld = TreeBuilder::new();
+        let r = bld.root();
+        let a = bld.add_child(r);
+        let b = bld.add_child(r);
+        let c = bld.add_child(a);
+        let kc = bld.add_client(c, 5);
+        let kb = bld.add_client(b, 2);
+        bld.add_client(r, 1);
+        let mut tree = bld.build().unwrap();
+        let mut flat = FlatTree::new(&tree);
+
+        // Raise c's demand: c and its ancestors change, b is untouched.
+        tree.set_requests(kc, 9);
+        assert!(flat.refresh_demand(&tree, c));
+        let reference = FlatTree::new(&tree);
+        for p in flat.positions() {
+            assert_eq!(flat.client_load(p), reference.client_load(p));
+            assert_eq!(flat.subtree_load(p), reference.subtree_load(p));
+        }
+
+        // Lower b's demand to zero (a signed delta downward).
+        tree.set_requests(kb, 0);
+        assert!(flat.refresh_demand(&tree, b));
+        let reference = FlatTree::new(&tree);
+        for p in flat.positions() {
+            assert_eq!(flat.subtree_load(p), reference.subtree_load(p));
+        }
+
+        // No-op refresh reports no change.
+        assert!(!flat.refresh_demand(&tree, b));
+        assert!(!flat.refresh_demand(&tree, r));
+    }
+
+    #[test]
+    fn dirty_set_sweeps_ancestor_closure_bottom_up() {
+        let (t, [r, a, b, c]) = sample();
+        let flat = FlatTree::new(&t);
+        let mut dirty = DirtySet::with_len(flat.len());
+        assert!(dirty.is_empty());
+
+        // Marking is idempotent; sweep closes under parents, ascending.
+        dirty.mark_node(&flat, c);
+        dirty.mark_node(&flat, c);
+        dirty.mark_node(&flat, b);
+        assert_eq!(dirty.marked_len(), 2);
+        let mut out = Vec::new();
+        dirty.sweep(&flat, &mut out);
+        let expected = {
+            let mut v = vec![
+                flat.position_of(c),
+                flat.position_of(a),
+                flat.position_of(b),
+                flat.position_of(r),
+            ];
+            v.sort_unstable();
+            v
+        };
+        assert_eq!(out, expected);
+        assert!(dirty.is_empty());
+
+        // The sweep cleared every flag: the same marks work again.
+        dirty.mark_node(&flat, a);
+        dirty.sweep(&flat, &mut out);
+        assert_eq!(out, vec![flat.position_of(a), flat.position_of(r)]);
+
+        // Root alone closes to just the root.
+        dirty.mark_node(&flat, r);
+        dirty.sweep(&flat, &mut out);
+        assert_eq!(out, vec![flat.position_of(r)]);
+
+        // reset resizes and clears.
+        dirty.mark(0);
+        dirty.reset(flat.len());
+        assert!(dirty.is_empty());
+        dirty.sweep(&flat, &mut out);
+        assert!(out.is_empty());
     }
 
     #[test]

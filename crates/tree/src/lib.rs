@@ -68,6 +68,6 @@ pub use arena::{Client, Tree};
 pub use builder::TreeBuilder;
 pub use generate::{random_pre_existing, random_tree, GeneratorConfig, TreeShape};
 pub use ids::{ClientId, NodeId};
-pub use layout::FlatTree;
+pub use layout::{DirtySet, FlatTree};
 pub use stats::TreeStats;
 pub use validate::TreeError;

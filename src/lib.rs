@@ -92,6 +92,7 @@ pub use replica_engine as engine;
 pub use replica_experiments as experiments;
 pub use replica_fleetd as fleetd;
 pub use replica_model as model;
+pub use replica_serve as serve;
 pub use replica_sim as sim;
 pub use replica_tree as tree;
 

@@ -102,6 +102,33 @@ impl_tuple_strategy!(A, B, C, D, E, F);
 impl_tuple_strategy!(A, B, C, D, E, F, G);
 impl_tuple_strategy!(A, B, C, D, E, F, G, H);
 
+/// Collection strategies (subset of proptest's `collection` module).
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use rand::Rng;
+    use std::ops::Range;
+
+    /// Generates `Vec`s whose length is drawn from `len` and whose
+    /// elements are drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    /// The strategy returned by [`vec()`].
+    pub struct VecStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = rng.random_range(self.len.clone());
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
 /// Derives the per-case RNG (public so the macro can call it).
 pub fn case_rng(test_name: &str, case: u32) -> TestRng {
     let mut seed = 0xcbf2_9ce4_8422_2325u64;
@@ -148,6 +175,17 @@ macro_rules! __proptest_impl {
     )*};
 }
 
+/// Discards the case when the assumption fails (no shrinking here, so a
+/// discarded case simply counts as passed).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Ok(());
+        }
+    };
+}
+
 /// `assert!` that reports through the proptest runner.
 #[macro_export]
 macro_rules! prop_assert {
@@ -189,7 +227,10 @@ macro_rules! prop_assert_eq {
 
 /// Glob import mirroring `proptest::prelude`.
 pub mod prelude {
-    pub use crate::{case_rng, prop_assert, prop_assert_eq, proptest, ProptestConfig, Strategy};
+    pub use crate as prop;
+    pub use crate::{
+        case_rng, prop_assert, prop_assert_eq, prop_assume, proptest, ProptestConfig, Strategy,
+    };
 }
 
 #[cfg(test)]
